@@ -1,0 +1,165 @@
+//! The batched balls-into-bins model of OPS (§5.1).
+//!
+//! `n` output ports are bins. Each round every non-empty bin serves one
+//! ball, then a batch of `⌊λn⌋` balls (plus a Bernoulli remainder) arrives,
+//! each thrown uniformly at random. At `λ → 1` the maximum load grows
+//! without bound — the theoretical reason OPS builds unbounded queues at
+//! full injection (Fig. 17).
+
+use netsim::rng::Rng64;
+
+/// The batched uniform-throw process.
+#[derive(Debug, Clone)]
+pub struct BatchedBallsBins {
+    /// Per-bin occupancy.
+    bins: Vec<u64>,
+    /// Injection rate as a fraction of `n` balls per round.
+    lambda: f64,
+}
+
+impl BatchedBallsBins {
+    /// Creates the process with `n` bins at injection rate `lambda`.
+    pub fn new(n: usize, lambda: f64) -> BatchedBallsBins {
+        assert!(n > 0);
+        assert!(lambda > 0.0);
+        BatchedBallsBins {
+            bins: vec![0; n],
+            lambda,
+        }
+    }
+
+    /// Number of bins.
+    pub fn n(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Current per-bin loads.
+    pub fn loads(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Maximum bin load.
+    pub fn max_load(&self) -> u64 {
+        self.bins.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total balls in the system.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum()
+    }
+
+    /// Number of balls to inject this round (deterministic part plus a
+    /// Bernoulli remainder so the long-run rate is exactly `λn`).
+    fn batch_size(&self, rng: &mut Rng64) -> usize {
+        let exact = self.lambda * self.bins.len() as f64;
+        let base = exact.floor() as usize;
+        let frac = exact - base as f64;
+        base + usize::from(rng.gen_bool(frac))
+    }
+
+    /// Advances one round: serve every non-empty bin, then throw the batch.
+    pub fn step(&mut self, rng: &mut Rng64) {
+        for b in &mut self.bins {
+            *b = b.saturating_sub(1);
+        }
+        let batch = self.batch_size(rng);
+        let n = self.bins.len() as u64;
+        for _ in 0..batch {
+            let i = rng.gen_range(n) as usize;
+            self.bins[i] += 1;
+        }
+    }
+
+    /// Runs `rounds` steps, returning the max load after each round.
+    pub fn run(&mut self, rounds: usize, rng: &mut Rng64) -> Vec<u64> {
+        (0..rounds)
+            .map(|_| {
+                self.step(rng);
+                self.max_load()
+            })
+            .collect()
+    }
+}
+
+/// Average of `trials` independent max-load trajectories (Fig. 17's series).
+pub fn average_max_load(
+    n: usize,
+    lambda: f64,
+    rounds: usize,
+    trials: usize,
+    seed: u64,
+) -> Vec<f64> {
+    let mut acc = vec![0.0f64; rounds];
+    for t in 0..trials {
+        let mut rng = Rng64::new(seed ^ (t as u64).wrapping_mul(0x9E37_79B9));
+        let mut process = BatchedBallsBins::new(n, lambda);
+        for (i, m) in process.run(rounds, &mut rng).into_iter().enumerate() {
+            acc[i] += m as f64;
+        }
+    }
+    acc.iter_mut().for_each(|v| *v /= trials as f64);
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subcritical_load_stays_bounded() {
+        let mut rng = Rng64::new(1);
+        let mut p = BatchedBallsBins::new(64, 0.5);
+        let trace = p.run(2_000, &mut rng);
+        // At λ=0.5 the queue must stay small — O(log n / log log n)-ish.
+        let tail_max = trace[1_000..].iter().max().unwrap();
+        assert!(*tail_max < 10, "tail max {tail_max}");
+    }
+
+    #[test]
+    fn near_critical_load_grows() {
+        // The paper's λ = 0.99: max queue grows over the first 1000 rounds.
+        let early = average_max_load(64, 0.99, 100, 20, 7);
+        let late = average_max_load(64, 0.99, 1_000, 20, 7);
+        assert!(
+            late[999] > early[99] * 1.5,
+            "no growth: early {} late {}",
+            early[99],
+            late[999]
+        );
+    }
+
+    #[test]
+    fn more_ports_grow_faster() {
+        // Fig. 17's message: larger n → faster-growing max queue.
+        let small = average_max_load(4, 0.99, 1_000, 20, 3);
+        let large = average_max_load(128, 0.99, 1_000, 20, 3);
+        assert!(
+            large[999] > small[999],
+            "128 ports {} should exceed 4 ports {}",
+            large[999],
+            small[999]
+        );
+    }
+
+    #[test]
+    fn ball_conservation_per_step() {
+        let mut rng = Rng64::new(5);
+        let mut p = BatchedBallsBins::new(10, 1.0);
+        for _ in 0..100 {
+            let before = p.total();
+            let nonempty = p.loads().iter().filter(|&&b| b > 0).count() as u64;
+            p.step(&mut rng);
+            // Exactly λn=10 arrive, `nonempty` depart.
+            assert_eq!(p.total(), before - nonempty + 10);
+        }
+    }
+
+    #[test]
+    fn batch_size_long_run_average() {
+        let mut rng = Rng64::new(9);
+        let p = BatchedBallsBins::new(10, 0.55);
+        let total: usize = (0..10_000).map(|_| p.batch_size(&mut rng)).sum();
+        let avg = total as f64 / 10_000.0;
+        assert!((avg - 5.5).abs() < 0.1, "avg batch {avg}");
+    }
+}

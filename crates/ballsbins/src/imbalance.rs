@@ -1,0 +1,112 @@
+//! EVS-size load-imbalance model (§4.5.2, Fig. 14).
+//!
+//! Output ports are bins, entropy values are balls: for each active flow we
+//! throw one ball per EV (hashed with per-flow header randomness) into the
+//! `n` uplinks and measure the load imbalance `λ = max/(m/n) − 1`. Small
+//! EVS → high imbalance; 2^16 EVs → near-uniform.
+
+use netsim::hash::ecmp_select;
+use netsim::ids::HostId;
+use netsim::rng::Rng64;
+
+/// Summary statistics over trials.
+#[derive(Debug, Clone, Copy)]
+pub struct ImbalanceStats {
+    /// Mean load imbalance.
+    pub mean: f64,
+    /// 2.5th percentile.
+    pub p2_5: f64,
+    /// 97.5th percentile.
+    pub p97_5: f64,
+}
+
+/// Load imbalance of one trial: `flows` flows each spraying `evs` entropies
+/// over `ports` uplinks through the fabric's real ECMP hash.
+pub fn trial_imbalance(ports: usize, evs: u32, flows: u32, rng: &mut Rng64) -> f64 {
+    assert!(ports > 0 && evs > 0 && flows > 0);
+    let mut counts = vec![0u64; ports];
+    for _ in 0..flows {
+        // Each flow contributes distinct header fields: model as a random
+        // (src, dst, salt) triple feeding the same switch hash.
+        let src = HostId(rng.next_u64() as u32);
+        let dst = HostId(rng.next_u64() as u32);
+        let salt = rng.next_u64();
+        for ev in 0..evs {
+            let port = ecmp_select(src, dst, ev as u16, salt, ports);
+            counts[port] += 1;
+        }
+    }
+    let m = (evs as u64 * flows as u64) as f64;
+    let max = *counts.iter().max().expect("ports > 0") as f64;
+    max / (m / ports as f64) - 1.0
+}
+
+/// Runs `trials` independent trials and summarizes (Fig. 14's bands).
+pub fn imbalance_stats(
+    ports: usize,
+    evs: u32,
+    flows: u32,
+    trials: usize,
+    seed: u64,
+) -> ImbalanceStats {
+    assert!(trials > 0);
+    let mut vals: Vec<f64> = (0..trials)
+        .map(|t| {
+            let mut rng = Rng64::new(seed ^ (t as u64).wrapping_mul(0xA5A5_5A5A_1234_5678));
+            trial_imbalance(ports, evs, flows, &mut rng)
+        })
+        .collect();
+    vals.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+    let idx = |q: f64| ((vals.len() - 1) as f64 * q).round() as usize;
+    ImbalanceStats {
+        mean,
+        p2_5: vals[idx(0.025)],
+        p97_5: vals[idx(0.975)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imbalance_shrinks_with_evs_size_one_flow() {
+        // Fig. 14a: with 1 flow and 32 uplinks, 2^5 EVs are badly imbalanced
+        // and 2^16 EVs are near-uniform.
+        let small = imbalance_stats(32, 32, 1, 50, 1);
+        let large = imbalance_stats(32, 1 << 16, 1, 20, 1);
+        assert!(small.mean > 1.0, "2^5 EVs mean {}", small.mean);
+        assert!(large.mean < 0.10, "2^16 EVs mean {}", large.mean);
+        assert!(small.mean > 10.0 * large.mean);
+    }
+
+    #[test]
+    fn more_flows_average_out_imbalance() {
+        // Fig. 14b: 32 flows smooth the distribution at equal EVS size.
+        let one = imbalance_stats(32, 256, 1, 40, 2);
+        let many = imbalance_stats(32, 256, 32, 40, 2);
+        assert!(many.mean < one.mean, "one {} many {}", one.mean, many.mean);
+    }
+
+    #[test]
+    fn percentile_band_brackets_mean() {
+        let s = imbalance_stats(32, 1024, 4, 60, 3);
+        assert!(s.p2_5 <= s.mean && s.mean <= s.p97_5);
+        assert!(s.p2_5 >= 0.0 - 1e-9);
+    }
+
+    #[test]
+    fn matches_paper_order_of_magnitude_at_2_8() {
+        // The paper reports ~10% imbalance with 32 flows below 2^8 EVs and
+        // <1% at 2^16 (§4.5.2).
+        let at256 = imbalance_stats(32, 256, 32, 40, 4);
+        assert!(
+            (0.05..0.5).contains(&at256.mean),
+            "2^8/32 flows mean {}",
+            at256.mean
+        );
+        let at64k = imbalance_stats(32, 1 << 16, 32, 10, 4);
+        assert!(at64k.mean < 0.03, "2^16/32 flows mean {}", at64k.mean);
+    }
+}

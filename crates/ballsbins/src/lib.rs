@@ -1,0 +1,18 @@
+//! Theoretical balls-into-bins models from the REPS paper (§5).
+//!
+//! * [`batched::BatchedBallsBins`] — the OPS model: uniform throws at rate
+//!   `λn` per round; max load diverges as `λ → 1` (Fig. 17).
+//! * [`recycled::RecycledBallsBins`] — the REPS model: colors remember
+//!   below-threshold bins and are recycled round-robin; converges to
+//!   `≤ τ` queues at full injection (Theorem 5.1, Fig. 18), including the
+//!   ACK-coalescing variant (Fig. 20).
+//! * [`imbalance`] — the EVS-size load-imbalance analysis of §4.5.2
+//!   (Fig. 14), run against the fabric's real ECMP hash.
+
+pub mod batched;
+pub mod imbalance;
+pub mod recycled;
+
+pub use batched::{average_max_load, BatchedBallsBins};
+pub use imbalance::{imbalance_stats, trial_imbalance, ImbalanceStats};
+pub use recycled::{theorem_parameters, RecycledBallsBins};

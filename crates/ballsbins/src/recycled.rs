@@ -1,0 +1,272 @@
+//! The recycled balls-into-bins model of REPS (§5.1, Theorem 5.1).
+//!
+//! `b·n` colors cycle round-robin in batches of `n`. When a bin serves a
+//! ball, the ball's color *remembers* the bin if the bin's load is at most
+//! the threshold `τ` (unless it already remembers one) and *forgets* it if
+//! the load exceeds `τ`. Thrown colors go to their remembered bin, or
+//! uniformly at random if they remember none. Theorem 5.1: for `τ ≥ 4 ln n`
+//! and `b ≥ 2.4 ln n` the process converges to all-bins-below-`τ` in
+//! `O(n log n)` rounds with `O(log n)` maximum load throughout.
+//!
+//! The coalesced variant (Appendix C.1, Fig. 20) updates color memory only
+//! on every `k`-th service, modelling ACK coalescing: unacknowledged
+//! entropies are simply never recycled.
+
+use std::collections::VecDeque;
+
+use netsim::rng::Rng64;
+
+/// The recycled-color process.
+#[derive(Debug, Clone)]
+pub struct RecycledBallsBins {
+    /// FIFO queues of colors per bin.
+    bins: Vec<VecDeque<u32>>,
+    /// Color memory: remembered bin per color.
+    memory: Vec<Option<u32>>,
+    /// Threshold τ.
+    tau: u64,
+    /// Next color batch start (round-robin over all colors).
+    cursor: usize,
+    /// Memory updates happen on every `coalesce`-th service (1 = always).
+    coalesce: u32,
+    /// Service counter for the coalescing rule.
+    services: u64,
+}
+
+impl RecycledBallsBins {
+    /// Creates the process with `n` bins, `b * n` colors and threshold `tau`.
+    pub fn new(n: usize, b: usize, tau: u64) -> RecycledBallsBins {
+        RecycledBallsBins::with_coalescing(n, b, tau, 1)
+    }
+
+    /// Creates the coalesced variant: memory updates every `k`-th service.
+    pub fn with_coalescing(n: usize, b: usize, tau: u64, k: u32) -> RecycledBallsBins {
+        assert!(n > 0 && b > 0);
+        RecycledBallsBins {
+            bins: vec![VecDeque::new(); n],
+            memory: vec![None; n * b],
+            tau,
+            cursor: 0,
+            coalesce: k.max(1),
+            services: 0,
+        }
+    }
+
+    /// Number of bins.
+    pub fn n(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Maximum bin load.
+    pub fn max_load(&self) -> u64 {
+        self.bins.iter().map(|b| b.len() as u64).max().unwrap_or(0)
+    }
+
+    /// Per-bin loads.
+    pub fn loads(&self) -> Vec<u64> {
+        self.bins.iter().map(|b| b.len() as u64).collect()
+    }
+
+    /// Fraction of colors that remember a bin.
+    pub fn remembering_fraction(&self) -> f64 {
+        let m = self.memory.iter().filter(|m| m.is_some()).count();
+        m as f64 / self.memory.len() as f64
+    }
+
+    /// True when every bin is at or below τ and every color remembers.
+    pub fn converged(&self) -> bool {
+        self.bins.iter().all(|b| b.len() as u64 <= self.tau)
+            && self.memory.iter().all(|m| m.is_some())
+    }
+
+    /// Advances one round: serve every non-empty bin (FIFO), then throw the
+    /// next batch of `n` colors.
+    pub fn step(&mut self, rng: &mut Rng64) {
+        // Service phase.
+        for i in 0..self.bins.len() {
+            let Some(color) = self.bins[i].pop_front() else {
+                continue;
+            };
+            self.services += 1;
+            if !self.services.is_multiple_of(self.coalesce as u64) {
+                // Coalesced away: the entropy is never echoed back, so it is
+                // not re-cached — the color forgets (matches REPS, where a
+                // consumed buffer slot is only re-validated by an ACK).
+                self.memory[color as usize] = None;
+                continue;
+            }
+            let load = self.bins[i].len() as u64;
+            if load <= self.tau {
+                if self.memory[color as usize].is_none() {
+                    self.memory[color as usize] = Some(i as u32);
+                }
+            } else {
+                self.memory[color as usize] = None;
+            }
+        }
+        // Arrival phase: the next n colors in round-robin order.
+        let n = self.bins.len();
+        let colors = self.memory.len();
+        for j in 0..n {
+            let color = (self.cursor + j) % colors;
+            let bin = match self.memory[color] {
+                Some(b) => b as usize,
+                None => rng.gen_range(n as u64) as usize,
+            };
+            self.bins[bin].push_back(color as u32);
+        }
+        self.cursor = (self.cursor + n) % colors;
+    }
+
+    /// Runs `rounds` steps, returning the max load after each.
+    pub fn run(&mut self, rounds: usize, rng: &mut Rng64) -> Vec<u64> {
+        (0..rounds)
+            .map(|_| {
+                self.step(rng);
+                self.max_load()
+            })
+            .collect()
+    }
+
+    /// Steps until [`RecycledBallsBins::converged`] or `max_rounds`.
+    ///
+    /// Returns the number of rounds taken, or `None` on non-convergence.
+    pub fn run_until_converged(&mut self, max_rounds: usize, rng: &mut Rng64) -> Option<usize> {
+        for round in 0..max_rounds {
+            self.step(rng);
+            if self.converged() {
+                return Some(round + 1);
+            }
+        }
+        None
+    }
+}
+
+/// Theorem 5.1's parameter recommendations for `n` bins.
+pub fn theorem_parameters(n: usize) -> (usize, u64) {
+    let ln_n = (n.max(2) as f64).ln();
+    let b = (2.4 * ln_n).ceil() as usize;
+    let tau = (4.0 * ln_n).ceil() as u64;
+    (b.max(1), tau.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_bounded_at_full_injection() {
+        // The headline contrast of §5.1: at λ = 1 OPS queues diverge while
+        // recycling keeps them O(τ) forever. (The paper's figures stop at
+        // 200–2000 rounds; we additionally check a 20k-round tail.)
+        let n = 16;
+        let (b, tau) = theorem_parameters(n);
+        let mut rng = Rng64::new(1);
+        let mut p = RecycledBallsBins::new(n, b, tau);
+        let trace = p.run(20_000, &mut rng);
+        let mid_max = *trace[5_000..10_000].iter().max().unwrap();
+        let tail_max = *trace[15_000..].iter().max().unwrap();
+        assert!(tail_max <= 4 * tau, "tail max {tail_max} vs tau {tau}");
+        // No divergence: the tail is not materially above the middle.
+        assert!(
+            tail_max <= mid_max * 2,
+            "queues still growing: mid {mid_max} tail {tail_max}"
+        );
+        let mut ops_rng = Rng64::new(1);
+        let mut ops = crate::batched::BatchedBallsBins::new(n, 1.0);
+        let ops_trace = ops.run(20_000, &mut ops_rng);
+        assert!(
+            *ops_trace.last().unwrap() > 4 * tail_max,
+            "OPS should diverge well past recycled"
+        );
+    }
+
+    #[test]
+    fn stays_below_tau_after_convergence_small_case() {
+        // The paper's Fig. 18 setting: n = 5.
+        let n = 5;
+        let (b, tau) = theorem_parameters(n);
+        let mut rng = Rng64::new(2);
+        let mut p = RecycledBallsBins::new(n, b, tau);
+        p.run(2_000, &mut rng);
+        let tail = p.run(500, &mut rng);
+        assert!(
+            tail.iter().all(|&m| m <= tau + 1),
+            "queues exceed τ: {tail:?}"
+        );
+    }
+
+    #[test]
+    fn recycled_beats_oblivious_at_full_rate() {
+        let n = 32;
+        let (b, tau) = theorem_parameters(n);
+        let mut rng1 = Rng64::new(3);
+        let mut rng2 = Rng64::new(3);
+        let mut rec = RecycledBallsBins::new(n, b, tau);
+        let mut ops = crate::batched::BatchedBallsBins::new(n, 1.0);
+        let rec_trace = rec.run(3_000, &mut rng1);
+        let ops_trace = ops.run(3_000, &mut rng2);
+        let rec_tail: u64 = rec_trace[2_500..].iter().sum();
+        let ops_tail: u64 = ops_trace[2_500..].iter().sum();
+        assert!(
+            rec_tail * 2 < ops_tail,
+            "recycled tail {rec_tail} not well below OPS tail {ops_tail}"
+        );
+    }
+
+    #[test]
+    fn memory_forms_within_paper_horizon() {
+        // Within Fig. 18's horizon most colors have locked onto a bin.
+        let n = 16;
+        let (b, tau) = theorem_parameters(n);
+        let mut rng = Rng64::new(4);
+        let mut p = RecycledBallsBins::new(n, b, tau);
+        p.run(5, &mut rng);
+        let early = p.remembering_fraction();
+        p.run(195, &mut rng);
+        let at200 = p.remembering_fraction();
+        assert!(
+            at200 > early && at200 > 0.6,
+            "memory did not form: {early} -> {at200}"
+        );
+    }
+
+    #[test]
+    fn coalescing_degrades_gracefully() {
+        // Fig. 20 (2000-round horizon): light coalescing stays near τ;
+        // even 8:1 remains advantageous over OPS.
+        let n = 16;
+        let (b, tau) = theorem_parameters(n);
+        let mut tails = Vec::new();
+        for k in [1u32, 2, 4, 8] {
+            let mut rng = Rng64::new(5);
+            let mut p = RecycledBallsBins::with_coalescing(n, b, tau, k);
+            let trace = p.run(2_000, &mut rng);
+            let tail = trace[1_500..].iter().sum::<u64>() as f64 / 500.0;
+            tails.push(tail);
+        }
+        let mut ops_rng = Rng64::new(5);
+        let mut ops = crate::batched::BatchedBallsBins::new(n, 1.0);
+        let ops_trace = ops.run(2_000, &mut ops_rng);
+        let ops_tail = ops_trace[1_500..].iter().sum::<u64>() as f64 / 500.0;
+        // Heavier coalescing cannot beat per-ACK recycling.
+        assert!(tails[0] <= tails[3] + 1.0, "tails {tails:?}");
+        // Per-ACK recycling keeps queues near τ at this horizon.
+        assert!(
+            tails[0] <= 1.5 * tau as f64 + 2.0,
+            "tails {tails:?} tau {tau}"
+        );
+        // Every coalescing ratio still beats oblivious spraying.
+        for (i, t) in tails.iter().enumerate() {
+            assert!(*t < ops_tail, "k-index {i}: {t} vs OPS {ops_tail}");
+        }
+    }
+
+    #[test]
+    fn theorem_parameters_scale_logarithmically() {
+        let (b16, tau16) = theorem_parameters(16);
+        let (b256, tau256) = theorem_parameters(256);
+        assert!(b256 > b16 && tau256 > tau16);
+        assert!(tau256 <= 2 * tau16, "log scaling, not linear");
+    }
+}

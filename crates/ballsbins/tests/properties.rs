@@ -1,0 +1,92 @@
+//! Property-based tests for the balls-into-bins models.
+
+use proptest::prelude::*;
+
+use ballsbins::batched::BatchedBallsBins;
+use ballsbins::recycled::{theorem_parameters, RecycledBallsBins};
+use netsim::rng::Rng64;
+
+proptest! {
+    /// Ball conservation in the batched model: each round removes one per
+    /// non-empty bin and injects the batch.
+    #[test]
+    fn batched_conservation(
+        n in 1usize..128,
+        lambda in 0.1f64..1.0,
+        rounds in 1usize..100,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Rng64::new(seed);
+        let mut p = BatchedBallsBins::new(n, lambda);
+        for _ in 0..rounds {
+            let before = p.total();
+            let nonempty = p.loads().iter().filter(|&&b| b > 0).count() as u64;
+            p.step(&mut rng);
+            let after = p.total();
+            // after = before - nonempty + batch, where batch ∈ {⌊λn⌋, ⌈λn⌉}.
+            let batch = after + nonempty - before;
+            let floor = (lambda * n as f64).floor() as u64;
+            prop_assert!(batch == floor || batch == floor + 1,
+                "batch {batch} outside {{{floor}, {}}}", floor + 1);
+        }
+    }
+
+    /// The recycled model conserves color identity: the number of in-flight
+    /// balls of any color never exceeds what round-robin injection allows,
+    /// and bin loads always sum to the total thrown minus served.
+    #[test]
+    fn recycled_load_accounting(
+        n in 2usize..64,
+        rounds in 1usize..200,
+        seed in any::<u64>(),
+    ) {
+        let (b, tau) = theorem_parameters(n);
+        let mut rng = Rng64::new(seed);
+        let mut p = RecycledBallsBins::new(n, b, tau);
+        let mut thrown = 0u64;
+        let mut served = 0u64;
+        for _ in 0..rounds {
+            let nonempty = p.loads().iter().filter(|&&l| l > 0).count() as u64;
+            p.step(&mut rng);
+            served += nonempty;
+            thrown += n as u64;
+            let total: u64 = p.loads().iter().sum();
+            prop_assert_eq!(total, thrown - served, "load accounting broken");
+        }
+    }
+
+    /// The remembering fraction is always a valid probability and the
+    /// process never panics across parameter space (including coalescing).
+    #[test]
+    fn recycled_total_function(
+        n in 1usize..48,
+        b in 1usize..16,
+        tau in 0u64..32,
+        k in 1u32..10,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Rng64::new(seed);
+        let mut p = RecycledBallsBins::with_coalescing(n, b, tau, k);
+        for _ in 0..100 {
+            p.step(&mut rng);
+        }
+        let f = p.remembering_fraction();
+        prop_assert!((0.0..=1.0).contains(&f));
+        prop_assert!(p.max_load() <= 100 * n as u64);
+    }
+
+    /// Imbalance is non-negative and bounded by `ports - 1` (all balls in
+    /// one bin).
+    #[test]
+    fn imbalance_bounds(
+        ports in 1usize..64,
+        evs_exp in 3u32..12,
+        flows in 1u32..8,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Rng64::new(seed);
+        let v = ballsbins::imbalance::trial_imbalance(ports, 1 << evs_exp, flows, &mut rng);
+        prop_assert!(v >= -1e-9, "negative imbalance {v}");
+        prop_assert!(v <= ports as f64 - 1.0 + 1e-9, "imbalance {v} above bound");
+    }
+}

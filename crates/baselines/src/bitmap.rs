@@ -1,0 +1,172 @@
+//! BitMap: per-entropy congestion state, STrack-style (§4.1).
+//!
+//! Keeps one "congested" bit per entropy value, set on marked ACKs and
+//! timeouts and aged out periodically. Sending draws random entropies and
+//! rejects recently-congested ones. Effective, but the state scales with the
+//! EVS size (64 Kib for a 16-bit EVS) — the memory-footprint contrast the
+//! paper draws against REPS' 25 bytes (§3.3).
+
+use netsim::rng::Rng64;
+use netsim::time::Time;
+use reps::lb::{AckFeedback, LoadBalancer};
+
+/// Per-EV congestion bitmap balancer.
+#[derive(Debug, Clone)]
+pub struct Bitmap {
+    congested: Vec<bool>,
+    marked_count: usize,
+    last_clear: Time,
+    clear_period: Time,
+    /// Attempts per send before giving up and accepting a congested EV.
+    max_tries: u32,
+}
+
+impl Bitmap {
+    /// Creates a bitmap balancer over `evs_size` entropies, aging marks
+    /// every `clear_period`.
+    pub fn new(evs_size: u32, clear_period: Time) -> Bitmap {
+        assert!(evs_size > 0, "EVS must be non-empty");
+        Bitmap {
+            congested: vec![false; evs_size as usize],
+            marked_count: 0,
+            last_clear: Time::ZERO,
+            clear_period,
+            max_tries: 8,
+        }
+    }
+
+    /// Memory footprint of the per-connection state in bits (the paper's
+    /// §3.3 comparison: 64 Kib for a full EVS).
+    pub fn footprint_bits(&self) -> u64 {
+        self.congested.len() as u64
+    }
+
+    fn maybe_age(&mut self, now: Time) {
+        if now.saturating_sub(self.last_clear) >= self.clear_period {
+            self.congested.iter_mut().for_each(|b| *b = false);
+            self.marked_count = 0;
+            self.last_clear = now;
+        }
+    }
+
+    fn mark(&mut self, ev: u16) {
+        let idx = ev as usize % self.congested.len();
+        if !self.congested[idx] {
+            self.congested[idx] = true;
+            self.marked_count += 1;
+        }
+    }
+}
+
+impl LoadBalancer for Bitmap {
+    fn next_ev(&mut self, now: Time, rng: &mut Rng64) -> u16 {
+        self.maybe_age(now);
+        let n = self.congested.len() as u64;
+        let mut candidate = rng.gen_range(n) as u16;
+        if self.marked_count < self.congested.len() {
+            for _ in 0..self.max_tries {
+                if !self.congested[candidate as usize] {
+                    break;
+                }
+                candidate = rng.gen_range(n) as u16;
+            }
+        }
+        candidate
+    }
+
+    fn on_ack(&mut self, fb: &AckFeedback, _rng: &mut Rng64) {
+        self.maybe_age(fb.now);
+        if fb.ecn {
+            self.mark(fb.ev);
+        }
+    }
+
+    fn on_timeout(&mut self, now: Time) {
+        self.maybe_age(now);
+    }
+
+    fn on_congestion_loss(&mut self, ev: u16, now: Time) {
+        self.maybe_age(now);
+        self.mark(ev);
+    }
+
+    fn name(&self) -> &'static str {
+        "BitMap"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fb(ev: u16, ecn: bool, now: Time) -> AckFeedback {
+        AckFeedback {
+            ev,
+            ecn,
+            now,
+            cwnd_packets: 16,
+            rtt: Time::from_us(10),
+        }
+    }
+
+    #[test]
+    fn avoids_marked_entropies() {
+        let mut lb = Bitmap::new(8, Time::from_ms(100));
+        let mut rng = Rng64::new(1);
+        // Mark all but EV 5.
+        for ev in [0u16, 1, 2, 3, 4, 6, 7] {
+            lb.on_ack(&fb(ev, true, Time::from_us(1)), &mut rng);
+        }
+        let mut fives = 0;
+        for _ in 0..100 {
+            if lb.next_ev(Time::from_us(2), &mut rng) == 5 {
+                fives += 1;
+            }
+        }
+        // With 8 retries per draw, the single clean EV dominates.
+        assert!(fives > 60, "clean EV chosen only {fives}/100 times");
+    }
+
+    #[test]
+    fn marks_age_out() {
+        let mut lb = Bitmap::new(4, Time::from_us(50));
+        let mut rng = Rng64::new(2);
+        for ev in 0..4u16 {
+            lb.on_ack(&fb(ev, true, Time::from_us(1)), &mut rng);
+        }
+        assert_eq!(lb.marked_count, 4);
+        // After the clear period all entropies are usable again.
+        lb.next_ev(Time::from_us(100), &mut rng);
+        assert_eq!(lb.marked_count, 0);
+    }
+
+    #[test]
+    fn fully_marked_map_still_returns() {
+        let mut lb = Bitmap::new(4, Time::from_ms(100));
+        let mut rng = Rng64::new(3);
+        for ev in 0..4u16 {
+            lb.on_congestion_loss(ev, Time::from_us(1));
+        }
+        // All congested: must still yield something in range.
+        let ev = lb.next_ev(Time::from_us(2), &mut rng);
+        assert!(ev < 4);
+    }
+
+    #[test]
+    fn footprint_matches_evs_size() {
+        let lb = Bitmap::new(1 << 16, Time::from_ms(1));
+        assert_eq!(lb.footprint_bits(), 65_536);
+        // The paper's point: that is 64 Kib vs REPS' 193 bits.
+        assert!(lb.footprint_bits() > reps::footprint::footprint_bits(8) * 300);
+    }
+
+    #[test]
+    fn clean_acks_do_not_mark() {
+        let mut lb = Bitmap::new(16, Time::from_ms(100));
+        let mut rng = Rng64::new(4);
+        for ev in 0..16u16 {
+            lb.on_ack(&fb(ev, false, Time::from_us(1)), &mut rng);
+        }
+        assert_eq!(lb.marked_count, 0);
+    }
+}

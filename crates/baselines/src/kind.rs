@@ -1,0 +1,190 @@
+//! The load-balancer zoo: a single enum naming every algorithm the paper
+//! evaluates, and a factory that builds per-connection instances.
+
+use netsim::engine::RoutingMode;
+use netsim::rng::Rng64;
+use netsim::time::Time;
+use reps::lb::LoadBalancer;
+use reps::reps::{Reps, RepsConfig};
+
+use crate::bitmap::Bitmap;
+use crate::ecmp::Ecmp;
+use crate::flowlet::Flowlet;
+use crate::mprdma::Mprdma;
+use crate::mptcp::MptcpLike;
+use crate::ops::Ops;
+use crate::plb::{Plb, PlbConfig};
+
+/// Every load-balancing scheme in the paper's comparison (§4.1).
+#[derive(Debug, Clone)]
+pub enum LbKind {
+    /// Recycled Entropy Packet Spraying (the contribution).
+    Reps(RepsConfig),
+    /// Oblivious packet spraying over `evs_size` entropies.
+    Ops {
+        /// EVS size.
+        evs_size: u32,
+    },
+    /// Static per-flow ECMP.
+    Ecmp,
+    /// Protective Load Balancing (aggressive, FlowBender-like tuning).
+    Plb(PlbConfig),
+    /// Flowlet switching with the given inactivity gap.
+    Flowlet {
+        /// Flowlet inactivity timeout (the paper uses RTT/2).
+        gap: Time,
+    },
+    /// MPRDMA-style one-deep ACK clocking.
+    Mprdma,
+    /// STrack-like per-EV congestion bitmap.
+    Bitmap {
+        /// EVS size (bits of state).
+        evs_size: u32,
+        /// Aging period for congestion marks.
+        clear_period: Time,
+    },
+    /// MPTCP-like striping over static subflows.
+    MptcpLike {
+        /// Subflow count (the paper uses 8).
+        subflows: usize,
+    },
+    /// Switch-side per-packet adaptive routing (NVIDIA Adaptive RoCE
+    /// stand-in). Hosts spray obliviously; switches pick the least-loaded
+    /// uplink.
+    AdaptiveRoce,
+}
+
+impl LbKind {
+    /// Builds a fresh per-connection balancer instance.
+    pub fn build(&self, rng: &mut Rng64) -> Box<dyn LoadBalancer> {
+        match self {
+            LbKind::Reps(cfg) => Box::new(Reps::new(cfg.clone())),
+            LbKind::Ops { evs_size } => Box::new(Ops::new(*evs_size)),
+            LbKind::Ecmp => Box::new(Ecmp::new(rng)),
+            LbKind::Plb(cfg) => Box::new(Plb::new(cfg.clone(), rng)),
+            LbKind::Flowlet { gap } => Box::new(Flowlet::new(1 << 16, *gap, rng)),
+            LbKind::Mprdma => Box::new(Mprdma::default()),
+            LbKind::Bitmap {
+                evs_size,
+                clear_period,
+            } => Box::new(Bitmap::new(*evs_size, *clear_period)),
+            LbKind::MptcpLike { subflows } => Box::new(MptcpLike::new(*subflows, 1 << 16, rng)),
+            LbKind::AdaptiveRoce => Box::new(Ops::default()),
+        }
+    }
+
+    /// The fabric routing mode this scheme needs.
+    pub fn routing_mode(&self) -> RoutingMode {
+        match self {
+            LbKind::AdaptiveRoce => RoutingMode::Adaptive,
+            _ => RoutingMode::EcmpHash,
+        }
+    }
+
+    /// Display label matching the paper's figure legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            LbKind::Reps(_) => "REPS",
+            LbKind::Ops { .. } => "OPS",
+            LbKind::Ecmp => "ECMP",
+            LbKind::Plb(_) => "PLB",
+            LbKind::Flowlet { .. } => "Flowlet",
+            LbKind::Mprdma => "MPRDMA",
+            LbKind::Bitmap { .. } => "BitMap",
+            LbKind::MptcpLike { .. } => "MPTCP",
+            LbKind::AdaptiveRoce => "Adaptive RoCE",
+        }
+    }
+
+    /// The default paper lineup for macro figures (Figs. 3, 5):
+    /// ECMP, OPS, Flowlet, BitMap, MPRDMA, PLB, MPTCP, Adaptive RoCE, REPS.
+    pub fn paper_lineup(rtt: Time) -> Vec<LbKind> {
+        vec![
+            LbKind::Ecmp,
+            LbKind::Ops { evs_size: 1 << 16 },
+            LbKind::Flowlet { gap: rtt / 2 },
+            LbKind::Bitmap {
+                evs_size: 1 << 16,
+                clear_period: rtt * 2,
+            },
+            LbKind::Mprdma,
+            LbKind::Plb(PlbConfig::default()),
+            LbKind::MptcpLike { subflows: 8 },
+            LbKind::AdaptiveRoce,
+            LbKind::Reps(RepsConfig::default()),
+        ]
+    }
+
+    /// The reduced lineup used in the failure figures (Fig. 8):
+    /// OPS, Flowlet, BitMap, MPRDMA, PLB, REPS.
+    pub fn failure_lineup(rtt: Time) -> Vec<LbKind> {
+        vec![
+            LbKind::Ops { evs_size: 1 << 16 },
+            LbKind::Flowlet { gap: rtt / 2 },
+            LbKind::Bitmap {
+                evs_size: 1 << 16,
+                clear_period: rtt * 2,
+            },
+            LbKind::Mprdma,
+            LbKind::Plb(PlbConfig::default()),
+            LbKind::Reps(RepsConfig::default()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factory_builds_every_kind() {
+        let mut rng = Rng64::new(1);
+        let rtt = Time::from_us(10);
+        for kind in LbKind::paper_lineup(rtt) {
+            let mut lb = kind.build(&mut rng);
+            let ev = lb.next_ev(Time::ZERO, &mut rng);
+            let _ = ev;
+            assert!(!lb.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn adaptive_roce_requests_adaptive_routing() {
+        assert_eq!(LbKind::AdaptiveRoce.routing_mode(), RoutingMode::Adaptive);
+        assert_eq!(
+            LbKind::Ops { evs_size: 16 }.routing_mode(),
+            RoutingMode::EcmpHash
+        );
+    }
+
+    #[test]
+    fn lineup_matches_paper_legend() {
+        let rtt = Time::from_us(10);
+        let labels: Vec<&str> = LbKind::paper_lineup(rtt)
+            .iter()
+            .map(|k| k.label())
+            .collect();
+        assert_eq!(
+            labels,
+            vec![
+                "ECMP",
+                "OPS",
+                "Flowlet",
+                "BitMap",
+                "MPRDMA",
+                "PLB",
+                "MPTCP",
+                "Adaptive RoCE",
+                "REPS"
+            ]
+        );
+    }
+
+    #[test]
+    fn reps_label_and_name_agree() {
+        let mut rng = Rng64::new(2);
+        let kind = LbKind::Reps(RepsConfig::default());
+        let lb = kind.build(&mut rng);
+        assert_eq!(lb.name(), kind.label());
+    }
+}

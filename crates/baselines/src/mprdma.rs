@@ -1,0 +1,134 @@
+//! MPRDMA-style path selection (Lu et al., NSDI '18).
+//!
+//! MPRDMA is ACK-clocked: when an ACK returns without an ECN mark, the next
+//! outgoing packet reuses that ACK's virtual path; marked ACKs steer the
+//! sender elsewhere. Unlike REPS there is *no cache* — only the most recent
+//! good entropy is remembered — so ACK bursts overwrite each other and
+//! nothing protects the sender during failures (§4.1, §6).
+
+use netsim::rng::Rng64;
+use netsim::time::Time;
+use reps::lb::{AckFeedback, LoadBalancer};
+
+/// One-deep ACK-clocked entropy reuse.
+#[derive(Debug, Clone)]
+pub struct Mprdma {
+    evs_size: u32,
+    slot: Option<u16>,
+}
+
+impl Mprdma {
+    /// Creates an MPRDMA-style balancer.
+    pub fn new(evs_size: u32) -> Mprdma {
+        assert!(evs_size > 0, "EVS must be non-empty");
+        Mprdma {
+            evs_size,
+            slot: None,
+        }
+    }
+}
+
+impl Default for Mprdma {
+    fn default() -> Mprdma {
+        Mprdma::new(1 << 16)
+    }
+}
+
+impl LoadBalancer for Mprdma {
+    fn next_ev(&mut self, _now: Time, rng: &mut Rng64) -> u16 {
+        match self.slot.take() {
+            Some(ev) => ev,
+            None => rng.gen_range(self.evs_size as u64) as u16,
+        }
+    }
+
+    fn on_ack(&mut self, fb: &AckFeedback, _rng: &mut Rng64) {
+        if fb.ecn {
+            // Congested path: do not reuse; also forget any pending reuse of
+            // an entropy that may share the bottleneck.
+            self.slot = None;
+        } else {
+            self.slot = Some(fb.ev);
+        }
+    }
+
+    fn on_timeout(&mut self, _now: Time) {
+        self.slot = None;
+    }
+
+    fn name(&self) -> &'static str {
+        "MPRDMA"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fb(ev: u16, ecn: bool) -> AckFeedback {
+        AckFeedback {
+            ev,
+            ecn,
+            now: Time::ZERO,
+            cwnd_packets: 16,
+            rtt: Time::from_us(10),
+        }
+    }
+
+    #[test]
+    fn reuses_latest_good_entropy_once() {
+        let mut lb = Mprdma::new(256);
+        let mut rng = Rng64::new(1);
+        lb.on_ack(&fb(42, false), &mut rng);
+        assert_eq!(lb.next_ev(Time::ZERO, &mut rng), 42);
+        // Slot consumed: next pick is random (very unlikely 42 again).
+        let next = lb.next_ev(Time::ZERO, &mut rng);
+        assert!((next as u32) < 256);
+    }
+
+    #[test]
+    fn ack_burst_overwrites_single_slot() {
+        // The contrast with REPS: three good ACKs, only the last survives.
+        let mut lb = Mprdma::new(1 << 16);
+        let mut rng = Rng64::new(2);
+        lb.on_ack(&fb(1, false), &mut rng);
+        lb.on_ack(&fb(2, false), &mut rng);
+        lb.on_ack(&fb(3, false), &mut rng);
+        assert_eq!(lb.next_ev(Time::ZERO, &mut rng), 3);
+    }
+
+    #[test]
+    fn marked_ack_clears_slot() {
+        let mut lb = Mprdma::new(1 << 16);
+        let mut rng = Rng64::new(3);
+        lb.on_ack(&fb(9, false), &mut rng);
+        lb.on_ack(&fb(9, true), &mut rng);
+        // Slot cleared: the next EV is a fresh random draw, not 9-for-sure.
+        let mut reuse = 0;
+        for _ in 0..64 {
+            lb.on_ack(&fb(9, false), &mut rng);
+            lb.on_ack(&fb(9, true), &mut rng);
+            if lb.next_ev(Time::ZERO, &mut rng) == 9 {
+                reuse += 1;
+            }
+        }
+        assert!(reuse < 4, "marked ACKs must not be recycled");
+    }
+
+    #[test]
+    fn timeout_clears_slot() {
+        let mut lb = Mprdma::new(1 << 16);
+        let mut rng = Rng64::new(4);
+        lb.on_ack(&fb(7, false), &mut rng);
+        lb.on_timeout(Time::from_us(100));
+        let mut reuse = 0;
+        for _ in 0..64 {
+            lb.on_ack(&fb(7, false), &mut rng);
+            lb.on_timeout(Time::from_us(100));
+            if lb.next_ev(Time::ZERO, &mut rng) == 7 {
+                reuse += 1;
+            }
+        }
+        assert!(reuse < 4);
+    }
+}

@@ -1,0 +1,84 @@
+//! Oblivious Packet Spraying (OPS / RPS, §2.2).
+//!
+//! Every packet gets an independent, uniformly random entropy value. OPS
+//! spreads load evenly in expectation but is oblivious to congestion,
+//! asymmetry and failures — the paper's primary per-packet baseline.
+
+use netsim::rng::Rng64;
+use netsim::time::Time;
+use reps::lb::{AckFeedback, LoadBalancer};
+
+/// Oblivious per-packet sprayer.
+#[derive(Debug, Clone)]
+pub struct Ops {
+    evs_size: u32,
+}
+
+impl Ops {
+    /// Creates a sprayer drawing from an EVS of the given size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `evs_size` is zero.
+    pub fn new(evs_size: u32) -> Ops {
+        assert!(evs_size > 0, "EVS must be non-empty");
+        Ops { evs_size }
+    }
+}
+
+impl Default for Ops {
+    fn default() -> Ops {
+        Ops::new(1 << 16)
+    }
+}
+
+impl LoadBalancer for Ops {
+    fn next_ev(&mut self, _now: Time, rng: &mut Rng64) -> u16 {
+        rng.gen_range(self.evs_size as u64) as u16
+    }
+
+    fn on_ack(&mut self, _fb: &AckFeedback, _rng: &mut Rng64) {}
+
+    fn on_timeout(&mut self, _now: Time) {}
+
+    fn name(&self) -> &'static str {
+        "OPS"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draws_cover_the_evs() {
+        let mut ops = Ops::new(32);
+        let mut rng = Rng64::new(5);
+        let mut seen = vec![false; 32];
+        for _ in 0..2_000 {
+            let ev = ops.next_ev(Time::ZERO, &mut rng);
+            assert!((ev as u32) < 32);
+            seen[ev as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn feedback_is_ignored() {
+        let mut ops = Ops::default();
+        let mut rng = Rng64::new(5);
+        let before = ops.clone();
+        ops.on_ack(
+            &AckFeedback {
+                ev: 1,
+                ecn: true,
+                now: Time::ZERO,
+                cwnd_packets: 1,
+                rtt: Time::from_us(10),
+            },
+            &mut rng,
+        );
+        ops.on_timeout(Time::ZERO);
+        assert_eq!(before.evs_size, ops.evs_size);
+    }
+}

@@ -1,0 +1,207 @@
+//! PLB — Protective Load Balancing (Qureshi et al., SIGCOMM '22), tuned
+//! aggressively as in the paper's evaluation (§4.1: "similar to FlowBender").
+//!
+//! PLB keeps a flow on one path and *repaths* (picks a fresh random entropy)
+//! when the fraction of ECN-marked ACKs within an RTT round exceeds a
+//! threshold for a number of consecutive rounds. Timeouts repath instantly.
+
+use netsim::rng::Rng64;
+use netsim::time::Time;
+use reps::lb::{AckFeedback, LoadBalancer};
+
+/// PLB tuning parameters.
+#[derive(Debug, Clone)]
+pub struct PlbConfig {
+    /// EVS size to draw new paths from.
+    pub evs_size: u32,
+    /// ECN fraction above which a round counts as congested.
+    pub ecn_threshold: f64,
+    /// Consecutive congested rounds required before repathing.
+    pub congested_rounds: u32,
+}
+
+impl Default for PlbConfig {
+    fn default() -> PlbConfig {
+        PlbConfig {
+            evs_size: 1 << 16,
+            // Aggressive FlowBender-like settings per the paper's setup.
+            ecn_threshold: 0.05,
+            congested_rounds: 1,
+        }
+    }
+}
+
+/// Flow-level adaptive repathing.
+#[derive(Debug, Clone)]
+pub struct Plb {
+    cfg: PlbConfig,
+    ev: u16,
+    round_start: Time,
+    acks_in_round: u32,
+    marked_in_round: u32,
+    congested_rounds: u32,
+    /// Number of repath events (instrumentation).
+    pub repaths: u64,
+}
+
+impl Plb {
+    /// Creates a PLB flow with a random initial path.
+    pub fn new(cfg: PlbConfig, rng: &mut Rng64) -> Plb {
+        let ev = rng.gen_range(cfg.evs_size as u64) as u16;
+        Plb {
+            cfg,
+            ev,
+            round_start: Time::ZERO,
+            acks_in_round: 0,
+            marked_in_round: 0,
+            congested_rounds: 0,
+            repaths: 0,
+        }
+    }
+
+    fn repath(&mut self, rng: &mut Rng64) {
+        self.ev = rng.gen_range(self.cfg.evs_size as u64) as u16;
+        self.congested_rounds = 0;
+        self.repaths += 1;
+    }
+
+    fn close_round(&mut self, rng: &mut Rng64) {
+        if self.acks_in_round > 0 {
+            let frac = self.marked_in_round as f64 / self.acks_in_round as f64;
+            if frac > self.cfg.ecn_threshold {
+                self.congested_rounds += 1;
+                if self.congested_rounds >= self.cfg.congested_rounds {
+                    self.repath(rng);
+                }
+            } else {
+                self.congested_rounds = 0;
+            }
+        }
+        self.acks_in_round = 0;
+        self.marked_in_round = 0;
+    }
+}
+
+impl LoadBalancer for Plb {
+    fn next_ev(&mut self, _now: Time, _rng: &mut Rng64) -> u16 {
+        self.ev
+    }
+
+    fn on_ack(&mut self, fb: &AckFeedback, rng: &mut Rng64) {
+        if fb.now.saturating_sub(self.round_start) >= fb.rtt {
+            self.close_round(rng);
+            self.round_start = fb.now;
+        }
+        self.acks_in_round += 1;
+        if fb.ecn {
+            self.marked_in_round += 1;
+        }
+    }
+
+    fn on_timeout(&mut self, _now: Time) {
+        // A timeout is unambiguous trouble: move immediately. We need an RNG
+        // here but the trait keeps timeouts RNG-free; derive a new path from
+        // the current one deterministically (mixed), which is just as
+        // arbitrary as a fresh random draw.
+        let mut state = self.ev as u64 ^ 0xD00F_BEEF;
+        self.ev = (netsim::rng::splitmix64(&mut state) % self.cfg.evs_size as u64) as u16;
+        self.congested_rounds = 0;
+        self.repaths += 1;
+    }
+
+    fn name(&self) -> &'static str {
+        "PLB"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fb(ecn: bool, now_us: u64) -> AckFeedback {
+        AckFeedback {
+            ev: 0,
+            ecn,
+            now: Time::from_us(now_us),
+            cwnd_packets: 16,
+            rtt: Time::from_us(10),
+        }
+    }
+
+    #[test]
+    fn stays_on_path_when_clean() {
+        let mut rng = Rng64::new(1);
+        let mut plb = Plb::new(PlbConfig::default(), &mut rng);
+        let ev0 = plb.next_ev(Time::ZERO, &mut rng);
+        for t in 0..100 {
+            plb.on_ack(&fb(false, t), &mut rng);
+        }
+        assert_eq!(plb.next_ev(Time::from_us(101), &mut rng), ev0);
+        assert_eq!(plb.repaths, 0);
+    }
+
+    #[test]
+    fn repaths_after_congested_round() {
+        let mut rng = Rng64::new(2);
+        let mut plb = Plb::new(PlbConfig::default(), &mut rng);
+        let ev0 = plb.next_ev(Time::ZERO, &mut rng);
+        // Round 1 (t=0..10us): heavily marked.
+        for t in 0..10 {
+            plb.on_ack(&fb(true, t), &mut rng);
+        }
+        // Crossing into round 2 closes round 1 and triggers the repath.
+        plb.on_ack(&fb(false, 11), &mut rng);
+        assert_eq!(plb.repaths, 1);
+        assert_ne!(plb.next_ev(Time::from_us(12), &mut rng), ev0);
+    }
+
+    #[test]
+    fn sparse_marks_do_not_repath() {
+        let mut rng = Rng64::new(3);
+        // Rounds hold ~10 ACKs, so a 10% mark rate needs a threshold above
+        // 0.1 to count as clean.
+        let cfg = PlbConfig {
+            ecn_threshold: 0.15,
+            ..PlbConfig::default()
+        };
+        let mut plb = Plb::new(cfg, &mut rng);
+        for t in 0..500 {
+            plb.on_ack(&fb(t % 10 == 0, t), &mut rng);
+        }
+        assert_eq!(plb.repaths, 0);
+    }
+
+    #[test]
+    fn timeout_repaths_immediately() {
+        let mut rng = Rng64::new(4);
+        let mut plb = Plb::new(PlbConfig::default(), &mut rng);
+        let ev0 = plb.next_ev(Time::ZERO, &mut rng);
+        plb.on_timeout(Time::from_us(100));
+        assert_eq!(plb.repaths, 1);
+        assert_ne!(plb.next_ev(Time::from_us(101), &mut rng), ev0);
+    }
+
+    #[test]
+    fn clean_round_resets_the_congested_streak() {
+        let mut rng = Rng64::new(5);
+        let cfg = PlbConfig {
+            congested_rounds: 3,
+            ..PlbConfig::default()
+        };
+        let mut plb = Plb::new(cfg, &mut rng);
+        // Alternate congested and clean rounds forever: the streak of 3 is
+        // never reached, so the flow must never repath.
+        for round in 0..20u64 {
+            let marked = round % 2 == 0;
+            for t in round * 10..(round + 1) * 10 {
+                plb.on_ack(&fb(marked, t), &mut rng);
+            }
+        }
+        assert_eq!(plb.repaths, 0, "alternating rounds must not repath");
+        // Now a long congested run: repathing must kick in.
+        for t in 200..400 {
+            plb.on_ack(&fb(true, t), &mut rng);
+        }
+        assert!(plb.repaths >= 1, "sustained congestion must repath");
+    }
+}

@@ -1,0 +1,124 @@
+//! Criterion micro-benchmarks: the per-packet hot paths of REPS and the
+//! simulator substrate.
+//!
+//! REPS is meant to run in NIC hardware at hundreds of millions of packets
+//! per second; the software model must at least show that the send/ACK paths
+//! are a handful of nanoseconds with no allocation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ballsbins::batched::BatchedBallsBins;
+use ballsbins::recycled::{theorem_parameters, RecycledBallsBins};
+use netsim::hash::ecmp_select;
+use netsim::ids::HostId;
+use netsim::rng::Rng64;
+use netsim::time::Time;
+use reps::lb::{AckFeedback, LoadBalancer};
+use reps::reps::{Reps, RepsConfig};
+use transport::sack::OooTracker;
+
+fn bench_reps_send_path(c: &mut Criterion) {
+    let mut reps = Reps::new(RepsConfig::default());
+    let mut rng = Rng64::new(1);
+    // Warm the buffer so both branches (reuse + explore) are exercised.
+    for ev in 0..8u16 {
+        reps.on_ack(
+            &AckFeedback {
+                ev,
+                ecn: false,
+                now: Time::from_us(1),
+                cwnd_packets: 16,
+                rtt: Time::from_us(10),
+            },
+            &mut rng,
+        );
+    }
+    c.bench_function("reps_next_ev", |b| {
+        b.iter(|| black_box(reps.next_ev(Time::from_us(2), &mut rng)))
+    });
+}
+
+fn bench_reps_ack_path(c: &mut Criterion) {
+    let mut reps = Reps::new(RepsConfig::default());
+    let mut rng = Rng64::new(2);
+    let fb = AckFeedback {
+        ev: 77,
+        ecn: false,
+        now: Time::from_us(1),
+        cwnd_packets: 16,
+        rtt: Time::from_us(10),
+    };
+    c.bench_function("reps_on_ack", |b| {
+        b.iter(|| reps.on_ack(black_box(&fb), &mut rng))
+    });
+}
+
+fn bench_ecmp_hash(c: &mut Criterion) {
+    c.bench_function("ecmp_select_8way", |b| {
+        let mut ev = 0u16;
+        b.iter(|| {
+            ev = ev.wrapping_add(1);
+            black_box(ecmp_select(HostId(3), HostId(96), ev, 0xDEAD, 8))
+        })
+    });
+}
+
+fn bench_ooo_tracker(c: &mut Criterion) {
+    c.bench_function("ooo_tracker_in_order_256", |b| {
+        b.iter_batched(
+            OooTracker::new,
+            |mut t| {
+                for seq in 0..256u64 {
+                    t.record(seq);
+                }
+                black_box(t.cum_ack())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("ooo_tracker_reversed_256", |b| {
+        b.iter_batched(
+            OooTracker::new,
+            |mut t| {
+                for seq in (0..256u64).rev() {
+                    t.record(seq);
+                }
+                black_box(t.cum_ack())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_balls_into_bins(c: &mut Criterion) {
+    c.bench_function("batched_balls_round_64", |b| {
+        let mut rng = Rng64::new(5);
+        let mut p = BatchedBallsBins::new(64, 0.99);
+        b.iter(|| p.step(&mut rng))
+    });
+    c.bench_function("recycled_balls_round_64", |b| {
+        let mut rng = Rng64::new(5);
+        let (bb, tau) = theorem_parameters(64);
+        let mut p = RecycledBallsBins::new(64, bb, tau);
+        b.iter(|| p.step(&mut rng))
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("rng_next_u64", |b| {
+        let mut rng = Rng64::new(9);
+        b.iter(|| black_box(rng.next_u64()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_reps_send_path,
+    bench_reps_ack_path,
+    bench_ecmp_hash,
+    bench_ooo_tracker,
+    bench_balls_into_bins,
+    bench_rng
+);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion end-to-end simulation benchmarks: whole-substrate throughput
+//! under the paper's workloads (small fabrics so one iteration stays in the
+//! tens of milliseconds).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use baselines::kind::LbKind;
+use harness::experiment::Experiment;
+use netsim::time::Time;
+use netsim::topology::FatTreeConfig;
+use reps::reps::RepsConfig;
+use workloads::patterns;
+
+fn run_tornado(lb: LbKind) -> u64 {
+    let w = patterns::tornado(16, 256 << 10);
+    let mut exp = Experiment::new("bench", FatTreeConfig::two_tier(8, 1), lb, w);
+    exp.seed = 3;
+    exp.deadline = Time::from_ms(100);
+    let res = exp.run();
+    assert!(res.summary.completed);
+    res.summary.max_fct.as_ps()
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tornado_16hosts_256KB");
+    group.sample_size(10);
+    group.bench_function("reps", |b| {
+        b.iter(|| black_box(run_tornado(LbKind::Reps(RepsConfig::default()))))
+    });
+    group.bench_function("ops", |b| {
+        b.iter(|| black_box(run_tornado(LbKind::Ops { evs_size: 1 << 16 })))
+    });
+    group.bench_function("ecmp", |b| b.iter(|| black_box(run_tornado(LbKind::Ecmp))));
+    group.finish();
+}
+
+fn bench_engine_events(c: &mut Criterion) {
+    // Raw event-processing rate: a full incast under congestion control.
+    let mut group = c.benchmark_group("engine_throughput");
+    group.sample_size(10);
+    group.bench_function("incast_8to1_1MiB", |b| {
+        b.iter(|| {
+            let w = patterns::incast(32, 8, netsim::ids::HostId(0), 1 << 20);
+            let mut exp = Experiment::new(
+                "bench",
+                FatTreeConfig::two_tier(8, 1),
+                LbKind::Reps(RepsConfig::default()),
+                w,
+            );
+            exp.seed = 5;
+            exp.deadline = Time::from_ms(100);
+            black_box(exp.run().summary.completed)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end, bench_engine_events);
+criterion_main!(benches);

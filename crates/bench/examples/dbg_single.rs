@@ -1,0 +1,43 @@
+use baselines::kind::LbKind;
+use harness::experiment::{Experiment, TrackLinks};
+use netsim::time::Time;
+use netsim::topology::FatTreeConfig;
+use workloads::patterns;
+
+fn main() {
+    let w = patterns::tornado(128, 2 << 20);
+    let mut exp = Experiment::new(
+        "t",
+        FatTreeConfig::two_tier(16, 1),
+        LbKind::Ops { evs_size: 1 << 16 },
+        w,
+    );
+    exp.seed = 11;
+    exp.deadline = Time::from_secs(1);
+    let mut engine = exp.build();
+    let host_up = engine.topo.host_up[0];
+    let tor_up = engine.topo.switches[0].up_links.clone();
+    engine.stats.track_link(host_up);
+    for l in &tor_up {
+        engine.stats.track_link(*l);
+    }
+    engine.run_until(Time::from_ms(1));
+    let bw = engine.stats.bucket_width;
+    let series = engine.stats.link_series(host_up).unwrap();
+    let gb: Vec<String> = series
+        .bucket_bytes
+        .iter()
+        .map(|&b| format!("{:.0}", netsim::stats::bucket_gbps(b, bw)))
+        .collect();
+    println!("host0 uplink Gbps/bucket: {}", gb.join(" "));
+    let mut sum = 0.0;
+    let mut cnt = 0;
+    for l in &tor_up {
+        let s = engine.stats.link_series(*l).unwrap();
+        let mid: u64 = s.bucket_bytes.iter().skip(1).take(3).sum();
+        sum += netsim::stats::bucket_gbps(mid / 3, bw);
+        cnt += 1;
+    }
+    println!("avg ToR uplink Gbps (buckets 1-3): {:.0}", sum / cnt as f64);
+    println!("flows done: {} / 128", engine.stats.flows.len());
+}

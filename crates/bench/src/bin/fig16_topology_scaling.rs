@@ -1,0 +1,7 @@
+//! Regenerates fig16 of the REPS paper. See DESIGN.md for the experiment index.
+
+fn main() {
+    let scale = harness::Scale::from_env();
+    let _ = scale;
+    bench::applicability::fig16(scale);
+}

@@ -1,0 +1,80 @@
+//! Shared plumbing for the per-figure binaries.
+
+use baselines::kind::LbKind;
+use harness::experiment::{Experiment, Summary};
+use harness::Scale;
+use netsim::failures::FailurePlan;
+use netsim::time::Time;
+use netsim::topology::FatTreeConfig;
+use workloads::spec::Workload;
+
+/// The base RTT used to parameterize flowlet gaps / bitmap aging in the
+/// paper's 2-tier default fabric.
+pub fn default_rtt() -> Time {
+    netsim::config::SimConfig::paper_default().base_rtt(3)
+}
+
+/// Runs one workload across a lineup of load balancers on a shared fabric
+/// and failure plan, printing nothing; returns the summaries in order.
+pub fn run_lineup(
+    name: &str,
+    fabric: &FatTreeConfig,
+    workload: &Workload,
+    lineup: &[LbKind],
+    failures: &FailurePlan,
+    seed: u64,
+) -> Vec<Summary> {
+    lineup
+        .iter()
+        .map(|lb| {
+            let mut exp = Experiment::new(
+                format!("{name}/{}", lb.label()),
+                fabric.clone(),
+                lb.clone(),
+                workload.clone(),
+            );
+            exp.failures = failures.clone();
+            exp.seed = seed;
+            exp.deadline = Time::from_secs(2);
+            exp.run().summary
+        })
+        .collect()
+}
+
+/// The quick/full fabric for macro experiments: 32 or 128 hosts, 2-tier 1:1.
+pub fn macro_fabric(scale: Scale) -> FatTreeConfig {
+    FatTreeConfig::two_tier(scale.pick(8, 16), 1)
+}
+
+/// Message size scaled from the paper's value.
+pub fn scaled_bytes(scale: Scale, full_mib: u64) -> u64 {
+    match scale {
+        Scale::Quick => (full_mib << 20) / 16,
+        Scale::Full => full_mib << 20,
+    }
+}
+
+/// Prints a `(x, y)` series as aligned columns under a header.
+pub fn print_series(header: &str, series: &[(f64, f64)]) {
+    println!("# {header}");
+    for (x, y) in series {
+        println!("{x:10.2} {y:10.2}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_bytes_quick_is_one_sixteenth() {
+        assert_eq!(scaled_bytes(Scale::Quick, 16), 1 << 20);
+        assert_eq!(scaled_bytes(Scale::Full, 16), 16 << 20);
+    }
+
+    #[test]
+    fn macro_fabric_sizes() {
+        assert_eq!(macro_fabric(Scale::Quick).n_hosts(), 32);
+        assert_eq!(macro_fabric(Scale::Full).n_hosts(), 128);
+    }
+}

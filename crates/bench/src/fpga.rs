@@ -1,0 +1,178 @@
+//! FPGA-testbed figures (§4.4, Figs. 10 and 11), reproduced in simulation.
+//!
+//! The paper's testbed is a 2-tier 100 Gbps fabric with 8 KiB-MTU
+//! FPGA-based NICs; per DESIGN.md we substitute a simulated fabric with the
+//! same shape ([`netsim::config::SimConfig::fpga_testbed`]) and check the
+//! same *shape* claims: goodput vs the ideal share, the FCT distribution
+//! under asymmetry, and total drops under an abrupt link failure.
+
+use baselines::kind::LbKind;
+use harness::experiment::Experiment;
+use harness::Scale;
+use netsim::config::SimConfig;
+use netsim::failures::{Failure, FailurePlan};
+use netsim::ids::SwitchId;
+use netsim::rng::Rng64;
+use netsim::time::Time;
+use netsim::topology::{FatTreeConfig, Topology};
+use reps::reps::RepsConfig;
+use workloads::{collectives, patterns};
+
+fn fpga_experiment(
+    name: &str,
+    fabric: FatTreeConfig,
+    lb: LbKind,
+    w: workloads::spec::Workload,
+    failures: FailurePlan,
+    seed: u64,
+) -> harness::RunResult {
+    let mut exp = Experiment::new(name, fabric, lb, w);
+    exp.sim = SimConfig::fpga_testbed();
+    exp.failures = failures;
+    exp.seed = seed;
+    exp.deadline = Time::from_secs(5);
+    exp.run()
+}
+
+/// Fig. 10: per-flow goodput, symmetric (setup-1 / setup-2) and asymmetric.
+pub fn fig10(scale: Scale) {
+    println!("=== Fig. 10: FPGA-profile goodput ===");
+    // (a) Symmetric: 2 ToRs, ring AllReduce crossing the spine.
+    // setup-1: all endpoints active; setup-2: 40 of 64 active.
+    for (setup, hosts_per_tor) in [("setup-1", 32u32), ("setup-2", 20u32)] {
+        let fabric = FatTreeConfig::two_tier_custom(2, hosts_per_tor, 8);
+        let n = fabric.n_hosts();
+        // Chunk = buffer/n must dwarf the ~12 us RTT for goodput to reflect
+        // bandwidth rather than dependency latency (the testbed runs
+        // collectives back to back; we size one collective accordingly).
+        let ar_bytes: u64 = scale.pick(n as u64 * (1 << 20), n as u64 * (4 << 20));
+        // Lay the ring out across the two ToRs so every hop crosses T1.
+        let w = collectives::ring_allreduce(n, ar_bytes);
+        println!("## Symmetric {setup} ({n} endpoints), ring AllReduce");
+        for lb in [
+            LbKind::Ops { evs_size: 1 << 16 },
+            LbKind::Reps(RepsConfig::default()),
+        ] {
+            let res = fpga_experiment(
+                "fig10-sym",
+                fabric.clone(),
+                lb,
+                w.clone(),
+                FailurePlan::none(),
+                83,
+            );
+            let s = &res.summary;
+            println!(
+                "{:<8} avg flow goodput {:>7.1} Gbps | runtime {:>9.1} us | drops {}",
+                s.lb,
+                s.avg_goodput_gbps,
+                s.makespan.as_us_f64(),
+                s.counters.total_drops()
+            );
+        }
+        println!("   (ideal share: ~100 Gbps NIC line rate per flow)");
+    }
+
+    // (b) Asymmetric: 16 endpoints, 2 ToRs, 4 spine links, one at 50%.
+    let fabric = FatTreeConfig::two_tier_custom(2, 8, 4);
+    let topo = Topology::build(fabric.clone(), 89);
+    let pair = topo.tor_uplink_pairs(SwitchId(0))[0];
+    let failures = FailurePlan::none().with(Failure::Degrade {
+        pair,
+        at: Time::ZERO,
+        bps: 50_000_000_000,
+    });
+    let bytes: u64 = scale.pick(1 << 20, 8 << 20);
+    let w = patterns::tornado(fabric.n_hosts(), bytes);
+    println!("## Asymmetric (one spine link at half rate), tornado");
+    for lb in [
+        LbKind::Ops { evs_size: 1 << 16 },
+        LbKind::Reps(RepsConfig::default()),
+    ] {
+        let res = fpga_experiment(
+            "fig10-asym",
+            fabric.clone(),
+            lb,
+            w.clone(),
+            failures.clone(),
+            89,
+        );
+        let s = &res.summary;
+        println!(
+            "{:<8} avg flow goodput {:>7.1} Gbps | max FCT {:>9.1} us",
+            s.lb,
+            s.avg_goodput_gbps,
+            s.max_fct.as_us_f64()
+        );
+    }
+    println!("(paper: OPS capped by the slow link; REPS within ~5% of fair share)");
+}
+
+/// Fig. 11: FCT distribution under asymmetry, and packet drops when a
+/// spine link abruptly fails mid-run.
+pub fn fig11(scale: Scale) {
+    println!("=== Fig. 11: FPGA-profile FCT distribution and failure drops ===");
+    // (a) FCT distribution in the asymmetric setup, many small messages.
+    let fabric = FatTreeConfig::two_tier_custom(2, 8, 4);
+    let topo = Topology::build(fabric.clone(), 97);
+    let pair = topo.tor_uplink_pairs(SwitchId(0))[0];
+    let degrade = FailurePlan::none().with(Failure::Degrade {
+        pair,
+        at: Time::ZERO,
+        bps: 50_000_000_000,
+    });
+    let msg: u64 = scale.pick(256 << 10, 1 << 20);
+    println!("## Asymmetric FCT quantiles (tornado, {msg} B messages)");
+    println!(
+        "{:<8} {:>10} {:>10} {:>10}",
+        "LB", "p50(us)", "p99(us)", "max(us)"
+    );
+    for lb in [
+        LbKind::Ops { evs_size: 1 << 16 },
+        LbKind::Reps(RepsConfig::default()),
+    ] {
+        let w = patterns::tornado(fabric.n_hosts(), msg);
+        let res = fpga_experiment("fig11-fct", fabric.clone(), lb, w, degrade.clone(), 97);
+        let st = &res.engine.stats;
+        println!(
+            "{:<8} {:>10.1} {:>10.1} {:>10.1}",
+            res.summary.lb,
+            st.fct_quantile(0.5).as_us_f64(),
+            st.fct_quantile(0.99).as_us_f64(),
+            res.summary.max_fct.as_us_f64()
+        );
+    }
+
+    // (b) Drops under an abrupt spine-link failure, 128 endpoints (2 ToRs,
+    // 8 T1s), averaged over several seeds (the paper's min/max bars).
+    println!("## Packet drops under a mid-run spine link failure (128 EP)");
+    let fabric = FatTreeConfig::two_tier_custom(2, 64, 8);
+    let msg: u64 = scale.pick(2 << 20, 8 << 20);
+    let fail_at = scale.pick(Time::from_us(60), Time::from_us(200));
+    for lb in [
+        LbKind::Ops { evs_size: 1 << 16 },
+        LbKind::Reps(RepsConfig::default()),
+    ] {
+        let mut drops = Vec::new();
+        for seed in [101u64, 103, 105] {
+            let topo = Topology::build(fabric.clone(), seed);
+            let pair = topo.tor_uplink_pairs(SwitchId(0))[2];
+            let failures = FailurePlan::none().with(Failure::Cable {
+                pair,
+                at: fail_at,
+                duration: None,
+            });
+            let mut rng = Rng64::new(seed);
+            let w = patterns::permutation(fabric.n_hosts(), msg, &mut rng);
+            let res = fpga_experiment("fig11-drops", fabric.clone(), lb.clone(), w, failures, seed);
+            drops.push(res.summary.counters.total_drops());
+        }
+        println!(
+            "{:<8} drops min {:>8} max {:>8}",
+            lb.label(),
+            drops.iter().min().unwrap(),
+            drops.iter().max().unwrap()
+        );
+    }
+    println!("(paper: REPS suffers a small fraction of OPS' drops and recovers within ~an RTO)");
+}

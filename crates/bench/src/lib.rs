@@ -1,0 +1,14 @@
+//! Per-figure benchmark harness for the REPS reproduction.
+//!
+//! One public function per paper figure/table, each printing the rows or
+//! series the paper reports. The binaries in `src/bin/` are thin wrappers;
+//! `run_all` executes the whole suite. Set `REPS_SCALE=full` for the
+//! paper-scale parameters (slower); the default `quick` scale preserves
+//! every qualitative shape.
+
+pub mod applicability;
+pub mod common;
+pub mod fpga;
+pub mod macro_figs;
+pub mod micro;
+pub mod theory;

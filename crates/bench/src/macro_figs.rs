@@ -1,0 +1,410 @@
+//! Macroscopic comparison figures: Figs. 3, 5, 6, 8, 9, 21.
+
+use baselines::kind::LbKind;
+use baselines::plb::PlbConfig;
+use harness::experiment::{Experiment, Summary};
+use harness::{speedup_table, Scale};
+use netsim::failures::{Failure, FailurePlan};
+use netsim::rng::Rng64;
+use netsim::time::Time;
+use netsim::topology::{FatTreeConfig, Topology};
+use reps::reps::RepsConfig;
+use workloads::traces::SizeCdf;
+use workloads::{collectives, patterns, poisson_trace};
+
+use crate::common::{default_rtt, macro_fabric, run_lineup, scaled_bytes};
+
+/// The three synthetic benchmark groups of Figs. 3/5: incast 8:1,
+/// permutation, tornado, each at three message sizes.
+fn synthetic_suite(
+    fabric: &FatTreeConfig,
+    scale: Scale,
+    lineup: &[LbKind],
+    failures: &FailurePlan,
+    seed: u64,
+) {
+    let n = fabric.n_hosts();
+    for full_mib in [4u64, 8, 16] {
+        let bytes = scaled_bytes(scale, full_mib);
+        let mut rng = Rng64::new(seed);
+        for (tag, w) in [
+            (
+                "I. 8:1",
+                patterns::incast(n, 8, netsim::ids::HostId(0), bytes),
+            ),
+            ("P.", patterns::permutation(n, bytes, &mut rng)),
+            ("T.", patterns::tornado(n, bytes)),
+        ] {
+            let rows = run_lineup(
+                &format!("{tag} {full_mib}MiB"),
+                fabric,
+                &w,
+                lineup,
+                failures,
+                seed,
+            );
+            print!(
+                "{}",
+                speedup_table(&format!("{tag} {full_mib}MiB"), &rows, "ECMP")
+            );
+        }
+    }
+}
+
+/// DC-trace sweep: average FCT at 40–100 % load (WebSearch distribution).
+fn dc_trace_suite(
+    fabric: &FatTreeConfig,
+    scale: Scale,
+    lineup: &[LbKind],
+    failures: &FailurePlan,
+    seed: u64,
+) {
+    let n = fabric.n_hosts();
+    let duration = scale.pick(Time::from_us(150), Time::from_us(500));
+    let cdf = SizeCdf::websearch();
+    println!("## DC traces (WebSearch): avg FCT (us) by load");
+    print!("{:<14}", "LB");
+    let loads = [0.4, 0.6, 0.8, 1.0];
+    for l in loads {
+        print!(" {:>9.0}%", l * 100.0);
+    }
+    println!();
+    let mut table: Vec<Vec<f64>> = vec![Vec::new(); lineup.len()];
+    for load in loads {
+        let mut rng = Rng64::new(seed ^ (load * 100.0) as u64);
+        let w = poisson_trace(n, load, duration, 400_000_000_000, &cdf, &mut rng);
+        let rows = run_lineup("dc", fabric, &w, lineup, failures, seed);
+        for (i, s) in rows.iter().enumerate() {
+            table[i].push(s.avg_fct.as_us_f64());
+        }
+    }
+    for (i, lb) in lineup.iter().enumerate() {
+        print!("{:<14}", lb.label());
+        for v in &table[i] {
+            print!(" {v:>10.1}");
+        }
+        println!();
+    }
+}
+
+/// AI collectives: AllToAll (window 4/8/16), ring and butterfly AllReduce.
+fn collective_suite(
+    fabric: &FatTreeConfig,
+    scale: Scale,
+    lineup: &[LbKind],
+    failures: &FailurePlan,
+    seed: u64,
+) {
+    let n = fabric.n_hosts();
+    let a2a_bytes = scale.pick(16 << 10, 256 << 10);
+    let ar_bytes = scaled_bytes(scale, 16);
+    println!("## AI collectives: runtime (us)");
+    let mut cases: Vec<(String, workloads::spec::Workload)> = vec![];
+    for window in [4u32, 8, 16] {
+        cases.push((
+            format!("AllToAll(n={window})"),
+            collectives::alltoall(n, a2a_bytes, window),
+        ));
+    }
+    cases.push((
+        "Ring AllRed.".into(),
+        collectives::ring_allreduce(n, ar_bytes),
+    ));
+    cases.push((
+        "Butterfly AllRed.".into(),
+        collectives::butterfly_allreduce(n, ar_bytes),
+    ));
+    print!("{:<14}", "LB");
+    for (name, _) in &cases {
+        print!(" {name:>18}");
+    }
+    println!();
+    let mut table: Vec<Vec<f64>> = vec![Vec::new(); lineup.len()];
+    for (_, w) in &cases {
+        let rows = run_lineup("coll", fabric, w, lineup, failures, seed);
+        for (i, s) in rows.iter().enumerate() {
+            table[i].push(s.makespan.as_us_f64());
+        }
+    }
+    for (i, lb) in lineup.iter().enumerate() {
+        print!("{:<14}", lb.label());
+        for v in &table[i] {
+            print!(" {v:>18.1}");
+        }
+        println!();
+    }
+}
+
+/// Fig. 3: healthy symmetric network — synthetic + DC traces + collectives.
+pub fn fig03(scale: Scale) {
+    println!("=== Fig. 3: symmetric network macro comparison ===");
+    let fabric = macro_fabric(scale);
+    let lineup = LbKind::paper_lineup(default_rtt());
+    let none = FailurePlan::none();
+    synthetic_suite(&fabric, scale, &lineup, &none, 23);
+    dc_trace_suite(&fabric, scale, &lineup, &none, 23);
+    collective_suite(&fabric, scale, &lineup, &none, 23);
+    println!("(paper: REPS best or tied; up to 6x over ECMP, ~1.25x over OPS)");
+}
+
+/// A failure plan degrading 3 % of ToR uplink cables to 200 Gbps.
+fn degraded_3pct(fabric: &FatTreeConfig, seed: u64) -> FailurePlan {
+    let topo = Topology::build(fabric.clone(), seed);
+    let mut pairs = Vec::new();
+    for tor in topo.t0_switches() {
+        pairs.extend(topo.tor_uplink_pairs(tor));
+    }
+    let mut rng = Rng64::new(seed);
+    FailurePlan::degrade_random_cables(&pairs, 0.03, 200_000_000_000, &mut rng)
+}
+
+/// Fig. 5: asymmetric network (3 % of ToR uplinks at 200 Gbps).
+pub fn fig05(scale: Scale) {
+    println!("=== Fig. 5: asymmetric network (3% ToR uplinks at 200G) ===");
+    let fabric = macro_fabric(scale);
+    let lineup = LbKind::paper_lineup(default_rtt());
+    let failures = degraded_3pct(&fabric, 29);
+    println!("(degraded cables: {})", failures.len());
+    synthetic_suite(&fabric, scale, &lineup, &failures, 29);
+    dc_trace_suite(&fabric, scale, &lineup, &failures, 29);
+    collective_suite(&fabric, scale, &lineup, &failures, 29);
+    println!("(paper: REPS up to 5x over ECMP, ~10-25% over the next best)");
+}
+
+/// Fig. 6: REPS main traffic coexisting with ~10 % ECMP background.
+pub fn fig06(scale: Scale) {
+    println!("=== Fig. 6: mixed REPS + ECMP background traffic ===");
+    let fabric = macro_fabric(scale);
+    let n = fabric.n_hosts();
+    let lineup = LbKind::paper_lineup(default_rtt());
+    let bytes = scaled_bytes(scale, 8);
+    for (tag, main) in [
+        ("P. 8MiB", {
+            let mut rng = Rng64::new(31);
+            patterns::permutation(n, bytes, &mut rng)
+        }),
+        ("T. 8MiB", patterns::tornado(n, bytes)),
+    ] {
+        println!("## {tag} with 10% ECMP background");
+        println!(
+            "{:<14} {:>16} {:>16}",
+            "LB", "main maxFCT(us)", "bg maxFCT(us)"
+        );
+        for lb in &lineup {
+            let bg = {
+                let mut rng = Rng64::new(37);
+                patterns::permutation(n, bytes / 9, &mut rng)
+            };
+            let mut exp = Experiment::new(
+                format!("fig06/{tag}/{}", lb.label()),
+                fabric.clone(),
+                lb.clone(),
+                main.clone(),
+            );
+            exp.background = Some((bg, LbKind::Ecmp));
+            exp.seed = 31;
+            exp.deadline = Time::from_secs(2);
+            let s = exp.run().summary;
+            println!(
+                "{:<14} {:>16.1} {:>16.1}",
+                s.lb,
+                s.max_fct.as_us_f64(),
+                s.bg_max_fct.map(|t| t.as_us_f64()).unwrap_or(0.0)
+            );
+        }
+    }
+    println!("(paper: REPS steers around ECMP background, helping both classes)");
+}
+
+/// The eight failure modes of Fig. 8.
+fn failure_modes(fabric: &FatTreeConfig, scale: Scale, seed: u64) -> Vec<(String, FailurePlan)> {
+    let topo = Topology::build(fabric.clone(), seed);
+    let cables = topo.cable_pairs();
+    let t1s = topo.t1_switches();
+    let mut rng = Rng64::new(seed);
+    let at = scale.pick(Time::from_us(8), Time::from_us(30));
+    let mut modes = vec![(
+        "One Failed Cable".to_string(),
+        FailurePlan::none().with(Failure::Cable {
+            pair: cables[0],
+            at,
+            duration: None,
+        }),
+    )];
+    modes.push((
+        "One Failed Switch".to_string(),
+        FailurePlan::none().with(Failure::Switch {
+            sw: t1s[0],
+            at,
+            duration: None,
+        }),
+    ));
+    modes.push((
+        "One Failed Switch/Cable".to_string(),
+        FailurePlan::none()
+            .with(Failure::Switch {
+                sw: t1s[0],
+                at,
+                duration: None,
+            })
+            .with(Failure::Cable {
+                pair: cables[1],
+                at,
+                duration: None,
+            }),
+    ));
+    modes.push((
+        "5% Failed Cables".to_string(),
+        FailurePlan::random_cables(&cables, 0.05, at, None, &mut rng),
+    ));
+    modes.push((
+        "5% Failed Switches".to_string(),
+        FailurePlan::random_switches(&t1s, 0.05, at, None, &mut rng),
+    ));
+    let mut both = FailurePlan::random_cables(&cables, 0.05, at, None, &mut rng);
+    both.extend(FailurePlan::random_switches(&t1s, 0.05, at, None, &mut rng));
+    modes.push(("5% Failed Switches/Cables".to_string(), both));
+    modes.push((
+        "BER Cable 1%".to_string(),
+        FailurePlan::none().with(Failure::BitError {
+            pair: cables[2],
+            at,
+            p: 0.01,
+        }),
+    ));
+    // "BER switch": every cable of one T1 drops 1% of packets.
+    let mut sw_ber = FailurePlan::none();
+    for pair in &cables {
+        let touches_t1 = {
+            let spec = &topo.links[pair.0.index()];
+            spec.to == netsim::ids::NodeRef::Switch(t1s[1])
+                || spec.from == netsim::ids::NodeRef::Switch(t1s[1])
+        };
+        if touches_t1 {
+            sw_ber = sw_ber.with(Failure::BitError {
+                pair: *pair,
+                at,
+                p: 0.01,
+            });
+        }
+    }
+    modes.push(("BER Switch 1%".to_string(), sw_ber));
+    modes
+}
+
+/// Fig. 8: speedup vs OPS under eight failure modes, for a permutation,
+/// DC traces at 100 % load, and a ring AllReduce.
+pub fn fig08(scale: Scale) {
+    println!("=== Fig. 8: failure-mode sweep (speedup vs OPS) ===");
+    let fabric = macro_fabric(scale);
+    let n = fabric.n_hosts();
+    let lineup = LbKind::failure_lineup(default_rtt());
+    let modes = failure_modes(&fabric, scale, 41);
+    // Quarter-size at quick scale so failures overlap the transfers.
+    let perm_bytes = scale.pick(2 << 20, 8 << 20);
+    type MetricFn = fn(&Summary) -> f64;
+    let workload_sets: Vec<(&str, workloads::spec::Workload, MetricFn)> = vec![
+        (
+            "Permutation 8MiB",
+            {
+                let mut rng = Rng64::new(41);
+                patterns::permutation(n, perm_bytes, &mut rng)
+            },
+            |s| s.max_fct.as_ps().max(1) as f64,
+        ),
+        (
+            "DC Traces 100% load",
+            {
+                let mut rng = Rng64::new(43);
+                poisson_trace(
+                    n,
+                    1.0,
+                    Time::from_us(100),
+                    400_000_000_000,
+                    &SizeCdf::websearch(),
+                    &mut rng,
+                )
+            },
+            |s| s.avg_fct.as_ps().max(1) as f64,
+        ),
+        (
+            "Ring AllReduce",
+            collectives::ring_allreduce(n, scale.pick(2 << 20, 8 << 20)),
+            |s| s.makespan.as_ps().max(1) as f64,
+        ),
+    ];
+    for (wname, w, metric) in &workload_sets {
+        println!("## {wname}");
+        print!("{:<28}", "Failure mode");
+        for lb in &lineup {
+            print!(" {:>10}", lb.label());
+        }
+        println!("  (speedup vs OPS)");
+        for (mode_name, plan) in &modes {
+            let rows = run_lineup(mode_name, &fabric, w, &lineup, plan, 41);
+            let ops = metric(&rows[0]);
+            print!("{mode_name:<28}");
+            for s in &rows {
+                print!(" {:>9.2}x", ops / metric(s));
+            }
+            println!();
+        }
+    }
+    println!("(paper: REPS dominates; gains grow with failure extent)");
+}
+
+/// Fig. 9: extreme failure sweep — 0–50 % of cables fail; REPS vs PLB vs
+/// the theoretical best.
+pub fn fig09(scale: Scale) {
+    println!("=== Fig. 9: extreme failures (permutation) ===");
+    let fabric = macro_fabric(scale);
+    let n = fabric.n_hosts();
+    let bytes = scaled_bytes(scale, 8);
+    // Ideal: serialization of the message over the surviving fraction of
+    // fabric capacity (uniform permutation keeps all uplinks busy), plus the
+    // base round-trip no load balancer can avoid.
+    let ideal_base_us = bytes as f64 * 8.0 / 400e9 * 1e6;
+    let rtt_floor_us = default_rtt().as_us_f64();
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>10} {:>10}",
+        "fail%", "REPS(us)", "PLB(us)", "ideal(us)", "REPS slow", "PLB slow"
+    );
+    for pct in [0u32, 10, 20, 30, 40, 50] {
+        let topo = Topology::build(fabric.clone(), 47);
+        let cables = topo.cable_pairs();
+        let mut rng = Rng64::new(47 + pct as u64);
+        let plan = FailurePlan::random_cables(
+            &cables,
+            pct as f64 / 100.0,
+            Time::from_us(10),
+            None,
+            &mut rng,
+        );
+        let mut rng2 = Rng64::new(47);
+        let w = patterns::permutation(n, bytes, &mut rng2);
+        let lineup = [
+            LbKind::Reps(RepsConfig::default()),
+            LbKind::Plb(PlbConfig::default()),
+        ];
+        let rows = run_lineup("fig09", &fabric, &w, &lineup, &plan, 47);
+        let ideal = ideal_base_us / (1.0 - pct as f64 / 100.0).max(0.01) + rtt_floor_us;
+        let reps_us = rows[0].max_fct.as_us_f64();
+        let plb_us = rows[1].max_fct.as_us_f64();
+        println!(
+            "{pct:>8} {reps_us:>12.1} {plb_us:>12.1} {ideal:>12.1} {:>9.0}% {:>9.0}%",
+            (reps_us / ideal - 1.0) * 100.0,
+            (plb_us / ideal - 1.0) * 100.0
+        );
+    }
+    println!("(paper: REPS within ~20% of ideal up to 50% failures; PLB ~3x behind)");
+}
+
+/// Fig. 21 (Appendix C.2): the synthetic suite on a 3-tier fat tree.
+pub fn fig21(scale: Scale) {
+    println!("=== Fig. 21: 3-tier fat tree synthetic benchmarks ===");
+    let fabric = FatTreeConfig::three_tier(scale.pick(4, 8), 1);
+    println!("(hosts: {})", fabric.n_hosts());
+    let lineup = LbKind::paper_lineup(default_rtt());
+    synthetic_suite(&fabric, scale, &lineup, &FailurePlan::none(), 53);
+    println!("(paper: comparable to the 2-tier results)");
+}

@@ -1,0 +1,214 @@
+//! Microscopic (single-switch timeseries) figures: Figs. 2, 4, 7, 19, 22.
+//!
+//! Each experiment tracks the uplinks of one ToR switch and prints
+//! utilization buckets and queue-occupancy samples for OPS vs REPS — the
+//! series the paper plots, plus the headline aggregates (completion time,
+//! drops).
+
+use baselines::kind::LbKind;
+use harness::experiment::{Experiment, TrackLinks};
+use harness::{downsample, queue_series, utilization_series, Scale};
+use netsim::failures::{Failure, FailurePlan};
+use netsim::ids::SwitchId;
+use netsim::time::Time;
+use netsim::topology::FatTreeConfig;
+use reps::reps::RepsConfig;
+use workloads::patterns;
+
+/// Micro figures keep longer runs even at quick scale (quarter size) so the
+/// steady-state queue dynamics the paper plots remain visible.
+fn micro_bytes(scale: Scale, full_mib: u64) -> u64 {
+    scale.pick((full_mib << 20) / 4, full_mib << 20)
+}
+
+/// Runs one micro experiment and prints the tracked-switch series.
+fn run_micro(label: &str, exp: &Experiment) {
+    let res = exp.run();
+    let s = &res.summary;
+    println!(
+        "-- {label}: {} | max FCT {:.1} us | drops {} (down {}) | retx {} | timeouts {}",
+        s.lb,
+        s.max_fct.as_us_f64(),
+        s.counters.total_drops(),
+        s.counters.drops_link_down,
+        s.counters.retransmissions,
+        s.counters.timeouts,
+    );
+    let tor0 = &res.engine.topo.switches[0];
+    let bucket = res.engine.stats.bucket_width;
+    for (i, link) in tor0.up_links.iter().enumerate() {
+        let Some(series) = res.engine.stats.link_series(*link) else {
+            continue;
+        };
+        let util = downsample(&utilization_series(series, bucket), 12);
+        let queue = downsample(&queue_series(series), 12);
+        let util_s: Vec<String> = util.iter().map(|(_, g)| format!("{g:.0}")).collect();
+        let q_s: Vec<String> = queue.iter().map(|(_, k)| format!("{k:.0}")).collect();
+        println!("   port{i} util(Gbps): {}", util_s.join(" "));
+        println!("   port{i} queue(KB):  {}", q_s.join(" "));
+    }
+}
+
+fn micro_pair(
+    title: &str,
+    fabric: FatTreeConfig,
+    bytes: u64,
+    failures: FailurePlan,
+    sample_until: Time,
+    reps_cfg: RepsConfig,
+) {
+    println!("=== {title} ===");
+    for lb in [
+        LbKind::Ops { evs_size: 1 << 16 },
+        LbKind::Reps(reps_cfg.clone()),
+    ] {
+        let w = patterns::tornado(fabric.n_hosts(), bytes);
+        let mut exp = Experiment::new(title, fabric.clone(), lb, w);
+        exp.failures = failures.clone();
+        exp.track = TrackLinks::TorUplinks(0);
+        exp.sample_until = sample_until;
+        exp.seed = 11;
+        exp.deadline = Time::from_secs(2);
+        run_micro(title, &exp);
+    }
+}
+
+/// Fig. 2: tornado on a healthy symmetric fabric — OPS develops transient
+/// queues between K_min and K_max; REPS converges below K_min.
+pub fn fig02(scale: Scale) {
+    let fabric = FatTreeConfig::two_tier(16, 1); // 8 uplinks per ToR, as plotted.
+    let bytes = micro_bytes(scale, 16);
+    micro_pair(
+        "Fig. 2: tornado 16MiB symmetric (OPS vs REPS)",
+        fabric,
+        bytes,
+        FailurePlan::none(),
+        scale.pick(Time::from_us(400), Time::from_us(400)),
+        RepsConfig::default(),
+    );
+    println!("(paper: REPS holds all queues below K_min=80KB; OPS oscillates, ~4% slower)");
+}
+
+/// Fig. 4: one ToR uplink degraded to 200 Gbps — REPS skews traffic away
+/// from the slow link and finishes ~1.75x faster than OPS.
+pub fn fig04(scale: Scale) {
+    println!("=== Fig. 4: asymmetric (one 200G uplink) 32MiB send ===");
+    let fabric = FatTreeConfig::two_tier(16, 1);
+    let bytes = micro_bytes(scale, 32);
+    // Degrade ToR 0's first uplink cable to 200 Gbps.
+    let topo = netsim::topology::Topology::build(fabric.clone(), 11);
+    let pair = topo.tor_uplink_pairs(SwitchId(0))[0];
+    let failures = FailurePlan::none().with(Failure::Degrade {
+        pair,
+        at: Time::ZERO,
+        bps: 200_000_000_000,
+    });
+    micro_pair(
+        "Fig. 4: asymmetric tornado (OPS vs REPS)",
+        fabric,
+        bytes,
+        failures,
+        Time::from_us(1_500),
+        RepsConfig::default(),
+    );
+    println!("(paper: 1400us OPS vs 799us REPS; slow port used less by REPS)");
+}
+
+/// Fig. 7: two transient cable failures (100 us at t=100 us, 200 us at
+/// t=350 us) during a permutation — freezing avoids the failed paths.
+pub fn fig07(scale: Scale) {
+    println!("=== Fig. 7: two transient cable failures, 64MiB permutation ===");
+    let fabric = FatTreeConfig::two_tier(16, 1);
+    let bytes = micro_bytes(scale, 64);
+    let topo = netsim::topology::Topology::build(fabric.clone(), 11);
+    let pairs = topo.tor_uplink_pairs(SwitchId(0));
+    let failures = FailurePlan::none()
+        .with(Failure::Cable {
+            pair: pairs[0],
+            at: Time::from_us(100),
+            duration: Some(Time::from_us(100)),
+        })
+        .with(Failure::Cable {
+            pair: pairs[1],
+            at: Time::from_us(350),
+            duration: Some(Time::from_us(200)),
+        });
+    for lb in [
+        LbKind::Ops { evs_size: 1 << 16 },
+        LbKind::Reps(RepsConfig::default()),
+    ] {
+        let mut rng = netsim::rng::Rng64::new(13);
+        let w = patterns::permutation(fabric.n_hosts(), bytes, &mut rng);
+        let mut exp = Experiment::new("fig07", fabric.clone(), lb, w);
+        exp.failures = failures.clone();
+        exp.track = TrackLinks::TorUplinks(0);
+        exp.sample_until = Time::from_us(2_500);
+        exp.seed = 13;
+        exp.deadline = Time::from_secs(2);
+        run_micro("Fig. 7", &exp);
+    }
+    println!("(paper: REPS >35% faster and 2.5x fewer drops than OPS)");
+}
+
+/// Fig. 19 (Appendix A): forcing freezing mode at t=50 us without any
+/// failure — REPS stays stable and completes like normal REPS.
+pub fn fig19(scale: Scale) {
+    println!("=== Fig. 19: forced freezing after 50us, 16MiB tornado ===");
+    let fabric = FatTreeConfig::two_tier(16, 1);
+    let bytes = micro_bytes(scale, 16);
+    for (label, lb) in [
+        ("OPS", LbKind::Ops { evs_size: 1 << 16 }),
+        ("REPS", LbKind::Reps(RepsConfig::default())),
+        (
+            "REPS+force-freeze@50us",
+            LbKind::Reps(RepsConfig {
+                force_freezing_at: Some(Time::from_us(50)),
+                ..RepsConfig::default()
+            }),
+        ),
+    ] {
+        let w = patterns::tornado(fabric.n_hosts(), bytes);
+        let mut exp = Experiment::new(label, fabric.clone(), lb, w);
+        exp.track = TrackLinks::TorUplinks(0);
+        exp.sample_until = Time::from_us(400);
+        exp.seed = 17;
+        exp.deadline = Time::from_secs(2);
+        run_micro(label, &exp);
+    }
+    println!("(paper: forced freezing is comparable to standard REPS, both beat OPS)");
+}
+
+/// Fig. 22 (Appendix C.3): incrementally fail 3 of 4 uplinks of one ToR,
+/// 200 us apart, permanently.
+pub fn fig22(scale: Scale) {
+    println!("=== Fig. 22: incremental persistent uplink failures ===");
+    // Radix-8 so the ToR has 4 uplinks, as in the figure.
+    let fabric = FatTreeConfig::two_tier(8, 1);
+    let bytes = micro_bytes(scale, 32);
+    let topo = netsim::topology::Topology::build(fabric.clone(), 19);
+    let pairs = topo.tor_uplink_pairs(SwitchId(0));
+    let spacing = scale.pick(50, 200);
+    let mut failures = FailurePlan::none();
+    for (i, pair) in pairs.iter().take(3).enumerate() {
+        failures = failures.with(Failure::Cable {
+            pair: *pair,
+            at: Time::from_us(spacing * (i as u64 + 1)),
+            duration: None,
+        });
+    }
+    for lb in [
+        LbKind::Ops { evs_size: 1 << 16 },
+        LbKind::Reps(RepsConfig::default()),
+    ] {
+        let mut rng = netsim::rng::Rng64::new(19);
+        let w = patterns::permutation(fabric.n_hosts(), bytes, &mut rng);
+        let mut exp = Experiment::new("fig22", fabric.clone(), lb, w);
+        exp.failures = failures.clone();
+        exp.track = TrackLinks::TorUplinks(0);
+        exp.sample_until = Time::from_ms(3);
+        exp.seed = 19;
+        exp.deadline = Time::from_secs(5);
+        run_micro("Fig. 22", &exp);
+    }
+    println!("(paper: OPS ~40x worse; REPS freezes onto the surviving uplink)");
+}

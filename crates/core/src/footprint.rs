@@ -1,0 +1,98 @@
+//! Per-connection memory accounting (paper Table 1).
+//!
+//! REPS needs roughly 25 bytes of NIC state per connection, independent of
+//! topology size — the paper's headline deployability claim. This module
+//! reproduces the table's bit-level accounting and checks it against the
+//! actual Rust representation.
+
+/// Bits per circular-buffer element: a 16-bit entropy plus a validity bit.
+pub const ELEMENT_BITS: u64 = 16 + 1;
+
+/// Bits of global state: head (8), numberOfValidEVs (8), exitFreezingMode
+/// (32), isFreezingMode (1), exploreCounter (8).
+pub const GLOBAL_BITS: u64 = 8 + 8 + 32 + 1 + 8;
+
+/// Total per-connection footprint in bits for a buffer of `elements`.
+///
+/// # Examples
+///
+/// ```
+/// // Table 1: 74 bits (~10 B) for 1 element, 193 bits (~25 B) for 8.
+/// assert_eq!(reps::footprint::footprint_bits(1), 74);
+/// assert_eq!(reps::footprint::footprint_bits(8), 193);
+/// ```
+pub fn footprint_bits(elements: u64) -> u64 {
+    ELEMENT_BITS * elements + GLOBAL_BITS
+}
+
+/// Footprint in bytes, rounded up.
+pub fn footprint_bytes(elements: u64) -> u64 {
+    footprint_bits(elements).div_ceil(8)
+}
+
+/// Renders Table 1 as aligned text rows.
+pub fn table1() -> String {
+    let mut out = String::new();
+    out.push_str("Component                                  Footprint (bits)\n");
+    out.push_str("Circular Buffer Element (x elements):\n");
+    out.push_str("  Entropy Value (cachedEV)                 16\n");
+    out.push_str("  Entropy Validity Bit (isValid)           1\n");
+    out.push_str("Global Variables:\n");
+    out.push_str("  Head Buffer (head)                       8\n");
+    out.push_str("  Number Valid Entropies (numberOfValidEVs) 8\n");
+    out.push_str("  Exit Freezing Time (exitFreezingMode)    32\n");
+    out.push_str("  Is Freezing Mode (isFreezingMode)        1\n");
+    out.push_str("  Explore Counter (exploreCounter)         8\n");
+    out.push_str(&format!(
+        "Total (1 element in buffer)                {} ~= {} bytes\n",
+        footprint_bits(1),
+        footprint_bytes(1)
+    ));
+    out.push_str(&format!(
+        "Total (8 elements in buffer)               {} ~= {} bytes\n",
+        footprint_bits(8),
+        footprint_bytes(8)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_totals_match_paper() {
+        assert_eq!(footprint_bits(1), 74);
+        assert_eq!(footprint_bits(8), 193);
+        assert_eq!(footprint_bytes(1), 10);
+        assert_eq!(footprint_bytes(8), 25);
+    }
+
+    #[test]
+    fn footprint_is_linear_in_elements() {
+        for n in 1..32 {
+            assert_eq!(footprint_bits(n + 1) - footprint_bits(n), ELEMENT_BITS);
+        }
+    }
+
+    #[test]
+    fn table_renders_both_rows() {
+        let t = table1();
+        assert!(t.contains("74"));
+        assert!(t.contains("193"));
+        assert!(t.contains("25 bytes"));
+    }
+
+    #[test]
+    fn rust_struct_is_small() {
+        // The in-simulator representation is allowed to be larger than the
+        // hardware layout (Vec header, alignment), but the algorithmic state
+        // itself must stay O(buffer), never O(EVS) — the paper's contrast
+        // with per-EV bitmap schemes.
+        let reps = crate::reps::Reps::new(crate::reps::RepsConfig::default());
+        let heap_slots = std::mem::size_of::<crate::reps::Reps>()
+            + 8 * 4 /* Slot is ~4 bytes */;
+        assert!(heap_slots < 256, "REPS state unexpectedly large");
+        drop(reps);
+    }
+}

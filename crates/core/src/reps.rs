@@ -1,0 +1,468 @@
+//! The REPS algorithm (paper §3, Algorithms 1 and 2).
+//!
+//! REPS keeps a small circular buffer of *recycled entropies*: entropy
+//! values whose ACKs came back without an ECN mark, i.e. evidence of an
+//! uncongested, healthy path. Sending prefers the oldest valid cached
+//! entropy and falls back to uniform exploration when the cache is empty.
+//! On failure suspicion (a retransmission timeout) REPS enters *freezing
+//! mode*: it stops exploring and replays buffer contents — even invalidated
+//! ones — because recently-acknowledged entropies are the only paths known
+//! to still work (§3.2).
+
+use netsim::rng::Rng64;
+use netsim::time::Time;
+
+use crate::lb::{AckFeedback, LoadBalancer};
+
+/// Tuning knobs for [`Reps`].
+#[derive(Debug, Clone)]
+pub struct RepsConfig {
+    /// Circular buffer depth. The paper uses 8 (Theorem 5.1 motivates
+    /// `O(log n)` for an `n`-port switch).
+    pub buffer_size: usize,
+    /// Entropy value space size. The paper's default is the full 16-bit
+    /// source-port space; §4.5.2 shows REPS works with as few as 32.
+    pub evs_size: u32,
+    /// Enables freezing mode (Appendix C.4 ablates this off).
+    pub freezing_enabled: bool,
+    /// How long freezing mode persists before the sender re-probes the
+    /// network with random entropies (§3.2 "exit after a fixed amount of
+    /// time").
+    pub freezing_timeout: Time,
+    /// Force-enter freezing mode at this instant and stay frozen (the
+    /// Appendix A / Fig. 19 experiment: freezing without any failure).
+    pub force_freezing_at: Option<Time>,
+}
+
+impl Default for RepsConfig {
+    fn default() -> RepsConfig {
+        RepsConfig {
+            buffer_size: 8,
+            evs_size: 1 << 16,
+            freezing_enabled: true,
+            freezing_timeout: Time::from_us(100),
+            force_freezing_at: None,
+        }
+    }
+}
+
+impl RepsConfig {
+    /// A config with a custom EVS size (for the §4.5.2 sweeps).
+    pub fn with_evs_size(mut self, evs: u32) -> RepsConfig {
+        self.evs_size = evs;
+        self
+    }
+
+    /// A config with freezing disabled (Appendix C.4 ablation).
+    pub fn without_freezing(mut self) -> RepsConfig {
+        self.freezing_enabled = false;
+        self
+    }
+}
+
+/// One circular-buffer slot.
+#[derive(Debug, Clone, Copy, Default)]
+struct Slot {
+    /// The cached entropy value.
+    cached_ev: u16,
+    /// Set when the entropy was cached and not yet reused (Algorithm 1).
+    is_valid: bool,
+    /// Whether the slot has ever been written (guards pre-warm-up replay).
+    written: bool,
+}
+
+/// The REPS sender state — everything in Table 1, ~25 bytes per connection.
+#[derive(Debug, Clone)]
+pub struct Reps {
+    cfg: RepsConfig,
+    buffer: Vec<Slot>,
+    /// Next write position (Algorithm 1's `head`).
+    head: usize,
+    /// Count of valid (cached, unused) entropies.
+    num_valid: usize,
+    /// Packets left in the post-freezing exploration phase (Algorithm 2).
+    explore_counter: u32,
+    /// True while in freezing mode.
+    freezing: bool,
+    /// Instant at which freezing mode may be exited.
+    exit_freezing: Time,
+    /// Last congestion window observed (packets), seeding the exploration
+    /// counter when freezing expires on the send path.
+    last_cwnd_packets: u32,
+}
+
+impl Reps {
+    /// Creates a REPS instance with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer size is zero or the EVS is empty.
+    pub fn new(cfg: RepsConfig) -> Reps {
+        assert!(cfg.buffer_size > 0, "REPS buffer must be non-empty");
+        assert!(cfg.evs_size > 0, "EVS must be non-empty");
+        Reps {
+            buffer: vec![Slot::default(); cfg.buffer_size],
+            head: 0,
+            num_valid: 0,
+            explore_counter: 0,
+            freezing: false,
+            exit_freezing: Time::ZERO,
+            last_cwnd_packets: cfg.buffer_size as u32,
+            cfg,
+        }
+    }
+
+    /// Creates a REPS instance with the paper's defaults.
+    pub fn default_paper() -> Reps {
+        Reps::new(RepsConfig::default())
+    }
+
+    /// True while the sender is in freezing mode (for instrumentation).
+    pub fn is_freezing(&self) -> bool {
+        self.freezing
+    }
+
+    /// Number of valid cached entropies (for instrumentation).
+    pub fn valid_entropies(&self) -> usize {
+        self.num_valid
+    }
+
+    /// The configured EVS size.
+    pub fn evs_size(&self) -> u32 {
+        self.cfg.evs_size
+    }
+
+    /// Draws a uniformly random entropy from the EVS.
+    fn random_ev(&self, rng: &mut Rng64) -> u16 {
+        rng.gen_range(self.cfg.evs_size as u64) as u16
+    }
+
+    /// True if at least one slot has ever been written.
+    fn ever_written(&self) -> bool {
+        self.buffer.iter().any(|s| s.written)
+    }
+
+    /// Algorithm 2's `getNextEV`.
+    fn get_next_ev(&mut self) -> u16 {
+        if self.num_valid > 0 {
+            let n = self.buffer.len();
+            // Algorithm 2 line 4: the oldest valid element sits at
+            // `head - numberOfValidEVs` (mod buffer size); when the whole
+            // buffer is valid this is `head` itself.
+            let offset = (self.head + n - (self.num_valid % n)) % n;
+            self.buffer[offset].is_valid = false;
+            self.num_valid -= 1;
+            self.buffer[offset].cached_ev
+        } else {
+            // Freezing mode: replay stale entries round-robin. Skip slots
+            // that were never written (possible only if freezing hits before
+            // the first BDP of ACKs returned, which the caller guards).
+            let n = self.buffer.len();
+            for _ in 0..n {
+                let offset = self.head;
+                self.head = (self.head + 1) % n;
+                if self.buffer[offset].written {
+                    return self.buffer[offset].cached_ev;
+                }
+            }
+            // Unreachable when ever_written() held; kept total for safety.
+            self.buffer[self.head].cached_ev
+        }
+    }
+}
+
+impl LoadBalancer for Reps {
+    /// Algorithm 2, `onSend`.
+    fn next_ev(&mut self, _now: Time, rng: &mut Rng64) -> u16 {
+        if let Some(at) = self.cfg.force_freezing_at {
+            if _now >= at && !self.freezing {
+                // Fig. 19: freeze without a failure and never thaw.
+                self.freezing = true;
+                self.exit_freezing = Time::MAX;
+                self.explore_counter = 0;
+            }
+        }
+        if self.freezing && _now > self.exit_freezing {
+            // §3.2: without probing, freezing expires after a fixed time —
+            // checked on the send path too, so a sender whose cached
+            // entropies all stopped returning ACKs (every one pointed at the
+            // failed path) still thaws and re-explores instead of replaying
+            // dead paths forever.
+            self.freezing = false;
+            self.explore_counter = self.last_cwnd_packets.max(1);
+        }
+        if self.explore_counter > 0 {
+            self.explore_counter -= 1;
+            if (self.explore_counter as usize).is_multiple_of(self.buffer.len()) {
+                return self.random_ev(rng);
+            }
+            // Otherwise fall through to the regular selection logic: reuse
+            // cached entropies when available, explore when not.
+        }
+        if !self.ever_written() || (self.num_valid == 0 && !self.freezing) {
+            return self.random_ev(rng);
+        }
+        self.get_next_ev()
+    }
+
+    /// Algorithm 1, `onAck`.
+    fn on_ack(&mut self, fb: &AckFeedback, _rng: &mut Rng64) {
+        if fb.ecn {
+            // Congested path: discard the entropy (Algorithm 1, line 6).
+            return;
+        }
+        let slot = &mut self.buffer[self.head];
+        if !slot.is_valid {
+            self.num_valid += 1;
+        }
+        slot.cached_ev = fb.ev;
+        slot.is_valid = true;
+        slot.written = true;
+        self.head = (self.head + 1) % self.buffer.len();
+        self.last_cwnd_packets = fb.cwnd_packets.max(1);
+        if self.freezing && fb.now > self.exit_freezing {
+            self.freezing = false;
+            // Explore for a window's worth of packets after thawing so REPS
+            // cannot get stuck on a stale path set (§3.2).
+            self.explore_counter = fb.cwnd_packets.max(1);
+        }
+    }
+
+    /// Algorithm 1, `onFailureDetection`.
+    fn on_timeout(&mut self, now: Time) {
+        if !self.cfg.freezing_enabled {
+            return;
+        }
+        if !self.freezing && self.explore_counter == 0 {
+            self.freezing = true;
+            self.exit_freezing = now + self.cfg.freezing_timeout;
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "REPS"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fb(ev: u16, ecn: bool, now: Time) -> AckFeedback {
+        AckFeedback {
+            ev,
+            ecn,
+            now,
+            cwnd_packets: 16,
+            rtt: Time::from_us(10),
+        }
+    }
+
+    fn reps_small_evs() -> (Reps, Rng64) {
+        let cfg = RepsConfig::default().with_evs_size(256);
+        (Reps::new(cfg), Rng64::new(99))
+    }
+
+    #[test]
+    fn explores_randomly_before_any_ack() {
+        let (mut reps, mut rng) = reps_small_evs();
+        let evs: Vec<u16> = (0..64)
+            .map(|_| reps.next_ev(Time::ZERO, &mut rng))
+            .collect();
+        assert!(evs.iter().all(|&e| (e as u32) < 256));
+        // Warm-up must not return a constant value.
+        assert!(evs.iter().collect::<std::collections::HashSet<_>>().len() > 8);
+    }
+
+    #[test]
+    fn caches_and_reuses_good_entropies_fifo() {
+        let (mut reps, mut rng) = reps_small_evs();
+        for (i, ev) in [11u16, 22, 33].iter().enumerate() {
+            reps.on_ack(&fb(*ev, false, Time::from_us(i as u64)), &mut rng);
+        }
+        assert_eq!(reps.valid_entropies(), 3);
+        // Oldest first: 11, 22, 33.
+        assert_eq!(reps.next_ev(Time::ZERO, &mut rng), 11);
+        assert_eq!(reps.next_ev(Time::ZERO, &mut rng), 22);
+        assert_eq!(reps.next_ev(Time::ZERO, &mut rng), 33);
+        assert_eq!(reps.valid_entropies(), 0);
+    }
+
+    #[test]
+    fn ecn_marked_acks_are_discarded() {
+        let (mut reps, mut rng) = reps_small_evs();
+        reps.on_ack(&fb(50, true, Time::ZERO), &mut rng);
+        assert_eq!(reps.valid_entropies(), 0);
+        reps.on_ack(&fb(60, false, Time::ZERO), &mut rng);
+        assert_eq!(reps.valid_entropies(), 1);
+        assert_eq!(reps.next_ev(Time::ZERO, &mut rng), 60);
+    }
+
+    #[test]
+    fn buffer_wraps_and_overwrites_oldest() {
+        let cfg = RepsConfig {
+            buffer_size: 4,
+            ..RepsConfig::default().with_evs_size(1024)
+        };
+        let mut reps = Reps::new(cfg);
+        let mut rng = Rng64::new(1);
+        for ev in 0..6u16 {
+            reps.on_ack(&fb(100 + ev, false, Time::ZERO), &mut rng);
+        }
+        // Buffer of 4, 6 writes: slots hold 104,105,102,103 with all valid
+        // capped at 4; oldest valid is 102.
+        assert_eq!(reps.valid_entropies(), 4);
+        assert_eq!(reps.next_ev(Time::ZERO, &mut rng), 102);
+        assert_eq!(reps.next_ev(Time::ZERO, &mut rng), 103);
+        assert_eq!(reps.next_ev(Time::ZERO, &mut rng), 104);
+        assert_eq!(reps.next_ev(Time::ZERO, &mut rng), 105);
+    }
+
+    #[test]
+    fn valid_entries_are_used_once() {
+        let (mut reps, mut rng) = reps_small_evs();
+        reps.on_ack(&fb(77, false, Time::ZERO), &mut rng);
+        assert_eq!(reps.next_ev(Time::ZERO, &mut rng), 77);
+        // Now invalid and not freezing: must explore, not replay 77 forever.
+        let replays = (0..32)
+            .filter(|_| reps.next_ev(Time::ZERO, &mut rng) == 77)
+            .count();
+        assert!(replays < 8, "unexpected replay of a consumed entropy");
+    }
+
+    #[test]
+    fn timeout_enters_freezing_and_replays_cache() {
+        let (mut reps, mut rng) = reps_small_evs();
+        for ev in [5u16, 6, 7] {
+            reps.on_ack(&fb(ev, false, Time::from_us(1)), &mut rng);
+        }
+        reps.on_timeout(Time::from_us(2));
+        assert!(reps.is_freezing());
+        // Consume the three valid entries.
+        let mut got = vec![];
+        for _ in 0..9 {
+            got.push(reps.next_ev(Time::from_us(3), &mut rng));
+        }
+        // In freezing mode every selection must come from the cache {5,6,7}.
+        assert!(got.iter().all(|e| [5, 6, 7].contains(e)), "{got:?}");
+    }
+
+    #[test]
+    fn freezing_exit_requires_timeout_elapsed_and_ack() {
+        let (mut reps, mut rng) = reps_small_evs();
+        reps.on_ack(&fb(9, false, Time::from_us(1)), &mut rng);
+        reps.on_timeout(Time::from_us(10));
+        assert!(reps.is_freezing());
+        // ACK before the freezing window elapses: stay frozen.
+        reps.on_ack(&fb(10, false, Time::from_us(50)), &mut rng);
+        assert!(reps.is_freezing());
+        // ACK after: thaw, and seed the exploration counter.
+        reps.on_ack(&fb(11, false, Time::from_us(200)), &mut rng);
+        assert!(!reps.is_freezing());
+    }
+
+    #[test]
+    fn post_freezing_exploration_mixes_random_and_cached() {
+        let (mut reps, mut rng) = reps_small_evs();
+        for ev in [1u16, 2, 3, 4, 5, 6, 7, 8] {
+            reps.on_ack(&fb(ev, false, Time::from_us(1)), &mut rng);
+        }
+        reps.on_timeout(Time::from_us(2));
+        reps.on_ack(&fb(40, false, Time::from_us(200)), &mut rng);
+        assert!(!reps.is_freezing());
+        // cwnd_packets = 16 -> 16 exploration sends; every 8th is random.
+        let mut cached = 0;
+        let mut total = 0;
+        for _ in 0..16 {
+            let ev = reps.next_ev(Time::from_us(201), &mut rng);
+            total += 1;
+            if (1..=8).contains(&ev) || ev == 40 {
+                cached += 1;
+            }
+        }
+        assert_eq!(total, 16);
+        assert!(cached >= 8, "exploration should still favour cached EVs");
+    }
+
+    #[test]
+    fn timeout_during_exploration_does_not_refreeze() {
+        let (mut reps, mut rng) = reps_small_evs();
+        reps.on_ack(&fb(1, false, Time::from_us(1)), &mut rng);
+        reps.on_timeout(Time::from_us(2));
+        reps.on_ack(&fb(2, false, Time::from_us(200)), &mut rng);
+        assert!(!reps.is_freezing());
+        // Explore counter is armed; a timeout now must NOT re-freeze
+        // (Algorithm 1 line 22 requires exploreCounter == 0).
+        reps.on_timeout(Time::from_us(201));
+        assert!(!reps.is_freezing());
+    }
+
+    #[test]
+    fn freezing_disabled_ignores_timeouts() {
+        let cfg = RepsConfig::default().without_freezing().with_evs_size(64);
+        let mut reps = Reps::new(cfg);
+        reps.on_timeout(Time::from_us(5));
+        assert!(!reps.is_freezing());
+    }
+
+    #[test]
+    fn freezing_expires_on_send_path_without_acks() {
+        // A sender whose cached entropies all map to the failed path gets no
+        // ACKs at all; freezing must still expire (time-based, §3.2) so the
+        // sender resumes exploring instead of replaying dead paths forever.
+        let (mut reps, mut rng) = reps_small_evs();
+        reps.on_ack(&fb(7, false, Time::from_us(1)), &mut rng);
+        reps.on_timeout(Time::from_us(10));
+        assert!(reps.is_freezing());
+        // Well past the freezing window, with no ACK in between:
+        let _ = reps.next_ev(Time::from_us(500), &mut rng);
+        assert!(!reps.is_freezing(), "freezing must expire without ACKs");
+        // And the sender now explores (non-7 EVs appear).
+        let evs: Vec<u16> = (0..32)
+            .map(|_| reps.next_ev(Time::from_us(501), &mut rng))
+            .collect();
+        assert!(evs.iter().any(|&e| e != 7), "must explore after thawing");
+    }
+
+    #[test]
+    fn freezing_before_any_ack_still_returns_valid_evs() {
+        let (mut reps, mut rng) = reps_small_evs();
+        reps.on_timeout(Time::from_us(1));
+        // Nothing cached: selection falls back to random exploration rather
+        // than replaying uninitialized slots.
+        for _ in 0..16 {
+            let ev = reps.next_ev(Time::from_us(2), &mut rng);
+            assert!((ev as u32) < 256);
+        }
+    }
+
+    #[test]
+    fn respects_small_evs_sizes() {
+        for evs in [16u32, 32, 256] {
+            let mut reps = Reps::new(RepsConfig::default().with_evs_size(evs));
+            let mut rng = Rng64::new(evs as u64);
+            for i in 0..200 {
+                let ev = reps.next_ev(Time::from_us(i), &mut rng);
+                assert!((ev as u32) < evs, "ev {ev} out of EVS {evs}");
+                // Some ACK traffic interleaved.
+                if i % 3 == 0 {
+                    reps.on_ack(&fb(ev, i % 6 == 0, Time::from_us(i)), &mut rng);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn burst_of_acks_all_cached_up_to_buffer_depth() {
+        // §3.1: bursts of back-to-back good ACKs must be cached and reusable.
+        let (mut reps, mut rng) = reps_small_evs();
+        for ev in 0..8u16 {
+            reps.on_ack(&fb(ev + 100, false, Time::from_us(1)), &mut rng);
+        }
+        assert_eq!(reps.valid_entropies(), 8);
+        let sent: Vec<u16> = (0..8)
+            .map(|_| reps.next_ev(Time::from_us(2), &mut rng))
+            .collect();
+        assert_eq!(sent, (100..108).collect::<Vec<u16>>());
+    }
+}

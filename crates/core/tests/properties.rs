@@ -1,0 +1,190 @@
+//! Property-based tests for the REPS algorithm invariants.
+
+use proptest::prelude::*;
+
+use netsim::rng::Rng64;
+use netsim::time::Time;
+use reps::lb::{AckFeedback, LoadBalancer};
+use reps::reps::{Reps, RepsConfig};
+
+/// A random interaction step against a REPS instance.
+#[derive(Debug, Clone)]
+enum Step {
+    Send,
+    Ack { ev: u16, ecn: bool },
+    Timeout,
+}
+
+fn step_strategy(evs: u32) -> impl Strategy<Value = Step> {
+    prop_oneof![
+        3 => Just(Step::Send),
+        3 => (0..evs, any::<bool>()).prop_map(|(ev, ecn)| Step::Ack {
+            ev: ev as u16,
+            ecn
+        }),
+        1 => Just(Step::Timeout),
+    ]
+}
+
+proptest! {
+    /// Every entropy REPS emits is within the configured EVS, for any
+    /// interleaving of sends, ACKs and timeouts.
+    #[test]
+    fn emitted_evs_always_in_evs(
+        evs_exp in 4u32..16,
+        buffer_size in 1usize..16,
+        steps in proptest::collection::vec(step_strategy(1 << 12), 1..400),
+        seed in any::<u64>(),
+    ) {
+        let evs = 1u32 << evs_exp.min(12);
+        let cfg = RepsConfig {
+            buffer_size,
+            evs_size: evs,
+            ..RepsConfig::default()
+        };
+        let mut reps = Reps::new(cfg);
+        let mut rng = Rng64::new(seed);
+        let mut now = Time::ZERO;
+        for step in steps {
+            now += Time::from_ns(100);
+            match step {
+                Step::Send => {
+                    let ev = reps.next_ev(now, &mut rng);
+                    prop_assert!((ev as u32) < evs, "ev {ev} outside EVS {evs}");
+                }
+                Step::Ack { ev, ecn } => {
+                    reps.on_ack(
+                        &AckFeedback {
+                            ev: (ev as u32 % evs) as u16,
+                            ecn,
+                            now,
+                            cwnd_packets: 16,
+                            rtt: Time::from_us(10),
+                        },
+                        &mut rng,
+                    );
+                }
+                Step::Timeout => reps.on_timeout(now),
+            }
+        }
+    }
+
+    /// The valid-entropy count never exceeds the buffer size, and only clean
+    /// ACKs can increase it.
+    #[test]
+    fn valid_count_bounded_by_buffer(
+        buffer_size in 1usize..12,
+        steps in proptest::collection::vec(step_strategy(256), 1..300),
+        seed in any::<u64>(),
+    ) {
+        let cfg = RepsConfig {
+            buffer_size,
+            evs_size: 256,
+            ..RepsConfig::default()
+        };
+        let mut reps = Reps::new(cfg);
+        let mut rng = Rng64::new(seed);
+        let mut now = Time::ZERO;
+        for step in steps {
+            now += Time::from_ns(100);
+            let before = reps.valid_entropies();
+            match step {
+                Step::Send => {
+                    let _ = reps.next_ev(now, &mut rng);
+                    prop_assert!(reps.valid_entropies() <= before,
+                        "send must not mint validity");
+                }
+                Step::Ack { ev, ecn } => {
+                    reps.on_ack(
+                        &AckFeedback {
+                            ev: ev % 256,
+                            ecn,
+                            now,
+                            cwnd_packets: 8,
+                            rtt: Time::from_us(10),
+                        },
+                        &mut rng,
+                    );
+                    if ecn {
+                        prop_assert_eq!(reps.valid_entropies(), before,
+                            "marked ACKs are discarded");
+                    }
+                }
+                Step::Timeout => reps.on_timeout(now),
+            }
+            prop_assert!(reps.valid_entropies() <= buffer_size);
+        }
+    }
+
+    /// After a burst of k clean ACKs into an empty, quiescent REPS, the next
+    /// min(k, buffer) sends replay exactly those entropies FIFO.
+    #[test]
+    fn clean_ack_burst_replays_fifo(
+        evs in proptest::collection::vec(0u16..1024, 1..20),
+        seed in any::<u64>(),
+    ) {
+        let mut reps = Reps::new(RepsConfig {
+            evs_size: 1024,
+            ..RepsConfig::default()
+        });
+        let mut rng = Rng64::new(seed);
+        for (i, &ev) in evs.iter().enumerate() {
+            reps.on_ack(
+                &AckFeedback {
+                    ev,
+                    ecn: false,
+                    now: Time::from_us(i as u64),
+                    cwnd_packets: 16,
+                    rtt: Time::from_us(10),
+                },
+                &mut rng,
+            );
+        }
+        // The oldest surviving entries are the last `buffer` ACKs, FIFO.
+        let n = 8usize;
+        let kept: Vec<u16> = if evs.len() <= n {
+            evs.clone()
+        } else {
+            evs[evs.len() - n..].to_vec()
+        };
+        for expected in kept {
+            let got = reps.next_ev(Time::from_us(100), &mut rng);
+            prop_assert_eq!(got, expected);
+        }
+    }
+
+    /// Freezing mode never emits an entropy that was not previously cached
+    /// (when at least one clean ACK was cached first).
+    #[test]
+    fn freezing_only_replays_cached(
+        cached in proptest::collection::vec(0u16..512, 1..8),
+        sends in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        let mut reps = Reps::new(RepsConfig {
+            evs_size: 512,
+            ..RepsConfig::default()
+        });
+        let mut rng = Rng64::new(seed);
+        for (i, &ev) in cached.iter().enumerate() {
+            reps.on_ack(
+                &AckFeedback {
+                    ev,
+                    ecn: false,
+                    now: Time::from_us(i as u64),
+                    cwnd_packets: 16,
+                    rtt: Time::from_us(10),
+                },
+                &mut rng,
+            );
+        }
+        reps.on_timeout(Time::from_us(50));
+        prop_assert!(reps.is_freezing());
+        // All sends inside the freezing window replay cached entropies only.
+        for _ in 0..sends {
+            let ev = reps.next_ev(Time::from_us(60), &mut rng);
+            prop_assert!(cached.contains(&ev),
+                "frozen REPS emitted uncached ev {ev}");
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! Experiment assembly: topology + transport + workload + failures → run.
+//!
+//! [`Experiment`] is the single entry point the figure binaries use: it
+//! builds the engine, installs endpoints configured with the chosen load
+//! balancer / congestion controller / coalescing policy, registers the
+//! workload's start rules and dependency triggers, schedules failures, runs
+//! to completion and summarizes.
+
+use baselines::kind::LbKind;
+use netsim::config::SimConfig;
+use netsim::engine::{Engine, MessageSpec};
+use netsim::event::ControlEvent;
+use netsim::failures::FailurePlan;
+use netsim::ids::{HostId, LinkId};
+use netsim::stats::Counters;
+use netsim::time::Time;
+use netsim::topology::{FatTreeConfig, Topology};
+use transport::cc::CcKind;
+use transport::config::{CoalesceConfig, TransportConfig, BACKGROUND_BIT};
+use transport::endpoint::HostEndpoint;
+use workloads::spec::{StartRule, Workload};
+
+/// Which links to track for utilization/queue series.
+#[derive(Debug, Clone, Default)]
+pub enum TrackLinks {
+    /// Track nothing (cheapest; macro experiments).
+    #[default]
+    None,
+    /// Track the uplinks of one ToR (the micro figures).
+    TorUplinks(u32),
+    /// Track an explicit set.
+    Links(Vec<LinkId>),
+}
+
+/// A fully-specified experiment.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// Name for reports.
+    pub name: String,
+    /// Fabric profile.
+    pub sim: SimConfig,
+    /// Topology shape.
+    pub fabric: FatTreeConfig,
+    /// Load balancer under test.
+    pub lb: LbKind,
+    /// Congestion controller.
+    pub cc: CcKind,
+    /// ACK coalescing policy.
+    pub coalesce: CoalesceConfig,
+    /// Foreground workload.
+    pub workload: Workload,
+    /// Background workload (ECMP-class traffic for the mixed scenarios).
+    pub background: Option<(Workload, LbKind)>,
+    /// Failure plan.
+    pub failures: FailurePlan,
+    /// Window ceiling as a multiple of the path BDP (1.5 default; the micro
+    /// figures need enough headroom to ride out transient collisions).
+    pub max_cwnd_bdp: f64,
+    /// RNG seed (topology salts, EV draws, arrival jitter).
+    pub seed: u64,
+    /// Give up after this much simulated time.
+    pub deadline: Time,
+    /// Link tracking for timeseries figures.
+    pub track: TrackLinks,
+    /// Enable periodic queue sampling until this time (0 = off).
+    pub sample_until: Time,
+}
+
+impl Experiment {
+    /// A new experiment with paper-default fabric parameters.
+    pub fn new(
+        name: impl Into<String>,
+        fabric: FatTreeConfig,
+        lb: LbKind,
+        workload: Workload,
+    ) -> Experiment {
+        Experiment {
+            name: name.into(),
+            sim: SimConfig::paper_default(),
+            fabric,
+            lb,
+            cc: CcKind::Dctcp,
+            coalesce: CoalesceConfig::default(),
+            workload,
+            background: None,
+            failures: FailurePlan::none(),
+            max_cwnd_bdp: 1.5,
+            seed: 1,
+            deadline: Time::from_ms(500),
+            track: TrackLinks::None,
+            sample_until: Time::ZERO,
+        }
+    }
+
+    /// Worst-case one-way switch hops of the fabric (for BDP estimation).
+    fn max_hops(&self) -> u32 {
+        if self.fabric.tiers == 2 {
+            3
+        } else {
+            5
+        }
+    }
+
+    /// Builds the engine with all endpoints and schedules installed.
+    pub fn build(&self) -> Engine {
+        let topo = Topology::build(self.fabric.clone(), self.seed);
+        let n = topo.n_hosts;
+        let mut engine = Engine::new(topo, self.sim.clone(), self.seed);
+        engine.routing = self.lb.routing_mode();
+
+        let mut tcfg = TransportConfig::from_sim(&engine.cfg, self.max_hops(), self.lb.clone())
+            .with_cc(self.cc)
+            .with_coalesce(self.coalesce);
+        tcfg.cc_params.max_cwnd = (tcfg.cc_params.init_cwnd as f64 * self.max_cwnd_bdp) as u64;
+        if let Some((_, bg_lb)) = &self.background {
+            tcfg = tcfg.with_background_lb(bg_lb.clone());
+        }
+
+        // Assemble the per-host message schedules and triggers.
+        let mut endpoints: Vec<HostEndpoint> = (0..n)
+            .map(|h| HostEndpoint::new(HostId(h), n, engine.cfg.link_bps, tcfg.clone()))
+            .collect();
+
+        let mut expected = 0usize;
+        let mut install = |w: &Workload, tag_bit: u64, flow_base: u32| {
+            for f in &w.flows {
+                let spec = MessageSpec {
+                    flow: netsim::ids::FlowId(f.flow.0 + flow_base),
+                    dst: f.dst,
+                    bytes: f.bytes,
+                    tag: f.tag | tag_bit,
+                };
+                let ep = &mut endpoints[f.src.index()];
+                match f.start {
+                    StartRule::At(t) => ep.schedule_message(t, spec),
+                    StartRule::OnReceive { tag } => ep.trigger_on_receive(tag | tag_bit, spec),
+                    StartRule::OnSendComplete { tag } => {
+                        ep.trigger_on_send_complete(tag | tag_bit, spec)
+                    }
+                }
+            }
+        };
+        install(&self.workload, 0, 0);
+        expected += self.workload.len();
+        if let Some((bg, _)) = &self.background {
+            install(bg, BACKGROUND_BIT, self.workload.len() as u32);
+            expected += bg.len();
+        }
+
+        for (h, ep) in endpoints.into_iter().enumerate() {
+            engine.set_endpoint(HostId(h as u32), Box::new(ep));
+        }
+        for h in 0..n {
+            engine.schedule_control(Time::ZERO, ControlEvent::HostStart(HostId(h)));
+        }
+
+        self.failures.install(&mut engine);
+        engine.stats.expected_flows = expected;
+
+        match &self.track {
+            TrackLinks::None => {}
+            TrackLinks::TorUplinks(tor) => {
+                let meta = &engine.topo.switches[*tor as usize];
+                let ups = meta.up_links.clone();
+                for l in ups {
+                    engine.stats.track_link(l);
+                }
+            }
+            TrackLinks::Links(ls) => {
+                for l in ls {
+                    engine.stats.track_link(*l);
+                }
+            }
+        }
+        if self.sample_until > Time::ZERO {
+            engine.enable_sampling(self.sample_until);
+        }
+        engine
+    }
+
+    /// Builds and runs to completion (or deadline), returning the engine for
+    /// inspection plus a summary.
+    pub fn run(&self) -> RunResult {
+        let mut engine = self.build();
+        let completed = engine.run_to_completion(self.deadline);
+        let summary = Summary::from_engine(self, &engine, completed);
+        RunResult { engine, summary }
+    }
+}
+
+/// The outcome of one experiment run.
+pub struct RunResult {
+    /// The engine, for timeseries extraction.
+    pub engine: Engine,
+    /// Aggregate summary.
+    pub summary: Summary,
+}
+
+/// Aggregate metrics of one run.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// Experiment name.
+    pub name: String,
+    /// Load balancer label.
+    pub lb: String,
+    /// Whether every expected flow finished before the deadline.
+    pub completed: bool,
+    /// Foreground flows completed.
+    pub fg_flows: usize,
+    /// Maximum foreground flow completion time (workload runtime).
+    pub max_fct: Time,
+    /// Mean foreground FCT.
+    pub avg_fct: Time,
+    /// 99th-percentile foreground FCT.
+    pub p99_fct: Time,
+    /// Completion instant of the last foreground flow (collective runtime).
+    pub makespan: Time,
+    /// Mean per-flow goodput in Gbps (foreground).
+    pub avg_goodput_gbps: f64,
+    /// Background max FCT (mixed-traffic scenarios), if any.
+    pub bg_max_fct: Option<Time>,
+    /// Fabric counters.
+    pub counters: Counters,
+}
+
+impl Summary {
+    fn from_engine(exp: &Experiment, engine: &Engine, completed: bool) -> Summary {
+        let fg_count = exp.workload.len() as u32;
+        let fg: Vec<&netsim::stats::FlowRecord> = engine
+            .stats
+            .flows
+            .iter()
+            .filter(|f| f.flow.0 < fg_count)
+            .collect();
+        let bg: Vec<&netsim::stats::FlowRecord> = engine
+            .stats
+            .flows
+            .iter()
+            .filter(|f| f.flow.0 >= fg_count)
+            .collect();
+        let max_fct = fg.iter().map(|f| f.fct()).max().unwrap_or(Time::ZERO);
+        let avg_fct = if fg.is_empty() {
+            Time::ZERO
+        } else {
+            Time(
+                (fg.iter().map(|f| f.fct().as_ps() as u128).sum::<u128>() / fg.len() as u128)
+                    as u64,
+            )
+        };
+        let p99_fct = {
+            let mut fcts: Vec<Time> = fg.iter().map(|f| f.fct()).collect();
+            fcts.sort_unstable();
+            fcts.get(((fcts.len() as f64 - 1.0) * 0.99).round() as usize)
+                .copied()
+                .unwrap_or(Time::ZERO)
+        };
+        let makespan = fg.iter().map(|f| f.end).max().unwrap_or(Time::ZERO);
+        let goodput = if fg.is_empty() {
+            0.0
+        } else {
+            fg.iter().map(|f| f.goodput_bps()).sum::<f64>() / fg.len() as f64 / 1e9
+        };
+        Summary {
+            name: exp.name.clone(),
+            lb: exp.lb.label().to_string(),
+            completed,
+            fg_flows: fg.len(),
+            max_fct,
+            avg_fct,
+            p99_fct,
+            makespan,
+            avg_goodput_gbps: goodput,
+            bg_max_fct: if bg.is_empty() {
+                None
+            } else {
+                Some(bg.iter().map(|f| f.fct()).max().unwrap())
+            },
+            counters: engine.stats.counters,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reps::reps::RepsConfig;
+    use workloads::patterns;
+
+    #[test]
+    fn permutation_experiment_runs_to_completion() {
+        let mut rng = netsim::rng::Rng64::new(3);
+        let w = patterns::permutation(32, 256 << 10, &mut rng);
+        let exp = Experiment::new(
+            "test-perm",
+            FatTreeConfig::two_tier(8, 1),
+            LbKind::Reps(RepsConfig::default()),
+            w,
+        );
+        let res = exp.run();
+        assert!(res.summary.completed, "did not complete");
+        assert_eq!(res.summary.fg_flows, 32);
+        assert!(res.summary.max_fct > Time::ZERO);
+        assert!(res.summary.avg_fct <= res.summary.max_fct);
+    }
+
+    #[test]
+    fn tornado_reps_not_slower_than_ops() {
+        // Macro sanity: REPS must at least match OPS on a clean tornado.
+        let run = |lb: LbKind| {
+            let w = patterns::tornado(32, 1 << 20);
+            let mut exp = Experiment::new("t", FatTreeConfig::two_tier(8, 1), lb, w);
+            exp.seed = 7;
+            exp.run().summary
+        };
+        let reps = run(LbKind::Reps(RepsConfig::default()));
+        let ops = run(LbKind::Ops { evs_size: 1 << 16 });
+        assert!(reps.completed && ops.completed);
+        let r = reps.max_fct.as_ps() as f64;
+        let o = ops.max_fct.as_ps() as f64;
+        assert!(r <= o * 1.1, "REPS {r} vs OPS {o}");
+    }
+
+    #[test]
+    fn background_traffic_is_tracked_separately() {
+        let mut rng = netsim::rng::Rng64::new(5);
+        let main = patterns::permutation(32, 128 << 10, &mut rng);
+        let bg = patterns::tornado(32, 64 << 10);
+        let mut exp = Experiment::new(
+            "mixed",
+            FatTreeConfig::two_tier(8, 1),
+            LbKind::Reps(RepsConfig::default()),
+            main,
+        );
+        exp.background = Some((bg, LbKind::Ecmp));
+        let res = exp.run();
+        assert!(res.summary.completed);
+        assert_eq!(res.summary.fg_flows, 32);
+        assert!(res.summary.bg_max_fct.is_some());
+    }
+
+    #[test]
+    fn tracked_links_produce_series() {
+        let w = patterns::tornado(32, 512 << 10);
+        let mut exp = Experiment::new(
+            "micro",
+            FatTreeConfig::two_tier(8, 1),
+            LbKind::Ops { evs_size: 1 << 16 },
+            w,
+        );
+        exp.track = TrackLinks::TorUplinks(0);
+        exp.sample_until = Time::from_us(200);
+        let res = exp.run();
+        assert!(res.summary.completed);
+        let tor0 = &res.engine.topo.switches[0];
+        let up0 = tor0.up_links[0];
+        let series = res.engine.stats.link_series(up0).expect("tracked");
+        assert!(!series.bucket_bytes.is_empty());
+        assert!(!series.queue_samples.is_empty());
+    }
+}

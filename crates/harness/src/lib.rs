@@ -1,0 +1,15 @@
+//! Experiment harness for the REPS reproduction.
+//!
+//! Wires [`netsim`] fabrics, the [`transport`] stack, [`workloads`] and
+//! failure plans into named, reproducible experiments, and provides the
+//! text-report helpers the per-figure binaries in the `bench` crate use.
+
+pub mod experiment;
+pub mod report;
+pub mod scale;
+
+pub use experiment::{Experiment, RunResult, Summary, TrackLinks};
+pub use report::{
+    cdf, comparison_table, downsample, queue_series, speedup_table, utilization_series,
+};
+pub use scale::Scale;

@@ -1,0 +1,146 @@
+//! Plain-text reporting helpers shared by the figure binaries.
+
+use netsim::stats::LinkSeries;
+use netsim::time::Time;
+
+use crate::experiment::Summary;
+
+/// Formats a set of summaries as an aligned comparison table.
+pub fn comparison_table(title: &str, rows: &[Summary]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n"));
+    out.push_str(&format!(
+        "{:<14} {:>12} {:>12} {:>12} {:>10} {:>8} {:>8} {:>6}\n",
+        "LB", "max FCT(us)", "avg FCT(us)", "p99 FCT(us)", "drops", "retx", "ecn", "done"
+    ));
+    for s in rows {
+        out.push_str(&format!(
+            "{:<14} {:>12.1} {:>12.1} {:>12.1} {:>10} {:>8} {:>8} {:>6}\n",
+            s.lb,
+            s.max_fct.as_us_f64(),
+            s.avg_fct.as_us_f64(),
+            s.p99_fct.as_us_f64(),
+            s.counters.total_drops(),
+            s.counters.retransmissions,
+            s.counters.ecn_marks,
+            if s.completed { "yes" } else { "NO" },
+        ));
+    }
+    out
+}
+
+/// Formats speedups of each row versus a baseline label (the paper's
+/// "speedup vs ECMP" / "speedup vs OPS" bars).
+pub fn speedup_table(title: &str, rows: &[Summary], baseline_label: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("## {title} (speedup vs {baseline_label})\n"));
+    let Some(base) = rows.iter().find(|s| s.lb == baseline_label) else {
+        out.push_str("baseline missing\n");
+        return out;
+    };
+    let base_fct = base.max_fct.as_ps().max(1) as f64;
+    for s in rows {
+        let speedup = base_fct / s.max_fct.as_ps().max(1) as f64;
+        out.push_str(&format!("{:<14} {:>8.2}x\n", s.lb, speedup));
+    }
+    out
+}
+
+/// Extracts `(time_us, gbps)` utilization points for one tracked link.
+pub fn utilization_series(series: &LinkSeries, bucket: Time) -> Vec<(f64, f64)> {
+    series
+        .bucket_bytes
+        .iter()
+        .enumerate()
+        .map(|(i, &bytes)| {
+            let t = (i as u64 * bucket.as_ps()) as f64 / 1e6;
+            (t, netsim::stats::bucket_gbps(bytes, bucket))
+        })
+        .collect()
+}
+
+/// Extracts `(time_us, kb)` queue-occupancy points for one tracked link.
+pub fn queue_series(series: &LinkSeries) -> Vec<(f64, f64)> {
+    series
+        .queue_samples
+        .iter()
+        .map(|s| (s.at.as_us_f64(), s.bytes as f64 / 1e3))
+        .collect()
+}
+
+/// Downsamples a series to at most `n` evenly-spaced points (plot-friendly).
+pub fn downsample(points: &[(f64, f64)], n: usize) -> Vec<(f64, f64)> {
+    if points.len() <= n || n == 0 {
+        return points.to_vec();
+    }
+    let step = points.len() as f64 / n as f64;
+    (0..n).map(|i| points[(i as f64 * step) as usize]).collect()
+}
+
+/// Renders a CDF from a set of values (for the FCT-CDF figures).
+pub fn cdf(values: &mut [f64]) -> Vec<(f64, f64)> {
+    values.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    let n = values.len();
+    values
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, (i + 1) as f64 / n as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::stats::Counters;
+
+    fn summary(lb: &str, max_us: u64) -> Summary {
+        Summary {
+            name: "t".into(),
+            lb: lb.into(),
+            completed: true,
+            fg_flows: 1,
+            max_fct: Time::from_us(max_us),
+            avg_fct: Time::from_us(max_us / 2),
+            p99_fct: Time::from_us(max_us),
+            makespan: Time::from_us(max_us),
+            avg_goodput_gbps: 1.0,
+            bg_max_fct: None,
+            counters: Counters::default(),
+        }
+    }
+
+    #[test]
+    fn speedup_is_relative_to_baseline() {
+        let rows = vec![summary("ECMP", 600), summary("REPS", 100)];
+        let t = speedup_table("x", &rows, "ECMP");
+        assert!(t.contains("REPS"), "{t}");
+        assert!(t.contains("6.00x"), "{t}");
+        assert!(t.contains("1.00x"), "{t}");
+    }
+
+    #[test]
+    fn comparison_table_contains_rows() {
+        let rows = vec![summary("OPS", 50)];
+        let t = comparison_table("hdr", &rows);
+        assert!(t.contains("OPS"));
+        assert!(t.contains("50.0"));
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let mut vals = vec![3.0, 1.0, 2.0];
+        let c = cdf(&mut vals);
+        assert_eq!(c.len(), 3);
+        assert!((c[0].1 - 1.0 / 3.0).abs() < 1e-9);
+        assert!((c[2].1 - 1.0).abs() < 1e-9);
+        assert!(c[0].0 <= c[1].0 && c[1].0 <= c[2].0);
+    }
+
+    #[test]
+    fn downsample_limits_points() {
+        let points: Vec<(f64, f64)> = (0..1000).map(|i| (i as f64, 0.0)).collect();
+        let d = downsample(&points, 50);
+        assert_eq!(d.len(), 50);
+        assert_eq!(d[0].0, 0.0);
+    }
+}

@@ -1,0 +1,801 @@
+//! The simulation engine: owns the fabric and drives the event loop.
+//!
+//! The engine wires a [`Topology`](crate::topology::Topology) into link
+//! arenas, hosts endpoint implementations (the transport layer lives in the
+//! `transport` crate and plugs in through the [`Endpoint`] trait), routes
+//! packets through switches, applies failures, and feeds the statistics
+//! collector.
+
+use crate::config::SimConfig;
+use crate::event::{ControlEvent, Event, EventQueue};
+use crate::hash::ecmp_select;
+use crate::ids::{FlowId, HostId, LinkId, NodeRef, SwitchId};
+use crate::link::{DropReason, EnqueueOutcome, Link};
+use crate::packet::Packet;
+use crate::rng::Rng64;
+use crate::stats::{FlowRecord, Stats};
+use crate::time::Time;
+use crate::topology::{RouteChoice, Topology};
+
+/// How switches pick among equal-cost uplinks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingMode {
+    /// Hash the packet header (five-tuple + EV). The default, and what every
+    /// host-driven load balancer in the paper assumes.
+    #[default]
+    EcmpHash,
+    /// Per-packet adaptive routing: the switch picks the least-loaded uplink
+    /// (random tie-break). Models NVIDIA Adaptive RoCE / Spectrum-X (§4.1).
+    Adaptive,
+}
+
+/// A request to start (or enqueue) an application message on a host.
+#[derive(Debug, Clone, Copy)]
+pub struct MessageSpec {
+    /// Flow id used in the completion record.
+    pub flow: FlowId,
+    /// Destination host.
+    pub dst: HostId,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// Opaque workload tag (collective phase, trace index, ...).
+    pub tag: u64,
+}
+
+/// Commands the harness can inject into endpoints.
+#[derive(Debug, Clone)]
+pub enum Command {
+    /// Begin transmitting a message.
+    StartMessage(MessageSpec),
+    /// Endpoint-defined command.
+    Custom(u64),
+}
+
+/// Actions an endpoint can emit during a callback.
+#[derive(Debug)]
+enum Action {
+    Send(Packet),
+    Timer { at: Time, token: u64 },
+    Complete(FlowRecord),
+    Timeout,
+    Retransmission,
+}
+
+/// The callback context handed to endpoints.
+///
+/// All interaction with the fabric goes through this context; endpoints never
+/// touch the engine directly, which keeps them deterministic and testable in
+/// isolation.
+pub struct Ctx<'a> {
+    /// Current simulation time.
+    pub now: Time,
+    /// The host this endpoint lives on.
+    pub host: HostId,
+    /// Fabric profile (MTU, RTO, rates).
+    pub cfg: &'a SimConfig,
+    /// Deterministic per-engine random stream.
+    pub rng: &'a mut Rng64,
+    next_pkt_id: &'a mut u64,
+    actions: &'a mut Vec<Action>,
+}
+
+impl Ctx<'_> {
+    /// Hands the packet to the host NIC for transmission.
+    pub fn send(&mut self, pkt: Packet) {
+        self.actions.push(Action::Send(pkt));
+    }
+
+    /// Allocates a fabric-unique packet id.
+    pub fn fresh_packet_id(&mut self) -> u64 {
+        let id = *self.next_pkt_id;
+        *self.next_pkt_id += 1;
+        id
+    }
+
+    /// Schedules `on_timer(token)` after `delay`.
+    pub fn set_timer(&mut self, delay: Time, token: u64) {
+        self.actions.push(Action::Timer {
+            at: self.now + delay,
+            token,
+        });
+    }
+
+    /// Reports a completed flow to the statistics collector.
+    pub fn complete_flow(&mut self, record: FlowRecord) {
+        self.actions.push(Action::Complete(record));
+    }
+
+    /// Counts a sender-observed timeout (for the drop/timeout statistics).
+    pub fn note_timeout(&mut self) {
+        self.actions.push(Action::Timeout);
+    }
+
+    /// Counts a retransmitted packet.
+    pub fn note_retransmission(&mut self) {
+        self.actions.push(Action::Retransmission);
+    }
+}
+
+/// A host endpoint: the transport layer's hook into the engine.
+pub trait Endpoint {
+    /// A packet addressed to this host arrived.
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>);
+    /// A timer set through [`Ctx::set_timer`] fired.
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>);
+    /// The harness injected a command (message start, custom).
+    fn on_command(&mut self, cmd: Command, ctx: &mut Ctx<'_>);
+    /// Concrete-type access for post-run instrumentation.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+}
+
+/// A no-op endpoint for hosts that only absorb packets.
+#[derive(Debug, Default)]
+pub struct NullEndpoint;
+
+impl Endpoint for NullEndpoint {
+    fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx<'_>) {}
+    fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx<'_>) {}
+    fn on_command(&mut self, _cmd: Command, _ctx: &mut Ctx<'_>) {}
+}
+
+/// The discrete-event simulation engine.
+pub struct Engine {
+    /// Current simulation time.
+    pub now: Time,
+    /// Fabric profile.
+    pub cfg: SimConfig,
+    /// Static topology.
+    pub topo: Topology,
+    /// Link arena (index = `LinkId`).
+    pub links: Vec<Link>,
+    /// Statistics collector.
+    pub stats: Stats,
+    /// Uplink selection mode.
+    pub routing: RoutingMode,
+    events: EventQueue,
+    endpoints: Vec<Option<Box<dyn Endpoint>>>,
+    rng: Rng64,
+    next_pkt_id: u64,
+    /// Queue sampling continues while `now` is below this.
+    sample_until: Time,
+    scratch_actions: Vec<Action>,
+}
+
+impl Engine {
+    /// Builds an engine over `topo` with fabric profile `cfg`.
+    pub fn new(topo: Topology, cfg: SimConfig, seed: u64) -> Engine {
+        let mut links = Vec::with_capacity(topo.links.len());
+        for (i, spec) in topo.links.iter().enumerate() {
+            // Fold the downstream switch traversal latency into propagation.
+            let latency = match spec.to {
+                NodeRef::Switch(_) => cfg.link_latency + cfg.switch_latency,
+                NodeRef::Host(_) => cfg.link_latency,
+            };
+            let mut link = Link::new(LinkId(i as u32), spec.from, spec.to, latency, &cfg);
+            if matches!(spec.from, NodeRef::Host(_)) {
+                // Host NIC egress: deep source queue, no fabric marking.
+                link.make_host_egress();
+            }
+            if let (NodeRef::Switch(_), NodeRef::Switch(_), Some(bps)) =
+                (spec.from, spec.to, cfg.fabric_bps)
+            {
+                link.rate_bps = bps;
+                link.nominal_bps = bps;
+            }
+            links.push(link);
+        }
+        let endpoints = (0..topo.n_hosts).map(|_| None).collect();
+        let stats = Stats::new(cfg.stats_bucket);
+        Engine {
+            now: Time::ZERO,
+            cfg,
+            topo,
+            links,
+            stats,
+            routing: RoutingMode::EcmpHash,
+            events: EventQueue::new(),
+            endpoints,
+            rng: Rng64::new(seed ^ 0x5EED_0FEB_ECD1_4E75),
+            next_pkt_id: 0,
+            sample_until: Time::ZERO,
+            scratch_actions: Vec::new(),
+        }
+    }
+
+    /// Installs the endpoint for `host`.
+    pub fn set_endpoint(&mut self, host: HostId, ep: Box<dyn Endpoint>) {
+        self.endpoints[host.index()] = Some(ep);
+    }
+
+    /// Immutable access to an endpoint (for harness inspection).
+    pub fn endpoint(&self, host: HostId) -> Option<&dyn Endpoint> {
+        self.endpoints[host.index()].as_deref()
+    }
+
+    /// Schedules a control event at absolute time `at`.
+    pub fn schedule_control(&mut self, at: Time, ev: ControlEvent) {
+        self.events.push(at, Event::Control(ev));
+    }
+
+    /// Enables periodic queue sampling on tracked links until `until`.
+    pub fn enable_sampling(&mut self, until: Time) {
+        self.sample_until = until;
+        if self.cfg.sample_period > Time::ZERO {
+            self.events
+                .push(self.now, Event::Control(ControlEvent::StatsSample));
+        }
+    }
+
+    /// Delivers `cmd` to `host`'s endpoint at the current simulation time.
+    pub fn command(&mut self, host: HostId, cmd: Command) {
+        let mut ep = self.endpoints[host.index()]
+            .take()
+            .expect("command sent to host without endpoint");
+        let mut actions = std::mem::take(&mut self.scratch_actions);
+        {
+            let mut ctx = Ctx {
+                now: self.now,
+                host,
+                cfg: &self.cfg,
+                rng: &mut self.rng,
+                next_pkt_id: &mut self.next_pkt_id,
+                actions: &mut actions,
+            };
+            ep.on_command(cmd, &mut ctx);
+        }
+        self.endpoints[host.index()] = Some(ep);
+        self.apply_actions(host, &mut actions);
+        self.scratch_actions = actions;
+    }
+
+    /// Runs until the calendar empties or `deadline` passes.
+    ///
+    /// Returns the number of events processed.
+    pub fn run_until(&mut self, deadline: Time) -> u64 {
+        let mut n = 0;
+        while let Some(at) = self.events.peek_time() {
+            if at > deadline {
+                break;
+            }
+            let (at, ev) = self.events.pop().expect("peeked");
+            self.now = at;
+            self.dispatch(ev);
+            n += 1;
+        }
+        if self.now < deadline && self.events.is_empty() {
+            self.now = deadline;
+        }
+        n
+    }
+
+    /// Runs until every expected flow completed, or `deadline`.
+    ///
+    /// Returns `true` on completion.
+    pub fn run_to_completion(&mut self, deadline: Time) -> bool {
+        while let Some(at) = self.events.peek_time() {
+            if at > deadline || self.stats.all_flows_done() {
+                break;
+            }
+            let (at, ev) = self.events.pop().expect("peeked");
+            self.now = at;
+            self.dispatch(ev);
+        }
+        self.stats.all_flows_done()
+    }
+
+    /// Runs until at least one *new* flow completes, the calendar empties,
+    /// or `deadline` passes. Returns `true` if a new completion appeared.
+    pub fn run_until_next_completion(&mut self, deadline: Time) -> bool {
+        let before = self.stats.flows.len();
+        while let Some(at) = self.events.peek_time() {
+            if at > deadline || self.stats.flows.len() > before {
+                break;
+            }
+            let (at, ev) = self.events.pop().expect("peeked");
+            self.now = at;
+            self.dispatch(ev);
+        }
+        self.stats.flows.len() > before
+    }
+
+    /// Number of pending events (diagnostics).
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
+    }
+
+    fn dispatch(&mut self, ev: Event) {
+        match ev {
+            Event::QueueService { link } => self.finish_service(link),
+            Event::Arrive { node, pkt } => match node {
+                NodeRef::Switch(sw) => self.arrive_at_switch(sw, pkt),
+                NodeRef::Host(h) => self.arrive_at_host(h, pkt),
+            },
+            Event::Timer { host, token } => self.fire_timer(host, token),
+            Event::Control(c) => self.control(c),
+        }
+    }
+
+    /// Starts serializing the next queued packet, if the link is idle.
+    fn start_service(&mut self, link_id: LinkId) {
+        let link = &mut self.links[link_id.index()];
+        if link.busy || !link.up {
+            return;
+        }
+        let Some(pkt) = link.dequeue() else {
+            return;
+        };
+        let ser = link.serialization_time(&pkt);
+        link.busy = true;
+        link.in_service = Some(pkt);
+        self.events
+            .push(self.now + ser, Event::QueueService { link: link_id });
+    }
+
+    /// A serialization completed: deliver the committed packet and start the
+    /// next one. Stale events (the link failed meanwhile) are no-ops.
+    fn finish_service(&mut self, link_id: LinkId) {
+        let link = &mut self.links[link_id.index()];
+        let Some(pkt) = link.in_service.take() else {
+            return;
+        };
+        link.busy = false;
+        let latency = link.latency;
+        let to = link.to;
+        let ber = link.ber;
+        let wire_bytes = pkt.wire_bytes as u64;
+        let is_data = pkt.is_data();
+        self.stats
+            .on_transmit(link_id, self.now, wire_bytes, is_data);
+        if ber > 0.0 && self.rng.gen_bool(ber) {
+            self.stats.on_drop(DropReason::BitError);
+        } else {
+            self.events
+                .push(self.now + latency, Event::Arrive { node: to, pkt });
+        }
+        self.start_service(link_id);
+    }
+
+    fn arrive_at_switch(&mut self, sw: SwitchId, pkt: Packet) {
+        if !self.topo.switches[sw.index()].alive {
+            self.stats.on_drop(DropReason::LinkDown);
+            return;
+        }
+        let choice = match self.topo.route(sw, pkt.dst) {
+            Some(c) => c,
+            None => {
+                self.stats.on_drop(DropReason::LinkDown);
+                return;
+            }
+        };
+        let out = match choice {
+            RouteChoice::Down(l) => l,
+            RouteChoice::Up(candidates) => self.select_uplink(sw, &pkt, candidates),
+        };
+        self.push_link(out, pkt);
+    }
+
+    /// True when routing still considers `link` usable toward `dst`:
+    /// either the link (and the next hop's onward down-path) is up, or the
+    /// reconvergence delay since its failure has not elapsed yet.
+    fn failover_usable(&self, link: LinkId, dst: HostId, delay: Time) -> bool {
+        let l = &self.links[link.index()];
+        if !l.up && self.now >= l.down_since + delay {
+            return false;
+        }
+        // Route withdrawal: if the next-hop switch would descend toward
+        // `dst` over a link that failed long enough ago, upstream routing
+        // has excluded this path too.
+        if let NodeRef::Switch(peer) = l.to {
+            if let Some(RouteChoice::Down(down)) = self.topo.route(peer, dst) {
+                let d = &self.links[down.index()];
+                if !d.up && self.now >= d.down_since + delay {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Applies ECMP failover filtering, then hash or adaptive selection.
+    fn select_uplink(&mut self, sw: SwitchId, pkt: &Packet, candidates: Vec<LinkId>) -> LinkId {
+        let usable: Vec<LinkId> = match self.cfg.ecmp_failover {
+            Some(delay) => {
+                let filtered: Vec<LinkId> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&l| self.failover_usable(l, pkt.dst, delay))
+                    .collect();
+                if filtered.is_empty() {
+                    candidates
+                } else {
+                    filtered
+                }
+            }
+            None => candidates,
+        };
+        match self.routing {
+            RoutingMode::EcmpHash => {
+                let salt = self.topo.switches[sw.index()].salt;
+                let i = ecmp_select(pkt.src, pkt.dst, pkt.ev, salt, usable.len());
+                usable[i]
+            }
+            RoutingMode::Adaptive => {
+                let min = usable
+                    .iter()
+                    .map(|l| self.links[l.index()].queued_bytes)
+                    .min()
+                    .expect("non-empty");
+                let least: Vec<LinkId> = usable
+                    .iter()
+                    .copied()
+                    .filter(|l| self.links[l.index()].queued_bytes == min)
+                    .collect();
+                *self.rng.choose(&least)
+            }
+        }
+    }
+
+    /// Enqueues `pkt` on `link`, recording the outcome and scheduling service.
+    fn push_link(&mut self, link_id: LinkId, pkt: Packet) {
+        let link = &mut self.links[link_id.index()];
+        match link.enqueue(pkt, &mut self.rng) {
+            EnqueueOutcome::Queued { marked } => {
+                if marked {
+                    self.stats.on_ecn_mark();
+                }
+            }
+            EnqueueOutcome::Trimmed => self.stats.on_trim(),
+            EnqueueOutcome::Dropped(reason) => {
+                self.stats.on_drop(reason);
+                return;
+            }
+        }
+        self.start_service(link_id);
+    }
+
+    fn arrive_at_host(&mut self, host: HostId, pkt: Packet) {
+        let Some(mut ep) = self.endpoints[host.index()].take() else {
+            return;
+        };
+        let mut actions = std::mem::take(&mut self.scratch_actions);
+        {
+            let mut ctx = Ctx {
+                now: self.now,
+                host,
+                cfg: &self.cfg,
+                rng: &mut self.rng,
+                next_pkt_id: &mut self.next_pkt_id,
+                actions: &mut actions,
+            };
+            ep.on_packet(pkt, &mut ctx);
+        }
+        self.endpoints[host.index()] = Some(ep);
+        self.apply_actions(host, &mut actions);
+        self.scratch_actions = actions;
+    }
+
+    fn fire_timer(&mut self, host: HostId, token: u64) {
+        let Some(mut ep) = self.endpoints[host.index()].take() else {
+            return;
+        };
+        let mut actions = std::mem::take(&mut self.scratch_actions);
+        {
+            let mut ctx = Ctx {
+                now: self.now,
+                host,
+                cfg: &self.cfg,
+                rng: &mut self.rng,
+                next_pkt_id: &mut self.next_pkt_id,
+                actions: &mut actions,
+            };
+            ep.on_timer(token, &mut ctx);
+        }
+        self.endpoints[host.index()] = Some(ep);
+        self.apply_actions(host, &mut actions);
+        self.scratch_actions = actions;
+    }
+
+    fn apply_actions(&mut self, host: HostId, actions: &mut Vec<Action>) {
+        for action in actions.drain(..) {
+            match action {
+                Action::Send(pkt) => {
+                    let up = self.topo.host_up[host.index()];
+                    self.push_link(up, pkt);
+                }
+                Action::Timer { at, token } => {
+                    self.events.push(at, Event::Timer { host, token });
+                }
+                Action::Complete(record) => {
+                    self.stats.on_flow_complete(record);
+                }
+                Action::Timeout => self.stats.counters.timeouts += 1,
+                Action::Retransmission => self.stats.counters.retransmissions += 1,
+            }
+        }
+    }
+
+    fn control(&mut self, ev: ControlEvent) {
+        match ev {
+            ControlEvent::LinkDown(l) => {
+                let flushed = self.links[l.index()].set_down(self.now);
+                for _ in 0..flushed {
+                    self.stats.on_drop(DropReason::LinkDown);
+                }
+            }
+            ControlEvent::LinkUp(l) => {
+                self.links[l.index()].set_up();
+            }
+            ControlEvent::LinkRate(l, bps) => {
+                self.links[l.index()].set_rate(bps);
+            }
+            ControlEvent::LinkBer(l, p) => {
+                self.links[l.index()].ber = p;
+            }
+            ControlEvent::SwitchDown(sw) => {
+                self.topo.switches[sw.index()].alive = false;
+                for l in self.topo.switch_links(sw) {
+                    let flushed = self.links[l.index()].set_down(self.now);
+                    for _ in 0..flushed {
+                        self.stats.on_drop(DropReason::LinkDown);
+                    }
+                }
+            }
+            ControlEvent::SwitchUp(sw) => {
+                self.topo.switches[sw.index()].alive = true;
+                for l in self.topo.switch_links(sw) {
+                    self.links[l.index()].set_up();
+                }
+            }
+            ControlEvent::StatsSample => {
+                let tracked: Vec<LinkId> = self.stats.tracked_links().map(|(l, _)| *l).collect();
+                for l in tracked {
+                    let bytes = self.links[l.index()].queued_bytes;
+                    self.stats.on_queue_sample(l, self.now, bytes);
+                }
+                if self.now < self.sample_until && self.cfg.sample_period > Time::ZERO {
+                    self.events.push(
+                        self.now + self.cfg.sample_period,
+                        Event::Control(ControlEvent::StatsSample),
+                    );
+                }
+            }
+            ControlEvent::HostStart(h) => {
+                self.command(h, Command::Custom(0));
+            }
+            ControlEvent::Custom(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ConnId;
+    use crate::packet::Body;
+    use crate::topology::FatTreeConfig;
+
+    /// Echo endpoint: bounces every data packet back as a 64-byte reply and
+    /// records what it saw.
+    #[derive(Default)]
+    struct Echo {
+        seen: Vec<u64>,
+        replies: Vec<u64>,
+    }
+
+    impl Endpoint for Echo {
+        fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+            match pkt.body {
+                Body::Data { seq, .. } => {
+                    self.seen.push(seq);
+                    let id = ctx.fresh_packet_id();
+                    let reply = Packet::control(
+                        id,
+                        ctx.host,
+                        pkt.src,
+                        pkt.conn,
+                        pkt.ev,
+                        Body::Nack { seq },
+                    );
+                    ctx.send(reply);
+                }
+                Body::Nack { seq } => self.replies.push(seq),
+                _ => {}
+            }
+        }
+        fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx<'_>) {}
+        fn on_command(&mut self, cmd: Command, ctx: &mut Ctx<'_>) {
+            if let Command::StartMessage(spec) = cmd {
+                let id = ctx.fresh_packet_id();
+                let pkt = Packet::data(
+                    id,
+                    ctx.host,
+                    spec.dst,
+                    ConnId(0),
+                    (spec.tag & 0xFFFF) as u16,
+                    spec.tag,
+                    ctx.cfg.mtu_bytes,
+                    false,
+                );
+                ctx.send(pkt);
+            }
+        }
+    }
+
+    fn small_engine(seed: u64) -> Engine {
+        let topo = Topology::build(FatTreeConfig::two_tier(16, 1), seed);
+        let cfg = SimConfig::paper_default();
+        let mut engine = Engine::new(topo, cfg, seed);
+        for h in 0..engine.topo.n_hosts {
+            engine.set_endpoint(HostId(h), Box::new(Echo::default()));
+        }
+        engine
+    }
+
+    #[test]
+    fn packet_crosses_fabric_and_returns() {
+        let mut engine = small_engine(1);
+        engine.command(
+            HostId(0),
+            Command::StartMessage(MessageSpec {
+                flow: FlowId(0),
+                dst: HostId(40),
+                bytes: 4096,
+                tag: 5,
+            }),
+        );
+        engine.run_until(Time::from_us(100));
+        // Cross-rack: 4 hops out (data), 4 hops back (control reply).
+        assert_eq!(engine.stats.counters.data_tx, 4);
+        assert_eq!(engine.stats.counters.ctrl_tx, 4);
+        assert_eq!(engine.stats.counters.total_drops(), 0);
+    }
+
+    #[test]
+    fn rtt_matches_profile_estimate() {
+        let mut engine = small_engine(2);
+        // Cross-rack: 4 switch hops each way. The config estimate should be
+        // within a microsecond of the observed echo time.
+        engine.command(
+            HostId(0),
+            Command::StartMessage(MessageSpec {
+                flow: FlowId(0),
+                dst: HostId(40),
+                bytes: 4096,
+                tag: 1,
+            }),
+        );
+        let processed = engine.run_until(Time::from_us(50));
+        assert!(processed > 0);
+        // Echo reply arrives: check via counters; exact latency checked by
+        // the estimate being sane (serialization + 8 hops of 1us).
+        let est = engine.cfg.base_rtt(4);
+        assert!(
+            est > Time::from_us(8) && est < Time::from_us(12),
+            "est={est}"
+        );
+    }
+
+    #[test]
+    fn down_link_blackholes_traffic() {
+        let mut engine = small_engine(3);
+        // Fail host 40's ToR downlink before sending.
+        let down = engine.topo.host_down[40];
+        engine.schedule_control(Time::ZERO, ControlEvent::LinkDown(down));
+        engine.run_until(Time::from_ns(1));
+        engine.command(
+            HostId(0),
+            Command::StartMessage(MessageSpec {
+                flow: FlowId(0),
+                dst: HostId(40),
+                bytes: 4096,
+                tag: 2,
+            }),
+        );
+        engine.run_until(Time::from_us(100));
+        assert_eq!(engine.stats.counters.drops_link_down, 1);
+        assert_eq!(engine.stats.counters.ctrl_tx, 0, "no reply expected");
+    }
+
+    #[test]
+    fn switch_failure_blackholes() {
+        let mut engine = small_engine(4);
+        let t1 = engine.topo.t1_switches()[0];
+        engine.schedule_control(Time::ZERO, ControlEvent::SwitchDown(t1));
+        engine.run_until(Time::from_ns(1));
+        // Spray many packets; those hashed through the dead T1 die.
+        for i in 0..64 {
+            engine.command(
+                HostId(0),
+                Command::StartMessage(MessageSpec {
+                    flow: FlowId(i),
+                    dst: HostId(40),
+                    bytes: 4096,
+                    tag: i as u64,
+                }),
+            );
+        }
+        engine.run_until(Time::from_ms(1));
+        assert!(engine.stats.counters.drops_link_down > 0);
+        assert!(
+            engine.stats.counters.ctrl_tx > 0,
+            "healthy paths still work"
+        );
+    }
+
+    #[test]
+    fn adaptive_routing_avoids_loaded_uplink() {
+        let mut engine = small_engine(5);
+        engine.routing = RoutingMode::Adaptive;
+        for i in 0..32 {
+            engine.command(
+                HostId(0),
+                Command::StartMessage(MessageSpec {
+                    flow: FlowId(i),
+                    dst: HostId(40),
+                    bytes: 4096,
+                    tag: i as u64,
+                }),
+            );
+        }
+        engine.run_until(Time::from_ms(1));
+        assert_eq!(engine.stats.counters.total_drops(), 0);
+        // 32 cross-rack packets, 4 hops each.
+        assert_eq!(engine.stats.counters.data_tx, 32 * 4);
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        /// Emits a flow record per timer so the firing order is observable
+        /// through the statistics collector.
+        struct TimerLog;
+        impl Endpoint for TimerLog {
+            fn on_packet(&mut self, _p: Packet, _c: &mut Ctx<'_>) {}
+            fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>) {
+                ctx.complete_flow(FlowRecord {
+                    flow: FlowId(token as u32),
+                    src: ctx.host,
+                    dst: ctx.host,
+                    bytes: 0,
+                    start: Time::ZERO,
+                    end: ctx.now,
+                    retransmissions: 0,
+                });
+            }
+            fn on_command(&mut self, _cmd: Command, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(Time::from_us(30), 3);
+                ctx.set_timer(Time::from_us(10), 1);
+                ctx.set_timer(Time::from_us(20), 2);
+            }
+        }
+        let topo = Topology::build(FatTreeConfig::two_tier(4, 1), 1);
+        let mut engine = Engine::new(topo, SimConfig::paper_default(), 1);
+        engine.set_endpoint(HostId(0), Box::new(TimerLog));
+        engine.command(HostId(0), Command::Custom(1));
+        engine.run_until(Time::from_us(100));
+        let order: Vec<u32> = engine.stats.flows.iter().map(|f| f.flow.0).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+        assert_eq!(engine.stats.flows[0].end, Time::from_us(10));
+    }
+
+    #[test]
+    fn sampling_records_queue_series() {
+        let mut engine = small_engine(7);
+        let up = engine.topo.host_up[0];
+        engine.stats.track_link(up);
+        engine.enable_sampling(Time::from_us(50));
+        engine.command(
+            HostId(0),
+            Command::StartMessage(MessageSpec {
+                flow: FlowId(0),
+                dst: HostId(40),
+                bytes: 4096,
+                tag: 0,
+            }),
+        );
+        engine.run_until(Time::from_us(60));
+        let series = engine.stats.link_series(up).unwrap();
+        assert!(series.queue_samples.len() >= 50);
+    }
+}

@@ -1,0 +1,272 @@
+//! Failure-scenario builders for the paper's §4.3.3 and Appendix C.3.
+//!
+//! These helpers translate a high-level failure description ("one cable for
+//! 100 µs", "5 % of switches", "1 % BER on a cable") into the link/switch
+//! control events the engine executes. All randomness is drawn from a caller
+//! -provided [`Rng64`] so scenarios are reproducible.
+
+use crate::engine::Engine;
+use crate::event::ControlEvent;
+use crate::ids::{LinkId, SwitchId};
+use crate::rng::Rng64;
+use crate::time::Time;
+
+/// A single failure instance in a scenario.
+#[derive(Debug, Clone)]
+pub enum Failure {
+    /// Both directions of a cable go down at `at`; recover after `duration`
+    /// (`None` = permanent).
+    Cable {
+        /// The `(forward, reverse)` unidirectional link pair.
+        pair: (LinkId, LinkId),
+        /// Failure instant.
+        at: Time,
+        /// Optional recovery delay.
+        duration: Option<Time>,
+    },
+    /// A whole switch fails.
+    Switch {
+        /// The switch.
+        sw: SwitchId,
+        /// Failure instant.
+        at: Time,
+        /// Optional recovery delay.
+        duration: Option<Time>,
+    },
+    /// A cable degrades to `bps` (both directions).
+    Degrade {
+        /// The `(forward, reverse)` link pair.
+        pair: (LinkId, LinkId),
+        /// Degradation instant.
+        at: Time,
+        /// New rate.
+        bps: u64,
+    },
+    /// A cable starts dropping packets with probability `p` per packet.
+    BitError {
+        /// The `(forward, reverse)` link pair.
+        pair: (LinkId, LinkId),
+        /// Onset instant.
+        at: Time,
+        /// Per-packet corruption probability.
+        p: f64,
+    },
+}
+
+/// A set of failures applied to one engine run.
+#[derive(Debug, Clone, Default)]
+pub struct FailurePlan {
+    /// The failures, in no particular order.
+    pub failures: Vec<Failure>,
+}
+
+impl FailurePlan {
+    /// An empty plan (healthy network).
+    pub fn none() -> FailurePlan {
+        FailurePlan::default()
+    }
+
+    /// Adds a failure.
+    pub fn with(mut self, f: Failure) -> FailurePlan {
+        self.failures.push(f);
+        self
+    }
+
+    /// Fails `fraction` of all switch-to-switch cables at `at`.
+    pub fn random_cables(
+        topo_pairs: &[(LinkId, LinkId)],
+        fraction: f64,
+        at: Time,
+        duration: Option<Time>,
+        rng: &mut Rng64,
+    ) -> FailurePlan {
+        let mut pairs = topo_pairs.to_vec();
+        rng.shuffle(&mut pairs);
+        let n = ((pairs.len() as f64 * fraction).round() as usize).min(pairs.len());
+        FailurePlan {
+            failures: pairs[..n]
+                .iter()
+                .map(|&pair| Failure::Cable { pair, at, duration })
+                .collect(),
+        }
+    }
+
+    /// Fails `fraction` of the given switches at `at`.
+    pub fn random_switches(
+        switches: &[SwitchId],
+        fraction: f64,
+        at: Time,
+        duration: Option<Time>,
+        rng: &mut Rng64,
+    ) -> FailurePlan {
+        let mut sw = switches.to_vec();
+        rng.shuffle(&mut sw);
+        let n = ((sw.len() as f64 * fraction).round() as usize).min(sw.len());
+        FailurePlan {
+            failures: sw[..n]
+                .iter()
+                .map(|&s| Failure::Switch {
+                    sw: s,
+                    at,
+                    duration,
+                })
+                .collect(),
+        }
+    }
+
+    /// Degrades `fraction` of the cables to `bps` from the start (the
+    /// asymmetric-network scenarios of §4.3.2).
+    pub fn degrade_random_cables(
+        topo_pairs: &[(LinkId, LinkId)],
+        fraction: f64,
+        bps: u64,
+        rng: &mut Rng64,
+    ) -> FailurePlan {
+        let mut pairs = topo_pairs.to_vec();
+        rng.shuffle(&mut pairs);
+        let n = ((pairs.len() as f64 * fraction).round() as usize).clamp(1, pairs.len());
+        FailurePlan {
+            failures: pairs[..n]
+                .iter()
+                .map(|&pair| Failure::Degrade {
+                    pair,
+                    at: Time::ZERO,
+                    bps,
+                })
+                .collect(),
+        }
+    }
+
+    /// Merges another plan into this one.
+    pub fn extend(&mut self, other: FailurePlan) {
+        self.failures.extend(other.failures);
+    }
+
+    /// Schedules every failure onto the engine calendar.
+    pub fn install(&self, engine: &mut Engine) {
+        for f in &self.failures {
+            match f {
+                Failure::Cable { pair, at, duration } => {
+                    engine.schedule_control(*at, ControlEvent::LinkDown(pair.0));
+                    engine.schedule_control(*at, ControlEvent::LinkDown(pair.1));
+                    if let Some(d) = duration {
+                        engine.schedule_control(*at + *d, ControlEvent::LinkUp(pair.0));
+                        engine.schedule_control(*at + *d, ControlEvent::LinkUp(pair.1));
+                    }
+                }
+                Failure::Switch { sw, at, duration } => {
+                    engine.schedule_control(*at, ControlEvent::SwitchDown(*sw));
+                    if let Some(d) = duration {
+                        engine.schedule_control(*at + *d, ControlEvent::SwitchUp(*sw));
+                    }
+                }
+                Failure::Degrade { pair, at, bps } => {
+                    engine.schedule_control(*at, ControlEvent::LinkRate(pair.0, *bps));
+                    engine.schedule_control(*at, ControlEvent::LinkRate(pair.1, *bps));
+                }
+                Failure::BitError { pair, at, p } => {
+                    engine.schedule_control(*at, ControlEvent::LinkBer(pair.0, *p));
+                    engine.schedule_control(*at, ControlEvent::LinkBer(pair.1, *p));
+                }
+            }
+        }
+    }
+
+    /// Number of failure instances.
+    pub fn len(&self) -> usize {
+        self.failures.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::topology::{FatTreeConfig, Topology};
+
+    fn engine() -> Engine {
+        let topo = Topology::build(FatTreeConfig::two_tier(8, 1), 1);
+        Engine::new(topo, SimConfig::paper_default(), 1)
+    }
+
+    #[test]
+    fn cable_failure_takes_both_directions_down_then_recovers() {
+        let mut e = engine();
+        let pair = e.topo.cable_pairs()[0];
+        FailurePlan::none()
+            .with(Failure::Cable {
+                pair,
+                at: Time::from_us(10),
+                duration: Some(Time::from_us(20)),
+            })
+            .install(&mut e);
+        e.run_until(Time::from_us(15));
+        assert!(!e.links[pair.0.index()].up);
+        assert!(!e.links[pair.1.index()].up);
+        e.run_until(Time::from_us(40));
+        assert!(e.links[pair.0.index()].up);
+        assert!(e.links[pair.1.index()].up);
+    }
+
+    #[test]
+    fn random_cables_picks_requested_fraction() {
+        let mut e = engine();
+        let pairs = e.topo.cable_pairs();
+        let mut rng = Rng64::new(42);
+        let plan = FailurePlan::random_cables(&pairs, 0.25, Time::ZERO, None, &mut rng);
+        assert_eq!(plan.len(), pairs.len() / 4);
+        plan.install(&mut e);
+        e.run_until(Time::from_ns(1));
+        let down = e.links.iter().filter(|l| !l.up).count();
+        assert_eq!(down, pairs.len() / 4 * 2);
+    }
+
+    #[test]
+    fn random_switches_fraction() {
+        let e = engine();
+        let t1s = e.topo.t1_switches();
+        let mut rng = Rng64::new(7);
+        let plan = FailurePlan::random_switches(&t1s, 0.5, Time::ZERO, None, &mut rng);
+        assert_eq!(plan.len(), t1s.len() / 2);
+    }
+
+    #[test]
+    fn degrade_changes_rate_both_ways() {
+        let mut e = engine();
+        let pair = e.topo.cable_pairs()[3];
+        let mut rng = Rng64::new(1);
+        // fraction small enough to pick exactly one pair via clamp.
+        let plan = FailurePlan {
+            failures: vec![Failure::Degrade {
+                pair,
+                at: Time::ZERO,
+                bps: 200_000_000_000,
+            }],
+        };
+        let _ = &mut rng;
+        plan.install(&mut e);
+        e.run_until(Time::from_ns(1));
+        assert_eq!(e.links[pair.0.index()].rate_bps, 200_000_000_000);
+        assert_eq!(e.links[pair.1.index()].rate_bps, 200_000_000_000);
+    }
+
+    #[test]
+    fn bit_error_sets_probability() {
+        let mut e = engine();
+        let pair = e.topo.cable_pairs()[1];
+        FailurePlan::none()
+            .with(Failure::BitError {
+                pair,
+                at: Time::from_us(1),
+                p: 0.01,
+            })
+            .install(&mut e);
+        e.run_until(Time::from_us(2));
+        assert!((e.links[pair.0.index()].ber - 0.01).abs() < 1e-12);
+    }
+}

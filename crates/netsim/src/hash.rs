@@ -1,0 +1,104 @@
+//! ECMP header hashing.
+//!
+//! Switches choose among equal-cost next hops by hashing the packet's
+//! five-tuple surrogate — `(src, dst, entropy value)` — together with a
+//! per-switch salt. The salt models vendor-specific hash seeds: two switches
+//! hash the same header differently, which is what lets a single EV describe
+//! a full multi-hop path while different switches still decorrelate.
+//!
+//! As the paper stresses (§2.2), the sender cannot invert this function;
+//! distinct EVs may collide onto the same port. A well-mixed hash makes the
+//! induced distribution near-uniform, which §4.5.2 quantifies.
+
+use crate::ids::HostId;
+
+/// Mixes the routing-relevant header fields with a switch salt.
+///
+/// This is the finalizer of SplitMix64 applied to the packed fields — cheap,
+/// deterministic, and passes the avalanche requirements that matter here
+/// (flipping any EV bit flips each output bit with ~1/2 probability).
+pub fn ecmp_hash(src: HostId, dst: HostId, ev: u16, salt: u64) -> u64 {
+    let mut z = (src.0 as u64) << 48 ^ (dst.0 as u64) << 24 ^ ev as u64;
+    z ^= salt.rotate_left(17);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Picks an index in `[0, n)` for the given header and salt.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn ecmp_select(src: HostId, dst: HostId, ev: u16, salt: u64, n: usize) -> usize {
+    assert!(n > 0, "ECMP group must be non-empty");
+    // Multiply-shift: unbiased enough for power-of-two and small n alike,
+    // and avoids the modulo bias of `hash % n`.
+    let h = ecmp_hash(src, dst, ev, salt);
+    ((h as u128 * n as u128) >> 64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a = ecmp_hash(HostId(1), HostId(2), 77, 42);
+        let b = ecmp_hash(HostId(1), HostId(2), 77, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ev_changes_hash() {
+        let base = ecmp_hash(HostId(1), HostId(2), 0, 42);
+        let mut changed = 0;
+        for ev in 1..=256u16 {
+            if ecmp_hash(HostId(1), HostId(2), ev, 42) != base {
+                changed += 1;
+            }
+        }
+        assert_eq!(changed, 256);
+    }
+
+    #[test]
+    fn salt_decorrelates_switches() {
+        // The same header must not pick the same port index on two switches
+        // with independent salts more often than chance would suggest.
+        let n = 8;
+        let mut agree = 0;
+        for ev in 0..1_000u16 {
+            let a = ecmp_select(HostId(3), HostId(9), ev, 1111, n);
+            let b = ecmp_select(HostId(3), HostId(9), ev, 2222, n);
+            if a == b {
+                agree += 1;
+            }
+        }
+        // Expected ~125 agreements; allow a generous band.
+        assert!((60..250).contains(&agree), "agreements = {agree}");
+    }
+
+    #[test]
+    fn selection_is_roughly_uniform_over_evs() {
+        let n = 16usize;
+        let mut counts = vec![0u32; n];
+        for ev in 0..u16::MAX {
+            counts[ecmp_select(HostId(0), HostId(1), ev, 7, n)] += 1;
+        }
+        let expected = u16::MAX as f64 / n as f64;
+        for &c in &counts {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.05, "port deviation {dev}");
+        }
+    }
+
+    #[test]
+    fn selection_in_range() {
+        for n in 1..=9usize {
+            for ev in 0..100u16 {
+                assert!(ecmp_select(HostId(5), HostId(6), ev, 1, n) < n);
+            }
+        }
+    }
+}

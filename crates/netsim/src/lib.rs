@@ -1,0 +1,52 @@
+//! A deterministic, packet-level datacenter network simulator.
+//!
+//! `netsim` is the substrate of the REPS reproduction: an htsim-equivalent
+//! discrete-event simulator modelling output-queued switches with RED/ECN
+//! marking and optional packet trimming, 2-/3-tier fat-tree fabrics with
+//! ECMP (or per-packet adaptive) routing, link/switch failure injection, and
+//! the statistics the paper's figures are computed from.
+//!
+//! # Architecture
+//!
+//! * [`engine::Engine`] owns the event calendar, link arena and endpoints.
+//! * Transport stacks implement [`engine::Endpoint`] and interact with the
+//!   fabric exclusively through [`engine::Ctx`].
+//! * [`topology::Topology`] describes switches/links and answers routing
+//!   queries; the engine executes them.
+//! * Everything is deterministic for a fixed seed: the calendar breaks ties
+//!   FIFO and all randomness flows from [`rng::Rng64`].
+//!
+//! # Examples
+//!
+//! ```
+//! use netsim::config::SimConfig;
+//! use netsim::engine::Engine;
+//! use netsim::topology::{FatTreeConfig, Topology};
+//!
+//! // The paper's 128-node, radix-16, non-oversubscribed 2-tier fabric.
+//! let topo = Topology::build(FatTreeConfig::two_tier(16, 1), 42);
+//! let engine = Engine::new(topo, SimConfig::paper_default(), 42);
+//! assert_eq!(engine.topo.n_hosts, 128);
+//! ```
+
+pub mod config;
+pub mod engine;
+pub mod event;
+pub mod failures;
+pub mod hash;
+pub mod ids;
+pub mod link;
+pub mod packet;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod topology;
+
+pub use config::SimConfig;
+pub use engine::{Command, Ctx, Endpoint, Engine, MessageSpec, RoutingMode};
+pub use ids::{ConnId, FlowId, HostId, LinkId, NodeRef, SwitchId};
+pub use packet::{Ack, Body, EvEcho, Packet, HEADER_BYTES};
+pub use rng::Rng64;
+pub use stats::{FlowRecord, Stats};
+pub use time::Time;
+pub use topology::{FatTreeConfig, Topology};

@@ -1,0 +1,384 @@
+//! Links: a rate-limited egress queue plus a fixed-latency propagation pipe.
+//!
+//! Each *unidirectional* link owns its egress queue. The queue implements
+//! two strict-priority bands (control before data), byte-based RED/ECN
+//! marking between `K_min` and `K_max` (§2.1), tail-drop or packet trimming
+//! when full, and runtime-mutable rate and failure state for the failure
+//! experiments (§4.3.3).
+
+use std::collections::VecDeque;
+
+use crate::config::SimConfig;
+use crate::ids::{LinkId, NodeRef};
+use crate::packet::Packet;
+use crate::rng::Rng64;
+use crate::time::Time;
+
+/// Why a packet was not queued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// Queue full (congestion loss).
+    QueueFull,
+    /// The link is administratively or physically down (blackhole).
+    LinkDown,
+    /// Random corruption (bit-error-rate model).
+    BitError,
+}
+
+/// Result of offering a packet to an egress queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnqueueOutcome {
+    /// Packet accepted; `marked` tells whether RED set the CE bit.
+    Queued {
+        /// True when the packet was ECN-marked on admission.
+        marked: bool,
+    },
+    /// Packet payload was trimmed; the header was queued in the control band.
+    Trimmed,
+    /// Packet dropped.
+    Dropped(DropReason),
+}
+
+/// A unidirectional link: egress queue, propagation delay, endpoint.
+#[derive(Debug)]
+pub struct Link {
+    /// This link's id (index in the engine arena).
+    pub id: LinkId,
+    /// Node the link delivers to.
+    pub to: NodeRef,
+    /// Node the link transmits from (for reporting).
+    pub from: NodeRef,
+    /// Propagation latency (includes downstream switch traversal).
+    pub latency: Time,
+    /// Current transmit rate in bits per second.
+    pub rate_bps: u64,
+    /// Nominal rate (for restoring after degradation).
+    pub nominal_bps: u64,
+    /// True while the cable is up.
+    pub up: bool,
+    /// Instant the link last went down (valid when `!up`).
+    pub down_since: Time,
+    /// Probability that a serialized packet is corrupted and dropped.
+    pub ber: f64,
+    /// True while a `QueueService` event is outstanding.
+    pub busy: bool,
+    /// The packet currently being serialized (committed at service start so
+    /// a control-band arrival cannot swap itself into a data packet's slot).
+    pub in_service: Option<Packet>,
+    /// Generation counter invalidating stale service events after failures.
+    pub service_gen: u64,
+    /// Control-priority band (ACKs, credits, trimmed headers).
+    ctrl: VecDeque<Packet>,
+    /// Data band.
+    data: VecDeque<Packet>,
+    /// Bytes across both bands.
+    pub queued_bytes: u64,
+    /// Capacity in bytes.
+    pub capacity_bytes: u64,
+    /// RED K_min in bytes.
+    pub kmin_bytes: u64,
+    /// RED K_max in bytes.
+    pub kmax_bytes: u64,
+    /// Enable trimming instead of tail-dropping data packets.
+    pub trimming: bool,
+    /// Whether RED/ECN marking applies (switch egress yes, host NIC no).
+    pub mark_enabled: bool,
+}
+
+impl Link {
+    /// Creates a link from the fabric profile.
+    pub fn new(id: LinkId, from: NodeRef, to: NodeRef, latency: Time, cfg: &SimConfig) -> Link {
+        Link {
+            id,
+            to,
+            from,
+            latency,
+            rate_bps: cfg.link_bps,
+            nominal_bps: cfg.link_bps,
+            up: true,
+            down_since: Time::ZERO,
+            ber: 0.0,
+            busy: false,
+            in_service: None,
+            service_gen: 0,
+            ctrl: VecDeque::new(),
+            data: VecDeque::new(),
+            queued_bytes: 0,
+            capacity_bytes: cfg.queue_capacity_bytes,
+            kmin_bytes: cfg.kmin_bytes(),
+            kmax_bytes: cfg.kmax_bytes(),
+            trimming: cfg.trimming,
+            mark_enabled: true,
+        }
+    }
+
+    /// Reconfigures this link as a host NIC egress: a deep source queue
+    /// (the transport window is the real injection limit) without RED
+    /// marking or trimming — congestion signalling is a fabric feature.
+    pub fn make_host_egress(&mut self) {
+        self.capacity_bytes = 64 * 1024 * 1024;
+        self.mark_enabled = false;
+        self.trimming = false;
+    }
+
+    /// Number of packets waiting across both bands.
+    pub fn queued_packets(&self) -> usize {
+        self.ctrl.len() + self.data.len()
+    }
+
+    /// Offers a packet to the queue, applying RED marking and drop/trim
+    /// policy. Does not schedule service; the engine does that.
+    pub fn enqueue(&mut self, mut pkt: Packet, rng: &mut Rng64) -> EnqueueOutcome {
+        if !self.up {
+            return EnqueueOutcome::Dropped(DropReason::LinkDown);
+        }
+        let fits = self.queued_bytes + pkt.wire_bytes as u64 <= self.capacity_bytes;
+        if !fits {
+            if self.trimming && pkt.is_data() {
+                pkt.trim();
+                // Trimmed headers ride the control band; they are tiny, so we
+                // admit them even at capacity (bounded by packet count).
+                self.queued_bytes += pkt.wire_bytes as u64;
+                self.ctrl.push_back(pkt);
+                return EnqueueOutcome::Trimmed;
+            }
+            return EnqueueOutcome::Dropped(DropReason::QueueFull);
+        }
+        // RED marking on admission, based on the instantaneous occupancy the
+        // packet observes (the paper's K_min/K_max description).
+        let marked = if self.mark_enabled && pkt.is_data() {
+            let occupancy = self.queued_bytes;
+            let p = red_mark_probability(occupancy, self.kmin_bytes, self.kmax_bytes);
+            p > 0.0 && rng.gen_bool(p)
+        } else {
+            false
+        };
+        if marked {
+            pkt.ecn_ce = true;
+        }
+        self.queued_bytes += pkt.wire_bytes as u64;
+        if pkt.is_control() {
+            self.ctrl.push_back(pkt);
+        } else {
+            self.data.push_back(pkt);
+        }
+        EnqueueOutcome::Queued { marked }
+    }
+
+    /// Removes the next packet to transmit (control band first).
+    pub fn dequeue(&mut self) -> Option<Packet> {
+        let pkt = self.ctrl.pop_front().or_else(|| self.data.pop_front())?;
+        self.queued_bytes -= pkt.wire_bytes as u64;
+        Some(pkt)
+    }
+
+    /// Wire size of the next packet to transmit, if any.
+    pub fn peek_bytes(&self) -> Option<u64> {
+        self.ctrl
+            .front()
+            .or_else(|| self.data.front())
+            .map(|p| p.wire_bytes as u64)
+    }
+
+    /// Serialization time of `pkt` at the current rate.
+    pub fn serialization_time(&self, pkt: &Packet) -> Time {
+        Time::serialization(pkt.wire_bytes as u64, self.rate_bps)
+    }
+
+    /// Takes the link down, flushing all queued packets (they are lost,
+    /// including the frame on the wire mid-serialization).
+    ///
+    /// Returns the number of packets flushed.
+    pub fn set_down(&mut self, now: Time) -> usize {
+        self.up = false;
+        self.down_since = now;
+        let mut flushed = self.queued_packets();
+        if self.in_service.take().is_some() {
+            flushed += 1;
+        }
+        self.busy = false;
+        self.service_gen += 1;
+        self.ctrl.clear();
+        self.data.clear();
+        self.queued_bytes = 0;
+        flushed
+    }
+
+    /// Brings the link back up.
+    pub fn set_up(&mut self) {
+        self.up = true;
+    }
+
+    /// Degrades (or restores) the link rate.
+    pub fn set_rate(&mut self, bps: u64) {
+        self.rate_bps = bps;
+    }
+}
+
+/// RED marking probability for a queue occupancy given byte thresholds.
+///
+/// Zero below `kmin`, one above `kmax`, linear in between — the gentle RED
+/// variant the paper configures (§4.1: K_min 20 %, K_max 80 %).
+pub fn red_mark_probability(occupancy: u64, kmin: u64, kmax: u64) -> f64 {
+    if occupancy <= kmin {
+        0.0
+    } else if occupancy >= kmax {
+        1.0
+    } else {
+        (occupancy - kmin) as f64 / (kmax - kmin) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ConnId, HostId, SwitchId};
+
+    fn test_link(cfg: &SimConfig) -> Link {
+        Link::new(
+            LinkId(0),
+            NodeRef::Host(HostId(0)),
+            NodeRef::Switch(SwitchId(0)),
+            cfg.link_latency,
+            cfg,
+        )
+    }
+
+    fn data_pkt(id: u64, bytes: u32) -> Packet {
+        Packet::data(id, HostId(0), HostId(1), ConnId(0), 0, id, bytes, false)
+    }
+
+    #[test]
+    fn red_probability_profile() {
+        assert_eq!(red_mark_probability(0, 100, 200), 0.0);
+        assert_eq!(red_mark_probability(100, 100, 200), 0.0);
+        assert!((red_mark_probability(150, 100, 200) - 0.5).abs() < 1e-9);
+        assert_eq!(red_mark_probability(200, 100, 200), 1.0);
+        assert_eq!(red_mark_probability(999, 100, 200), 1.0);
+    }
+
+    #[test]
+    fn fifo_order_within_band() {
+        let cfg = SimConfig::paper_default();
+        let mut link = test_link(&cfg);
+        let mut rng = Rng64::new(1);
+        for i in 0..5 {
+            assert!(matches!(
+                link.enqueue(data_pkt(i, 1000), &mut rng),
+                EnqueueOutcome::Queued { .. }
+            ));
+        }
+        for i in 0..5 {
+            assert_eq!(link.dequeue().unwrap().id, i);
+        }
+        assert!(link.dequeue().is_none());
+        assert_eq!(link.queued_bytes, 0);
+    }
+
+    #[test]
+    fn control_band_preempts_data() {
+        let cfg = SimConfig::paper_default();
+        let mut link = test_link(&cfg);
+        let mut rng = Rng64::new(1);
+        link.enqueue(data_pkt(1, 1000), &mut rng);
+        let ack = Packet::control(
+            2,
+            HostId(1),
+            HostId(0),
+            ConnId(0),
+            0,
+            crate::packet::Body::Nack { seq: 0 },
+        );
+        link.enqueue(ack, &mut rng);
+        assert_eq!(link.dequeue().unwrap().id, 2, "control must go first");
+        assert_eq!(link.dequeue().unwrap().id, 1);
+    }
+
+    #[test]
+    fn tail_drop_when_full() {
+        let mut cfg = SimConfig::paper_default();
+        cfg.queue_capacity_bytes = 10_000;
+        let mut link = test_link(&cfg);
+        let mut rng = Rng64::new(1);
+        let mut queued = 0;
+        let mut dropped = 0;
+        for i in 0..10 {
+            match link.enqueue(data_pkt(i, 2000), &mut rng) {
+                EnqueueOutcome::Queued { .. } => queued += 1,
+                EnqueueOutcome::Dropped(DropReason::QueueFull) => dropped += 1,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(queued > 0 && dropped > 0);
+        assert!(link.queued_bytes <= cfg.queue_capacity_bytes);
+    }
+
+    #[test]
+    fn trimming_replaces_drop() {
+        let mut cfg = SimConfig::paper_default();
+        cfg.queue_capacity_bytes = 5_000;
+        cfg.trimming = true;
+        let mut link = test_link(&cfg);
+        let mut rng = Rng64::new(1);
+        link.enqueue(data_pkt(0, 4000), &mut rng);
+        match link.enqueue(data_pkt(1, 4000), &mut rng) {
+            EnqueueOutcome::Trimmed => {}
+            other => panic!("expected trim, got {other:?}"),
+        }
+        // The trimmed header is in the control band, served first.
+        let first = link.dequeue().unwrap();
+        assert!(first.trimmed);
+        assert_eq!(first.id, 1);
+    }
+
+    #[test]
+    fn ecn_marks_above_kmin() {
+        let mut cfg = SimConfig::paper_default();
+        cfg.queue_capacity_bytes = 100_000;
+        let mut link = test_link(&cfg);
+        let mut rng = Rng64::new(1);
+        // Fill to above K_max (80KB) and verify marks start appearing.
+        let mut marks = 0;
+        for i in 0..24 {
+            if let EnqueueOutcome::Queued { marked } = link.enqueue(data_pkt(i, 4096), &mut rng) {
+                if marked {
+                    marks += 1;
+                }
+            }
+        }
+        assert!(marks > 0, "expected ECN marks above K_min");
+        // First packet (empty queue) is never marked.
+        let head = link.dequeue().unwrap();
+        assert!(!head.ecn_ce);
+    }
+
+    #[test]
+    fn down_link_blackholes_and_flushes() {
+        let cfg = SimConfig::paper_default();
+        let mut link = test_link(&cfg);
+        let mut rng = Rng64::new(1);
+        link.enqueue(data_pkt(0, 1000), &mut rng);
+        let flushed = link.set_down(Time::from_us(10));
+        assert_eq!(flushed, 1);
+        assert_eq!(
+            link.enqueue(data_pkt(1, 1000), &mut rng),
+            EnqueueOutcome::Dropped(DropReason::LinkDown)
+        );
+        link.set_up();
+        assert!(matches!(
+            link.enqueue(data_pkt(2, 1000), &mut rng),
+            EnqueueOutcome::Queued { .. }
+        ));
+    }
+
+    #[test]
+    fn rate_change_affects_serialization() {
+        let cfg = SimConfig::paper_default();
+        let mut link = test_link(&cfg);
+        let pkt = data_pkt(0, 4096);
+        let fast = link.serialization_time(&pkt);
+        link.set_rate(200_000_000_000);
+        let slow = link.serialization_time(&pkt);
+        assert_eq!(slow.as_ps(), fast.as_ps() * 2);
+    }
+}

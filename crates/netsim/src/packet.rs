@@ -1,0 +1,256 @@
+//! Packet representation shared by the fabric and the transport layer.
+//!
+//! The simulator models a UET-style (Ultra Ethernet Transport) wire format:
+//! data packets carry a message id, a per-connection sequence number and an
+//! entropy value (EV); acknowledgments echo the EV and the ECN (CE) mark of
+//! the packet(s) they cover, optionally carrying several echoed EVs when ACK
+//! coalescing is enabled (the paper's *Carry EVs* variant, §4.5.1).
+
+use crate::ids::{ConnId, HostId};
+
+/// Wire overhead per packet: Ethernet + IP + UDP + UET headers, rounded.
+pub const HEADER_BYTES: u32 = 64;
+
+/// A single echoed entropy observation carried by an ACK.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvEcho {
+    /// The entropy value copied from the data packet's header.
+    pub ev: u16,
+    /// Whether the data packet arrived with the ECN CE codepoint set.
+    pub ecn: bool,
+}
+
+/// Transport-level payload of a packet.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Body {
+    /// A data segment of a message.
+    Data {
+        /// Sequence number of this packet within its connection.
+        seq: u64,
+        /// Message index within the connection.
+        msg: u32,
+        /// Packet index within the message.
+        msg_seq: u32,
+        /// Total packets in the message (receiver-side completion).
+        msg_pkts: u32,
+        /// Opaque workload tag identifying the message (collective phases).
+        tag: u64,
+        /// Number of payload bytes carried (0 when trimmed).
+        payload: u32,
+        /// True when this is a retransmission.
+        retx: bool,
+        /// Sender's still-unsent bytes (EQDS receiver-driven demand hint).
+        pending: u64,
+    },
+    /// An acknowledgment, possibly covering several data packets.
+    Ack(Ack),
+    /// A negative acknowledgment for a trimmed packet (trimming fast path).
+    Nack {
+        /// Sequence number whose payload was trimmed in the fabric.
+        seq: u64,
+    },
+    /// A receiver-driven credit grant (EQDS-style congestion control).
+    Credit {
+        /// Number of payload bytes the sender may now transmit.
+        bytes: u64,
+    },
+    /// A path probe used to test a possibly-failed path.
+    Probe {
+        /// Identifies the probe round.
+        token: u64,
+    },
+    /// A probe response echoed by the receiver.
+    ProbeReply {
+        /// Token copied from the probe.
+        token: u64,
+    },
+}
+
+/// An acknowledgment body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ack {
+    /// Highest sequence number such that all packets below it were received.
+    pub cum_ack: u64,
+    /// Sequence numbers (possibly several when coalescing) acknowledged by
+    /// this ACK, beyond the cumulative prefix.
+    pub sacked: Vec<u64>,
+    /// Echoed entropy observations, oldest first.
+    ///
+    /// With per-packet ACKs this has exactly one element; with the
+    /// *Carry EVs* coalescing variant it has up to the coalescing ratio.
+    pub echoes: Vec<EvEcho>,
+    /// Number of data packets this ACK covers (for ACK-clocked senders).
+    pub covered: u32,
+    /// Number of covered packets that carried an ECN mark.
+    pub marked: u32,
+    /// How many times each echoed entropy may be recycled (the *Reuse EVs*
+    /// coalescing variant, §4.5.1; 1 in all other configurations).
+    pub reuse: u32,
+}
+
+/// A packet traversing the simulated fabric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Packet {
+    /// Unique id, assigned at creation, for tracing.
+    pub id: u64,
+    /// Sending host.
+    pub src: HostId,
+    /// Destination host.
+    pub dst: HostId,
+    /// Connection this packet belongs to.
+    pub conn: ConnId,
+    /// Entropy value steering ECMP hashing.
+    pub ev: u16,
+    /// Total wire size in bytes (header + payload).
+    pub wire_bytes: u32,
+    /// ECN congestion-experienced mark, set by switches under RED.
+    pub ecn_ce: bool,
+    /// Whether the payload was trimmed by an overloaded queue.
+    pub trimmed: bool,
+    /// Transport payload.
+    pub body: Body,
+}
+
+impl Packet {
+    /// Returns `true` for packets that should use the control priority band.
+    ///
+    /// ACKs, NACKs, credits, probes and trimmed headers are latency-critical
+    /// and tiny; real deployments (and htsim's EQDS model) carry them in a
+    /// strict-priority class so that congestion feedback survives congestion.
+    pub fn is_control(&self) -> bool {
+        self.trimmed
+            || matches!(
+                self.body,
+                Body::Ack(_)
+                    | Body::Nack { .. }
+                    | Body::Credit { .. }
+                    | Body::Probe { .. }
+                    | Body::ProbeReply { .. }
+            )
+    }
+
+    /// Returns `true` if this is an untrimmed data packet.
+    pub fn is_data(&self) -> bool {
+        !self.trimmed && matches!(self.body, Body::Data { .. })
+    }
+
+    /// Trims the packet to its header, dropping the payload.
+    ///
+    /// Mirrors switch packet-trimming (§2.1): the header continues through
+    /// the fabric (in the control band) so that the receiver can NACK the
+    /// loss promptly instead of waiting for a timeout.
+    pub fn trim(&mut self) {
+        self.trimmed = true;
+        self.wire_bytes = HEADER_BYTES;
+        if let Body::Data { payload, .. } = &mut self.body {
+            *payload = 0;
+        }
+    }
+
+    /// Convenience constructor for a single-message data packet.
+    ///
+    /// `seq` doubles as the packet index within a one-message connection;
+    /// multi-message senders build [`Body::Data`] directly.
+    #[allow(clippy::too_many_arguments)]
+    pub fn data(
+        id: u64,
+        src: HostId,
+        dst: HostId,
+        conn: ConnId,
+        ev: u16,
+        seq: u64,
+        payload: u32,
+        retx: bool,
+    ) -> Packet {
+        Packet {
+            id,
+            src,
+            dst,
+            conn,
+            ev,
+            wire_bytes: payload + HEADER_BYTES,
+            ecn_ce: false,
+            trimmed: false,
+            body: Body::Data {
+                seq,
+                msg: 0,
+                msg_seq: seq as u32,
+                msg_pkts: u32::MAX,
+                tag: 0,
+                payload,
+                retx,
+                pending: 0,
+            },
+        }
+    }
+
+    /// Convenience constructor for a minimum-size control packet.
+    pub fn control(id: u64, src: HostId, dst: HostId, conn: ConnId, ev: u16, body: Body) -> Packet {
+        Packet {
+            id,
+            src,
+            dst,
+            conn,
+            ev,
+            wire_bytes: HEADER_BYTES,
+            ecn_ce: false,
+            trimmed: false,
+            body,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_data() -> Packet {
+        Packet::data(1, HostId(0), HostId(1), ConnId(0), 42, 7, 4096, false)
+    }
+
+    #[test]
+    fn data_packet_wire_size_includes_header() {
+        let p = sample_data();
+        assert_eq!(p.wire_bytes, 4096 + HEADER_BYTES);
+        assert!(p.is_data());
+        assert!(!p.is_control());
+    }
+
+    #[test]
+    fn trimming_shrinks_to_header_and_promotes() {
+        let mut p = sample_data();
+        p.trim();
+        assert_eq!(p.wire_bytes, HEADER_BYTES);
+        assert!(p.trimmed);
+        assert!(p.is_control());
+        assert!(!p.is_data());
+        match p.body {
+            Body::Data { payload, seq, .. } => {
+                assert_eq!(payload, 0);
+                assert_eq!(seq, 7);
+            }
+            _ => panic!("trim must preserve the data body"),
+        }
+    }
+
+    #[test]
+    fn acks_are_control() {
+        let p = Packet::control(
+            2,
+            HostId(1),
+            HostId(0),
+            ConnId(0),
+            42,
+            Body::Ack(Ack {
+                cum_ack: 3,
+                sacked: vec![],
+                echoes: vec![EvEcho { ev: 42, ecn: false }],
+                covered: 1,
+                marked: 0,
+                reuse: 1,
+            }),
+        );
+        assert!(p.is_control());
+        assert_eq!(p.wire_bytes, HEADER_BYTES);
+    }
+}

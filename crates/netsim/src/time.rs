@@ -1,0 +1,209 @@
+//! Simulation time represented as integer picoseconds.
+//!
+//! The paper's default profile (400 Gbps links, 4 KiB MTU + 64 B header)
+//! serializes one full frame in exactly 83,200 ps, so picosecond resolution
+//! keeps every per-hop delay exact and the simulation fully deterministic.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant (or duration) in simulated time, in picoseconds.
+///
+/// `Time` is deliberately a single type for both instants and durations:
+/// the simulator only ever adds offsets to the current clock, and keeping a
+/// single type avoids a proliferation of conversions in hot paths.
+///
+/// # Examples
+///
+/// ```
+/// use netsim::time::Time;
+///
+/// let t = Time::from_us(70); // The paper's retransmission timeout.
+/// assert_eq!(t.as_ns(), 70_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(pub u64);
+
+impl Time {
+    /// The zero instant (simulation start).
+    pub const ZERO: Time = Time(0);
+
+    /// The largest representable instant, used as an "infinitely far" sentinel.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Creates a time from picoseconds.
+    pub const fn from_ps(ps: u64) -> Time {
+        Time(ps)
+    }
+
+    /// Creates a time from nanoseconds.
+    pub const fn from_ns(ns: u64) -> Time {
+        Time(ns * 1_000)
+    }
+
+    /// Creates a time from microseconds.
+    pub const fn from_us(us: u64) -> Time {
+        Time(us * 1_000_000)
+    }
+
+    /// Creates a time from milliseconds.
+    pub const fn from_ms(ms: u64) -> Time {
+        Time(ms * 1_000_000_000)
+    }
+
+    /// Creates a time from seconds.
+    pub const fn from_secs(s: u64) -> Time {
+        Time(s * 1_000_000_000_000)
+    }
+
+    /// Returns the value in picoseconds.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the value in whole nanoseconds (truncating).
+    pub const fn as_ns(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Returns the value in whole microseconds (truncating).
+    pub const fn as_us(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Returns the value in microseconds as a float, for reporting.
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Returns the value in seconds as a float, for rate computations.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    /// Saturating subtraction, returning [`Time::ZERO`] on underflow.
+    pub fn saturating_sub(self, rhs: Time) -> Time {
+        Time(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Returns the serialization time of `bytes` at `rate_bps` bits per second.
+    ///
+    /// Computed in 128-bit arithmetic so that no realistic byte count or rate
+    /// can overflow, then truncated to picoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_bps` is zero.
+    pub fn serialization(bytes: u64, rate_bps: u64) -> Time {
+        assert!(rate_bps > 0, "link rate must be positive");
+        let bits = bytes as u128 * 8;
+        let ps = bits * 1_000_000_000_000u128 / rate_bps as u128;
+        Time(ps as u64)
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Time {
+    fn sub_assign(&mut self, rhs: Time) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Time {
+    type Output = Time;
+    fn mul(self, rhs: u64) -> Time {
+        Time(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Time {
+    type Output = Time;
+    fn div(self, rhs: u64) -> Time {
+        Time(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e9)
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}ns", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ps", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions_round_trip() {
+        assert_eq!(Time::from_ns(1).as_ps(), 1_000);
+        assert_eq!(Time::from_us(1).as_ns(), 1_000);
+        assert_eq!(Time::from_ms(1).as_us(), 1_000);
+        assert_eq!(Time::from_secs(1).as_ps(), 1_000_000_000_000);
+    }
+
+    #[test]
+    fn serialization_time_matches_paper_profile() {
+        // 4 KiB payload + 64 B header at 400 Gbps: (4160 * 8) / 400e9 s = 83.2 ns.
+        let t = Time::serialization(4096 + 64, 400_000_000_000);
+        assert_eq!(t.as_ps(), 83_200);
+    }
+
+    #[test]
+    fn serialization_time_100g() {
+        // The FPGA profile: 8 KiB + 64 B at 100 Gbps = 660.48 ns.
+        let t = Time::serialization(8192 + 64, 100_000_000_000);
+        assert_eq!(t.as_ps(), 660_480);
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let a = Time::from_ns(5);
+        let b = Time::from_ns(3);
+        assert_eq!((a + b).as_ns(), 8);
+        assert_eq!((a - b).as_ns(), 2);
+        assert_eq!((a * 3).as_ns(), 15);
+        assert_eq!((a / 5).as_ns(), 1);
+        assert_eq!(b.saturating_sub(a), Time::ZERO);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Time::from_ns(1) < Time::from_us(1));
+        assert!(Time::MAX > Time::from_secs(1_000));
+    }
+
+    #[test]
+    fn display_picks_scale() {
+        assert_eq!(format!("{}", Time::from_ps(5)), "5ps");
+        assert_eq!(format!("{}", Time::from_us(2)), "2.000us");
+    }
+}

@@ -1,0 +1,635 @@
+//! Fat-tree topologies and up/down routing (§4.1).
+//!
+//! The builder produces the 2- and 3-tier Clos fabrics the paper simulates:
+//! hosts attach to top-of-rack (T0) switches; T0s connect to aggregation
+//! (T1) switches; in 3-tier fabrics pods of T0/T1 switches connect to core
+//! (T2) groups. Oversubscription `o:1` shrinks the ToR uplink count relative
+//! to its host ports.
+//!
+//! Routing is standard fat-tree up/down: a packet climbs (ECMP-hashed on its
+//! entropy value) until it reaches a switch that is an ancestor of its
+//! destination, then descends deterministically.
+
+use crate::ids::{HostId, LinkId, NodeRef, SwitchId};
+
+/// Which tier a switch belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Top-of-rack.
+    T0,
+    /// Aggregation.
+    T1,
+    /// Core (3-tier fabrics only).
+    T2,
+}
+
+/// Static description of one switch.
+#[derive(Debug, Clone)]
+pub struct SwitchMeta {
+    /// Arena id.
+    pub id: SwitchId,
+    /// Tier.
+    pub tier: Tier,
+    /// Pod index (T0/T1; core group index for T2).
+    pub pod: u32,
+    /// Index within its tier, pod-local for 3-tier T0/T1.
+    pub idx: u32,
+    /// Uplinks, ordered.
+    pub up_links: Vec<LinkId>,
+    /// Downlinks, ordered by child index (host slot or child switch slot).
+    pub down_links: Vec<LinkId>,
+    /// Per-switch ECMP hash salt.
+    pub salt: u64,
+    /// False while the switch has failed.
+    pub alive: bool,
+}
+
+/// A unidirectional link endpoint description produced by the builder.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkSpec {
+    /// Transmitting node.
+    pub from: NodeRef,
+    /// Receiving node.
+    pub to: NodeRef,
+}
+
+/// Fat-tree shape parameters.
+///
+/// `two_tier`/`three_tier` build the paper's canonical fabrics from a switch
+/// radix; `two_tier_custom` supports irregular testbeds such as the FPGA
+/// cluster (128 endpoints under 2 ToRs with 8 T1s, §4.4).
+#[derive(Debug, Clone)]
+pub struct FatTreeConfig {
+    /// 2 or 3 tiers.
+    pub tiers: u8,
+    /// Hosts attached to each ToR.
+    pub hosts_per_tor: u32,
+    /// Uplinks per ToR (= T1 count in 2-tier, T1s per pod in 3-tier).
+    pub tor_uplinks: u32,
+    /// ToR count (total in 2-tier; per pod in 3-tier).
+    pub tors: u32,
+    /// Pod count (1 for 2-tier).
+    pub pods: u32,
+    /// Uplinks per T1 switch (3-tier only; cores per core-group).
+    pub t1_uplinks: u32,
+}
+
+impl FatTreeConfig {
+    /// A full 2-tier fat tree from switch radix `k` and oversubscription `o:1`.
+    ///
+    /// Hosts: `k * k * o / (o + 1)^2 * (o + 1) = k * hosts_per_tor`... more
+    /// simply: each ToR has `k*o/(o+1)` host ports and `k/(o+1)` uplinks, and
+    /// there are `k` ToRs (one per T1 port).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `k` is divisible by `o + 1`.
+    pub fn two_tier(k: u32, oversubscription: u32) -> FatTreeConfig {
+        let o = oversubscription.max(1);
+        assert!(k.is_multiple_of(o + 1), "radix {k} not divisible by {}", o + 1);
+        let tor_uplinks = k / (o + 1);
+        let hosts_per_tor = k - tor_uplinks;
+        FatTreeConfig {
+            tiers: 2,
+            hosts_per_tor,
+            tor_uplinks,
+            tors: k,
+            pods: 1,
+            t1_uplinks: 0,
+        }
+    }
+
+    /// An arbitrary 2-tier fabric (e.g. the FPGA testbed shape).
+    pub fn two_tier_custom(tors: u32, hosts_per_tor: u32, tor_uplinks: u32) -> FatTreeConfig {
+        FatTreeConfig {
+            tiers: 2,
+            hosts_per_tor,
+            tor_uplinks,
+            tors,
+            pods: 1,
+            t1_uplinks: 0,
+        }
+    }
+
+    /// A full 3-tier fat tree from radix `k` and ToR oversubscription `o:1`.
+    ///
+    /// With `o = 1` this is the classic k-ary fat tree: `k` pods, `k/2` ToRs
+    /// and `k/2` T1s per pod, `(k/2)^2` cores, `k^3/4` hosts.
+    pub fn three_tier(k: u32, oversubscription: u32) -> FatTreeConfig {
+        let o = oversubscription.max(1);
+        assert!(k.is_multiple_of(o + 1), "radix {k} not divisible by {}", o + 1);
+        assert!(k.is_multiple_of(2), "radix must be even");
+        let tor_uplinks = k / (o + 1);
+        let hosts_per_tor = k - tor_uplinks;
+        FatTreeConfig {
+            tiers: 3,
+            hosts_per_tor,
+            tor_uplinks,
+            tors: k / 2,
+            pods: k,
+            t1_uplinks: k / 2,
+        }
+    }
+
+    /// Total number of hosts.
+    pub fn n_hosts(&self) -> u32 {
+        self.hosts_per_tor * self.tors * self.pods
+    }
+
+    /// Total ToR count.
+    pub fn n_tors(&self) -> u32 {
+        self.tors * self.pods
+    }
+
+    /// Total T1 count.
+    pub fn n_t1(&self) -> u32 {
+        self.tor_uplinks * self.pods
+    }
+
+    /// Total core count (0 for 2-tier).
+    pub fn n_cores(&self) -> u32 {
+        if self.tiers == 2 {
+            0
+        } else {
+            self.tor_uplinks * self.t1_uplinks
+        }
+    }
+}
+
+/// The routing decision at a switch.
+#[derive(Debug, Clone)]
+pub enum RouteChoice {
+    /// Descend on this specific link.
+    Down(LinkId),
+    /// Ascend; pick among these equal-cost uplinks.
+    Up(Vec<LinkId>),
+}
+
+/// A built topology: switches, link endpoints, host attachments.
+#[derive(Debug)]
+pub struct Topology {
+    /// Shape parameters.
+    pub cfg: FatTreeConfig,
+    /// Host count.
+    pub n_hosts: u32,
+    /// Switch metadata (T0s first, then T1s, then T2s).
+    pub switches: Vec<SwitchMeta>,
+    /// Link endpoint specs, indexed by `LinkId`.
+    pub links: Vec<LinkSpec>,
+    /// Per-host uplink (host → ToR).
+    pub host_up: Vec<LinkId>,
+    /// Per-host downlink (ToR → host).
+    pub host_down: Vec<LinkId>,
+}
+
+impl Topology {
+    /// Builds the fabric described by `cfg`, salting switches from `seed`.
+    pub fn build(cfg: FatTreeConfig, seed: u64) -> Topology {
+        let mut sm = seed ^ 0x7070_1057_BADC_AB1E;
+        Builder::new(cfg, &mut sm).build()
+    }
+
+    /// The ToR switch a host hangs off.
+    pub fn tor_of(&self, host: HostId) -> SwitchId {
+        SwitchId(host.0 / self.cfg.hosts_per_tor)
+    }
+
+    /// The pod a host belongs to (always 0 in 2-tier fabrics).
+    pub fn pod_of(&self, host: HostId) -> u32 {
+        let tor = host.0 / self.cfg.hosts_per_tor;
+        tor / self.cfg.tors
+    }
+
+    /// Routes a packet for `dst` arriving at `sw`.
+    ///
+    /// Returns `None` if the switch cannot make progress (should not happen
+    /// in a well-formed fabric).
+    pub fn route(&self, sw: SwitchId, dst: HostId) -> Option<RouteChoice> {
+        let meta = &self.switches[sw.index()];
+        let cfg = &self.cfg;
+        let dst_tor_global = dst.0 / cfg.hosts_per_tor;
+        match meta.tier {
+            Tier::T0 => {
+                let my_tor_global = meta.pod * cfg.tors + meta.idx;
+                if dst_tor_global == my_tor_global {
+                    let slot = (dst.0 % cfg.hosts_per_tor) as usize;
+                    Some(RouteChoice::Down(meta.down_links[slot]))
+                } else {
+                    Some(RouteChoice::Up(meta.up_links.clone()))
+                }
+            }
+            Tier::T1 => {
+                let dst_pod = dst_tor_global / cfg.tors;
+                if cfg.tiers == 2 || dst_pod == meta.pod {
+                    let slot = (dst_tor_global % cfg.tors) as usize;
+                    Some(RouteChoice::Down(meta.down_links[slot]))
+                } else {
+                    Some(RouteChoice::Up(meta.up_links.clone()))
+                }
+            }
+            Tier::T2 => {
+                let dst_pod = (dst_tor_global / cfg.tors) as usize;
+                Some(RouteChoice::Down(meta.down_links[dst_pod]))
+            }
+        }
+    }
+
+    /// All bidirectional switch-to-switch cables, as `(up_link, down_link)`
+    /// unidirectional pairs, for the failure experiments.
+    pub fn cable_pairs(&self) -> Vec<(LinkId, LinkId)> {
+        let mut pairs = Vec::new();
+        for meta in &self.switches {
+            // Each switch's uplinks pair with the peer switch's downlink back.
+            for &up in &meta.up_links {
+                let peer = match self.links[up.index()].to {
+                    NodeRef::Switch(s) => s,
+                    NodeRef::Host(_) => continue,
+                };
+                let me = NodeRef::Switch(meta.id);
+                let down = self.switches[peer.index()]
+                    .down_links
+                    .iter()
+                    .copied()
+                    .find(|&l| self.links[l.index()].to == me)
+                    .expect("cable must be bidirectional");
+                pairs.push((up, down));
+            }
+        }
+        pairs
+    }
+
+    /// The `(up, down)` cable pairs from one specific ToR to its T1s.
+    pub fn tor_uplink_pairs(&self, tor: SwitchId) -> Vec<(LinkId, LinkId)> {
+        let meta = &self.switches[tor.index()];
+        assert!(matches!(meta.tier, Tier::T0), "not a ToR: {tor}");
+        let me = NodeRef::Switch(meta.id);
+        meta.up_links
+            .iter()
+            .map(|&up| {
+                let peer = match self.links[up.index()].to {
+                    NodeRef::Switch(s) => s,
+                    NodeRef::Host(_) => unreachable!("ToR uplink must reach a switch"),
+                };
+                let down = self.switches[peer.index()]
+                    .down_links
+                    .iter()
+                    .copied()
+                    .find(|&l| self.links[l.index()].to == me)
+                    .expect("cable must be bidirectional");
+                (up, down)
+            })
+            .collect()
+    }
+
+    /// All links adjacent to a switch (both directions), for switch failures.
+    pub fn switch_links(&self, sw: SwitchId) -> Vec<LinkId> {
+        let meta = &self.switches[sw.index()];
+        let mut out: Vec<LinkId> = meta
+            .up_links
+            .iter()
+            .chain(&meta.down_links)
+            .copied()
+            .collect();
+        let me = NodeRef::Switch(sw);
+        for (i, spec) in self.links.iter().enumerate() {
+            if spec.to == me {
+                out.push(LinkId(i as u32));
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// T1 switches (useful for targeted failures).
+    pub fn t1_switches(&self) -> Vec<SwitchId> {
+        self.switches
+            .iter()
+            .filter(|m| matches!(m.tier, Tier::T1))
+            .map(|m| m.id)
+            .collect()
+    }
+
+    /// T0 switches.
+    pub fn t0_switches(&self) -> Vec<SwitchId> {
+        self.switches
+            .iter()
+            .filter(|m| matches!(m.tier, Tier::T0))
+            .map(|m| m.id)
+            .collect()
+    }
+}
+
+struct Builder {
+    cfg: FatTreeConfig,
+    salts: Vec<u64>,
+    switches: Vec<SwitchMeta>,
+    links: Vec<LinkSpec>,
+    host_up: Vec<LinkId>,
+    host_down: Vec<LinkId>,
+}
+
+impl Builder {
+    fn new(cfg: FatTreeConfig, seed: &mut u64) -> Builder {
+        let n_switches = (cfg.n_tors() + cfg.n_t1() + cfg.n_cores()) as usize;
+        let salts = (0..n_switches)
+            .map(|_| crate::rng::splitmix64(seed))
+            .collect();
+        Builder {
+            cfg,
+            salts,
+            switches: Vec::new(),
+            links: Vec::new(),
+            host_up: Vec::new(),
+            host_down: Vec::new(),
+        }
+    }
+
+    fn add_link(&mut self, from: NodeRef, to: NodeRef) -> LinkId {
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(LinkSpec { from, to });
+        id
+    }
+
+    fn build(mut self) -> Topology {
+        let cfg = self.cfg.clone();
+        let n_tors = cfg.n_tors();
+        let n_t1 = cfg.n_t1();
+        let n_cores = cfg.n_cores();
+        // Switch ids: [0, n_tors) T0, [n_tors, n_tors+n_t1) T1, rest T2.
+        for pod in 0..cfg.pods {
+            for t in 0..cfg.tors {
+                let id = SwitchId(pod * cfg.tors + t);
+                self.switches.push(SwitchMeta {
+                    id,
+                    tier: Tier::T0,
+                    pod,
+                    idx: t,
+                    up_links: Vec::new(),
+                    down_links: Vec::new(),
+                    salt: self.salts[id.index()],
+                    alive: true,
+                });
+            }
+        }
+        for pod in 0..cfg.pods {
+            for g in 0..cfg.tor_uplinks {
+                let id = SwitchId(n_tors + pod * cfg.tor_uplinks + g);
+                self.switches.push(SwitchMeta {
+                    id,
+                    tier: Tier::T1,
+                    pod,
+                    idx: g,
+                    up_links: Vec::new(),
+                    down_links: Vec::new(),
+                    salt: self.salts[id.index()],
+                    alive: true,
+                });
+            }
+        }
+        for g in 0..cfg.tor_uplinks {
+            for c in 0..cfg.t1_uplinks {
+                let id = SwitchId(n_tors + n_t1 + g * cfg.t1_uplinks + c);
+                self.switches.push(SwitchMeta {
+                    id,
+                    tier: Tier::T2,
+                    pod: g,
+                    idx: c,
+                    up_links: Vec::new(),
+                    down_links: Vec::new(),
+                    salt: self.salts[id.index()],
+                    alive: true,
+                });
+            }
+        }
+        debug_assert_eq!(self.switches.len(), (n_tors + n_t1 + n_cores) as usize);
+
+        // Hosts <-> ToRs.
+        let n_hosts = cfg.n_hosts();
+        for h in 0..n_hosts {
+            let host = HostId(h);
+            let tor = SwitchId(h / cfg.hosts_per_tor);
+            let up = self.add_link(NodeRef::Host(host), NodeRef::Switch(tor));
+            let down = self.add_link(NodeRef::Switch(tor), NodeRef::Host(host));
+            self.host_up.push(up);
+            self.host_down.push(down);
+            self.switches[tor.index()].down_links.push(down);
+        }
+
+        // ToRs <-> T1s (within pod for 3-tier; global for 2-tier).
+        for pod in 0..cfg.pods {
+            for t in 0..cfg.tors {
+                let tor = SwitchId(pod * cfg.tors + t);
+                for g in 0..cfg.tor_uplinks {
+                    let t1 = SwitchId(n_tors + pod * cfg.tor_uplinks + g);
+                    let up = self.add_link(NodeRef::Switch(tor), NodeRef::Switch(t1));
+                    let down = self.add_link(NodeRef::Switch(t1), NodeRef::Switch(tor));
+                    self.switches[tor.index()].up_links.push(up);
+                    // T1 down link slot = ToR index within pod; keep ordered.
+                    self.switches[t1.index()].down_links.push(down);
+                }
+            }
+        }
+        // T1 down_links were pushed grouped by ToR-then-T1 order; fix ordering:
+        // for each T1, down link to ToR t must sit at slot t. The loop above
+        // pushes, for T1 g, one link per ToR t in increasing t — but
+        // interleaved across T1s. Re-sort by destination ToR index.
+        for meta in &mut self.switches {
+            if matches!(meta.tier, Tier::T1) {
+                let links = &self.links;
+                meta.down_links.sort_by_key(|l| match links[l.index()].to {
+                    NodeRef::Switch(s) => s.0,
+                    NodeRef::Host(_) => u32::MAX,
+                });
+            }
+        }
+
+        // T1s <-> cores (3-tier only).
+        if cfg.tiers == 3 {
+            for pod in 0..cfg.pods {
+                for g in 0..cfg.tor_uplinks {
+                    let t1 = SwitchId(n_tors + pod * cfg.tor_uplinks + g);
+                    for c in 0..cfg.t1_uplinks {
+                        let core = SwitchId(n_tors + n_t1 + g * cfg.t1_uplinks + c);
+                        let up = self.add_link(NodeRef::Switch(t1), NodeRef::Switch(core));
+                        let down = self.add_link(NodeRef::Switch(core), NodeRef::Switch(t1));
+                        self.switches[t1.index()].up_links.push(up);
+                        // Core down slot = pod (filled in pod order).
+                        self.switches[core.index()].down_links.push(down);
+                    }
+                }
+            }
+        }
+
+        Topology {
+            n_hosts,
+            cfg,
+            switches: self.switches,
+            links: self.links,
+            host_up: self.host_up,
+            host_down: self.host_down,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_tier_counts_match_paper_128() {
+        // Radix-16, 1:1 — the paper's 128-node microbenchmark fabric with
+        // 8 uplinks per ToR.
+        let cfg = FatTreeConfig::two_tier(16, 1);
+        assert_eq!(cfg.n_hosts(), 128);
+        assert_eq!(cfg.hosts_per_tor, 8);
+        assert_eq!(cfg.tor_uplinks, 8);
+        assert_eq!(cfg.n_tors(), 16);
+        assert_eq!(cfg.n_t1(), 8);
+    }
+
+    #[test]
+    fn two_tier_8192_nodes() {
+        let cfg = FatTreeConfig::two_tier(128, 1);
+        assert_eq!(cfg.n_hosts(), 8192);
+    }
+
+    #[test]
+    fn three_tier_1024_nodes() {
+        let cfg = FatTreeConfig::three_tier(16, 1);
+        assert_eq!(cfg.n_hosts(), 1024);
+        assert_eq!(cfg.n_cores(), 64);
+    }
+
+    #[test]
+    fn oversubscription_shrinks_uplinks() {
+        let cfg = FatTreeConfig::two_tier(16, 3);
+        assert_eq!(cfg.tor_uplinks, 4);
+        assert_eq!(cfg.hosts_per_tor, 12);
+    }
+
+    fn walk(topo: &Topology, src: HostId, dst: HostId, ev: u16) -> (usize, bool) {
+        // Follow the route, always taking the hash choice on Up.
+        let mut hops = 0;
+        let mut at = topo.links[topo.host_up[src.index()].index()].to;
+        loop {
+            hops += 1;
+            assert!(hops < 16, "routing loop detected");
+            match at {
+                NodeRef::Host(h) => return (hops, h == dst),
+                NodeRef::Switch(sw) => {
+                    let choice = topo.route(sw, dst).expect("route");
+                    let link = match choice {
+                        RouteChoice::Down(l) => l,
+                        RouteChoice::Up(candidates) => {
+                            let meta = &topo.switches[sw.index()];
+                            let i =
+                                crate::hash::ecmp_select(src, dst, ev, meta.salt, candidates.len());
+                            candidates[i]
+                        }
+                    };
+                    at = topo.links[link.index()].to;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_tier_all_pairs_reachable() {
+        let topo = Topology::build(FatTreeConfig::two_tier(8, 1), 1);
+        let n = topo.n_hosts;
+        for s in 0..n {
+            for d in 0..n {
+                if s == d {
+                    continue;
+                }
+                for ev in [0u16, 7, 999] {
+                    let (hops, ok) = walk(&topo, HostId(s), HostId(d), ev);
+                    assert!(ok, "h{s} -> h{d} failed");
+                    let same_tor = s / topo.cfg.hosts_per_tor == d / topo.cfg.hosts_per_tor;
+                    if same_tor {
+                        assert_eq!(hops, 2, "same-rack path must be 2 hops");
+                    } else {
+                        assert_eq!(hops, 4, "cross-rack path must be 4 hops");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn three_tier_all_pairs_reachable() {
+        let topo = Topology::build(FatTreeConfig::three_tier(4, 1), 1);
+        let n = topo.n_hosts;
+        assert_eq!(n, 16);
+        for s in 0..n {
+            for d in 0..n {
+                if s == d {
+                    continue;
+                }
+                for ev in [0u16, 3, 12345] {
+                    let (hops, ok) = walk(&topo, HostId(s), HostId(d), ev);
+                    assert!(ok, "h{s} -> h{d} (ev {ev}) failed");
+                    assert!(hops <= 6, "path too long: {hops}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn different_evs_reach_different_t1s() {
+        let topo = Topology::build(FatTreeConfig::two_tier(16, 1), 3);
+        // From the first ToR, count distinct uplinks chosen across EVs.
+        let tor = topo.tor_of(HostId(0));
+        let meta = &topo.switches[tor.index()];
+        let mut used = std::collections::HashSet::new();
+        for ev in 0..512u16 {
+            let i = crate::hash::ecmp_select(HostId(0), HostId(127), ev, meta.salt, 8);
+            used.insert(i);
+        }
+        assert_eq!(used.len(), 8, "EVs must cover all uplinks");
+    }
+
+    #[test]
+    fn cable_pairs_are_symmetric() {
+        let topo = Topology::build(FatTreeConfig::two_tier(8, 1), 5);
+        let pairs = topo.cable_pairs();
+        // 8 ToRs x 4 uplinks = 32 cables.
+        assert_eq!(pairs.len(), 32);
+        for (up, down) in pairs {
+            let u = &topo.links[up.index()];
+            let d = &topo.links[down.index()];
+            assert_eq!(u.from, d.to);
+            assert_eq!(u.to, d.from);
+        }
+    }
+
+    #[test]
+    fn tor_uplink_pairs_count() {
+        let topo = Topology::build(FatTreeConfig::two_tier(16, 1), 5);
+        let pairs = topo.tor_uplink_pairs(SwitchId(0));
+        assert_eq!(pairs.len(), 8);
+    }
+
+    #[test]
+    fn switch_links_cover_both_directions() {
+        let topo = Topology::build(FatTreeConfig::two_tier(8, 1), 5);
+        // A T1 switch has 8 down links and 8 incoming links (no ups).
+        let t1 = topo.t1_switches()[0];
+        let links = topo.switch_links(t1);
+        assert_eq!(links.len(), 16);
+    }
+
+    #[test]
+    fn fpga_testbed_shape() {
+        // 128 endpoints, 2 ToRs, 8 T1s (§4.4.3).
+        let cfg = FatTreeConfig::two_tier_custom(2, 64, 8);
+        let topo = Topology::build(cfg, 9);
+        assert_eq!(topo.n_hosts, 128);
+        assert_eq!(topo.t0_switches().len(), 2);
+        assert_eq!(topo.t1_switches().len(), 8);
+        let (hops, ok) = walk(&topo, HostId(0), HostId(64), 17);
+        assert!(ok);
+        assert_eq!(hops, 4);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the simulator substrate: topology/routing
+//! invariants, tracker correctness, hash uniformity.
+
+use proptest::prelude::*;
+
+use netsim::hash::ecmp_select;
+use netsim::ids::{HostId, NodeRef};
+use netsim::topology::{FatTreeConfig, RouteChoice, Topology};
+
+/// Walks a packet from `src` to `dst`, taking the hash choice on every
+/// ECMP ascent; returns hop count on success.
+fn walk(topo: &Topology, src: HostId, dst: HostId, ev: u16) -> Option<usize> {
+    let mut at = topo.links[topo.host_up[src.index()].index()].to;
+    for hops in 1..=16 {
+        match at {
+            NodeRef::Host(h) => return (h == dst).then_some(hops),
+            NodeRef::Switch(sw) => {
+                let link = match topo.route(sw, dst)? {
+                    RouteChoice::Down(l) => l,
+                    RouteChoice::Up(c) => {
+                        let salt = topo.switches[sw.index()].salt;
+                        c[ecmp_select(src, dst, ev, salt, c.len())]
+                    }
+                };
+                at = topo.links[link.index()].to;
+            }
+        }
+    }
+    None
+}
+
+proptest! {
+    /// Any host pair is connected under any entropy in any 2-tier fabric.
+    #[test]
+    fn two_tier_universal_reachability(
+        radix_half in 2u32..9,
+        oversub in 1u32..4,
+        seed in any::<u64>(),
+        ev in any::<u16>(),
+        pair in any::<(u32, u32)>(),
+    ) {
+        let k = radix_half * (oversub + 1);
+        let cfg = FatTreeConfig::two_tier(k, oversub);
+        let topo = Topology::build(cfg, seed);
+        let n = topo.n_hosts;
+        let src = HostId(pair.0 % n);
+        let dst = HostId(pair.1 % n);
+        prop_assume!(src != dst);
+        let hops = walk(&topo, src, dst, ev);
+        prop_assert!(hops.is_some(), "{src} -> {dst} unreachable");
+        prop_assert!(hops.unwrap() <= 4);
+    }
+
+    /// Any host pair is connected under any entropy in any 3-tier fabric.
+    #[test]
+    fn three_tier_universal_reachability(
+        k_half in 1u32..5,
+        seed in any::<u64>(),
+        ev in any::<u16>(),
+        pair in any::<(u32, u32)>(),
+    ) {
+        let cfg = FatTreeConfig::three_tier(k_half * 2, 1);
+        let topo = Topology::build(cfg, seed);
+        let n = topo.n_hosts;
+        let src = HostId(pair.0 % n);
+        let dst = HostId(pair.1 % n);
+        prop_assume!(src != dst);
+        let hops = walk(&topo, src, dst, ev);
+        prop_assert!(hops.is_some(), "{src} -> {dst} unreachable");
+        prop_assert!(hops.unwrap() <= 6);
+    }
+
+    /// Every cable pair is mutually inverse.
+    #[test]
+    fn cable_pairs_are_inverse(radix_half in 2u32..8, seed in any::<u64>()) {
+        let topo = Topology::build(FatTreeConfig::two_tier(radix_half * 2, 1), seed);
+        for (up, down) in topo.cable_pairs() {
+            let u = &topo.links[up.index()];
+            let d = &topo.links[down.index()];
+            prop_assert_eq!(u.from, d.to);
+            prop_assert_eq!(u.to, d.from);
+        }
+    }
+
+    /// ECMP selection is always in range and deterministic.
+    #[test]
+    fn ecmp_select_in_range_and_stable(
+        src in any::<u32>(),
+        dst in any::<u32>(),
+        ev in any::<u16>(),
+        salt in any::<u64>(),
+        n in 1usize..64,
+    ) {
+        let a = ecmp_select(HostId(src), HostId(dst), ev, salt, n);
+        let b = ecmp_select(HostId(src), HostId(dst), ev, salt, n);
+        prop_assert!(a < n);
+        prop_assert_eq!(a, b);
+    }
+
+    /// RED marking probability is monotone in occupancy and clamped.
+    #[test]
+    fn red_probability_monotone(
+        kmin in 1u64..1_000_000,
+        span in 1u64..1_000_000,
+        occ_a in any::<u64>(),
+        occ_b in any::<u64>(),
+    ) {
+        let kmax = kmin + span;
+        let a = occ_a % (2 * kmax);
+        let b = occ_b % (2 * kmax);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let p_lo = netsim::link::red_mark_probability(lo, kmin, kmax);
+        let p_hi = netsim::link::red_mark_probability(hi, kmin, kmax);
+        prop_assert!((0.0..=1.0).contains(&p_lo));
+        prop_assert!((0.0..=1.0).contains(&p_hi));
+        prop_assert!(p_lo <= p_hi);
+    }
+}

@@ -1,0 +1,605 @@
+//! The per-host transport endpoint.
+//!
+//! `HostEndpoint` implements [`netsim::engine::Endpoint`]: it demultiplexes
+//! packets to per-peer sender/receiver connections, runs the retransmission
+//! and delayed-ACK sweeps, paces EQDS credit grants, schedules workload
+//! message starts, and fires dependency triggers when messages complete
+//! (the mechanism the AI-collective workloads are built on).
+
+use std::collections::HashMap;
+
+use netsim::engine::{Command, Ctx, Endpoint, MessageSpec};
+use netsim::ids::{ConnId, HostId};
+use netsim::packet::{Ack, Body, Packet};
+use netsim::time::Time;
+
+use crate::cc::Cc;
+use crate::config::TransportConfig;
+use crate::conn::{ReceiverConn, SenderConn};
+
+/// Timer token: periodic RTO / delayed-ACK sweep.
+const TOKEN_SWEEP: u64 = 1;
+/// Timer token: EQDS credit pacer tick.
+const TOKEN_EQDS: u64 = 2;
+/// Timer token: scheduled message starts.
+const TOKEN_SCHEDULE: u64 = 3;
+
+/// A host's transport stack.
+pub struct HostEndpoint {
+    /// This host's id (fixed at construction).
+    pub host: HostId,
+    cfg: TransportConfig,
+    /// Link rate, for pacing credit grants.
+    link_bps: u64,
+    /// Total hosts (connection-id derivation).
+    n_hosts: u32,
+    /// Senders keyed by `(destination, background-class)`.
+    senders: HashMap<(HostId, bool), SenderConn>,
+    /// Receivers keyed by connection id (distinguishes traffic classes).
+    receivers: HashMap<ConnId, ReceiverConn>,
+    /// Messages to start at fixed times, sorted by time ascending.
+    schedule: Vec<(Time, MessageSpec)>,
+    schedule_next: usize,
+    /// tag → messages to start when a message with that tag is *received*.
+    on_receive: HashMap<u64, Vec<MessageSpec>>,
+    /// tag → messages to start when our *send* with that tag completes.
+    on_send_complete: HashMap<u64, Vec<MessageSpec>>,
+    sweep_armed: bool,
+    eqds_armed: bool,
+    /// Round-robin cursor over demanding peers (EQDS pacer fairness).
+    eqds_rr: usize,
+}
+
+impl HostEndpoint {
+    /// Creates the endpoint for `host` in a fabric of `n_hosts`.
+    pub fn new(host: HostId, n_hosts: u32, link_bps: u64, cfg: TransportConfig) -> HostEndpoint {
+        HostEndpoint {
+            host,
+            cfg,
+            link_bps,
+            n_hosts,
+            senders: HashMap::new(),
+            receivers: HashMap::new(),
+            schedule: Vec::new(),
+            schedule_next: 0,
+            on_receive: HashMap::new(),
+            on_send_complete: HashMap::new(),
+            sweep_armed: false,
+            eqds_armed: false,
+            eqds_rr: 0,
+        }
+    }
+
+    /// Schedules a message to start at an absolute time.
+    ///
+    /// Must be called before the engine delivers `HostStart` (time zero).
+    pub fn schedule_message(&mut self, at: Time, spec: MessageSpec) {
+        self.schedule.push((at, spec));
+        self.schedule.sort_by_key(|(t, _)| *t);
+    }
+
+    /// Starts `spec` when a message tagged `tag` is fully received.
+    pub fn trigger_on_receive(&mut self, tag: u64, spec: MessageSpec) {
+        self.on_receive.entry(tag).or_default().push(spec);
+    }
+
+    /// Starts `spec` when our own send tagged `tag` completes.
+    pub fn trigger_on_send_complete(&mut self, tag: u64, spec: MessageSpec) {
+        self.on_send_complete.entry(tag).or_default().push(spec);
+    }
+
+    /// Read access to a foreground sender connection (instrumentation).
+    pub fn sender(&self, dst: HostId) -> Option<&SenderConn> {
+        self.senders.get(&(dst, false))
+    }
+
+    /// Number of live connections (instrumentation).
+    pub fn connection_count(&self) -> (usize, usize) {
+        (self.senders.len(), self.receivers.len())
+    }
+
+    fn conn_id(&self, src: HostId, dst: HostId, bg: bool) -> ConnId {
+        ConnId((src.0 * self.n_hosts + dst.0) * 2 + bg as u32)
+    }
+
+    fn arm_sweep(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.sweep_armed {
+            self.sweep_armed = true;
+            ctx.set_timer(self.cfg.rto / 4, TOKEN_SWEEP);
+        }
+    }
+
+    fn arm_eqds(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.eqds_armed {
+            self.eqds_armed = true;
+            let tick = Time::serialization(
+                self.cfg.eqds_quantum_pkts as u64 * self.cfg.mtu as u64,
+                self.link_bps,
+            );
+            ctx.set_timer(tick, TOKEN_EQDS);
+        }
+    }
+
+    fn start_message(&mut self, spec: MessageSpec, ctx: &mut Ctx<'_>) {
+        let bg = spec.tag & crate::config::BACKGROUND_BIT != 0;
+        let conn = self.conn_id(self.host, spec.dst, bg);
+        let cfg = &self.cfg;
+        let tx = self.senders.entry((spec.dst, bg)).or_insert_with(|| {
+            let kind = if bg {
+                cfg.bg_lb.as_ref().unwrap_or(&cfg.lb)
+            } else {
+                &cfg.lb
+            };
+            let lb = kind.build(ctx.rng);
+            let cc = Cc::build(cfg.cc, cfg.cc_params);
+            SenderConn::new(conn, spec.dst, lb, cc, cfg)
+        });
+        tx.enqueue(spec.flow, spec.tag, spec.bytes, ctx.now);
+        tx.pump(ctx);
+        self.arm_sweep(ctx);
+    }
+
+    fn send_ack(&mut self, peer: HostId, conn: ConnId, ack: Ack, ctx: &mut Ctx<'_>) {
+        // ACKs reuse the newest echoed EV for their own routing (§3.1): no
+        // extra header space, and the reverse path reflects the data path.
+        let ev = ack.echoes.last().map(|e| e.ev).unwrap_or(0);
+        let pkt = Packet::control(
+            ctx.fresh_packet_id(),
+            self.host,
+            peer,
+            conn,
+            ev,
+            Body::Ack(ack),
+        );
+        ctx.send(pkt);
+    }
+
+    fn fire_receive_triggers(&mut self, tag: u64, ctx: &mut Ctx<'_>) {
+        if let Some(specs) = self.on_receive.remove(&tag) {
+            for spec in specs {
+                self.start_message(spec, ctx);
+            }
+        }
+    }
+
+    fn fire_send_triggers(&mut self, tags: Vec<u64>, ctx: &mut Ctx<'_>) {
+        for tag in tags {
+            if let Some(specs) = self.on_send_complete.remove(&tag) {
+                for spec in specs {
+                    self.start_message(spec, ctx);
+                }
+            }
+        }
+    }
+
+    fn on_sweep(&mut self, ctx: &mut Ctx<'_>) {
+        self.sweep_armed = false;
+        let rto = self.cfg.rto;
+        for tx in self.senders.values_mut() {
+            tx.check_timeouts(rto, ctx);
+        }
+        // Delayed-ACK flush: release observations older than a quarter RTO.
+        let cutoff = ctx.now.saturating_sub(rto / 4);
+        let stale: Vec<(HostId, ConnId, Ack)> = self
+            .receivers
+            .values_mut()
+            .filter_map(|rx| rx.flush_stale(cutoff).map(|a| (rx.peer, rx.conn, a)))
+            .collect();
+        for (peer, conn, ack) in stale {
+            self.send_ack(peer, conn, ack, ctx);
+        }
+        let busy =
+            self.senders.values().any(|tx| !tx.idle()) || self.schedule_next < self.schedule.len();
+        if busy {
+            self.arm_sweep(ctx);
+        }
+    }
+
+    fn on_eqds_tick(&mut self, ctx: &mut Ctx<'_>) {
+        self.eqds_armed = false;
+        let mut demanding: Vec<(ConnId, HostId)> = self
+            .receivers
+            .values()
+            .filter(|rx| rx.demand_bytes > 0)
+            .map(|rx| (rx.conn, rx.peer))
+            .collect();
+        if demanding.is_empty() {
+            return;
+        }
+        // Deterministic round-robin order across HashMap iteration.
+        demanding.sort_unstable_by_key(|(c, _)| *c);
+        let (conn, peer) = demanding[self.eqds_rr % demanding.len()];
+        self.eqds_rr = self.eqds_rr.wrapping_add(1);
+        let quantum = self.cfg.eqds_quantum_pkts as u64 * self.cfg.mtu as u64;
+        let grant;
+        {
+            let rx = self.receivers.get_mut(&conn).expect("listed");
+            grant = rx.demand_bytes.min(quantum);
+            rx.demand_bytes -= grant;
+        }
+        let pkt = Packet::control(
+            ctx.fresh_packet_id(),
+            self.host,
+            peer,
+            conn,
+            ctx.rng.gen_range(1 << 16) as u16,
+            Body::Credit { bytes: grant },
+        );
+        ctx.send(pkt);
+        self.arm_eqds(ctx);
+    }
+
+    fn run_schedule(&mut self, ctx: &mut Ctx<'_>) {
+        while self.schedule_next < self.schedule.len()
+            && self.schedule[self.schedule_next].0 <= ctx.now
+        {
+            let spec = self.schedule[self.schedule_next].1;
+            self.schedule_next += 1;
+            self.start_message(spec, ctx);
+        }
+        if self.schedule_next < self.schedule.len() {
+            let next_at = self.schedule[self.schedule_next].0;
+            ctx.set_timer(next_at.saturating_sub(ctx.now), TOKEN_SCHEDULE);
+        }
+    }
+}
+
+impl Endpoint for HostEndpoint {
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+        match &pkt.body {
+            Body::Data { .. } => {
+                let peer = pkt.src;
+                let conn = pkt.conn;
+                let cfg = &self.cfg;
+                let rx = self
+                    .receivers
+                    .entry(conn)
+                    .or_insert_with(|| ReceiverConn::new(peer, conn, cfg));
+                let out = rx.on_data(&pkt, ctx.now);
+                let demand = rx.demand_bytes;
+                if let Some(seq) = out.nack_seq {
+                    let nack = Packet::control(
+                        ctx.fresh_packet_id(),
+                        self.host,
+                        peer,
+                        conn,
+                        pkt.ev,
+                        Body::Nack { seq },
+                    );
+                    ctx.send(nack);
+                }
+                if let Some(ack) = out.ack {
+                    self.send_ack(peer, conn, ack, ctx);
+                }
+                if let Some(tag) = out.completed_tag {
+                    self.fire_receive_triggers(tag, ctx);
+                }
+                if matches!(self.cfg.cc, crate::cc::CcKind::Eqds) && demand > 0 {
+                    self.arm_eqds(ctx);
+                }
+            }
+            Body::Ack(ack) => {
+                let bg = pkt.conn.0 & 1 == 1;
+                if let Some(tx) = self.senders.get_mut(&(pkt.src, bg)) {
+                    let outcome = tx.on_ack(ack, ctx);
+                    for record in outcome.completed {
+                        ctx.complete_flow(record);
+                    }
+                    self.fire_send_triggers(outcome.completed_tags, ctx);
+                }
+            }
+            Body::Nack { seq } => {
+                let bg = pkt.conn.0 & 1 == 1;
+                if let Some(tx) = self.senders.get_mut(&(pkt.src, bg)) {
+                    tx.on_nack(*seq, ctx);
+                }
+            }
+            Body::Credit { bytes } => {
+                let bg = pkt.conn.0 & 1 == 1;
+                if let Some(tx) = self.senders.get_mut(&(pkt.src, bg)) {
+                    if let Some(eqds) = tx.cc.as_eqds_mut() {
+                        eqds.grant(*bytes);
+                    }
+                    tx.pump(ctx);
+                }
+            }
+            Body::Probe { token } => {
+                let reply = Packet::control(
+                    ctx.fresh_packet_id(),
+                    self.host,
+                    pkt.src,
+                    pkt.conn,
+                    pkt.ev,
+                    Body::ProbeReply { token: *token },
+                );
+                ctx.send(reply);
+            }
+            Body::ProbeReply { .. } => {
+                // Probing-based freezing exit is an extension the paper
+                // leaves optional (§3.2); the timer-based exit is the default.
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>) {
+        match token {
+            TOKEN_SWEEP => self.on_sweep(ctx),
+            TOKEN_EQDS => self.on_eqds_tick(ctx),
+            TOKEN_SCHEDULE => self.run_schedule(ctx),
+            _ => {}
+        }
+    }
+
+    fn on_command(&mut self, cmd: Command, ctx: &mut Ctx<'_>) {
+        match cmd {
+            Command::StartMessage(spec) => self.start_message(spec, ctx),
+            Command::Custom(_) => {
+                // HostStart: begin executing the static schedule.
+                self.run_schedule(ctx);
+                self.arm_sweep(ctx);
+            }
+        }
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baselines::kind::LbKind;
+    use netsim::config::SimConfig;
+    use netsim::engine::Engine;
+    use netsim::event::ControlEvent;
+    use netsim::ids::FlowId;
+    use netsim::topology::{FatTreeConfig, Topology};
+    use reps::reps::RepsConfig;
+
+    fn build_engine(lb: LbKind, seed: u64) -> Engine {
+        let sim = SimConfig::paper_default();
+        let topo = Topology::build(FatTreeConfig::two_tier(16, 1), seed);
+        let n = topo.n_hosts;
+        let mut engine = Engine::new(topo, sim, seed);
+        let tcfg = TransportConfig::from_sim(&engine.cfg, 4, lb);
+        for h in 0..n {
+            let ep = HostEndpoint::new(HostId(h), n, engine.cfg.link_bps, tcfg.clone());
+            engine.set_endpoint(HostId(h), Box::new(ep));
+        }
+        engine
+    }
+
+    fn start(engine: &mut Engine, flow: u32, src: u32, dst: u32, bytes: u64) {
+        engine.command(
+            HostId(src),
+            Command::StartMessage(MessageSpec {
+                flow: FlowId(flow),
+                dst: HostId(dst),
+                bytes,
+                tag: flow as u64,
+            }),
+        );
+    }
+
+    #[test]
+    fn single_message_completes_with_correct_fct_shape() {
+        let mut engine = build_engine(LbKind::Ops { evs_size: 1 << 16 }, 1);
+        engine.stats.expected_flows = 1;
+        start(&mut engine, 0, 0, 64, 1 << 20); // 1 MiB cross-rack.
+        assert!(engine.run_to_completion(Time::from_ms(10)));
+        let rec = &engine.stats.flows[0];
+        assert_eq!(rec.bytes, 1 << 20);
+        // 1 MiB at 400 Gbps is ~21 us serialization; with RTT and ramp-up the
+        // FCT must land between that and a loose upper bound.
+        let fct_us = rec.fct().as_us();
+        assert!(fct_us >= 21, "FCT {fct_us}us impossibly fast");
+        assert!(fct_us < 200, "FCT {fct_us}us unreasonably slow");
+        assert_eq!(engine.stats.counters.total_drops(), 0);
+    }
+
+    #[test]
+    fn reps_transport_completes_and_recycles() {
+        let mut engine = build_engine(LbKind::Reps(RepsConfig::default()), 2);
+        engine.stats.expected_flows = 1;
+        start(&mut engine, 0, 3, 90, 4 << 20);
+        assert!(engine.run_to_completion(Time::from_ms(10)));
+        assert_eq!(engine.stats.counters.retransmissions, 0);
+    }
+
+    #[test]
+    fn several_concurrent_flows_all_complete() {
+        let mut engine = build_engine(LbKind::Ops { evs_size: 1 << 16 }, 3);
+        engine.stats.expected_flows = 8;
+        for i in 0..8 {
+            start(&mut engine, i, i, 64 + i, 256 << 10);
+        }
+        assert!(engine.run_to_completion(Time::from_ms(10)));
+        assert_eq!(engine.stats.flows.len(), 8);
+    }
+
+    #[test]
+    fn incast_completes_under_congestion() {
+        let mut engine = build_engine(LbKind::Ops { evs_size: 1 << 16 }, 4);
+        engine.stats.expected_flows = 8;
+        // 8:1 incast into host 0.
+        for i in 0..8 {
+            start(&mut engine, i, 16 + i, 0, 1 << 20);
+        }
+        assert!(engine.run_to_completion(Time::from_ms(50)));
+        // The receiver downlink is the bottleneck: ECN marks must appear.
+        assert!(engine.stats.counters.ecn_marks > 0);
+    }
+
+    #[test]
+    fn link_failure_triggers_timeouts_and_retransmissions() {
+        let mut engine = build_engine(LbKind::Ops { evs_size: 1 << 16 }, 5);
+        engine.stats.expected_flows = 1;
+        // Fail one ToR uplink pair 20 us in, forever.
+        let pairs = engine.topo.tor_uplink_pairs(netsim::ids::SwitchId(0));
+        let (up, down) = pairs[0];
+        engine.schedule_control(Time::from_us(20), ControlEvent::LinkDown(up));
+        engine.schedule_control(Time::from_us(20), ControlEvent::LinkDown(down));
+        start(&mut engine, 0, 0, 64, 8 << 20);
+        assert!(
+            engine.run_to_completion(Time::from_ms(100)),
+            "flow must survive a single uplink failure"
+        );
+        assert!(engine.stats.counters.drops_link_down > 0);
+        assert!(engine.stats.counters.retransmissions > 0);
+        assert!(engine.stats.counters.timeouts > 0);
+    }
+
+    #[test]
+    fn reps_loses_fewer_packets_than_ops_under_failure() {
+        // The paper's headline failure claim, in miniature: with a mid-run
+        // uplink failure, REPS (freezing) must suffer far fewer blackhole
+        // drops than OPS.
+        let mut drops = Vec::new();
+        for lb in [
+            LbKind::Ops { evs_size: 1 << 16 },
+            LbKind::Reps(RepsConfig::default()),
+        ] {
+            let mut engine = build_engine(lb, 6);
+            engine.stats.expected_flows = 1;
+            let pairs = engine.topo.tor_uplink_pairs(netsim::ids::SwitchId(0));
+            let (up, down) = pairs[0];
+            engine.schedule_control(Time::from_us(30), ControlEvent::LinkDown(up));
+            engine.schedule_control(Time::from_us(30), ControlEvent::LinkDown(down));
+            start(&mut engine, 0, 0, 64, 16 << 20);
+            assert!(engine.run_to_completion(Time::from_ms(100)));
+            drops.push(engine.stats.counters.drops_link_down);
+        }
+        assert!(
+            drops[1] * 2 < drops[0],
+            "REPS drops {} not well below OPS drops {}",
+            drops[1],
+            drops[0]
+        );
+    }
+
+    #[test]
+    fn eqds_credit_flow_completes() {
+        let sim = SimConfig::paper_default();
+        let topo = Topology::build(FatTreeConfig::two_tier(16, 1), 7);
+        let n = topo.n_hosts;
+        let mut engine = Engine::new(topo, sim, 7);
+        let tcfg = TransportConfig::from_sim(&engine.cfg, 4, LbKind::Ops { evs_size: 1 << 16 })
+            .with_cc(crate::cc::CcKind::Eqds);
+        for h in 0..n {
+            let ep = HostEndpoint::new(HostId(h), n, engine.cfg.link_bps, tcfg.clone());
+            engine.set_endpoint(HostId(h), Box::new(ep));
+        }
+        engine.stats.expected_flows = 1;
+        start(&mut engine, 0, 0, 64, 4 << 20);
+        assert!(
+            engine.run_to_completion(Time::from_ms(20)),
+            "EQDS flow stalled: speculative window or credits broken"
+        );
+    }
+
+    #[test]
+    fn coalesced_acks_reduce_control_traffic() {
+        let mut ctrl = Vec::new();
+        for ratio in [1u32, 8] {
+            let sim = SimConfig::paper_default();
+            let topo = Topology::build(FatTreeConfig::two_tier(16, 1), 8);
+            let n = topo.n_hosts;
+            let mut engine = Engine::new(topo, sim, 8);
+            let tcfg = TransportConfig::from_sim(&engine.cfg, 4, LbKind::Ops { evs_size: 1 << 16 })
+                .with_coalesce(crate::config::CoalesceConfig::ratio(
+                    ratio,
+                    crate::config::CoalesceVariant::Plain,
+                ));
+            for h in 0..n {
+                let ep = HostEndpoint::new(HostId(h), n, engine.cfg.link_bps, tcfg.clone());
+                engine.set_endpoint(HostId(h), Box::new(ep));
+            }
+            engine.stats.expected_flows = 1;
+            start(&mut engine, 0, 0, 64, 4 << 20);
+            assert!(engine.run_to_completion(Time::from_ms(20)));
+            ctrl.push(engine.stats.counters.ctrl_tx);
+        }
+        assert!(
+            ctrl[1] * 4 < ctrl[0],
+            "8:1 coalescing sent {} control packets vs {} at 1:1",
+            ctrl[1],
+            ctrl[0]
+        );
+    }
+
+    #[test]
+    fn scheduled_messages_start_at_their_times() {
+        let sim = SimConfig::paper_default();
+        let topo = Topology::build(FatTreeConfig::two_tier(8, 1), 9);
+        let n = topo.n_hosts;
+        let mut engine = Engine::new(topo, sim, 9);
+        let tcfg = TransportConfig::from_sim(&engine.cfg, 4, LbKind::Ops { evs_size: 1 << 16 });
+        for h in 0..n {
+            let mut ep = HostEndpoint::new(HostId(h), n, engine.cfg.link_bps, tcfg.clone());
+            if h == 0 {
+                ep.schedule_message(
+                    Time::from_us(50),
+                    MessageSpec {
+                        flow: FlowId(0),
+                        dst: HostId(16),
+                        bytes: 64 << 10,
+                        tag: 0,
+                    },
+                );
+            }
+            engine.set_endpoint(HostId(h), Box::new(ep));
+        }
+        engine.schedule_control(Time::ZERO, ControlEvent::HostStart(HostId(0)));
+        engine.stats.expected_flows = 1;
+        assert!(engine.run_to_completion(Time::from_ms(5)));
+        let rec = &engine.stats.flows[0];
+        assert_eq!(
+            rec.start,
+            Time::from_us(50),
+            "FCT origin is the scheduled start"
+        );
+    }
+
+    #[test]
+    fn receive_trigger_chains_messages_across_hosts() {
+        // Host 0 sends to host 16; when host 16 receives it, it sends to 32.
+        let sim = SimConfig::paper_default();
+        let topo = Topology::build(FatTreeConfig::two_tier(16, 1), 10);
+        let n = topo.n_hosts;
+        let mut engine = Engine::new(topo, sim, 10);
+        let tcfg = TransportConfig::from_sim(&engine.cfg, 4, LbKind::Ops { evs_size: 1 << 16 });
+        for h in 0..n {
+            let mut ep = HostEndpoint::new(HostId(h), n, engine.cfg.link_bps, tcfg.clone());
+            if h == 16 {
+                ep.trigger_on_receive(
+                    77,
+                    MessageSpec {
+                        flow: FlowId(1),
+                        dst: HostId(32),
+                        bytes: 128 << 10,
+                        tag: 78,
+                    },
+                );
+            }
+            engine.set_endpoint(HostId(h), Box::new(ep));
+        }
+        engine.stats.expected_flows = 2;
+        engine.command(
+            HostId(0),
+            Command::StartMessage(MessageSpec {
+                flow: FlowId(0),
+                dst: HostId(16),
+                bytes: 128 << 10,
+                tag: 77,
+            }),
+        );
+        assert!(engine.run_to_completion(Time::from_ms(10)));
+        let by_flow: HashMap<u32, &netsim::stats::FlowRecord> =
+            engine.stats.flows.iter().map(|f| (f.flow.0, f)).collect();
+        assert!(
+            by_flow[&1].start >= by_flow[&0].end - Time::from_us(5),
+            "chained flow must not start before the first finishes arriving"
+        );
+    }
+}

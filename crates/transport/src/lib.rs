@@ -1,0 +1,25 @@
+//! An out-of-order, Ultra-Ethernet-like transport for the REPS evaluation.
+//!
+//! The transport accepts and acknowledges packets out of order (the paper's
+//! prerequisite for per-packet spraying), tracks delivery with SACK bitmaps,
+//! detects losses by retransmission timeout (optionally accelerated by
+//! fabric packet trimming), and supports per-packet or coalesced ACKs,
+//! including the paper's *Carry EVs* and *Reuse EVs* variants (§4.5.1).
+//!
+//! Three congestion controllers are provided (§4.5.3): a per-ACK DCTCP
+//! variant (the default, as used by MPRDMA), an EQDS-like receiver-driven
+//! credit scheme, and a DCQCN-like stand-in for the paper's proprietary
+//! "internal" algorithm. Any [`reps::lb::LoadBalancer`] plugs in per
+//! connection through [`baselines::kind::LbKind`].
+
+pub mod cc;
+pub mod config;
+pub mod conn;
+pub mod endpoint;
+pub mod sack;
+
+pub use cc::{Cc, CcKind, CcParams, CongestionControl};
+pub use config::{CoalesceConfig, CoalesceVariant, TransportConfig};
+pub use conn::{ReceiverConn, SenderConn};
+pub use endpoint::HostEndpoint;
+pub use sack::OooTracker;

@@ -1,0 +1,219 @@
+//! AI training collectives (§4.2): ring/butterfly AllReduce and windowed
+//! AllToAll, expressed as dependency-linked message graphs.
+
+use netsim::ids::HostId;
+use netsim::time::Time;
+
+use crate::spec::{StartRule, Workload};
+
+/// Ring AllReduce over `n` nodes of a `bytes` buffer.
+///
+/// The classic 2(n−1)-phase ring: each phase, node `i` sends one `bytes/n`
+/// chunk to `(i+1) % n`, and may only send phase `p` after receiving the
+/// phase `p−1` chunk from its predecessor. The first `n−1` phases
+/// reduce-scatter; the rest all-gather. By design congestion never
+/// accumulates — the paper's observation that all balancers tie here.
+pub fn ring_allreduce(n: u32, bytes: u64) -> Workload {
+    assert!(n >= 2);
+    let chunk = (bytes / n as u64).max(1);
+    let mut w = Workload::new(format!("ring-allreduce-{bytes}B"));
+    let phases = 2 * (n - 1);
+    // Tag layout: phase * n + sender.
+    for phase in 0..phases {
+        for i in 0..n {
+            let dst = HostId((i + 1) % n);
+            let start = if phase == 0 {
+                StartRule::At(Time::ZERO)
+            } else {
+                // Node i received the phase-1 chunk from its predecessor.
+                let pred = (i + n - 1) % n;
+                StartRule::OnReceive {
+                    tag: ((phase - 1) * n + pred) as u64,
+                }
+            };
+            let spec = w.push(HostId(i), dst, chunk, start);
+            // Overwrite the auto-assigned tag with the phase layout.
+            let idx = spec.flow.index();
+            w.flows[idx].tag = (phase * n + i) as u64;
+        }
+    }
+    w
+}
+
+/// Butterfly (recursive halving/doubling) AllReduce over `n` nodes.
+///
+/// log2(n) reduce-scatter rounds with shrinking messages, then log2(n)
+/// all-gather rounds growing back. Partner in round `r` is `i XOR 2^r`.
+///
+/// # Panics
+///
+/// Panics unless `n` is a power of two ≥ 2.
+pub fn butterfly_allreduce(n: u32, bytes: u64) -> Workload {
+    assert!(
+        n.is_power_of_two() && n >= 2,
+        "butterfly needs a power of two"
+    );
+    let rounds = n.trailing_zeros();
+    let mut w = Workload::new(format!("butterfly-allreduce-{bytes}B"));
+    let total_rounds = 2 * rounds;
+    // Tag layout: round * n + sender.
+    for round in 0..total_rounds {
+        // Reduce-scatter halves the payload every round; all-gather doubles.
+        let size = if round < rounds {
+            (bytes >> (round + 1)).max(1)
+        } else {
+            let back = round - rounds;
+            (bytes >> (rounds - back)).max(1)
+        };
+        let stage_bit = if round < rounds {
+            round
+        } else {
+            total_rounds - 1 - round
+        };
+        for i in 0..n {
+            let partner = HostId(i ^ (1 << stage_bit));
+            let start = if round == 0 {
+                StartRule::At(Time::ZERO)
+            } else {
+                // Wait for the partner exchange of the previous round.
+                let prev_bit = if round <= rounds {
+                    round - 1
+                } else {
+                    total_rounds - round
+                };
+                let prev_partner = i ^ (1 << prev_bit);
+                StartRule::OnReceive {
+                    tag: ((round - 1) * n + prev_partner) as u64,
+                }
+            };
+            let spec = w.push(HostId(i), partner, size, start);
+            let idx = spec.flow.index();
+            w.flows[idx].tag = (round * n + i) as u64;
+        }
+    }
+    w
+}
+
+/// AllToAll with at most `window` concurrent connections per node (§4.2's
+/// "n connections" parameter).
+///
+/// Node `i` sends `bytes` to `(i + k) % n` for `k = 1..n`, the classic
+/// shift schedule; send `k` starts when send `k − window` completes.
+pub fn alltoall(n: u32, bytes: u64, window: u32) -> Workload {
+    assert!(n >= 2);
+    let window = window.max(1);
+    let mut w = Workload::new(format!("alltoall-n{window}-{bytes}B"));
+    // Tag layout: sender * n + shift.
+    for i in 0..n {
+        for k in 1..n {
+            let dst = HostId((i + k) % n);
+            let start = if k <= window {
+                StartRule::At(Time::ZERO)
+            } else {
+                StartRule::OnSendComplete {
+                    tag: (i * n + (k - window)) as u64,
+                }
+            };
+            let spec = w.push(HostId(i), dst, bytes, start);
+            let idx = spec.flow.index();
+            w.flows[idx].tag = (i * n + k) as u64;
+        }
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_shape_and_dependencies() {
+        let n = 8;
+        let w = ring_allreduce(n, 4 << 20);
+        assert_eq!(w.len(), (2 * (n - 1) * n) as usize);
+        assert!(w.validate(n).is_ok());
+        // Phase 0 flows start immediately; all others on receive.
+        let immediate = w
+            .flows
+            .iter()
+            .filter(|f| matches!(f.start, StartRule::At(_)))
+            .count();
+        assert_eq!(immediate, n as usize);
+        // Data conservation: 2(n-1) phases of n chunks of bytes/n.
+        assert_eq!(w.total_bytes(), 2 * (n as u64 - 1) * (4 << 20));
+    }
+
+    #[test]
+    fn ring_dependency_follows_the_ring() {
+        let n = 4;
+        let w = ring_allreduce(n, 1 << 20);
+        // Flow of node 2 in phase 1 awaits node 1's phase-0 chunk.
+        let f = w
+            .flows
+            .iter()
+            .find(|f| f.tag == (n + 2) as u64)
+            .expect("phase1/node2");
+        assert_eq!(f.start, StartRule::OnReceive { tag: 1 });
+    }
+
+    #[test]
+    fn butterfly_shape() {
+        let n = 16;
+        let w = butterfly_allreduce(n, 16 << 20);
+        assert!(w.validate(n).is_ok());
+        // 2*log2(16)=8 rounds of n messages.
+        assert_eq!(w.len(), (8 * n) as usize);
+        // Round 0 sends bytes/2 to the XOR-1 partner.
+        assert_eq!(w.flows[0].dst, HostId(1));
+        assert_eq!(w.flows[0].bytes, 8 << 20);
+        // Sizes shrink then grow symmetrically.
+        let sizes: Vec<u64> = (0..8).map(|r| w.flows[(r * n) as usize].bytes).collect();
+        assert_eq!(
+            sizes,
+            vec![
+                8 << 20,
+                4 << 20,
+                2 << 20,
+                1 << 20,
+                1 << 20,
+                2 << 20,
+                4 << 20,
+                8 << 20
+            ]
+        );
+    }
+
+    #[test]
+    fn butterfly_requires_power_of_two() {
+        let r = std::panic::catch_unwind(|| butterfly_allreduce(12, 1024));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn alltoall_window_limits_initial_sends() {
+        let n = 8;
+        for window in [1u32, 4, 16] {
+            let w = alltoall(n, 1 << 20, window);
+            assert!(w.validate(n).is_ok(), "window {window}");
+            assert_eq!(w.len(), (n * (n - 1)) as usize);
+            let immediate = w
+                .flows
+                .iter()
+                .filter(|f| matches!(f.start, StartRule::At(_)))
+                .count();
+            let expected = (n * window.min(n - 1)) as usize;
+            assert_eq!(immediate, expected, "window {window}");
+        }
+    }
+
+    #[test]
+    fn alltoall_covers_all_pairs() {
+        let n = 6;
+        let w = alltoall(n, 100, 2);
+        let mut pairs = std::collections::HashSet::new();
+        for f in &w.flows {
+            pairs.insert((f.src.0, f.dst.0));
+        }
+        assert_eq!(pairs.len(), (n * (n - 1)) as usize);
+    }
+}

@@ -1,0 +1,20 @@
+//! Workload generators for the REPS evaluation (§4.2, Appendix D).
+//!
+//! Workloads are pure message graphs ([`spec::Workload`]): lists of flows
+//! with start rules (fixed time, on-receive, on-send-complete) that the
+//! harness installs onto transport endpoints.
+//!
+//! * [`patterns`] — incast, permutation, tornado;
+//! * [`traces`] — WebSearch/Facebook flow-size CDFs with Poisson arrivals
+//!   at a target load;
+//! * [`collectives`] — ring and butterfly AllReduce, windowed AllToAll.
+
+pub mod collectives;
+pub mod patterns;
+pub mod spec;
+pub mod traces;
+
+pub use collectives::{alltoall, butterfly_allreduce, ring_allreduce};
+pub use patterns::{incast, permutation, tornado};
+pub use spec::{FlowSpec, StartRule, Workload};
+pub use traces::{poisson_trace, SizeCdf};

@@ -1,0 +1,120 @@
+//! Synthetic traffic patterns: incast, permutation, tornado (§4.2).
+
+use netsim::ids::HostId;
+use netsim::rng::Rng64;
+use netsim::time::Time;
+
+use crate::spec::{StartRule, Workload};
+
+/// `degree`:1 incast: hosts `receiver+1 ..= receiver+degree` (mod `n`) all
+/// send `bytes` to `receiver` at time zero.
+///
+/// # Panics
+///
+/// Panics if `degree >= n`.
+pub fn incast(n: u32, degree: u32, receiver: HostId, bytes: u64) -> Workload {
+    assert!(degree < n, "incast degree must leave room for the receiver");
+    let mut w = Workload::new(format!("incast-{degree}:1-{bytes}B"));
+    for i in 1..=degree {
+        let src = HostId((receiver.0 + i) % n);
+        w.push(src, receiver, bytes, StartRule::At(Time::ZERO));
+    }
+    w
+}
+
+/// Random permutation: every host sends `bytes` to a distinct host, nobody
+/// receives twice, nobody sends to itself (a seeded derangement).
+pub fn permutation(n: u32, bytes: u64, rng: &mut Rng64) -> Workload {
+    let mut w = Workload::new(format!("permutation-{bytes}B"));
+    let targets = derangement(n, rng);
+    for (src, &dst) in targets.iter().enumerate() {
+        w.push(
+            HostId(src as u32),
+            HostId(dst),
+            bytes,
+            StartRule::At(Time::ZERO),
+        );
+    }
+    w
+}
+
+/// Tornado: node `i` sends to its twin `(i + n/2) % n` — every packet must
+/// traverse the full tree, the paper's load-balancing worst case.
+pub fn tornado(n: u32, bytes: u64) -> Workload {
+    let mut w = Workload::new(format!("tornado-{bytes}B"));
+    for i in 0..n {
+        let dst = HostId((i + n / 2) % n);
+        w.push(HostId(i), dst, bytes, StartRule::At(Time::ZERO));
+    }
+    w
+}
+
+/// A uniformly random derangement of `0..n` (no fixed points), by rejection.
+pub fn derangement(n: u32, rng: &mut Rng64) -> Vec<u32> {
+    assert!(n >= 2, "derangement needs at least two elements");
+    loop {
+        let mut v: Vec<u32> = (0..n).collect();
+        rng.shuffle(&mut v);
+        if v.iter().enumerate().all(|(i, &x)| i as u32 != x) {
+            return v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incast_shape() {
+        let w = incast(128, 8, HostId(0), 4 << 20);
+        assert_eq!(w.len(), 8);
+        assert!(w.flows.iter().all(|f| f.dst == HostId(0)));
+        assert!(w.validate(128).is_ok());
+    }
+
+    #[test]
+    fn incast_wraps_around_host_space() {
+        let w = incast(8, 7, HostId(6), 100);
+        assert!(w.validate(8).is_ok());
+        let srcs: std::collections::HashSet<u32> = w.flows.iter().map(|f| f.src.0).collect();
+        assert_eq!(srcs.len(), 7);
+        assert!(!srcs.contains(&6));
+    }
+
+    #[test]
+    fn permutation_is_a_derangement() {
+        let mut rng = Rng64::new(42);
+        let w = permutation(128, 1 << 20, &mut rng);
+        assert_eq!(w.len(), 128);
+        assert!(w.validate(128).is_ok());
+        let mut dsts: Vec<u32> = w.flows.iter().map(|f| f.dst.0).collect();
+        dsts.sort_unstable();
+        assert_eq!(
+            dsts,
+            (0..128).collect::<Vec<_>>(),
+            "every host receives once"
+        );
+    }
+
+    #[test]
+    fn tornado_pairs_twins() {
+        let w = tornado(128, 16 << 20);
+        assert!(w.validate(128).is_ok());
+        assert_eq!(w.flows[0].dst, HostId(64));
+        assert_eq!(w.flows[64].dst, HostId(0));
+        assert_eq!(w.flows[1].dst, HostId(65));
+    }
+
+    #[test]
+    fn derangement_has_no_fixed_points() {
+        let mut rng = Rng64::new(7);
+        for n in [2u32, 3, 10, 100] {
+            let d = derangement(n, &mut rng);
+            assert!(d.iter().enumerate().all(|(i, &x)| i as u32 != x));
+            let mut sorted = d.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+        }
+    }
+}

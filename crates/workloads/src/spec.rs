@@ -1,0 +1,214 @@
+//! Workload descriptions: messages, start rules, dependencies.
+//!
+//! A [`Workload`] is a pure data structure — a list of messages with start
+//! rules — that the harness installs onto transport endpoints. Start rules
+//! express the dependency structure of collectives: a message can start at a
+//! wall-clock time, when its sender *receives* a tagged message (ring/
+//! butterfly neighbor data), or when an earlier *send* of the same host
+//! completes (windowed AllToAll).
+
+use netsim::ids::{FlowId, HostId};
+use netsim::time::Time;
+
+/// When a message may start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StartRule {
+    /// At an absolute simulation time.
+    At(Time),
+    /// When the sending host has fully received the message tagged `tag`.
+    OnReceive {
+        /// Tag of the awaited inbound message.
+        tag: u64,
+    },
+    /// When this host's own send tagged `tag` has been fully acknowledged.
+    OnSendComplete {
+        /// Tag of the awaited outbound message.
+        tag: u64,
+    },
+}
+
+/// One application message.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowSpec {
+    /// Unique flow id (also used in completion records).
+    pub flow: FlowId,
+    /// Sender.
+    pub src: HostId,
+    /// Receiver.
+    pub dst: HostId,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// Globally-unique tag (dependency key; carried on the wire).
+    pub tag: u64,
+    /// Start rule.
+    pub start: StartRule,
+}
+
+/// A complete workload.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Human-readable name for reports.
+    pub name: String,
+    /// All messages.
+    pub flows: Vec<FlowSpec>,
+}
+
+impl Workload {
+    /// Creates an empty workload.
+    pub fn new(name: impl Into<String>) -> Workload {
+        Workload {
+            name: name.into(),
+            flows: Vec::new(),
+        }
+    }
+
+    /// Number of messages.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Whether the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Total payload bytes across all messages.
+    pub fn total_bytes(&self) -> u64 {
+        self.flows.iter().map(|f| f.bytes).sum()
+    }
+
+    /// Appends a flow, assigning the next flow id and tag.
+    pub fn push(&mut self, src: HostId, dst: HostId, bytes: u64, start: StartRule) -> FlowSpec {
+        let id = self.flows.len() as u32;
+        let spec = FlowSpec {
+            flow: FlowId(id),
+            src,
+            dst,
+            bytes,
+            tag: id as u64,
+            start,
+        };
+        self.flows.push(spec);
+        spec
+    }
+
+    /// Validates internal consistency against a fabric of `n_hosts`.
+    ///
+    /// Checks host ranges, self-sends, tag uniqueness and that every
+    /// dependency tag exists.
+    pub fn validate(&self, n_hosts: u32) -> Result<(), String> {
+        let mut tags = std::collections::HashSet::new();
+        for f in &self.flows {
+            if f.src.0 >= n_hosts || f.dst.0 >= n_hosts {
+                return Err(format!("flow {} out of host range", f.flow));
+            }
+            if f.src == f.dst {
+                return Err(format!("flow {} sends to itself", f.flow));
+            }
+            if !tags.insert(f.tag) {
+                return Err(format!("duplicate tag {}", f.tag));
+            }
+        }
+        for f in &self.flows {
+            match f.start {
+                StartRule::At(_) => {}
+                StartRule::OnReceive { tag } => {
+                    // The awaited message must exist and be addressed to us.
+                    let Some(dep) = self.flows.iter().find(|d| d.tag == tag) else {
+                        return Err(format!("flow {} awaits unknown tag {tag}", f.flow));
+                    };
+                    if dep.dst != f.src {
+                        return Err(format!(
+                            "flow {} awaits tag {tag} which is not addressed to {}",
+                            f.flow, f.src
+                        ));
+                    }
+                }
+                StartRule::OnSendComplete { tag } => {
+                    let Some(dep) = self.flows.iter().find(|d| d.tag == tag) else {
+                        return Err(format!("flow {} awaits unknown tag {tag}", f.flow));
+                    };
+                    if dep.src != f.src {
+                        return Err(format!(
+                            "flow {} chains on tag {tag} sent by a different host",
+                            f.flow
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_assigns_sequential_ids_and_tags() {
+        let mut w = Workload::new("t");
+        let a = w.push(HostId(0), HostId(1), 100, StartRule::At(Time::ZERO));
+        let b = w.push(HostId(1), HostId(2), 200, StartRule::At(Time::ZERO));
+        assert_eq!(a.flow, FlowId(0));
+        assert_eq!(b.flow, FlowId(1));
+        assert_eq!(b.tag, 1);
+        assert_eq!(w.total_bytes(), 300);
+    }
+
+    #[test]
+    fn validate_catches_self_send() {
+        let mut w = Workload::new("t");
+        w.push(HostId(0), HostId(0), 1, StartRule::At(Time::ZERO));
+        assert!(w.validate(4).is_err());
+    }
+
+    #[test]
+    fn validate_catches_out_of_range() {
+        let mut w = Workload::new("t");
+        w.push(HostId(0), HostId(9), 1, StartRule::At(Time::ZERO));
+        assert!(w.validate(4).is_err());
+    }
+
+    #[test]
+    fn validate_checks_receive_dependency_addressing() {
+        let mut w = Workload::new("t");
+        let first = w.push(HostId(0), HostId(1), 1, StartRule::At(Time::ZERO));
+        // Host 1 received the message, so host 1 may chain on it.
+        w.push(
+            HostId(1),
+            HostId(2),
+            1,
+            StartRule::OnReceive { tag: first.tag },
+        );
+        assert!(w.validate(4).is_ok());
+        // Host 3 never receives tag 0: invalid.
+        w.push(
+            HostId(3),
+            HostId(2),
+            1,
+            StartRule::OnReceive { tag: first.tag },
+        );
+        assert!(w.validate(4).is_err());
+    }
+
+    #[test]
+    fn validate_checks_send_chaining() {
+        let mut w = Workload::new("t");
+        let first = w.push(HostId(0), HostId(1), 1, StartRule::At(Time::ZERO));
+        w.push(
+            HostId(0),
+            HostId(2),
+            1,
+            StartRule::OnSendComplete { tag: first.tag },
+        );
+        assert!(w.validate(4).is_ok());
+        w.push(
+            HostId(1),
+            HostId(2),
+            1,
+            StartRule::OnSendComplete { tag: first.tag },
+        );
+        assert!(w.validate(4).is_err());
+    }
+}

@@ -1,0 +1,271 @@
+//! Datacenter trace workloads (§4.2, Appendix D).
+//!
+//! The paper replays production web-search traces (the DCTCP distribution)
+//! and a Facebook-style distribution: mostly sub-100 KB flows with a heavy
+//! tail. We embed the published piecewise CDFs (Fig. 24's shape) and draw
+//! flow sizes from them, with Poisson arrivals scaled to a target load.
+
+use netsim::ids::HostId;
+use netsim::rng::Rng64;
+use netsim::time::Time;
+
+use crate::spec::{StartRule, Workload};
+
+/// A piecewise-linear flow-size CDF.
+#[derive(Debug, Clone)]
+pub struct SizeCdf {
+    /// `(bytes, cumulative probability)` points, strictly increasing in both.
+    points: Vec<(f64, f64)>,
+    name: &'static str,
+}
+
+impl SizeCdf {
+    /// Builds a CDF from `(bytes, probability)` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless points are strictly increasing and end at probability 1.
+    pub fn new(name: &'static str, points: &[(u64, f64)]) -> SizeCdf {
+        assert!(points.len() >= 2, "need at least two CDF points");
+        for w in points.windows(2) {
+            assert!(w[0].0 < w[1].0, "bytes must increase");
+            assert!(w[0].1 <= w[1].1, "probability must not decrease");
+        }
+        assert!(
+            (points.last().unwrap().1 - 1.0).abs() < 1e-9,
+            "CDF must end at 1"
+        );
+        SizeCdf {
+            points: points.iter().map(|&(b, p)| (b as f64, p)).collect(),
+            name,
+        }
+    }
+
+    /// The web-search distribution from the DCTCP paper, as replayed by the
+    /// paper's DC-trace experiments: most flows under 100 KB, a few huge.
+    pub fn websearch() -> SizeCdf {
+        SizeCdf::new(
+            "WebSearch",
+            &[
+                (1_000, 0.00),
+                (2_000, 0.15),
+                (3_000, 0.20),
+                (5_000, 0.30),
+                (7_000, 0.40),
+                (10_000, 0.53),
+                (20_000, 0.60),
+                (30_000, 0.70),
+                (50_000, 0.80),
+                (80_000, 0.90),
+                (200_000, 0.95),
+                (1_000_000, 0.98),
+                (2_000_000, 0.99),
+                (30_000_000, 1.00),
+            ],
+        )
+    }
+
+    /// A Facebook-style distribution: dominated by small messages with a
+    /// shorter tail than web search (Appendix D).
+    pub fn facebook() -> SizeCdf {
+        SizeCdf::new(
+            "Facebook",
+            &[
+                (100, 0.00),
+                (300, 0.20),
+                (600, 0.40),
+                (1_000, 0.55),
+                (2_000, 0.65),
+                (5_000, 0.75),
+                (10_000, 0.82),
+                (50_000, 0.90),
+                (100_000, 0.94),
+                (1_000_000, 0.98),
+                (10_000_000, 1.00),
+            ],
+        )
+    }
+
+    /// Distribution name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Samples one flow size in bytes.
+    pub fn sample(&self, rng: &mut Rng64) -> u64 {
+        let u = rng.gen_f64();
+        self.quantile(u)
+    }
+
+    /// The `u`-quantile (inverse CDF), linearly interpolated.
+    pub fn quantile(&self, u: f64) -> u64 {
+        let u = u.clamp(0.0, 1.0);
+        let mut prev = self.points[0];
+        for &(b, p) in &self.points[1..] {
+            if u <= p {
+                if p <= prev.1 {
+                    return b as u64;
+                }
+                let frac = (u - prev.1) / (p - prev.1);
+                return (prev.0 + frac * (b - prev.0)) as u64;
+            }
+            prev = (b, p);
+        }
+        self.points.last().unwrap().0 as u64
+    }
+
+    /// Mean flow size in bytes (by trapezoidal integration of the quantile).
+    pub fn mean_bytes(&self) -> f64 {
+        let mut mean = 0.0;
+        let mut prev = self.points[0];
+        for &(b, p) in &self.points[1..] {
+            mean += (p - prev.1) * (b + prev.0) / 2.0;
+            prev = (b, p);
+        }
+        mean
+    }
+
+    /// Evaluates the CDF at `bytes` (for Fig. 24-style reporting).
+    pub fn cdf_at(&self, bytes: u64) -> f64 {
+        let x = bytes as f64;
+        if x <= self.points[0].0 {
+            return self.points[0].1;
+        }
+        let mut prev = self.points[0];
+        for &(b, p) in &self.points[1..] {
+            if x <= b {
+                let frac = (x - prev.0) / (b - prev.0);
+                return prev.1 + frac * (p - prev.1);
+            }
+            prev = (b, p);
+        }
+        1.0
+    }
+}
+
+/// Generates a Poisson-arrival trace workload at a given `load` (fraction of
+/// per-host link capacity), running for `duration` of arrivals.
+///
+/// Each flow picks a uniformly random sender and an independent random
+/// receiver (the paper: "for each node we select randomly the receiver").
+pub fn poisson_trace(
+    n_hosts: u32,
+    load: f64,
+    duration: Time,
+    link_bps: u64,
+    cdf: &SizeCdf,
+    rng: &mut Rng64,
+) -> Workload {
+    assert!(n_hosts >= 2);
+    assert!(load > 0.0 && load <= 1.2, "load {load} out of range");
+    let mut w = Workload::new(format!("dctrace-{}-{:.0}%", cdf.name(), load * 100.0));
+    // Aggregate arrival rate in flows/second across the fabric.
+    let bytes_per_sec = load * n_hosts as f64 * link_bps as f64 / 8.0;
+    let flows_per_sec = bytes_per_sec / cdf.mean_bytes();
+    let mean_gap_ps = 1e12 / flows_per_sec;
+    let mut t = 0.0f64;
+    loop {
+        // Exponential inter-arrival.
+        let u: f64 = rng.gen_f64();
+        t += -mean_gap_ps * (1.0 - u).ln();
+        if t >= duration.as_ps() as f64 {
+            break;
+        }
+        let src = HostId(rng.gen_range(n_hosts as u64) as u32);
+        let mut dst = HostId(rng.gen_range(n_hosts as u64) as u32);
+        while dst == src {
+            dst = HostId(rng.gen_range(n_hosts as u64) as u32);
+        }
+        let bytes = cdf.sample(rng).max(1);
+        w.push(src, dst, bytes, StartRule::At(Time::from_ps(t as u64)));
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn websearch_quantiles_match_published_points() {
+        let cdf = SizeCdf::websearch();
+        assert_eq!(cdf.quantile(0.15), 2_000);
+        assert_eq!(cdf.quantile(0.53), 10_000);
+        assert_eq!(cdf.quantile(1.0), 30_000_000);
+        // Between points: interpolated.
+        let q = cdf.quantile(0.175);
+        assert!((2_000..3_000).contains(&q), "q={q}");
+    }
+
+    #[test]
+    fn cdf_and_quantile_are_inverse() {
+        let cdf = SizeCdf::websearch();
+        for u in [0.05, 0.25, 0.5, 0.75, 0.95] {
+            let b = cdf.quantile(u);
+            let back = cdf.cdf_at(b);
+            assert!((back - u).abs() < 0.02, "u={u} b={b} back={back}");
+        }
+    }
+
+    #[test]
+    fn most_websearch_flows_are_small_but_tail_is_heavy() {
+        let cdf = SizeCdf::websearch();
+        let mut rng = Rng64::new(3);
+        let sizes: Vec<u64> = (0..20_000).map(|_| cdf.sample(&mut rng)).collect();
+        let small = sizes.iter().filter(|&&s| s < 100_000).count() as f64 / sizes.len() as f64;
+        assert!(small > 0.85, "small fraction {small}");
+        assert!(*sizes.iter().max().unwrap() > 1_000_000, "tail missing");
+    }
+
+    #[test]
+    fn sample_mean_tracks_analytic_mean() {
+        let cdf = SizeCdf::websearch();
+        let mut rng = Rng64::new(5);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| cdf.sample(&mut rng) as f64).sum();
+        let sample_mean = sum / n as f64;
+        let analytic = cdf.mean_bytes();
+        let rel = (sample_mean - analytic).abs() / analytic;
+        assert!(rel < 0.1, "sample {sample_mean} vs analytic {analytic}");
+    }
+
+    #[test]
+    fn facebook_is_smaller_than_websearch() {
+        assert!(SizeCdf::facebook().mean_bytes() < SizeCdf::websearch().mean_bytes());
+    }
+
+    #[test]
+    fn poisson_trace_load_scaling() {
+        let mut rng = Rng64::new(9);
+        let cdf = SizeCdf::websearch();
+        let dur = Time::from_ms(2);
+        let w40 = poisson_trace(128, 0.4, dur, 400_000_000_000, &cdf, &mut rng);
+        let w100 = poisson_trace(128, 1.0, dur, 400_000_000_000, &cdf, &mut rng);
+        assert!(w40.validate(128).is_ok());
+        assert!(w100.validate(128).is_ok());
+        // Offered bytes should scale roughly linearly with load.
+        let ratio = w100.total_bytes() as f64 / w40.total_bytes() as f64;
+        assert!((1.8..3.5).contains(&ratio), "ratio {ratio}");
+        // Offered load sanity: bytes over duration ≈ 40% of aggregate capacity.
+        let cap_bytes = 0.4 * 128.0 * 400e9 / 8.0 * dur.as_secs_f64();
+        let rel = w40.total_bytes() as f64 / cap_bytes;
+        assert!((0.6..1.6).contains(&rel), "offered/target {rel}");
+    }
+
+    #[test]
+    fn poisson_arrivals_are_ordered_and_in_range() {
+        let mut rng = Rng64::new(11);
+        let cdf = SizeCdf::facebook();
+        let dur = Time::from_ms(1);
+        let w = poisson_trace(64, 0.5, dur, 400_000_000_000, &cdf, &mut rng);
+        let mut last = Time::ZERO;
+        for f in &w.flows {
+            let StartRule::At(t) = f.start else {
+                panic!("trace flows start at fixed times")
+            };
+            assert!(t >= last, "arrivals must be sorted");
+            assert!(t < dur);
+            last = t;
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for workload generators: structural invariants of
+//! patterns, collectives and trace sampling.
+
+use proptest::prelude::*;
+
+use netsim::rng::Rng64;
+use workloads::collectives::{alltoall, butterfly_allreduce, ring_allreduce};
+use workloads::patterns::{derangement, incast, permutation, tornado};
+use workloads::traces::SizeCdf;
+
+proptest! {
+    /// Derangements are permutations without fixed points, for any size.
+    #[test]
+    fn derangement_invariants(n in 2u32..300, seed in any::<u64>()) {
+        let mut rng = Rng64::new(seed);
+        let d = derangement(n, &mut rng);
+        prop_assert_eq!(d.len(), n as usize);
+        let mut sorted = d.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+        prop_assert!(d.iter().enumerate().all(|(i, &x)| i as u32 != x));
+    }
+
+    /// Permutation workloads validate and cover every host exactly once as
+    /// sender and receiver.
+    #[test]
+    fn permutation_validates(n in 2u32..200, seed in any::<u64>()) {
+        let mut rng = Rng64::new(seed);
+        let w = permutation(n, 1 << 16, &mut rng);
+        prop_assert!(w.validate(n).is_ok());
+        prop_assert_eq!(w.len(), n as usize);
+    }
+
+    /// Tornado pairs are symmetric for even splits.
+    #[test]
+    fn tornado_validates(half in 1u32..100) {
+        let n = half * 2;
+        let w = tornado(n, 4096);
+        prop_assert!(w.validate(n).is_ok());
+        for f in &w.flows {
+            prop_assert_eq!(f.dst.0, (f.src.0 + n / 2) % n);
+        }
+    }
+
+    /// Incast validates for any degree below the host count.
+    #[test]
+    fn incast_validates(n in 3u32..200, deg_frac in 1u32..100, recv in any::<u32>()) {
+        let degree = 1 + deg_frac % (n - 1);
+        let receiver = netsim::ids::HostId(recv % n);
+        let w = incast(n, degree, receiver, 1000);
+        prop_assert!(w.validate(n).is_ok());
+        prop_assert_eq!(w.len(), degree as usize);
+    }
+
+    /// Ring AllReduce dependency graphs validate and conserve data volume.
+    #[test]
+    fn ring_allreduce_validates(n in 2u32..64, mib in 1u64..16) {
+        let bytes = mib << 20;
+        let w = ring_allreduce(n, bytes);
+        prop_assert!(w.validate(n).is_ok());
+        // 2(n-1) phases of n chunk-sized messages.
+        let chunk = (bytes / n as u64).max(1);
+        prop_assert_eq!(w.total_bytes(), 2 * (n as u64 - 1) * n as u64 * chunk);
+    }
+
+    /// Butterfly AllReduce validates for every power-of-two size.
+    #[test]
+    fn butterfly_validates(log_n in 1u32..7, mib in 1u64..16) {
+        let n = 1 << log_n;
+        let w = butterfly_allreduce(n, mib << 20);
+        prop_assert!(w.validate(n).is_ok());
+        prop_assert_eq!(w.len(), (2 * log_n * n) as usize);
+    }
+
+    /// AllToAll validates for any window and covers all ordered pairs.
+    #[test]
+    fn alltoall_validates(n in 2u32..40, window in 1u32..40) {
+        let w = alltoall(n, 4096, window);
+        prop_assert!(w.validate(n).is_ok());
+        prop_assert_eq!(w.len(), (n * (n - 1)) as usize);
+    }
+
+    /// Trace sampling respects the distribution's support and the
+    /// quantile/CDF functions are mutually consistent.
+    #[test]
+    fn cdf_sampling_in_support(seed in any::<u64>(), u in 0.0f64..1.0) {
+        let cdf = SizeCdf::websearch();
+        let mut rng = Rng64::new(seed);
+        let s = cdf.sample(&mut rng);
+        prop_assert!((1_000..=30_000_000).contains(&s), "sample {s} out of support");
+        let q = cdf.quantile(u);
+        let back = cdf.cdf_at(q);
+        prop_assert!((back - u).abs() < 0.05, "u={u} q={q} back={back}");
+    }
+}

@@ -1,0 +1,51 @@
+//! Umbrella crate for the REPS reproduction.
+//!
+//! Re-exports the public API of every workspace crate so examples and
+//! downstream users need a single dependency:
+//!
+//! * [`reps`] — the REPS algorithm (the paper's contribution),
+//! * [`baselines`] — every load balancer the paper compares against,
+//! * [`netsim`] — the packet-level datacenter simulator,
+//! * [`transport`] — the out-of-order transport and congestion control,
+//! * [`workloads`] — synthetic patterns, trace CDFs and AI collectives,
+//! * [`ballsbins`] — the §5 theoretical models,
+//! * [`harness`] — the experiment runner.
+//!
+//! # Examples
+//!
+//! ```
+//! use reps_repro::prelude::*;
+//!
+//! // Compare REPS with OPS on a small tornado workload.
+//! let fabric = FatTreeConfig::two_tier(8, 1);
+//! let workload = tornado(fabric.n_hosts(), 256 << 10);
+//! let exp = Experiment::new("demo", fabric, LbKind::Reps(RepsConfig::default()), workload);
+//! let result = exp.run();
+//! assert!(result.summary.completed);
+//! ```
+
+pub use ballsbins;
+pub use baselines;
+pub use harness;
+pub use netsim;
+pub use reps;
+pub use transport;
+pub use workloads;
+
+/// Convenient re-exports for examples and quick experiments.
+pub mod prelude {
+    pub use baselines::kind::LbKind;
+    pub use harness::experiment::{Experiment, RunResult, Summary, TrackLinks};
+    pub use harness::Scale;
+    pub use netsim::config::SimConfig;
+    pub use netsim::failures::{Failure, FailurePlan};
+    pub use netsim::ids::{FlowId, HostId, SwitchId};
+    pub use netsim::time::Time;
+    pub use netsim::topology::{FatTreeConfig, Topology};
+    pub use reps::reps::{Reps, RepsConfig};
+    pub use transport::cc::CcKind;
+    pub use transport::config::{CoalesceConfig, CoalesceVariant};
+    pub use workloads::collectives::{alltoall, butterfly_allreduce, ring_allreduce};
+    pub use workloads::patterns::{incast, permutation, tornado};
+    pub use workloads::traces::{poisson_trace, SizeCdf};
+}
