@@ -54,7 +54,7 @@ mod tests {
     fn draws_cover_the_evs() {
         let mut ops = Ops::new(32);
         let mut rng = Rng64::new(5);
-        let mut seen = vec![false; 32];
+        let mut seen = [false; 32];
         for _ in 0..2_000 {
             let ev = ops.next_ev(Time::ZERO, &mut rng);
             assert!((ev as u32) < 32);

@@ -1,5 +1,5 @@
 use baselines::kind::LbKind;
-use harness::experiment::{Experiment, TrackLinks};
+use harness::experiment::Experiment;
 use netsim::time::Time;
 use netsim::topology::FatTreeConfig;
 use workloads::patterns;

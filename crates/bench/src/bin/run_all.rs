@@ -1,54 +1,67 @@
-//! Runs the full figure suite in order (set REPS_SCALE=full for paper scale).
+//! Runs the full figure suite as a thin wrapper over the sweep engine.
+//!
+//! Every figure is one entry in a declarative table; the simulation
+//! figures execute their experiment lineups through the sweep engine's
+//! work-stealing pool (`REPS_THREADS` workers, default: all cores), so the
+//! suite scales with the machine while printing byte-identical tables.
+//!
+//! ```text
+//! run_all [GLOB]        # e.g. run_all 'fig0*' — default: everything
+//! REPS_SCALE=full run_all
+//! ```
+//!
+//! For raw per-cell JSONL output and cross-seed aggregation, use the
+//! `repsbench` binary from the `sweep` crate instead.
+
+use harness::Scale;
+
+/// One figure entry: name plus its runner.
+type Figure = (&'static str, fn(Scale));
+
+/// The figure table: name → runner. Theory figures take no scale.
+fn figures() -> Vec<Figure> {
+    vec![
+        ("table1_footprint", |_| bench::theory::table1()),
+        ("fig02_tornado_micro", bench::micro::fig02),
+        ("fig03_symmetric_macro", bench::macro_figs::fig03),
+        ("fig04_asymmetric_micro", bench::micro::fig04),
+        ("fig05_asymmetric_macro", bench::macro_figs::fig05),
+        ("fig06_mixed_traffic", bench::macro_figs::fig06),
+        ("fig07_failure_micro", bench::micro::fig07),
+        ("fig08_failure_macro", bench::macro_figs::fig08),
+        ("fig09_extreme_failures", bench::macro_figs::fig09),
+        ("fig10_fpga_goodput", bench::fpga::fig10),
+        ("fig11_fpga_fct_drops", bench::fpga::fig11),
+        ("fig12_ack_coalescing", bench::applicability::fig12),
+        ("fig13_coalescing_variants", bench::applicability::fig13),
+        ("fig14_evs_imbalance", |_| bench::theory::fig14()),
+        ("fig15_evs_and_cc", bench::applicability::fig15),
+        ("fig16_topology_scaling", bench::applicability::fig16),
+        ("fig17_balls_bins_ops", |_| bench::theory::fig17()),
+        ("fig18_recycled_balls", |_| bench::theory::fig18()),
+        ("fig19_forced_freezing", bench::micro::fig19),
+        ("fig20_coalesced_balls", |_| bench::theory::fig20()),
+        ("fig21_three_tier", bench::macro_figs::fig21),
+        ("fig22_incremental_failures", bench::micro::fig22),
+        ("fig23_freezing_ablation", bench::applicability::fig23),
+        ("fig24_trace_cdfs", |_| bench::theory::fig24()),
+    ]
+}
 
 fn main() {
-    let scale = harness::Scale::from_env();
-    let _ = scale;
-    println!("\n>>> table1_footprint");
-    bench::theory::table1();
-    println!("\n>>> fig02_tornado_micro");
-    bench::micro::fig02(scale);
-    println!("\n>>> fig03_symmetric_macro");
-    bench::macro_figs::fig03(scale);
-    println!("\n>>> fig04_asymmetric_micro");
-    bench::micro::fig04(scale);
-    println!("\n>>> fig05_asymmetric_macro");
-    bench::macro_figs::fig05(scale);
-    println!("\n>>> fig06_mixed_traffic");
-    bench::macro_figs::fig06(scale);
-    println!("\n>>> fig07_failure_micro");
-    bench::micro::fig07(scale);
-    println!("\n>>> fig08_failure_macro");
-    bench::macro_figs::fig08(scale);
-    println!("\n>>> fig09_extreme_failures");
-    bench::macro_figs::fig09(scale);
-    println!("\n>>> fig10_fpga_goodput");
-    bench::fpga::fig10(scale);
-    println!("\n>>> fig11_fpga_fct_drops");
-    bench::fpga::fig11(scale);
-    println!("\n>>> fig12_ack_coalescing");
-    bench::applicability::fig12(scale);
-    println!("\n>>> fig13_coalescing_variants");
-    bench::applicability::fig13(scale);
-    println!("\n>>> fig14_evs_imbalance");
-    bench::theory::fig14();
-    println!("\n>>> fig15_evs_and_cc");
-    bench::applicability::fig15(scale);
-    println!("\n>>> fig16_topology_scaling");
-    bench::applicability::fig16(scale);
-    println!("\n>>> fig17_balls_bins_ops");
-    bench::theory::fig17();
-    println!("\n>>> fig18_recycled_balls");
-    bench::theory::fig18();
-    println!("\n>>> fig19_forced_freezing");
-    bench::micro::fig19(scale);
-    println!("\n>>> fig20_coalesced_balls");
-    bench::theory::fig20();
-    println!("\n>>> fig21_three_tier");
-    bench::macro_figs::fig21(scale);
-    println!("\n>>> fig22_incremental_failures");
-    bench::micro::fig22(scale);
-    println!("\n>>> fig23_freezing_ablation");
-    bench::applicability::fig23(scale);
-    println!("\n>>> fig24_trace_cdfs");
-    bench::theory::fig24();
+    let scale = Scale::from_env();
+    let filter = std::env::args().nth(1).unwrap_or_else(|| "*".to_string());
+    let mut ran = 0usize;
+    for (name, figure) in figures() {
+        if !sweep::glob::matches(&filter, name) {
+            continue;
+        }
+        ran += 1;
+        println!("\n>>> {name}");
+        figure(scale);
+    }
+    if ran == 0 {
+        eprintln!("no figure matches filter {filter:?}");
+        std::process::exit(1);
+    }
 }

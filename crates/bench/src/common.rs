@@ -16,6 +16,10 @@ pub fn default_rtt() -> Time {
 
 /// Runs one workload across a lineup of load balancers on a shared fabric
 /// and failure plan, printing nothing; returns the summaries in order.
+///
+/// Execution goes through the sweep engine's work-stealing pool
+/// (`REPS_THREADS` workers, default: all cores). Every experiment carries
+/// its own explicit seed, so the summaries are identical to a serial run.
 pub fn run_lineup(
     name: &str,
     fabric: &FatTreeConfig,
@@ -24,7 +28,7 @@ pub fn run_lineup(
     failures: &FailurePlan,
     seed: u64,
 ) -> Vec<Summary> {
-    lineup
+    let exps: Vec<Experiment> = lineup
         .iter()
         .map(|lb| {
             let mut exp = Experiment::new(
@@ -36,9 +40,10 @@ pub fn run_lineup(
             exp.failures = failures.clone();
             exp.seed = seed;
             exp.deadline = Time::from_secs(2);
-            exp.run().summary
+            exp
         })
-        .collect()
+        .collect();
+    sweep::run_experiments(&exps, sweep::threads_from_env())
 }
 
 /// The quick/full fabric for macro experiments: 32 or 128 hosts, 2-tier 1:1.
@@ -76,5 +81,25 @@ mod tests {
     fn macro_fabric_sizes() {
         assert_eq!(macro_fabric(Scale::Quick).n_hosts(), 32);
         assert_eq!(macro_fabric(Scale::Full).n_hosts(), 128);
+    }
+
+    #[test]
+    fn run_lineup_is_ordered_and_deterministic() {
+        use reps::reps::RepsConfig;
+        let fabric = macro_fabric(Scale::Quick);
+        let w = workloads::patterns::tornado(fabric.n_hosts(), 64 << 10);
+        let lineup = [
+            LbKind::Ops { evs_size: 1 << 16 },
+            LbKind::Reps(RepsConfig::default()),
+        ];
+        let a = run_lineup("t", &fabric, &w, &lineup, &FailurePlan::none(), 3);
+        let b = run_lineup("t", &fabric, &w, &lineup, &FailurePlan::none(), 3);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[0].lb, "OPS");
+        assert_eq!(a[1].lb, "REPS");
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.max_fct, y.max_fct, "parallel lineup must be reproducible");
+            assert_eq!(x.counters, y.counters);
+        }
     }
 }

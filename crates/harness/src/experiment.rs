@@ -280,6 +280,43 @@ impl Summary {
     }
 }
 
+impl Summary {
+    /// Renders the summary as one stable JSON object (fixed field order,
+    /// times in integer picoseconds) — the sweep engine's JSONL payload.
+    pub fn to_json(&self) -> String {
+        let counters = crate::json::Object::new()
+            .u64("drops_queue_full", self.counters.drops_queue_full)
+            .u64("drops_link_down", self.counters.drops_link_down)
+            .u64("drops_bit_error", self.counters.drops_bit_error)
+            .u64("trims", self.counters.trims)
+            .u64("ecn_marks", self.counters.ecn_marks)
+            .u64("data_tx", self.counters.data_tx)
+            .u64("ctrl_tx", self.counters.ctrl_tx)
+            .u64("retransmissions", self.counters.retransmissions)
+            .u64("timeouts", self.counters.timeouts)
+            .render();
+        crate::json::Object::new()
+            .str("name", &self.name)
+            .str("lb", &self.lb)
+            .bool("completed", self.completed)
+            .u64("fg_flows", self.fg_flows as u64)
+            .u64("max_fct_ps", self.max_fct.as_ps())
+            .u64("avg_fct_ps", self.avg_fct.as_ps())
+            .u64("p99_fct_ps", self.p99_fct.as_ps())
+            .u64("makespan_ps", self.makespan.as_ps())
+            .f64("avg_goodput_gbps", self.avg_goodput_gbps)
+            .raw(
+                "bg_max_fct_ps",
+                match self.bg_max_fct {
+                    Some(t) => t.as_ps().to_string(),
+                    None => "null".to_string(),
+                },
+            )
+            .raw("counters", counters)
+            .render()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -336,6 +373,26 @@ mod tests {
         assert!(res.summary.completed);
         assert_eq!(res.summary.fg_flows, 32);
         assert!(res.summary.bg_max_fct.is_some());
+    }
+
+    #[test]
+    fn summary_json_is_stable_and_escaped() {
+        let w = patterns::tornado(32, 64 << 10);
+        let mut exp = Experiment::new(
+            "json \"quoted\"",
+            FatTreeConfig::two_tier(8, 1),
+            LbKind::Reps(RepsConfig::default()),
+            w,
+        );
+        exp.seed = 9;
+        let s = exp.run().summary;
+        let j = s.to_json();
+        assert!(j.starts_with("{\"name\":\"json \\\"quoted\\\"\""), "{j}");
+        assert!(j.contains("\"completed\":true"), "{j}");
+        assert!(j.contains("\"bg_max_fct_ps\":null"), "{j}");
+        assert!(j.contains("\"counters\":{\"drops_queue_full\":"), "{j}");
+        // Deterministic: rendering twice is byte-identical.
+        assert_eq!(j, s.to_json());
     }
 
     #[test]

@@ -1,0 +1,117 @@
+//! Dependency-free JSON emission helpers.
+//!
+//! The sweep engine records one JSON object per cell (JSON Lines); this
+//! module provides the escaping and number formatting those records need
+//! without pulling a serialization framework into the build. Output is
+//! byte-deterministic: field order is fixed by the callers and numbers use
+//! Rust's default (shortest round-trip) formatting.
+
+/// Escapes `s` as the contents of a JSON string literal, with quotes.
+pub fn string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a float as a JSON number (`NaN`/`Inf` have no JSON encoding and
+/// become `null`).
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// An incremental `{...}` builder with fixed field order.
+#[derive(Debug, Default)]
+pub struct Object {
+    fields: Vec<(String, String)>,
+}
+
+impl Object {
+    /// An empty object.
+    pub fn new() -> Object {
+        Object::default()
+    }
+
+    /// Appends a field whose value is already-rendered JSON.
+    pub fn raw(mut self, key: &str, json: impl Into<String>) -> Object {
+        self.fields.push((key.to_string(), json.into()));
+        self
+    }
+
+    /// Appends a string field.
+    pub fn str(self, key: &str, value: &str) -> Object {
+        let rendered = string(value);
+        self.raw(key, rendered)
+    }
+
+    /// Appends an unsigned integer field.
+    pub fn u64(self, key: &str, value: u64) -> Object {
+        self.raw(key, value.to_string())
+    }
+
+    /// Appends a float field.
+    pub fn f64(self, key: &str, value: f64) -> Object {
+        let rendered = number(value);
+        self.raw(key, rendered)
+    }
+
+    /// Appends a boolean field.
+    pub fn bool(self, key: &str, value: bool) -> Object {
+        self.raw(key, if value { "true" } else { "false" })
+    }
+
+    /// Renders the object.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&string(k));
+            out.push(':');
+            out.push_str(v);
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(string("a\"b\\c\n"), r#""a\"b\\c\n""#);
+        assert_eq!(string("plain"), "\"plain\"");
+        assert_eq!(string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn numbers_render_deterministically() {
+        assert_eq!(number(1.5), "1.5");
+        assert_eq!(number(0.0), "0");
+        assert_eq!(number(f64::NAN), "null");
+    }
+
+    #[test]
+    fn object_preserves_field_order() {
+        let o = Object::new().str("b", "x").u64("a", 3).bool("c", true);
+        assert_eq!(o.render(), r#"{"b":"x","a":3,"c":true}"#);
+    }
+}

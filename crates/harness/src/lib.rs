@@ -5,6 +5,7 @@
 //! text-report helpers the per-figure binaries in the `bench` crate use.
 
 pub mod experiment;
+pub mod json;
 pub mod report;
 pub mod scale;
 

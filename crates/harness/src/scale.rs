@@ -18,10 +18,11 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Reads `REPS_SCALE` (defaults to [`Scale::Quick`]).
+    /// Reads `REPS_SCALE`, case-insensitively (`full`, `Full`, `FULL` all
+    /// select [`Scale::Full`]; anything else defaults to [`Scale::Quick`]).
     pub fn from_env() -> Scale {
-        match std::env::var("REPS_SCALE").as_deref() {
-            Ok("full") | Ok("FULL") => Scale::Full,
+        match std::env::var("REPS_SCALE") {
+            Ok(v) if v.trim().eq_ignore_ascii_case("full") => Scale::Full,
             _ => Scale::Quick,
         }
     }
@@ -43,5 +44,24 @@ mod tests {
     fn pick_selects_by_scale() {
         assert_eq!(Scale::Quick.pick(1, 2), 1);
         assert_eq!(Scale::Full.pick(1, 2), 2);
+    }
+
+    #[test]
+    fn from_env_is_case_insensitive() {
+        // Serialized within this one test to avoid env races.
+        for (value, expected) in [
+            ("full", Scale::Full),
+            ("FULL", Scale::Full),
+            ("Full", Scale::Full),
+            (" full ", Scale::Full),
+            ("quick", Scale::Quick),
+            ("QUICK", Scale::Quick),
+            ("nonsense", Scale::Quick),
+        ] {
+            std::env::set_var("REPS_SCALE", value);
+            assert_eq!(Scale::from_env(), expected, "REPS_SCALE={value:?}");
+        }
+        std::env::remove_var("REPS_SCALE");
+        assert_eq!(Scale::from_env(), Scale::Quick);
     }
 }

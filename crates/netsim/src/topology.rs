@@ -86,7 +86,11 @@ impl FatTreeConfig {
     /// Panics unless `k` is divisible by `o + 1`.
     pub fn two_tier(k: u32, oversubscription: u32) -> FatTreeConfig {
         let o = oversubscription.max(1);
-        assert!(k.is_multiple_of(o + 1), "radix {k} not divisible by {}", o + 1);
+        assert!(
+            k.is_multiple_of(o + 1),
+            "radix {k} not divisible by {}",
+            o + 1
+        );
         let tor_uplinks = k / (o + 1);
         let hosts_per_tor = k - tor_uplinks;
         FatTreeConfig {
@@ -117,7 +121,11 @@ impl FatTreeConfig {
     /// and `k/2` T1s per pod, `(k/2)^2` cores, `k^3/4` hosts.
     pub fn three_tier(k: u32, oversubscription: u32) -> FatTreeConfig {
         let o = oversubscription.max(1);
-        assert!(k.is_multiple_of(o + 1), "radix {k} not divisible by {}", o + 1);
+        assert!(
+            k.is_multiple_of(o + 1),
+            "radix {k} not divisible by {}",
+            o + 1
+        );
         assert!(k.is_multiple_of(2), "radix must be even");
         let tor_uplinks = k / (o + 1);
         let hosts_per_tor = k - tor_uplinks;

@@ -1,0 +1,376 @@
+//! A minimal, dependency-free stand-in for the [`proptest`] crate.
+//!
+//! This workspace builds in offline environments where crates.io is not
+//! reachable, so the real `proptest` cannot be fetched. The property tests
+//! only use a small slice of its API; this crate provides that slice with
+//! deterministic pseudo-random sampling (no shrinking):
+//!
+//! * the [`proptest!`] macro (multiple `#[test]` functions, `pat in strategy`
+//!   arguments),
+//! * [`strategy::Strategy`] with `prop_map`, implemented for integer and
+//!   float ranges, tuples, [`prelude::Just`] and [`strategy::Union`],
+//! * [`prelude::any`] for the primitive types the tests draw,
+//! * [`collection::vec`],
+//! * `prop_assert!`, `prop_assert_eq!`, `prop_assume!` and `prop_oneof!`.
+//!
+//! Each test function runs `PROPTEST_CASES` sampled cases (default 64) from
+//! a seed derived from the test name, so failures reproduce exactly.
+//!
+//! [`proptest`]: https://crates.io/crates/proptest
+
+/// Sampling RNG: splitmix64, deterministic per test name.
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Creates an RNG from a raw seed.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng(seed ^ 0x9e37_79b9_7f4a_7c15)
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty sampling range");
+        // Multiply-shift; bias is irrelevant for test sampling.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Derives the per-test RNG from the test name (stable across runs).
+pub fn test_rng(name: &str) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    TestRng::new(h)
+}
+
+/// Number of sampled cases per property (override with `PROPTEST_CASES`).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Marker returned by `prop_assume!` rejections; the case is skipped.
+#[derive(Debug)]
+pub struct TestSkip;
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use super::TestRng;
+
+    /// A source of sampled values (no shrinking).
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The [`Strategy::prop_map`] combinator.
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// A constant strategy.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Weighted choice between boxed strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+        total: u64,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; weights must not all be zero.
+        pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Union<T> {
+            let total = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof! needs a positive total weight");
+            Union { arms, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let mut r = rng.below(self.total);
+            for (w, s) in &self.arms {
+                if r < *w as u64 {
+                    return s.sample(rng);
+                }
+                r -= *w as u64;
+            }
+            unreachable!("weight walk exhausted")
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range");
+                    // i128 intermediates: signed ranges (negative starts)
+                    // and full-width unsigned ranges both fit.
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range");
+                    let span = (hi as i128 - lo as i128) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    (lo as i128 + rng.below(span + 1) as i128) as $t
+                }
+            }
+        )+};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+    impl Strategy for ::std::ops::Range<f64> {
+        type Value = f64;
+
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` support for the primitive types the tests draw.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),+) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )+};
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize);
+
+    impl<A: Arbitrary, B: Arbitrary> Arbitrary for (A, B) {
+        fn arbitrary(rng: &mut TestRng) -> (A, B) {
+            (A::arbitrary(rng), B::arbitrary(rng))
+        }
+    }
+
+    impl<A: Arbitrary, B: Arbitrary, C: Arbitrary> Arbitrary for (A, B, C) {
+        fn arbitrary(rng: &mut TestRng) -> (A, B, C) {
+            (A::arbitrary(rng), B::arbitrary(rng), C::arbitrary(rng))
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The full-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::ops::Range;
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// A `Vec` of `element` samples with a length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface (`use proptest::prelude::*`).
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn` samples its arguments and runs the body
+/// for [`cases`] iterations.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$attr:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block)+) => {$(
+        $(#[$attr])*
+        fn $name() {
+            let mut __rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..$crate::cases() {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                let __outcome: ::std::result::Result<(), $crate::TestSkip> = (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                })();
+                let _ = __outcome;
+            }
+        }
+    )+};
+}
+
+/// Asserts within a property body (panics with the sampled case visible).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion within a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Skips the current sampled case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($rest:tt)*)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestSkip);
+        }
+    };
+}
+
+/// Weighted choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {{
+        $crate::strategy::Union::new(vec![$((
+            $weight,
+            {
+                let __b: ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>> =
+                    ::std::boxed::Box::new($strat);
+                __b
+            },
+        )),+])
+    }};
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof!($(1 => $strat),+)
+    };
+}

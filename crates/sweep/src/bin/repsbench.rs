@@ -1,0 +1,214 @@
+//! `repsbench` — run the REPS scenario-sweep suite from the command line.
+//!
+//! ```text
+//! repsbench list [--scale quick|full]
+//! repsbench run [--filter GLOB] [--threads N] [--scale quick|full]
+//!               [--seeds N] [--out PATH] [--baseline LABEL] [--quiet]
+//! ```
+//!
+//! `list` prints every preset with its cell count; `run` expands the
+//! presets whose names match `--filter` (default `*`), executes all cells
+//! on a work-stealing pool and writes one JSON Lines record per cell to
+//! `--out` (default `results.jsonl`; `-` = stdout), then prints cross-seed
+//! aggregate tables. Output is byte-identical for any `--threads` value.
+//! `--scale` defaults to the `REPS_SCALE` environment variable (`quick`).
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use harness::Scale;
+use sweep::matrix::Cell;
+use sweep::{glob, presets, render_aggregates, run_cells, write_jsonl};
+
+struct RunOpts {
+    filter: String,
+    threads: usize,
+    scale: Scale,
+    seeds: Option<u32>,
+    out: String,
+    baseline: String,
+    quiet: bool,
+}
+
+fn usage() -> &'static str {
+    "usage:\n  repsbench list [--scale quick|full]\n  repsbench run [--filter GLOB] [--threads N] [--scale quick|full]\n                [--seeds N] [--out PATH|-] [--baseline LABEL] [--quiet]"
+}
+
+fn parse_scale(v: &str) -> Result<Scale, String> {
+    if v.eq_ignore_ascii_case("quick") {
+        Ok(Scale::Quick)
+    } else if v.eq_ignore_ascii_case("full") {
+        Ok(Scale::Full)
+    } else {
+        Err(format!("unknown scale {v:?} (expected quick or full)"))
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => match parse_list(&args[1..]) {
+            Ok(scale) => {
+                list(scale);
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(&e),
+        },
+        Some("run") => match parse_run(&args[1..]) {
+            Ok(opts) => run(&opts),
+            Err(e) => fail(&e),
+        },
+        Some("--help") | Some("-h") | Some("help") => {
+            println!("{}", usage());
+            ExitCode::SUCCESS
+        }
+        _ => fail(usage()),
+    }
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("{msg}");
+    ExitCode::FAILURE
+}
+
+fn parse_list(args: &[String]) -> Result<Scale, String> {
+    let mut scale = Scale::from_env();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = it.next().ok_or("--scale needs a value")?;
+                scale = parse_scale(v)?;
+            }
+            other => return Err(format!("unknown argument {other:?}\n{}", usage())),
+        }
+    }
+    Ok(scale)
+}
+
+fn parse_run(args: &[String]) -> Result<RunOpts, String> {
+    let mut opts = RunOpts {
+        filter: "*".to_string(),
+        threads: sweep::default_threads(),
+        scale: Scale::from_env(),
+        seeds: None,
+        out: "results.jsonl".to_string(),
+        baseline: "OPS".to_string(),
+        quiet: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or(format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--filter" => opts.filter = value("--filter")?.clone(),
+            "--threads" => {
+                opts.threads = value("--threads")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--threads: {e}"))?
+                    .max(1)
+            }
+            "--scale" => opts.scale = parse_scale(value("--scale")?)?,
+            "--seeds" => {
+                opts.seeds = Some(
+                    value("--seeds")?
+                        .parse::<u32>()
+                        .map_err(|e| format!("--seeds: {e}"))?
+                        .max(1),
+                )
+            }
+            "--out" => opts.out = value("--out")?.clone(),
+            "--baseline" => opts.baseline = value("--baseline")?.clone(),
+            "--quiet" => opts.quiet = true,
+            other => return Err(format!("unknown argument {other:?}\n{}", usage())),
+        }
+    }
+    Ok(opts)
+}
+
+fn list(scale: Scale) {
+    println!(
+        "{:<28} {:>6} {:>4} {:>4} {:>4} {:>4} {:>6}",
+        "preset", "cells", "lbs", "wl", "fail", "fab", "seeds"
+    );
+    let mut total = 0usize;
+    for m in presets::all(scale) {
+        total += m.len();
+        println!(
+            "{:<28} {:>6} {:>4} {:>4} {:>4} {:>4} {:>6}",
+            m.name,
+            m.len(),
+            m.lbs.len(),
+            m.workloads.len(),
+            m.failures.len(),
+            m.fabrics.len(),
+            m.seeds.len(),
+        );
+    }
+    println!("{total} cells total at {scale:?} scale");
+}
+
+fn run(opts: &RunOpts) -> ExitCode {
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut matched = 0usize;
+    for mut m in presets::all(opts.scale) {
+        if !glob::matches(&opts.filter, &m.name) {
+            continue;
+        }
+        matched += 1;
+        if let Some(n) = opts.seeds {
+            m = m.seeds(n);
+        }
+        cells.extend(m.expand());
+    }
+    if matched == 0 {
+        return fail(&format!("no preset matches filter {:?}", opts.filter));
+    }
+    if !opts.quiet {
+        eprintln!(
+            "{} preset(s), {} cells, {} thread(s), {:?} scale",
+            matched,
+            cells.len(),
+            opts.threads,
+            opts.scale
+        );
+    }
+    let start = std::time::Instant::now();
+    let results = run_cells(&cells, opts.threads);
+    let elapsed = start.elapsed();
+
+    let write_result = if opts.out == "-" {
+        write_jsonl(&mut std::io::stdout().lock(), &results)
+    } else {
+        std::fs::File::create(&opts.out).and_then(|f| {
+            let mut w = std::io::BufWriter::new(f);
+            write_jsonl(&mut w, &results)?;
+            w.flush()
+        })
+    };
+    if let Err(e) = write_result {
+        return fail(&format!("writing {}: {e}", opts.out));
+    }
+    if !opts.quiet && opts.out != "-" {
+        eprintln!("wrote {} records to {}", results.len(), opts.out);
+    }
+
+    if !opts.quiet {
+        // Aggregates go to stderr when JSONL owns stdout.
+        let tables = render_aggregates(&results, &opts.baseline);
+        if opts.out == "-" {
+            eprint!("{tables}");
+        } else {
+            print!("{tables}");
+        }
+        let incomplete = results.iter().filter(|r| !r.summary.completed).count();
+        eprintln!(
+            "{} cells in {:.1}s ({} hit the deadline)",
+            results.len(),
+            elapsed.as_secs_f64(),
+            incomplete
+        );
+    }
+    ExitCode::SUCCESS
+}

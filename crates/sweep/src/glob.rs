@@ -1,0 +1,56 @@
+//! A minimal glob matcher for preset/cell filters (`*` and `?` only).
+
+/// Returns whether `name` matches `pattern` (`*` = any run, `?` = any one
+/// character, everything else literal; case-sensitive).
+pub fn matches(pattern: &str, name: &str) -> bool {
+    let p: Vec<char> = pattern.chars().collect();
+    let n: Vec<char> = name.chars().collect();
+    // Iterative backtracking over the last `*`.
+    let (mut pi, mut ni) = (0usize, 0usize);
+    let (mut star, mut star_ni) = (None::<usize>, 0usize);
+    while ni < n.len() {
+        if pi < p.len() && (p[pi] == '?' || p[pi] == n[ni]) {
+            pi += 1;
+            ni += 1;
+        } else if pi < p.len() && p[pi] == '*' {
+            star = Some(pi);
+            star_ni = ni;
+            pi += 1;
+        } else if let Some(s) = star {
+            pi = s + 1;
+            star_ni += 1;
+            ni = star_ni;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '*' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_and_wildcards() {
+        assert!(matches("fig03-symmetric-macro", "fig03-symmetric-macro"));
+        assert!(matches("fig0*", "fig03-symmetric-macro"));
+        assert!(matches("*macro*", "fig03-symmetric-macro"));
+        assert!(matches("fig0?-*", "fig03-symmetric-macro"));
+        assert!(!matches("fig0*", "fig21-three-tier"));
+        assert!(!matches("fig03", "fig03-symmetric-macro"));
+        assert!(matches("*", "anything"));
+        assert!(matches("", ""));
+        assert!(!matches("", "x"));
+    }
+
+    #[test]
+    fn star_backtracks() {
+        assert!(matches("a*b*c", "a-xx-b-yy-c"));
+        assert!(!matches("a*b*c", "a-xx-c-yy-b"));
+        assert!(matches("*ab", "aab"));
+    }
+}

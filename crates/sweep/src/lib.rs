@@ -1,0 +1,50 @@
+//! Deterministic parallel scenario sweeps for the REPS reproduction.
+//!
+//! The paper's evaluation is a grid of scenarios — load balancer × fabric
+//! × workload × failure plan × seed. This crate turns that grid into data:
+//!
+//! * [`matrix::ScenarioMatrix`] declares the grid and expands it into
+//!   independent [`matrix::Cell`]s; each cell's RNG seed is derived by
+//!   hashing the cell's stable key, so results never depend on thread
+//!   count, completion order or which other cells a filter selected;
+//! * [`runner`] executes cells on a work-stealing std-thread pool and
+//!   returns results in canonical (key-sorted) order;
+//! * [`sink`] emits one JSON Lines record per cell and renders cross-seed
+//!   aggregates through [`harness::report`];
+//! * [`presets`] names a matrix for every simulation figure of the paper
+//!   plus new scenarios (incast/permutation sweeps, rolling link failures,
+//!   mixed AI collectives);
+//! * the `repsbench` binary exposes all of it on the command line
+//!   (`repsbench list`, `repsbench run --filter 'fig0*' --threads 8`).
+//!
+//! # Determinism contract
+//!
+//! A sweep's JSONL output is byte-identical for any `--threads` value:
+//! cells are pure functions of their keys, and output is sorted by key.
+//!
+//! # Examples
+//!
+//! ```
+//! use sweep::matrix::ScenarioMatrix;
+//! use sweep::runner::run_cells;
+//! use sweep::spec::WorkloadSpec;
+//!
+//! let matrix = ScenarioMatrix::new("demo")
+//!     .workloads([WorkloadSpec::Tornado { bytes: 64 << 10 }])
+//!     .seeds(2);
+//! let results = run_cells(&matrix.expand(), 4);
+//! assert_eq!(results.len(), 4);
+//! assert!(results.iter().all(|r| r.summary.completed));
+//! ```
+
+pub mod glob;
+pub mod matrix;
+pub mod presets;
+pub mod runner;
+pub mod sink;
+pub mod spec;
+
+pub use matrix::{Cell, CellResult, LabeledLb, ScenarioMatrix};
+pub use runner::{default_threads, run_cells, run_experiments, threads_from_env};
+pub use sink::{aggregate, render_aggregates, to_jsonl, write_jsonl};
+pub use spec::{FabricSpec, FailureSpec, SimProfile, WorkloadSpec};

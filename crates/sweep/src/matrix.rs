@@ -1,0 +1,507 @@
+//! Declarative scenario grids and their expansion into runnable cells.
+//!
+//! A [`ScenarioMatrix`] is the cartesian product of labeled axes
+//! (`LbKind × fabric × workload × failure plan × seed`, plus optional
+//! congestion-control and ACK-coalescing axes). [`ScenarioMatrix::expand`]
+//! flattens it into independent [`Cell`]s; each cell's RNG seed is derived
+//! by hashing its *key* (the `/`-joined axis labels), so results depend
+//! only on what the cell *is* — never on thread count, completion order or
+//! which other cells a filter selected.
+
+use baselines::kind::LbKind;
+use harness::experiment::{Experiment, Summary};
+use netsim::time::Time;
+use reps::reps::RepsConfig;
+use transport::cc::CcKind;
+use transport::config::CoalesceConfig;
+
+use crate::spec::{FabricSpec, FailureSpec, SimProfile, WorkloadSpec};
+
+/// FNV-1a 64-bit: the stable cell-key hash. Never change these constants —
+/// every recorded per-cell seed depends on them.
+pub fn fnv1a64(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// An [`LbKind`] with a stable axis label (plain `LbKind::label()` is not
+/// unique when a lineup ablates one scheme's parameters).
+#[derive(Debug, Clone)]
+pub struct LabeledLb {
+    /// Stable label used in cell keys.
+    pub label: String,
+    /// The scheme.
+    pub kind: LbKind,
+}
+
+impl LabeledLb {
+    /// Labels a scheme with its paper legend name.
+    pub fn plain(kind: LbKind) -> LabeledLb {
+        LabeledLb {
+            label: kind.label().to_string(),
+            kind,
+        }
+    }
+
+    /// Labels a scheme explicitly (parameter ablations).
+    pub fn named(label: impl Into<String>, kind: LbKind) -> LabeledLb {
+        LabeledLb {
+            label: label.into(),
+            kind,
+        }
+    }
+}
+
+/// Converts a lineup into labeled axis entries, suffixing duplicates so
+/// every axis label stays unique.
+pub fn labeled_lineup(lineup: &[LbKind]) -> Vec<LabeledLb> {
+    let mut seen = std::collections::HashMap::new();
+    lineup
+        .iter()
+        .map(|kind| {
+            let n = seen.entry(kind.label()).or_insert(0u32);
+            *n += 1;
+            if *n == 1 {
+                LabeledLb::plain(kind.clone())
+            } else {
+                LabeledLb::named(format!("{}#{n}", kind.label()), kind.clone())
+            }
+        })
+        .collect()
+}
+
+/// A declarative scenario grid.
+#[derive(Debug, Clone)]
+pub struct ScenarioMatrix {
+    /// Preset name; the first component of every cell key.
+    pub name: String,
+    /// Fabric axis.
+    pub fabrics: Vec<FabricSpec>,
+    /// Load-balancer axis.
+    pub lbs: Vec<LabeledLb>,
+    /// Workload axis.
+    pub workloads: Vec<WorkloadSpec>,
+    /// Failure-plan axis.
+    pub failures: Vec<FailureSpec>,
+    /// Seed axis (logical seed indices).
+    pub seeds: Vec<u32>,
+    /// Congestion-controller axis (default `[Dctcp]`).
+    pub ccs: Vec<CcKind>,
+    /// ACK-coalescing axis as `(label, config)` (default per-packet).
+    pub coalesce: Vec<(String, CoalesceConfig)>,
+    /// Simulator profile for every cell.
+    pub sim: SimProfile,
+    /// Optional background traffic applied to every cell.
+    pub background: Option<(WorkloadSpec, LbKind)>,
+    /// Per-cell simulated-time deadline.
+    pub deadline: Time,
+}
+
+impl ScenarioMatrix {
+    /// A matrix with single-element default axes; chain the builder methods
+    /// to widen the axes you sweep.
+    pub fn new(name: impl Into<String>) -> ScenarioMatrix {
+        ScenarioMatrix {
+            name: name.into(),
+            fabrics: vec![FabricSpec::two_tier(8, 1)],
+            lbs: vec![
+                LabeledLb::plain(LbKind::Ops { evs_size: 1 << 16 }),
+                LabeledLb::plain(LbKind::Reps(RepsConfig::default())),
+            ],
+            workloads: vec![WorkloadSpec::Tornado { bytes: 256 << 10 }],
+            failures: vec![FailureSpec::None],
+            seeds: vec![0],
+            ccs: vec![CcKind::Dctcp],
+            coalesce: vec![("pp".to_string(), CoalesceConfig::per_packet())],
+            sim: SimProfile::PaperDefault,
+            background: None,
+            deadline: Time::from_secs(2),
+        }
+    }
+
+    /// Replaces the fabric axis.
+    pub fn fabrics(mut self, fabrics: impl IntoIterator<Item = FabricSpec>) -> Self {
+        self.fabrics = fabrics.into_iter().collect();
+        self
+    }
+
+    /// Replaces the load-balancer axis.
+    pub fn lbs(mut self, lbs: impl IntoIterator<Item = LabeledLb>) -> Self {
+        self.lbs = lbs.into_iter().collect();
+        self
+    }
+
+    /// Replaces the workload axis.
+    pub fn workloads(mut self, w: impl IntoIterator<Item = WorkloadSpec>) -> Self {
+        self.workloads = w.into_iter().collect();
+        self
+    }
+
+    /// Replaces the failure axis.
+    pub fn failures(mut self, f: impl IntoIterator<Item = FailureSpec>) -> Self {
+        self.failures = f.into_iter().collect();
+        self
+    }
+
+    /// Replaces the seed axis with `0..n`.
+    pub fn seeds(mut self, n: u32) -> Self {
+        self.seeds = (0..n.max(1)).collect();
+        self
+    }
+
+    /// Replaces the congestion-controller axis.
+    pub fn ccs(mut self, ccs: impl IntoIterator<Item = CcKind>) -> Self {
+        self.ccs = ccs.into_iter().collect();
+        self
+    }
+
+    /// Replaces the ACK-coalescing axis.
+    pub fn coalesce(mut self, co: impl IntoIterator<Item = (String, CoalesceConfig)>) -> Self {
+        self.coalesce = co.into_iter().collect();
+        self
+    }
+
+    /// Sets the simulator profile.
+    pub fn sim(mut self, sim: SimProfile) -> Self {
+        self.sim = sim;
+        self
+    }
+
+    /// Adds background traffic to every cell.
+    pub fn background(mut self, w: WorkloadSpec, lb: LbKind) -> Self {
+        self.background = Some((w, lb));
+        self
+    }
+
+    /// Sets the per-cell deadline.
+    pub fn deadline(mut self, deadline: Time) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Number of cells the matrix expands to.
+    pub fn len(&self) -> usize {
+        self.fabrics.len()
+            * self.lbs.len()
+            * self.workloads.len()
+            * self.failures.len()
+            * self.seeds.len()
+            * self.ccs.len()
+            * self.coalesce.len()
+    }
+
+    /// Whether any axis is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Expands the cartesian grid into independent cells (deterministic
+    /// order: fabrics, workloads, failures, ccs, coalesce, lbs, seeds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an axis is empty or an axis label repeats — duplicate
+    /// labels would collide in the cell key and silently share seeds.
+    pub fn expand(&self) -> Vec<Cell> {
+        assert!(!self.is_empty(), "matrix {:?} has an empty axis", self.name);
+        let unique = |labels: Vec<String>, axis: &str| {
+            let mut seen = std::collections::HashSet::new();
+            for l in &labels {
+                assert!(
+                    seen.insert(l.clone()),
+                    "duplicate {axis} label {l:?} in matrix {:?}",
+                    self.name
+                );
+            }
+        };
+        unique(
+            self.fabrics.iter().map(|f| f.label.clone()).collect(),
+            "fabric",
+        );
+        unique(self.lbs.iter().map(|l| l.label.clone()).collect(), "lb");
+        unique(
+            self.workloads.iter().map(|w| w.label()).collect(),
+            "workload",
+        );
+        unique(self.failures.iter().map(|f| f.label()).collect(), "failure");
+        unique(
+            self.coalesce.iter().map(|(l, _)| l.clone()).collect(),
+            "coalesce",
+        );
+        unique(
+            self.ccs.iter().map(|c| c.label().to_string()).collect(),
+            "cc",
+        );
+        unique(self.seeds.iter().map(|s| s.to_string()).collect(), "seed");
+
+        let mut cells = Vec::with_capacity(self.len());
+        for fabric in &self.fabrics {
+            for workload in &self.workloads {
+                for failure in &self.failures {
+                    for cc in &self.ccs {
+                        for (co_label, co) in &self.coalesce {
+                            for lb in &self.lbs {
+                                for &seed in &self.seeds {
+                                    cells.push(Cell {
+                                        preset: self.name.clone(),
+                                        fabric: fabric.clone(),
+                                        lb: lb.clone(),
+                                        workload: workload.clone(),
+                                        failures: failure.clone(),
+                                        cc: *cc,
+                                        coalesce_label: co_label.clone(),
+                                        coalesce: *co,
+                                        sim: self.sim,
+                                        background: self.background.clone(),
+                                        seed,
+                                        deadline: self.deadline,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        cells
+    }
+}
+
+/// One fully-specified point of a matrix: everything needed to build and
+/// run a [`harness::Experiment`], independent of every other cell.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Owning preset name.
+    pub preset: String,
+    /// Fabric shape.
+    pub fabric: FabricSpec,
+    /// Load balancer.
+    pub lb: LabeledLb,
+    /// Workload description.
+    pub workload: WorkloadSpec,
+    /// Failure description.
+    pub failures: FailureSpec,
+    /// Congestion controller.
+    pub cc: CcKind,
+    /// Coalescing axis label.
+    pub coalesce_label: String,
+    /// Coalescing policy.
+    pub coalesce: CoalesceConfig,
+    /// Simulator profile.
+    pub sim: SimProfile,
+    /// Optional background traffic.
+    pub background: Option<(WorkloadSpec, LbKind)>,
+    /// Logical seed index (the seed-axis value, not the RNG seed).
+    pub seed: u32,
+    /// Simulated-time deadline.
+    pub deadline: Time,
+}
+
+impl Cell {
+    /// The stable, fully self-describing cell key. Everything that affects
+    /// the cell's outcome appears here — including the simulator profile,
+    /// background traffic and deadline — so equal keys imply equal results
+    /// and the derived RNG seed can be the key's hash.
+    pub fn key(&self) -> String {
+        format!("{}/lb={}/s={}", self.scenario(), self.lb.label, self.seed)
+    }
+
+    /// The scenario key: the cell key minus the load-balancer and seed
+    /// components. Cells sharing a scenario key form one comparison row
+    /// group in reports.
+    pub fn scenario(&self) -> String {
+        let background = match &self.background {
+            None => "none".to_string(),
+            Some((w, lb)) => format!("{}+{}", w.label(), lb.label()),
+        };
+        format!(
+            "{}/{}/{}/{}/sim={}/cc={}/co={}/bg={}/dl={}us",
+            self.preset,
+            self.fabric.label,
+            self.workload.label(),
+            self.failures.label(),
+            self.sim.label(),
+            self.cc.label(),
+            self.coalesce_label,
+            background,
+            self.deadline.as_ps() / 1_000_000
+        )
+    }
+
+    /// The cell's RNG seed, derived from [`Cell::key`] alone — byte-stable
+    /// across thread counts, run orders and filter sets.
+    pub fn derived_seed(&self) -> u64 {
+        fnv1a64(&self.key())
+    }
+
+    /// Builds the experiment for this cell.
+    pub fn experiment(&self) -> Experiment {
+        let seed = self.derived_seed();
+        let sim = self.sim.config();
+        let n = self.fabric.config.n_hosts();
+        // Distinct derived streams per role so adding an axis value never
+        // perturbs an existing cell's draws.
+        let mut wl_rng = netsim::rng::Rng64::new(seed ^ 0x5741_4c4f_4144_5f31);
+        let workload = self.workload.build(n, sim.link_bps, &mut wl_rng);
+        let failures = self
+            .failures
+            .build(&self.fabric.config, seed, seed ^ 0x4641_494c_5f32_5f32);
+        let mut exp = Experiment::new(
+            self.key(),
+            self.fabric.config.clone(),
+            self.lb.kind.clone(),
+            workload,
+        );
+        exp.sim = sim;
+        exp.cc = self.cc;
+        exp.coalesce = self.coalesce;
+        exp.failures = failures;
+        exp.seed = seed;
+        exp.deadline = self.deadline;
+        if let Some((bg_spec, bg_lb)) = &self.background {
+            let mut bg_rng = netsim::rng::Rng64::new(seed ^ 0x4247_5f33_4247_5f33);
+            let bg = bg_spec.build(n, exp.sim.link_bps, &mut bg_rng);
+            exp.background = Some((bg, bg_lb.clone()));
+        }
+        exp
+    }
+
+    /// Runs the cell to completion.
+    pub fn run(&self) -> CellResult {
+        let summary = self.experiment().run().summary;
+        CellResult {
+            key: self.key(),
+            scenario: self.scenario(),
+            lb: self.lb.label.clone(),
+            seed: self.seed,
+            derived_seed: self.derived_seed(),
+            summary,
+        }
+    }
+}
+
+/// The outcome of one cell.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// The cell key.
+    pub key: String,
+    /// The scenario (comparison-group) key.
+    pub scenario: String,
+    /// Load-balancer axis label.
+    pub lb: String,
+    /// Logical seed index.
+    pub seed: u32,
+    /// The RNG seed the cell actually ran with.
+    pub derived_seed: u64,
+    /// Aggregate run metrics.
+    pub summary: Summary,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_is_the_full_cartesian_product() {
+        let m = ScenarioMatrix::new("t")
+            .fabrics([FabricSpec::two_tier(8, 1)])
+            .workloads([
+                WorkloadSpec::Tornado { bytes: 1 << 16 },
+                WorkloadSpec::Permutation { bytes: 1 << 16 },
+            ])
+            .failures([FailureSpec::None])
+            .seeds(3);
+        assert_eq!(m.len(), 2 * 2 * 3);
+        let cells = m.expand();
+        assert_eq!(cells.len(), 12);
+        let keys: std::collections::HashSet<String> = cells.iter().map(|c| c.key()).collect();
+        assert_eq!(keys.len(), 12, "cell keys must be unique");
+    }
+
+    #[test]
+    fn derived_seed_depends_only_on_the_key() {
+        let m = ScenarioMatrix::new("t").seeds(2);
+        let a = m.expand();
+        let b = m.expand();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.derived_seed(), y.derived_seed());
+        }
+        // Different seed-axis values give different derived seeds.
+        assert_ne!(a[0].derived_seed(), a[1].derived_seed());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate lb label")]
+    fn duplicate_lb_labels_are_rejected() {
+        ScenarioMatrix::new("t")
+            .lbs([
+                LabeledLb::named("REPS", LbKind::Reps(RepsConfig::default())),
+                LabeledLb::named("REPS", LbKind::Reps(RepsConfig::default())),
+            ])
+            .expand();
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate cc label")]
+    fn duplicate_cc_axis_is_rejected() {
+        ScenarioMatrix::new("t")
+            .ccs([CcKind::Dctcp, CcKind::Dctcp])
+            .expand();
+    }
+
+    #[test]
+    fn key_encodes_sim_background_and_deadline() {
+        let key = |m: ScenarioMatrix| m.expand()[0].key();
+        let base = key(ScenarioMatrix::new("t"));
+        let fpga = key(ScenarioMatrix::new("t").sim(SimProfile::FpgaTestbed));
+        let bg = key(ScenarioMatrix::new("t")
+            .background(WorkloadSpec::Tornado { bytes: 1 << 10 }, LbKind::Ecmp));
+        let dl = key(ScenarioMatrix::new("t").deadline(Time::from_secs(5)));
+        let keys = [&base, &fpga, &bg, &dl];
+        for (i, a) in keys.iter().enumerate() {
+            for b in keys.iter().skip(i + 1) {
+                assert_ne!(a, b, "axis change must change the key");
+            }
+        }
+        assert!(base.contains("/sim=paper/"), "{base}");
+        assert!(fpga.contains("/sim=fpga/"), "{fpga}");
+        assert!(bg.contains("/bg=tornado-1024B+ECMP/"), "{bg}");
+        assert!(
+            dl.ends_with("us/lb=OPS/s=0") && dl.contains("/dl=5000000us/"),
+            "{dl}"
+        );
+    }
+
+    #[test]
+    fn labeled_lineup_disambiguates_duplicates() {
+        let lbs = labeled_lineup(&[
+            LbKind::Reps(RepsConfig::default()),
+            LbKind::Reps(RepsConfig::default().with_evs_size(64)),
+            LbKind::Ecmp,
+        ]);
+        let labels: Vec<&str> = lbs.iter().map(|l| l.label.as_str()).collect();
+        assert_eq!(labels, vec!["REPS", "REPS#2", "ECMP"]);
+    }
+
+    #[test]
+    fn fnv_is_the_reference_implementation() {
+        // Reference vectors for FNV-1a 64.
+        assert_eq!(fnv1a64(""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64("a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64("foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn cell_runs_and_summarizes() {
+        let m = ScenarioMatrix::new("smoke").workloads([WorkloadSpec::Tornado { bytes: 64 << 10 }]);
+        let cell = &m.expand()[0];
+        let res = cell.run();
+        assert!(res.summary.completed);
+        assert_eq!(res.key, cell.key());
+        assert_eq!(res.derived_seed, cell.derived_seed());
+    }
+}

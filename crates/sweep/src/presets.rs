@@ -1,0 +1,423 @@
+//! Named scenario presets: one [`ScenarioMatrix`] per simulation figure of
+//! the paper, plus new scenarios beyond it.
+//!
+//! Presets cover every figure that runs fabric simulations (Figs. 2–13,
+//! 15, 16, 19, 21–23). The theory figures (14, 17, 18, 20, 24 and
+//! Table 1) evaluate closed-form balls-into-bins models, not experiments,
+//! and stay in the `bench` crate. Preset grids are *representative*
+//! slices of each figure — the figure binaries remain the full-fidelity
+//! reproduction — sized so the whole quick-scale suite runs in minutes.
+//!
+//! New scenarios beyond the paper:
+//!
+//! * `incast-sweep` — incast degree sweep across the lineup,
+//! * `permutation-sweep` — message-size sweep, multi-seed,
+//! * `rolling-failures` — a rolling maintenance wave of transient cable
+//!   outages (the fabric is never healthy, never badly broken),
+//! * `mixed-collectives` — AI collectives with background AllToAll.
+
+use baselines::kind::LbKind;
+use baselines::plb::PlbConfig;
+use harness::Scale;
+use netsim::time::Time;
+use reps::reps::RepsConfig;
+use transport::cc::CcKind;
+use transport::config::{CoalesceConfig, CoalesceVariant};
+
+use crate::matrix::{labeled_lineup, LabeledLb, ScenarioMatrix};
+use crate::spec::{FabricSpec, FailureSpec, SimProfile, WorkloadSpec};
+
+fn ops() -> LbKind {
+    LbKind::Ops { evs_size: 1 << 16 }
+}
+
+fn reps() -> LbKind {
+    LbKind::Reps(RepsConfig::default())
+}
+
+fn ops_vs_reps() -> Vec<LabeledLb> {
+    vec![LabeledLb::plain(ops()), LabeledLb::plain(reps())]
+}
+
+/// The macro comparison fabric (32 hosts quick, 128 full).
+fn macro_fabric(scale: Scale) -> FabricSpec {
+    FabricSpec::two_tier(scale.pick(8, 16), 1)
+}
+
+/// Macro message bytes scaled from the paper's MiB figure (1/16 quick).
+fn macro_bytes(scale: Scale, full_mib: u64) -> u64 {
+    scale.pick((full_mib << 20) / 16, full_mib << 20)
+}
+
+/// Micro message bytes (1/4 of paper scale when quick).
+fn micro_bytes(scale: Scale, full_mib: u64) -> u64 {
+    scale.pick((full_mib << 20) / 4, full_mib << 20)
+}
+
+fn rtt() -> Time {
+    netsim::config::SimConfig::paper_default().base_rtt(3)
+}
+
+/// All built-in presets at the given scale, in figure order.
+pub fn all(scale: Scale) -> Vec<ScenarioMatrix> {
+    let lineup = labeled_lineup(&LbKind::paper_lineup(rtt()));
+    let failure_lineup = labeled_lineup(&LbKind::failure_lineup(rtt()));
+    let synthetic = |mib: u64| {
+        vec![
+            WorkloadSpec::Incast {
+                degree: 8,
+                bytes: macro_bytes(scale, mib),
+            },
+            WorkloadSpec::Permutation {
+                bytes: macro_bytes(scale, mib),
+            },
+            WorkloadSpec::Tornado {
+                bytes: macro_bytes(scale, mib),
+            },
+        ]
+    };
+    let fail_at = scale.pick(Time::from_us(8), Time::from_us(30));
+
+    vec![
+        // === Paper figures ==============================================
+        ScenarioMatrix::new("fig02-tornado-micro")
+            .fabrics([FabricSpec::two_tier(16, 1)])
+            .lbs(ops_vs_reps())
+            .workloads([WorkloadSpec::Tornado {
+                bytes: micro_bytes(scale, 16),
+            }]),
+        ScenarioMatrix::new("fig03-symmetric-macro")
+            .fabrics([macro_fabric(scale)])
+            .lbs(lineup.clone())
+            .workloads(synthetic(8)),
+        ScenarioMatrix::new("fig04-asymmetric-micro")
+            .fabrics([FabricSpec::two_tier(16, 1)])
+            .lbs(ops_vs_reps())
+            .workloads([WorkloadSpec::Tornado {
+                bytes: micro_bytes(scale, 32),
+            }])
+            .failures([FailureSpec::DegradedUplinks { pct: 1, gbps: 200 }]),
+        ScenarioMatrix::new("fig05-asymmetric-macro")
+            .fabrics([macro_fabric(scale)])
+            .lbs(lineup.clone())
+            .workloads(synthetic(8))
+            .failures([FailureSpec::DegradedUplinks { pct: 3, gbps: 200 }]),
+        ScenarioMatrix::new("fig06-mixed-traffic")
+            .fabrics([macro_fabric(scale)])
+            .lbs(lineup.clone())
+            .workloads([
+                WorkloadSpec::Permutation {
+                    bytes: macro_bytes(scale, 8),
+                },
+                WorkloadSpec::Tornado {
+                    bytes: macro_bytes(scale, 8),
+                },
+            ])
+            .background(
+                WorkloadSpec::Permutation {
+                    bytes: macro_bytes(scale, 8) / 9,
+                },
+                LbKind::Ecmp,
+            ),
+        ScenarioMatrix::new("fig07-failure-micro")
+            .fabrics([FabricSpec::two_tier(16, 1)])
+            .lbs(ops_vs_reps())
+            .workloads([WorkloadSpec::Permutation {
+                bytes: micro_bytes(scale, 8),
+            }])
+            .failures([FailureSpec::Rolling {
+                count: 2,
+                period: Time::from_us(100),
+                down_for: Time::from_us(100),
+            }]),
+        ScenarioMatrix::new("fig08-failure-macro")
+            .fabrics([macro_fabric(scale)])
+            .lbs(failure_lineup.clone())
+            .workloads([WorkloadSpec::Permutation {
+                bytes: macro_bytes(scale, 8),
+            }])
+            .failures([
+                FailureSpec::OneCable {
+                    at: fail_at,
+                    duration: None,
+                },
+                FailureSpec::OneSwitch {
+                    at: fail_at,
+                    duration: None,
+                },
+                FailureSpec::RandomCables {
+                    pct: 5,
+                    at: fail_at,
+                    duration: None,
+                },
+                FailureSpec::RandomSwitches {
+                    pct: 5,
+                    at: fail_at,
+                    duration: None,
+                },
+                FailureSpec::BitErrorCable {
+                    ber_millis: 10,
+                    at: fail_at,
+                },
+            ]),
+        ScenarioMatrix::new("fig09-extreme-failures")
+            .fabrics([macro_fabric(scale)])
+            .lbs([
+                LabeledLb::plain(reps()),
+                LabeledLb::plain(LbKind::Plb(PlbConfig::default())),
+            ])
+            .workloads([WorkloadSpec::Permutation {
+                bytes: macro_bytes(scale, 8),
+            }])
+            .failures(
+                [0u32, 10, 20, 30, 40, 50]
+                    .into_iter()
+                    .map(|pct| FailureSpec::RandomCables {
+                        pct,
+                        at: Time::from_us(10),
+                        duration: None,
+                    })
+                    .collect::<Vec<_>>(),
+            ),
+        ScenarioMatrix::new("fig10-fpga-goodput")
+            .sim(SimProfile::FpgaTestbed)
+            .fabrics([FabricSpec::custom(2, 32, 8)])
+            .lbs(ops_vs_reps())
+            .workloads([WorkloadSpec::RingAllreduce {
+                bytes: scale.pick(64u64 * (256 << 10), 64 * (4 << 20)),
+            }])
+            .deadline(Time::from_secs(5)),
+        ScenarioMatrix::new("fig11-fpga-fct-drops")
+            .sim(SimProfile::FpgaTestbed)
+            .fabrics([FabricSpec::custom(2, 8, 4)])
+            .lbs(ops_vs_reps())
+            .workloads([WorkloadSpec::Permutation {
+                bytes: scale.pick(1 << 20, 4 << 20),
+            }])
+            .failures([FailureSpec::OneCable {
+                at: Time::from_us(50),
+                duration: None,
+            }])
+            .deadline(Time::from_secs(5)),
+        ScenarioMatrix::new("fig12-ack-coalescing")
+            .fabrics([macro_fabric(scale)])
+            .lbs(ops_vs_reps())
+            .workloads([WorkloadSpec::Tornado {
+                bytes: macro_bytes(scale, 8),
+            }])
+            .coalesce([1u32, 4, 16].into_iter().map(|ratio| {
+                (
+                    format!("plain{ratio}"),
+                    CoalesceConfig::ratio(ratio, CoalesceVariant::Plain),
+                )
+            })),
+        ScenarioMatrix::new("fig13-coalescing-variants")
+            .fabrics([macro_fabric(scale)])
+            .lbs(ops_vs_reps())
+            .workloads([WorkloadSpec::Tornado {
+                bytes: macro_bytes(scale, 8),
+            }])
+            .coalesce([
+                (
+                    "plain16".to_string(),
+                    CoalesceConfig::ratio(16, CoalesceVariant::Plain),
+                ),
+                (
+                    "carry16".to_string(),
+                    CoalesceConfig::ratio(16, CoalesceVariant::CarryEvs),
+                ),
+                (
+                    "reuse16".to_string(),
+                    CoalesceConfig::ratio(16, CoalesceVariant::ReuseEvs),
+                ),
+            ]),
+        ScenarioMatrix::new("fig15-evs-and-cc")
+            .fabrics([macro_fabric(scale)])
+            .lbs(ops_vs_reps())
+            .workloads([WorkloadSpec::Tornado {
+                bytes: macro_bytes(scale, 8),
+            }])
+            .ccs([CcKind::Dctcp, CcKind::Eqds, CcKind::Internal]),
+        ScenarioMatrix::new("fig16-topology-scaling")
+            .fabrics([
+                FabricSpec::two_tier(8, 1),
+                FabricSpec::two_tier(16, 1),
+                FabricSpec::three_tier(4, 1),
+            ])
+            .lbs(ops_vs_reps())
+            .workloads([WorkloadSpec::Permutation {
+                bytes: macro_bytes(scale, 8),
+            }]),
+        ScenarioMatrix::new("fig19-forced-freezing")
+            .fabrics([FabricSpec::two_tier(16, 1)])
+            .lbs([
+                LabeledLb::plain(ops()),
+                LabeledLb::plain(reps()),
+                LabeledLb::named(
+                    "REPS+freeze@50us",
+                    LbKind::Reps(RepsConfig {
+                        force_freezing_at: Some(Time::from_us(50)),
+                        ..RepsConfig::default()
+                    }),
+                ),
+            ])
+            .workloads([WorkloadSpec::Tornado {
+                bytes: micro_bytes(scale, 16),
+            }]),
+        ScenarioMatrix::new("fig21-three-tier")
+            .fabrics([FabricSpec::three_tier(scale.pick(4, 8), 1)])
+            .lbs(lineup.clone())
+            .workloads(synthetic(4)),
+        ScenarioMatrix::new("fig22-incremental-failures")
+            .fabrics([FabricSpec::two_tier(8, 1)])
+            .lbs(ops_vs_reps())
+            .workloads([WorkloadSpec::Permutation {
+                bytes: micro_bytes(scale, 8),
+            }])
+            .failures([FailureSpec::IncrementalTorUplinks {
+                count: 3,
+                period: scale.pick(Time::from_us(50), Time::from_us(200)),
+            }])
+            .deadline(Time::from_secs(5)),
+        ScenarioMatrix::new("fig23-freezing-ablation")
+            .fabrics([macro_fabric(scale)])
+            .lbs([
+                LabeledLb::plain(ops()),
+                LabeledLb::plain(reps()),
+                LabeledLb::named(
+                    "REPS-nofreeze",
+                    LbKind::Reps(RepsConfig::default().without_freezing()),
+                ),
+            ])
+            .workloads([WorkloadSpec::Permutation {
+                bytes: macro_bytes(scale, 8),
+            }])
+            .failures([FailureSpec::OneCable {
+                at: fail_at,
+                duration: None,
+            }]),
+        // === New scenarios beyond the paper =============================
+        ScenarioMatrix::new("incast-sweep")
+            .fabrics([macro_fabric(scale)])
+            .lbs([
+                LabeledLb::plain(LbKind::Ecmp),
+                LabeledLb::plain(ops()),
+                LabeledLb::plain(LbKind::Plb(PlbConfig::default())),
+                LabeledLb::plain(reps()),
+            ])
+            .workloads(
+                [4u32, 8, 16]
+                    .into_iter()
+                    .map(|degree| WorkloadSpec::Incast {
+                        degree,
+                        bytes: macro_bytes(scale, 4),
+                    })
+                    .collect::<Vec<_>>(),
+            )
+            .seeds(3),
+        ScenarioMatrix::new("permutation-sweep")
+            .fabrics([macro_fabric(scale)])
+            .lbs([
+                LabeledLb::plain(LbKind::Ecmp),
+                LabeledLb::plain(ops()),
+                LabeledLb::plain(reps()),
+            ])
+            .workloads(
+                [1u64, 4, 16]
+                    .into_iter()
+                    .map(|mib| WorkloadSpec::Permutation {
+                        bytes: macro_bytes(scale, mib),
+                    })
+                    .collect::<Vec<_>>(),
+            )
+            .seeds(3),
+        ScenarioMatrix::new("rolling-failures")
+            .fabrics([macro_fabric(scale)])
+            .lbs([
+                LabeledLb::plain(ops()),
+                LabeledLb::plain(LbKind::Plb(PlbConfig::default())),
+                LabeledLb::plain(reps()),
+            ])
+            .workloads([WorkloadSpec::Permutation {
+                bytes: macro_bytes(scale, 8),
+            }])
+            .failures([FailureSpec::Rolling {
+                count: 4,
+                period: Time::from_us(40),
+                down_for: Time::from_us(80),
+            }])
+            .seeds(3),
+        ScenarioMatrix::new("mixed-collectives")
+            .fabrics([macro_fabric(scale)])
+            .lbs(ops_vs_reps())
+            .workloads([
+                WorkloadSpec::RingAllreduce {
+                    bytes: macro_bytes(scale, 16),
+                },
+                WorkloadSpec::ButterflyAllreduce {
+                    bytes: macro_bytes(scale, 16),
+                },
+                WorkloadSpec::AllToAll {
+                    bytes: scale.pick(16 << 10, 256 << 10),
+                    window: 4,
+                },
+            ])
+            .background(
+                WorkloadSpec::AllToAll {
+                    bytes: scale.pick(4 << 10, 64 << 10),
+                    window: 2,
+                },
+                LbKind::Ecmp,
+            )
+            .deadline(Time::from_secs(5)),
+    ]
+}
+
+/// Looks up one preset by exact name.
+pub fn by_name(name: &str, scale: Scale) -> Option<ScenarioMatrix> {
+    all(scale).into_iter().find(|m| m.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_expand_without_panicking() {
+        for m in all(Scale::Quick) {
+            let cells = m.expand();
+            assert_eq!(cells.len(), m.len(), "{}", m.name);
+            let keys: std::collections::HashSet<String> = cells.iter().map(|c| c.key()).collect();
+            assert_eq!(keys.len(), cells.len(), "{}: duplicate keys", m.name);
+        }
+    }
+
+    #[test]
+    fn preset_names_are_unique_and_cover_new_scenarios() {
+        let names: Vec<String> = all(Scale::Quick).into_iter().map(|m| m.name).collect();
+        let set: std::collections::HashSet<&String> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
+        for required in [
+            "fig03-symmetric-macro",
+            "fig08-failure-macro",
+            "incast-sweep",
+            "permutation-sweep",
+            "rolling-failures",
+            "mixed-collectives",
+        ] {
+            assert!(names.iter().any(|n| n == required), "missing {required}");
+        }
+    }
+
+    #[test]
+    fn full_scale_presets_expand_too() {
+        let total: usize = all(Scale::Full).iter().map(|m| m.len()).sum();
+        assert!(total > 100, "suite unexpectedly small: {total}");
+    }
+
+    #[test]
+    fn by_name_finds_presets() {
+        assert!(by_name("fig09-extreme-failures", Scale::Quick).is_some());
+        assert!(by_name("no-such-preset", Scale::Quick).is_none());
+    }
+}

@@ -1,0 +1,212 @@
+//! Structured result output: JSON Lines per cell and cross-seed
+//! aggregation rendered through [`harness::report`].
+//!
+//! JSONL output is byte-deterministic: [`crate::runner::run_cells`] sorts
+//! results by cell key and every record's field order is fixed, so a sweep
+//! produces identical bytes regardless of thread count.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+
+use harness::experiment::Summary;
+use harness::json::Object;
+use harness::report::{comparison_table, speedup_table};
+use netsim::time::Time;
+
+use crate::matrix::CellResult;
+
+/// Renders one cell result as a single JSONL record (no trailing newline).
+pub fn jsonl_record(r: &CellResult) -> String {
+    Object::new()
+        .str("key", &r.key)
+        .str("scenario", &r.scenario)
+        .str("lb", &r.lb)
+        .u64("seed", r.seed as u64)
+        .u64("derived_seed", r.derived_seed)
+        .raw("summary", r.summary.to_json())
+        .render()
+}
+
+/// Writes results (already sorted by key) as JSON Lines.
+pub fn write_jsonl(out: &mut dyn Write, results: &[CellResult]) -> std::io::Result<()> {
+    for r in results {
+        writeln!(out, "{}", jsonl_record(r))?;
+    }
+    Ok(())
+}
+
+/// Renders all results to one JSONL string (tests, `--out -`).
+pub fn to_jsonl(results: &[CellResult]) -> String {
+    let mut buf = Vec::new();
+    write_jsonl(&mut buf, results).expect("write to Vec cannot fail");
+    String::from_utf8(buf).expect("records are valid UTF-8")
+}
+
+/// Cross-seed aggregate of one `(scenario, lb)` group.
+#[derive(Debug, Clone)]
+pub struct Aggregate {
+    /// Scenario key the group belongs to.
+    pub scenario: String,
+    /// Load-balancer axis label.
+    pub lb: String,
+    /// Number of seeds aggregated.
+    pub runs: usize,
+    /// Mean of the per-seed summaries, shaped as a [`Summary`] so the
+    /// shared report helpers render it.
+    pub mean: Summary,
+}
+
+fn mean_time(values: impl Iterator<Item = Time>, n: usize) -> Time {
+    if n == 0 {
+        return Time::ZERO;
+    }
+    Time((values.map(|t| t.as_ps() as u128).sum::<u128>() / n as u128) as u64)
+}
+
+/// Groups results by `(scenario, lb)` and averages each group across its
+/// seeds. Output is sorted by scenario then by the first-seen lb order of
+/// the sorted input, so it is as deterministic as the input.
+pub fn aggregate(results: &[CellResult]) -> Vec<Aggregate> {
+    let mut groups: BTreeMap<(String, String), Vec<&CellResult>> = BTreeMap::new();
+    for r in results {
+        groups
+            .entry((r.scenario.clone(), r.lb.clone()))
+            .or_default()
+            .push(r);
+    }
+    groups
+        .into_iter()
+        .map(|((scenario, lb), rs)| {
+            let n = rs.len();
+            let mut mean = rs[0].summary.clone();
+            mean.name = scenario.clone();
+            mean.lb = lb.clone();
+            mean.completed = rs.iter().all(|r| r.summary.completed);
+            mean.max_fct = mean_time(rs.iter().map(|r| r.summary.max_fct), n);
+            mean.avg_fct = mean_time(rs.iter().map(|r| r.summary.avg_fct), n);
+            mean.p99_fct = mean_time(rs.iter().map(|r| r.summary.p99_fct), n);
+            mean.makespan = mean_time(rs.iter().map(|r| r.summary.makespan), n);
+            mean.avg_goodput_gbps =
+                rs.iter().map(|r| r.summary.avg_goodput_gbps).sum::<f64>() / n as f64;
+            mean.bg_max_fct = None;
+            // Sum across seeds first, divide once: per-element flooring
+            // would erase counters rarer than one event per seed (exactly
+            // the drop/timeout tallies failure scenarios measure).
+            let mean_of = |field: fn(&netsim::stats::Counters) -> u64| {
+                (rs.iter()
+                    .map(|r| field(&r.summary.counters) as u128)
+                    .sum::<u128>()
+                    / n as u128) as u64
+            };
+            mean.counters = netsim::stats::Counters {
+                drops_queue_full: mean_of(|c| c.drops_queue_full),
+                drops_link_down: mean_of(|c| c.drops_link_down),
+                drops_bit_error: mean_of(|c| c.drops_bit_error),
+                trims: mean_of(|c| c.trims),
+                ecn_marks: mean_of(|c| c.ecn_marks),
+                data_tx: mean_of(|c| c.data_tx),
+                ctrl_tx: mean_of(|c| c.ctrl_tx),
+                retransmissions: mean_of(|c| c.retransmissions),
+                timeouts: mean_of(|c| c.timeouts),
+            };
+            Aggregate {
+                scenario,
+                lb,
+                runs: n,
+                mean,
+            }
+        })
+        .collect()
+}
+
+/// Renders the cross-seed aggregation as per-scenario comparison and
+/// speedup tables (via [`harness::report`]). `baseline` picks the speedup
+/// denominator; when the scenario lacks that label the first row is used.
+pub fn render_aggregates(results: &[CellResult], baseline: &str) -> String {
+    let aggs = aggregate(results);
+    // Scenario insertion order: sorted (BTreeMap), stable.
+    let mut scenarios: Vec<String> = Vec::new();
+    let mut by_scenario: BTreeMap<String, Vec<&Aggregate>> = BTreeMap::new();
+    for a in &aggs {
+        if !by_scenario.contains_key(&a.scenario) {
+            scenarios.push(a.scenario.clone());
+        }
+        by_scenario.entry(a.scenario.clone()).or_default().push(a);
+    }
+    let mut out = String::new();
+    for scenario in scenarios {
+        let group = &by_scenario[&scenario];
+        let runs = group.iter().map(|a| a.runs).max().unwrap_or(0);
+        let rows: Vec<Summary> = group.iter().map(|a| a.mean.clone()).collect();
+        let title = format!("{scenario} (mean of {runs} seed(s))");
+        out.push_str(&comparison_table(&title, &rows));
+        let base = if rows.iter().any(|s| s.lb == baseline) {
+            baseline.to_string()
+        } else {
+            rows[0].lb.clone()
+        };
+        out.push_str(&speedup_table(&scenario, &rows, &base));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::{LabeledLb, ScenarioMatrix};
+    use crate::runner::run_cells;
+    use crate::spec::WorkloadSpec;
+    use baselines::kind::LbKind;
+    use reps::reps::RepsConfig;
+
+    fn small_results() -> Vec<CellResult> {
+        let m = ScenarioMatrix::new("sink-test")
+            .lbs([
+                LabeledLb::plain(LbKind::Ops { evs_size: 1 << 16 }),
+                LabeledLb::plain(LbKind::Reps(RepsConfig::default())),
+            ])
+            .workloads([WorkloadSpec::Tornado { bytes: 32 << 10 }])
+            .seeds(2);
+        run_cells(&m.expand(), 2)
+    }
+
+    #[test]
+    fn jsonl_is_sorted_and_parseable_shape() {
+        let results = small_results();
+        let text = to_jsonl(&results);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        let mut keys: Vec<&str> = lines
+            .iter()
+            .map(|l| {
+                assert!(l.starts_with("{\"key\":"), "line shape: {l}");
+                assert!(l.ends_with('}'), "line shape: {l}");
+                &l[8..l[8..].find('"').unwrap() + 8]
+            })
+            .collect();
+        let sorted = {
+            let mut s = keys.clone();
+            s.sort();
+            s
+        };
+        assert_eq!(keys, sorted, "records are key-sorted");
+        keys.dedup();
+        assert_eq!(keys.len(), 4, "keys are unique");
+    }
+
+    #[test]
+    fn aggregation_averages_across_seeds() {
+        let results = small_results();
+        let aggs = aggregate(&results);
+        assert_eq!(aggs.len(), 2, "one group per lb");
+        for a in &aggs {
+            assert_eq!(a.runs, 2);
+            assert!(a.mean.max_fct > Time::ZERO);
+        }
+        let rendered = render_aggregates(&results, "OPS");
+        assert!(rendered.contains("REPS"), "{rendered}");
+        assert!(rendered.contains("speedup vs OPS"), "{rendered}");
+        assert!(rendered.contains("mean of 2 seed(s)"), "{rendered}");
+    }
+}

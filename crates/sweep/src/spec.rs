@@ -1,0 +1,461 @@
+//! Declarative axis values for a [`crate::matrix::ScenarioMatrix`].
+//!
+//! Each axis value is a pure *description* carrying a stable label; it is
+//! only materialized into a concrete [`Workload`] / [`FailurePlan`] /
+//! topology inside one cell, with randomness drawn from the cell's derived
+//! seed. Labels feed the cell key, so they must be unique within an axis
+//! and stable across releases (they determine per-cell RNG seeds).
+
+use netsim::config::SimConfig;
+use netsim::failures::{Failure, FailurePlan};
+use netsim::ids::HostId;
+use netsim::rng::Rng64;
+use netsim::time::Time;
+use netsim::topology::{FatTreeConfig, Topology};
+use workloads::spec::Workload;
+use workloads::traces::SizeCdf;
+use workloads::{collectives, patterns, traces};
+
+/// A labeled fabric shape.
+#[derive(Debug, Clone)]
+pub struct FabricSpec {
+    /// Stable label used in cell keys (e.g. `2t-k8-o1`).
+    pub label: String,
+    /// The topology shape.
+    pub config: FatTreeConfig,
+}
+
+impl FabricSpec {
+    /// A full 2-tier fat tree from radix `k`, oversubscription `o:1`.
+    pub fn two_tier(k: u32, oversubscription: u32) -> FabricSpec {
+        FabricSpec {
+            label: format!("2t-k{k}-o{oversubscription}"),
+            config: FatTreeConfig::two_tier(k, oversubscription),
+        }
+    }
+
+    /// A full 3-tier fat tree from radix `k`, oversubscription `o:1`.
+    pub fn three_tier(k: u32, oversubscription: u32) -> FabricSpec {
+        FabricSpec {
+            label: format!("3t-k{k}-o{oversubscription}"),
+            config: FatTreeConfig::three_tier(k, oversubscription),
+        }
+    }
+
+    /// An irregular 2-tier fabric (the FPGA-testbed shapes).
+    pub fn custom(tors: u32, hosts_per_tor: u32, tor_uplinks: u32) -> FabricSpec {
+        FabricSpec {
+            label: format!("2t-custom-{tors}x{hosts_per_tor}-u{tor_uplinks}"),
+            config: FatTreeConfig::two_tier_custom(tors, hosts_per_tor, tor_uplinks),
+        }
+    }
+}
+
+/// Which [`SimConfig`] profile a matrix runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimProfile {
+    /// 400 Gbps paper-default fabric.
+    #[default]
+    PaperDefault,
+    /// The §4.4 FPGA-testbed profile (100 Gbps NICs, 8 KiB MTU).
+    FpgaTestbed,
+}
+
+impl SimProfile {
+    /// Stable label used in cell keys.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SimProfile::PaperDefault => "paper",
+            SimProfile::FpgaTestbed => "fpga",
+        }
+    }
+
+    /// Materializes the profile.
+    pub fn config(&self) -> SimConfig {
+        match self {
+            SimProfile::PaperDefault => SimConfig::paper_default(),
+            SimProfile::FpgaTestbed => SimConfig::fpga_testbed(),
+        }
+    }
+}
+
+/// A workload description, materialized per cell.
+#[derive(Debug, Clone)]
+pub enum WorkloadSpec {
+    /// Tornado: host `i` → twin `(i + n/2) % n`.
+    Tornado {
+        /// Bytes per flow.
+        bytes: u64,
+    },
+    /// Seeded random derangement, every host sends once.
+    Permutation {
+        /// Bytes per flow.
+        bytes: u64,
+    },
+    /// `degree`:1 incast onto host 0.
+    Incast {
+        /// Number of concurrent senders.
+        degree: u32,
+        /// Bytes per flow.
+        bytes: u64,
+    },
+    /// Ring AllReduce of a `bytes` buffer.
+    RingAllreduce {
+        /// Buffer bytes.
+        bytes: u64,
+    },
+    /// Butterfly (halving/doubling) AllReduce of a `bytes` buffer.
+    ButterflyAllreduce {
+        /// Buffer bytes.
+        bytes: u64,
+    },
+    /// Windowed AllToAll.
+    AllToAll {
+        /// Bytes per pairwise message.
+        bytes: u64,
+        /// Concurrent sends per host.
+        window: u32,
+    },
+    /// Poisson arrivals from the WebSearch size CDF at a target load.
+    DcTrace {
+        /// Offered load as a percentage of host line rate.
+        load_pct: u32,
+        /// Arrival window.
+        duration: Time,
+    },
+}
+
+impl WorkloadSpec {
+    /// Stable label used in cell keys.
+    pub fn label(&self) -> String {
+        match self {
+            WorkloadSpec::Tornado { bytes } => format!("tornado-{bytes}B"),
+            WorkloadSpec::Permutation { bytes } => format!("perm-{bytes}B"),
+            WorkloadSpec::Incast { degree, bytes } => format!("incast{degree}to1-{bytes}B"),
+            WorkloadSpec::RingAllreduce { bytes } => format!("ringar-{bytes}B"),
+            WorkloadSpec::ButterflyAllreduce { bytes } => format!("bflyar-{bytes}B"),
+            WorkloadSpec::AllToAll { bytes, window } => format!("a2a-w{window}-{bytes}B"),
+            WorkloadSpec::DcTrace { load_pct, duration } => {
+                format!("dctrace-{load_pct}pct-{}us", duration.as_ps() / 1_000_000)
+            }
+        }
+    }
+
+    /// Materializes the workload for an `n_hosts` fabric; all randomness is
+    /// drawn from `rng` (derived from the cell seed by the caller).
+    pub fn build(&self, n_hosts: u32, link_bps: u64, rng: &mut Rng64) -> Workload {
+        match self {
+            WorkloadSpec::Tornado { bytes } => patterns::tornado(n_hosts, *bytes),
+            WorkloadSpec::Permutation { bytes } => patterns::permutation(n_hosts, *bytes, rng),
+            // No silent clamping: the label (and with it the derived seed)
+            // advertises `degree`, so an oversized degree must fail loudly
+            // rather than masquerade as a different scenario.
+            WorkloadSpec::Incast { degree, bytes } => {
+                patterns::incast(n_hosts, *degree, HostId(0), *bytes)
+            }
+            WorkloadSpec::RingAllreduce { bytes } => collectives::ring_allreduce(n_hosts, *bytes),
+            WorkloadSpec::ButterflyAllreduce { bytes } => {
+                let n = if n_hosts.is_power_of_two() {
+                    n_hosts
+                } else {
+                    n_hosts.next_power_of_two() / 2
+                };
+                collectives::butterfly_allreduce(n.max(2), *bytes)
+            }
+            WorkloadSpec::AllToAll { bytes, window } => {
+                collectives::alltoall(n_hosts, *bytes, *window)
+            }
+            WorkloadSpec::DcTrace { load_pct, duration } => traces::poisson_trace(
+                n_hosts,
+                *load_pct as f64 / 100.0,
+                *duration,
+                link_bps,
+                &SizeCdf::websearch(),
+                rng,
+            ),
+        }
+    }
+}
+
+/// A failure-plan description, materialized per cell against the topology.
+#[derive(Debug, Clone)]
+pub enum FailureSpec {
+    /// Healthy network.
+    None,
+    /// The first cable of the fabric fails at `at` (optionally recovering).
+    OneCable {
+        /// Failure instant.
+        at: Time,
+        /// Optional recovery delay.
+        duration: Option<Time>,
+    },
+    /// The first T1 switch fails at `at`.
+    OneSwitch {
+        /// Failure instant.
+        at: Time,
+        /// Optional recovery delay.
+        duration: Option<Time>,
+    },
+    /// A random `pct`% of switch-to-switch cables fail at `at`.
+    RandomCables {
+        /// Percentage of cables (0–100).
+        pct: u32,
+        /// Failure instant.
+        at: Time,
+        /// Optional recovery delay.
+        duration: Option<Time>,
+    },
+    /// A random `pct`% of T1 switches fail at `at`.
+    RandomSwitches {
+        /// Percentage of T1 switches (0–100).
+        pct: u32,
+        /// Failure instant.
+        at: Time,
+        /// Optional recovery delay.
+        duration: Option<Time>,
+    },
+    /// A random `pct`% of ToR uplink cables degrade to `gbps` from t=0
+    /// (the paper's asymmetric-network scenarios).
+    DegradedUplinks {
+        /// Percentage of ToR uplink cables (0–100).
+        pct: u32,
+        /// Degraded rate in Gbps.
+        gbps: u32,
+    },
+    /// One cable develops a `ber_millis`/1000 per-packet error rate at `at`.
+    BitErrorCable {
+        /// Per-mille packet corruption probability.
+        ber_millis: u32,
+        /// Onset instant.
+        at: Time,
+    },
+    /// Rolling maintenance: `count` cables fail one after another, `period`
+    /// apart, each staying down for `down_for` (a new scenario beyond the
+    /// paper: the fabric is never fully healthy but never loses more than a
+    /// few cables at once).
+    Rolling {
+        /// How many cables the wave touches.
+        count: u32,
+        /// Gap between consecutive failures.
+        period: Time,
+        /// Downtime of each cable.
+        down_for: Time,
+    },
+    /// Incremental permanent loss of `count` uplinks of ToR 0, `period`
+    /// apart (Fig. 22).
+    IncrementalTorUplinks {
+        /// How many uplinks fail.
+        count: u32,
+        /// Gap between consecutive failures.
+        period: Time,
+    },
+}
+
+impl FailureSpec {
+    /// Stable label used in cell keys.
+    pub fn label(&self) -> String {
+        fn dur(d: &Option<Time>) -> String {
+            match d {
+                None => "perm".to_string(),
+                Some(t) => format!("{}us", t.as_ps() / 1_000_000),
+            }
+        }
+        match self {
+            FailureSpec::None => "none".to_string(),
+            FailureSpec::OneCable { at, duration } => {
+                format!("cable1-at{}us-{}", at.as_ps() / 1_000_000, dur(duration))
+            }
+            FailureSpec::OneSwitch { at, duration } => {
+                format!("switch1-at{}us-{}", at.as_ps() / 1_000_000, dur(duration))
+            }
+            FailureSpec::RandomCables { pct, at, duration } => {
+                format!(
+                    "cables{pct}pct-at{}us-{}",
+                    at.as_ps() / 1_000_000,
+                    dur(duration)
+                )
+            }
+            FailureSpec::RandomSwitches { pct, at, duration } => {
+                format!(
+                    "switches{pct}pct-at{}us-{}",
+                    at.as_ps() / 1_000_000,
+                    dur(duration)
+                )
+            }
+            FailureSpec::DegradedUplinks { pct, gbps } => {
+                format!("degraded{pct}pct-{gbps}G")
+            }
+            FailureSpec::BitErrorCable { ber_millis, at } => {
+                format!("ber{ber_millis}pm-at{}us", at.as_ps() / 1_000_000)
+            }
+            FailureSpec::Rolling {
+                count,
+                period,
+                down_for,
+            } => format!(
+                "rolling{count}-every{}us-down{}us",
+                period.as_ps() / 1_000_000,
+                down_for.as_ps() / 1_000_000
+            ),
+            FailureSpec::IncrementalTorUplinks { count, period } => {
+                format!("incuplinks{count}-every{}us", period.as_ps() / 1_000_000)
+            }
+        }
+    }
+
+    /// Materializes the plan against `fabric`; random choices are seeded by
+    /// `seed` (derived from the cell key by the caller), so the same cell
+    /// always fails the same cables.
+    pub fn build(&self, fabric: &FatTreeConfig, topo_seed: u64, seed: u64) -> FailurePlan {
+        if matches!(self, FailureSpec::None) {
+            return FailurePlan::none();
+        }
+        let topo = Topology::build(fabric.clone(), topo_seed);
+        let mut rng = Rng64::new(seed);
+        match self {
+            FailureSpec::None => unreachable!("handled by the early return above"),
+            FailureSpec::OneCable { at, duration } => FailurePlan::none().with(Failure::Cable {
+                pair: topo.cable_pairs()[0],
+                at: *at,
+                duration: *duration,
+            }),
+            FailureSpec::OneSwitch { at, duration } => FailurePlan::none().with(Failure::Switch {
+                sw: topo.t1_switches()[0],
+                at: *at,
+                duration: *duration,
+            }),
+            FailureSpec::RandomCables { pct, at, duration } => FailurePlan::random_cables(
+                &topo.cable_pairs(),
+                *pct as f64 / 100.0,
+                *at,
+                *duration,
+                &mut rng,
+            ),
+            FailureSpec::RandomSwitches { pct, at, duration } => FailurePlan::random_switches(
+                &topo.t1_switches(),
+                *pct as f64 / 100.0,
+                *at,
+                *duration,
+                &mut rng,
+            ),
+            FailureSpec::DegradedUplinks { pct, gbps } => {
+                let mut pairs = Vec::new();
+                for tor in topo.t0_switches() {
+                    pairs.extend(topo.tor_uplink_pairs(tor));
+                }
+                FailurePlan::degrade_random_cables(
+                    &pairs,
+                    *pct as f64 / 100.0,
+                    *gbps as u64 * 1_000_000_000,
+                    &mut rng,
+                )
+            }
+            FailureSpec::BitErrorCable { ber_millis, at } => {
+                FailurePlan::none().with(Failure::BitError {
+                    pair: topo.cable_pairs()[0],
+                    at: *at,
+                    p: *ber_millis as f64 / 1000.0,
+                })
+            }
+            FailureSpec::Rolling {
+                count,
+                period,
+                down_for,
+            } => {
+                let cables = topo.cable_pairs();
+                let mut plan = FailurePlan::none();
+                for (i, &pair) in cables.iter().take(*count as usize).enumerate() {
+                    plan = plan.with(Failure::Cable {
+                        pair,
+                        at: *period * (i as u64 + 1),
+                        duration: Some(*down_for),
+                    });
+                }
+                plan
+            }
+            FailureSpec::IncrementalTorUplinks { count, period } => {
+                let pairs = topo.tor_uplink_pairs(topo.t0_switches()[0]);
+                let mut plan = FailurePlan::none();
+                for (i, pair) in pairs.iter().take(*count as usize).enumerate() {
+                    plan = plan.with(Failure::Cable {
+                        pair: *pair,
+                        at: *period * (i as u64 + 1),
+                        duration: None,
+                    });
+                }
+                plan
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fabric_labels_are_stable() {
+        assert_eq!(FabricSpec::two_tier(8, 1).label, "2t-k8-o1");
+        assert_eq!(FabricSpec::three_tier(4, 1).label, "3t-k4-o1");
+        assert_eq!(FabricSpec::custom(2, 8, 4).label, "2t-custom-2x8-u4");
+    }
+
+    #[test]
+    fn workload_build_matches_label_shape() {
+        let mut rng = Rng64::new(1);
+        let spec = WorkloadSpec::Permutation { bytes: 1 << 16 };
+        let w = spec.build(32, 400_000_000_000, &mut rng);
+        assert_eq!(w.len(), 32);
+        assert!(w.validate(32).is_ok());
+        assert_eq!(spec.label(), "perm-65536B");
+    }
+
+    #[test]
+    #[should_panic(expected = "incast degree")]
+    fn oversized_incast_degree_fails_loudly() {
+        // The label advertises the requested degree, so a fabric too small
+        // for it must panic instead of silently building something else.
+        let mut rng = Rng64::new(1);
+        let spec = WorkloadSpec::Incast {
+            degree: 64,
+            bytes: 1024,
+        };
+        let _ = spec.build(8, 400_000_000_000, &mut rng);
+    }
+
+    #[test]
+    fn failure_build_is_deterministic_in_seed() {
+        let fabric = FatTreeConfig::two_tier(8, 1);
+        let spec = FailureSpec::RandomCables {
+            pct: 25,
+            at: Time::from_us(5),
+            duration: None,
+        };
+        let a = spec.build(&fabric, 7, 99);
+        let b = spec.build(&fabric, 7, 99);
+        assert_eq!(a.len(), b.len());
+        let pairs = |p: &FailurePlan| -> Vec<String> {
+            p.failures.iter().map(|f| format!("{f:?}")).collect()
+        };
+        assert_eq!(pairs(&a), pairs(&b));
+    }
+
+    #[test]
+    fn rolling_failures_are_staggered_and_recover() {
+        let fabric = FatTreeConfig::two_tier(8, 1);
+        let spec = FailureSpec::Rolling {
+            count: 3,
+            period: Time::from_us(50),
+            down_for: Time::from_us(30),
+        };
+        let plan = spec.build(&fabric, 1, 1);
+        assert_eq!(plan.len(), 3);
+        for (i, f) in plan.failures.iter().enumerate() {
+            let Failure::Cable { at, duration, .. } = f else {
+                panic!("expected cable failures");
+            };
+            assert_eq!(*at, Time::from_us(50) * (i as u64 + 1));
+            assert_eq!(*duration, Some(Time::from_us(30)));
+        }
+    }
+}

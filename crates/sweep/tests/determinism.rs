@@ -1,0 +1,138 @@
+//! The sweep engine's determinism contract, as properties:
+//!
+//! 1. a matrix run with 1 thread and with N threads produces byte-identical
+//!    JSONL output,
+//! 2. per-cell derived seeds are stable across filter order — selecting a
+//!    subset of cells, reordering them or running them alongside other
+//!    presets never changes what any one cell computes.
+
+use proptest::prelude::*;
+
+use baselines::kind::LbKind;
+use reps::reps::RepsConfig;
+use sweep::matrix::{LabeledLb, ScenarioMatrix};
+use sweep::spec::{FabricSpec, FailureSpec, WorkloadSpec};
+use sweep::{glob, presets, run_cells, to_jsonl};
+
+/// A small but non-trivial grid: 2 lbs × 2 workloads × 2 failures × seeds.
+fn small_matrix(seeds: u32) -> ScenarioMatrix {
+    ScenarioMatrix::new("det-test")
+        .fabrics([FabricSpec::two_tier(4, 1)])
+        .lbs([
+            LabeledLb::plain(LbKind::Ops { evs_size: 1 << 16 }),
+            LabeledLb::plain(LbKind::Reps(RepsConfig::default())),
+        ])
+        .workloads([
+            WorkloadSpec::Tornado { bytes: 32 << 10 },
+            WorkloadSpec::Permutation { bytes: 32 << 10 },
+        ])
+        .failures([
+            FailureSpec::None,
+            FailureSpec::OneCable {
+                at: netsim::time::Time::from_us(5),
+                duration: None,
+            },
+        ])
+        .seeds(seeds)
+}
+
+proptest! {
+    /// 1 thread vs N threads: byte-identical JSONL.
+    #[test]
+    fn thread_count_never_changes_jsonl(threads in 2usize..12) {
+        let cells = small_matrix(1).expand();
+        let serial = to_jsonl(&run_cells(&cells, 1));
+        let parallel = to_jsonl(&run_cells(&cells, threads));
+        prop_assert_eq!(serial, parallel);
+    }
+
+    /// Running a filtered subset yields exactly the matching lines of the
+    /// full run: no cell's result depends on which other cells ran.
+    #[test]
+    fn filtered_subset_is_a_sublist_of_the_full_run(
+        threads in 1usize..8,
+        pick in any::<(bool, bool, bool)>(),
+    ) {
+        let all_cells = small_matrix(1).expand();
+        let full: Vec<String> = run_cells(&all_cells, threads)
+            .iter()
+            .map(sweep::sink::jsonl_record)
+            .collect();
+        // Filter by an arbitrary subset of the lb/workload axes (keep at
+        // least one cell).
+        let subset: Vec<_> = all_cells
+            .iter()
+            .enumerate()
+            .filter(|(i, c)| {
+                (pick.0 || c.lb.label == "REPS")
+                    && (pick.1 || c.workload.label().starts_with("tornado"))
+                    && (pick.2 || i % 2 == 0)
+            })
+            .map(|(_, c)| c.clone())
+            .collect();
+        prop_assume!(!subset.is_empty());
+        let sub_lines: Vec<String> = run_cells(&subset, threads)
+            .iter()
+            .map(sweep::sink::jsonl_record)
+            .collect();
+        for line in &sub_lines {
+            prop_assert!(full.contains(line), "subset line missing from full run: {line}");
+        }
+    }
+
+    /// Derived seeds are a pure function of the cell key: permuting the
+    /// cell list changes nothing about any cell.
+    #[test]
+    fn cell_order_never_changes_results(swap_seed in any::<u64>()) {
+        let mut cells = small_matrix(2).expand();
+        let baseline = to_jsonl(&run_cells(&cells, 4));
+        // Deterministic pseudo-shuffle of the cell order.
+        let mut rng = netsim::rng::Rng64::new(swap_seed);
+        rng.shuffle(&mut cells);
+        let shuffled = to_jsonl(&run_cells(&cells, 4));
+        prop_assert_eq!(baseline, shuffled);
+    }
+}
+
+#[test]
+fn derived_seeds_are_stable_across_preset_selection() {
+    use std::collections::HashMap;
+    let scale = harness::Scale::Quick;
+    // Seeds recorded while expanding everything...
+    let mut seeds: HashMap<String, u64> = HashMap::new();
+    for m in presets::all(scale) {
+        for c in m.expand() {
+            seeds.insert(c.key(), c.derived_seed());
+        }
+    }
+    // ...must match seeds observed when expanding a filtered selection.
+    for m in presets::all(scale)
+        .into_iter()
+        .filter(|m| glob::matches("fig0*", &m.name))
+    {
+        for c in m.expand() {
+            assert_eq!(
+                seeds[&c.key()],
+                c.derived_seed(),
+                "seed drift for {}",
+                c.key()
+            );
+        }
+    }
+}
+
+#[test]
+fn quick_macro_figures_run_in_parallel_and_match_serial() {
+    // The acceptance scenario, shrunk to stay test-suite-fast: a slice of
+    // the fig0* presets at quick scale, 8 threads vs 1 thread.
+    let cells: Vec<_> = presets::all(harness::Scale::Quick)
+        .into_iter()
+        .filter(|m| glob::matches("fig03*", &m.name) || glob::matches("fig09*", &m.name))
+        .flat_map(|m| m.expand())
+        .collect();
+    assert!(cells.len() > 20, "slice too small: {}", cells.len());
+    let serial = to_jsonl(&run_cells(&cells, 1));
+    let parallel = to_jsonl(&run_cells(&cells, 8));
+    assert_eq!(serial, parallel);
+    assert_eq!(serial.lines().count(), cells.len());
+}

@@ -377,7 +377,7 @@ impl SenderConn {
     /// packets declared lost (0 = no timeout fired).
     pub fn check_timeouts(&mut self, rto: Time, ctx: &mut Ctx<'_>) -> usize {
         let now = ctx.now;
-        let expired: Vec<u64> = self
+        let mut expired: Vec<u64> = self
             .inflight
             .iter()
             .filter(|(_, i)| now.saturating_sub(i.sent_at) >= rto)
@@ -386,6 +386,10 @@ impl SenderConn {
         if expired.is_empty() {
             return 0;
         }
+        // The map iterates in hash order, which varies between processes;
+        // the retransmission queue (and with it every subsequent EV draw)
+        // must not.
+        expired.sort_unstable();
         for &seq in &expired {
             let info = self.inflight.remove(&seq).expect("listed");
             self.inflight_bytes -= info.payload as u64;
@@ -553,6 +557,19 @@ impl ReceiverConn {
     /// Receiver-side reorder degree (diagnostics).
     pub fn out_of_order_count(&self) -> u32 {
         self.tracker.out_of_order_count()
+    }
+}
+
+impl SenderConn {
+    /// Current congestion window in bytes (instrumentation).
+    pub fn cwnd_bytes(&self) -> u64 {
+        use crate::cc::CongestionControl;
+        self.cc.cwnd()
+    }
+
+    /// Bytes currently in flight (instrumentation).
+    pub fn inflight_bytes(&self) -> u64 {
+        self.inflight_bytes
     }
 }
 
@@ -732,18 +749,5 @@ mod tests {
         assert_eq!(tx.msgs[1].pkts, 1, "tiny message still takes one packet");
         assert_eq!(tx.msgs[1].base_seq, 3);
         assert!(!tx.idle());
-    }
-}
-
-impl SenderConn {
-    /// Current congestion window in bytes (instrumentation).
-    pub fn cwnd_bytes(&self) -> u64 {
-        use crate::cc::CongestionControl;
-        self.cc.cwnd()
-    }
-
-    /// Bytes currently in flight (instrumentation).
-    pub fn inflight_bytes(&self) -> u64 {
-        self.inflight_bytes
     }
 }

@@ -175,16 +175,24 @@ impl HostEndpoint {
     fn on_sweep(&mut self, ctx: &mut Ctx<'_>) {
         self.sweep_armed = false;
         let rto = self.cfg.rto;
-        for tx in self.senders.values_mut() {
-            tx.check_timeouts(rto, ctx);
+        // Sweep senders in key order: each timeout draws from the shared
+        // RNG, so hash-order iteration would make runs irreproducible.
+        let mut conns: Vec<(HostId, bool)> = self.senders.keys().copied().collect();
+        conns.sort_unstable();
+        for key in conns {
+            self.senders
+                .get_mut(&key)
+                .expect("listed")
+                .check_timeouts(rto, ctx);
         }
         // Delayed-ACK flush: release observations older than a quarter RTO.
         let cutoff = ctx.now.saturating_sub(rto / 4);
-        let stale: Vec<(HostId, ConnId, Ack)> = self
+        let mut stale: Vec<(HostId, ConnId, Ack)> = self
             .receivers
             .values_mut()
             .filter_map(|rx| rx.flush_stale(cutoff).map(|a| (rx.peer, rx.conn, a)))
             .collect();
+        stale.sort_unstable_by_key(|(peer, conn, _)| (*peer, *conn));
         for (peer, conn, ack) in stale {
             self.send_ack(peer, conn, ack, ctx);
         }

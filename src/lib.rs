@@ -9,7 +9,9 @@
 //! * [`transport`] — the out-of-order transport and congestion control,
 //! * [`workloads`] — synthetic patterns, trace CDFs and AI collectives,
 //! * [`ballsbins`] — the §5 theoretical models,
-//! * [`harness`] — the experiment runner.
+//! * [`harness`] — the experiment runner,
+//! * [`sweep`] — the deterministic parallel scenario-sweep engine and the
+//!   `repsbench` CLI.
 //!
 //! # Examples
 //!
@@ -23,12 +25,43 @@
 //! let result = exp.run();
 //! assert!(result.summary.completed);
 //! ```
+//!
+//! Or declare a whole scenario grid and run it in parallel:
+//!
+//! ```
+//! use reps_repro::prelude::*;
+//!
+//! let matrix = ScenarioMatrix::new("demo")
+//!     .workloads([WorkloadSpec::Tornado { bytes: 64 << 10 }])
+//!     .seeds(2);
+//! let results = reps_repro::sweep::run_cells(&matrix.expand(), 4);
+//! assert!(results.iter().all(|r| r.summary.completed));
+//! ```
+//!
+//! # Running the evaluation
+//!
+//! Two front ends cover the paper's evaluation:
+//!
+//! * `cargo run --release --bin run_all -- [GLOB]` prints every figure's
+//!   tables in paper order (the per-figure binaries still exist for single
+//!   figures). Lineup experiments execute on the sweep engine's
+//!   work-stealing pool; set `REPS_THREADS` to pin the worker count.
+//! * `cargo run --release --bin repsbench -- run --filter 'fig0*'
+//!   --threads 8 --out results.jsonl` runs declarative scenario sweeps and
+//!   emits one JSON Lines record per cell plus cross-seed aggregate
+//!   tables; `repsbench list` shows every preset. Output is
+//!   byte-identical for any `--threads` value.
+//!
+//! Both honour `REPS_SCALE` (case-insensitive): `quick` (default) runs
+//! 32–128-node fabrics with scaled-down messages in minutes; `full` uses
+//! the paper's parameters where feasible.
 
 pub use ballsbins;
 pub use baselines;
 pub use harness;
 pub use netsim;
 pub use reps;
+pub use sweep;
 pub use transport;
 pub use workloads;
 
@@ -43,6 +76,7 @@ pub mod prelude {
     pub use netsim::time::Time;
     pub use netsim::topology::{FatTreeConfig, Topology};
     pub use reps::reps::{Reps, RepsConfig};
+    pub use sweep::{FabricSpec, FailureSpec, LabeledLb, ScenarioMatrix, SimProfile, WorkloadSpec};
     pub use transport::cc::CcKind;
     pub use transport::config::{CoalesceConfig, CoalesceVariant};
     pub use workloads::collectives::{alltoall, butterfly_allreduce, ring_allreduce};
