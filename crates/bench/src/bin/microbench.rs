@@ -1,0 +1,487 @@
+//! `microbench` — the offline hot-path benchmark suite (tinybench).
+//!
+//! Ports the criterion benches from `benches/micro.rs` and
+//! `benches/simulation.rs` (which stay gated behind `autobenches = false`
+//! because the offline image cannot fetch `criterion`) onto the
+//! `tinybench` harness, and adds the DES hot-path measurements the
+//! zero-allocation refactor is tracked by:
+//!
+//! * `hotpath/permutation_cell` — a full single sweep cell (32-host
+//!   permutation, REPS) measured in simulator **events per second**; this
+//!   is the number the CI `microbench-smoke` job gates on.
+//! * `calendar/*` — the event calendar under a synthetic hold model:
+//!   the engine's BinaryHeap-of-POD against a bucketed-ring prototype.
+//!   (Measured before committing to the heap: the POD heap won — see the
+//!   `netsim::event` module docs.)
+//!
+//! ```text
+//! microbench [--out PATH] [--target-ms N]
+//!            [--check BASELINE.json [--tolerance F]]
+//! ```
+//!
+//! Writes the JSON report to `--out` (default `BENCH_hotpath.json`).
+//! With `--check`, compares `hotpath/permutation_cell` events/sec against
+//! the named baseline report and exits non-zero when the current number is
+//! more than `--tolerance` (default 0.2) below it.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use ballsbins::batched::BatchedBallsBins;
+use ballsbins::recycled::{theorem_parameters, RecycledBallsBins};
+use baselines::kind::LbKind;
+use harness::experiment::Experiment;
+use netsim::event::{Event, EventQueue};
+use netsim::hash::ecmp_select;
+use netsim::ids::HostId;
+use netsim::rng::Rng64;
+use netsim::time::Time;
+use netsim::topology::FatTreeConfig;
+use reps::lb::{AckFeedback, LoadBalancer};
+use reps::reps::{Reps, RepsConfig};
+use tinybench::{json_field, Harness};
+use transport::sack::OooTracker;
+use workloads::patterns;
+
+/// The gated benchmark: its events/sec must not regress vs. the baseline.
+const GATED_BENCH: &str = "hotpath/permutation_cell";
+
+struct Opts {
+    out: String,
+    target_ms: Option<u64>,
+    check: Option<String>,
+    tolerance: f64,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts {
+        out: "BENCH_hotpath.json".to_string(),
+        target_ms: None,
+        check: None,
+        tolerance: 0.2,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or(format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--out" => opts.out = value("--out")?.clone(),
+            "--target-ms" => {
+                opts.target_ms = Some(
+                    value("--target-ms")?
+                        .parse::<u64>()
+                        .map_err(|e| format!("--target-ms: {e}"))?,
+                )
+            }
+            "--check" => opts.check = Some(value("--check")?.clone()),
+            "--tolerance" => {
+                opts.tolerance = value("--tolerance")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("--tolerance: {e}"))?
+            }
+            other => {
+                return Err(format!(
+                    "unknown argument {other:?}\nusage: microbench [--out PATH] [--target-ms N] [--check BASELINE.json [--tolerance F]]"
+                ))
+            }
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut h = Harness::new();
+    if let Some(ms) = opts.target_ms {
+        h = h.target_ms(ms);
+    }
+
+    bench_reps(&mut h);
+    bench_substrate(&mut h);
+    bench_calendar(&mut h);
+    bench_simulation(&mut h);
+    bench_hotpath(&mut h);
+
+    let json = h.to_json();
+    if let Err(e) = std::fs::write(&opts.out, &json) {
+        eprintln!("writing {}: {e}", opts.out);
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {} benches to {}", h.results().len(), opts.out);
+
+    if let Some(baseline_path) = &opts.check {
+        return check_regression(&json, baseline_path, opts.tolerance);
+    }
+    ExitCode::SUCCESS
+}
+
+/// Gates `GATED_BENCH` events/sec against a checked-in baseline report.
+fn check_regression(current: &str, baseline_path: &str, tolerance: f64) -> ExitCode {
+    let baseline = match std::fs::read_to_string(baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("reading baseline {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (Some(base), Some(now)) = (
+        json_field(&baseline, GATED_BENCH, "elems_per_sec"),
+        json_field(current, GATED_BENCH, "elems_per_sec"),
+    ) else {
+        eprintln!("{GATED_BENCH} missing from baseline or current report");
+        return ExitCode::FAILURE;
+    };
+    let floor = base * (1.0 - tolerance);
+    let ratio = now / base;
+    if now < floor {
+        eprintln!(
+            "REGRESSION: {GATED_BENCH} at {:.2} M events/s is {:.0}% of the {:.2} M events/s baseline (floor {:.0}%)",
+            now / 1e6,
+            ratio * 100.0,
+            base / 1e6,
+            (1.0 - tolerance) * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "{GATED_BENCH}: {:.2} M events/s ({:.0}% of baseline, floor {:.0}%) — ok",
+        now / 1e6,
+        ratio * 100.0,
+        (1.0 - tolerance) * 100.0
+    );
+    ExitCode::SUCCESS
+}
+
+/// The REPS per-packet paths (from `benches/micro.rs`).
+fn bench_reps(h: &mut Harness) {
+    h.bench_function("reps/next_ev", |b| {
+        let mut reps = Reps::new(RepsConfig::default());
+        let mut rng = Rng64::new(1);
+        // Warm the buffer so both branches (reuse + explore) are exercised.
+        for ev in 0..8u16 {
+            reps.on_ack(
+                &AckFeedback {
+                    ev,
+                    ecn: false,
+                    now: Time::from_us(1),
+                    cwnd_packets: 16,
+                    rtt: Time::from_us(10),
+                },
+                &mut rng,
+            );
+        }
+        b.iter(|| reps.next_ev(Time::from_us(2), &mut rng))
+    });
+    h.bench_function("reps/on_ack", |b| {
+        let mut reps = Reps::new(RepsConfig::default());
+        let mut rng = Rng64::new(2);
+        let fb = AckFeedback {
+            ev: 77,
+            ecn: false,
+            now: Time::from_us(1),
+            cwnd_packets: 16,
+            rtt: Time::from_us(10),
+        };
+        b.iter(|| reps.on_ack(&fb, &mut rng))
+    });
+}
+
+/// Simulator substrate micro paths (from `benches/micro.rs`).
+fn bench_substrate(h: &mut Harness) {
+    h.bench_function("substrate/ecmp_select_8way", |b| {
+        let mut ev = 0u16;
+        b.iter(|| {
+            ev = ev.wrapping_add(1);
+            ecmp_select(HostId(3), HostId(96), ev, 0xDEAD, 8)
+        })
+    });
+    h.bench_function("substrate/ooo_tracker_in_order_256", |b| {
+        b.elements(256);
+        b.iter_batched(OooTracker::new, |mut t| {
+            for seq in 0..256u64 {
+                t.record(seq);
+            }
+            t.cum_ack()
+        })
+    });
+    h.bench_function("substrate/ooo_tracker_reversed_256", |b| {
+        b.elements(256);
+        b.iter_batched(OooTracker::new, |mut t| {
+            for seq in (0..256u64).rev() {
+                t.record(seq);
+            }
+            t.cum_ack()
+        })
+    });
+    h.bench_function("substrate/batched_balls_round_64", |b| {
+        let mut rng = Rng64::new(5);
+        let mut p = BatchedBallsBins::new(64, 0.99);
+        b.iter(|| p.step(&mut rng))
+    });
+    h.bench_function("substrate/recycled_balls_round_64", |b| {
+        let mut rng = Rng64::new(5);
+        let (bb, tau) = theorem_parameters(64);
+        let mut p = RecycledBallsBins::new(64, bb, tau);
+        b.iter(|| p.step(&mut rng))
+    });
+    h.bench_function("substrate/rng_next_u64", |b| {
+        let mut rng = Rng64::new(9);
+        b.iter(|| rng.next_u64())
+    });
+}
+
+/// Calendar hold model: keep `n` timer events pending; each operation pops
+/// the earliest and schedules a replacement a pseudo-random delta ahead.
+/// This is the classic DES calendar stress shape (no packets involved, so
+/// it isolates the queue data structure itself).
+fn bench_calendar(h: &mut Harness) {
+    const HELD: u64 = 4096;
+    const OPS: u64 = 65_536;
+    h.bench_function("calendar/engine_queue_hold4096", |b| {
+        b.elements(OPS);
+        b.iter_batched(
+            || {
+                let mut q = EventQueue::new();
+                let mut rng = Rng64::new(11);
+                for token in 0..HELD {
+                    q.push(
+                        Time::from_ns(rng.gen_range(1 << 16)),
+                        Event::Timer {
+                            host: HostId(0),
+                            token,
+                        },
+                    );
+                }
+                (q, rng)
+            },
+            |(mut q, mut rng)| {
+                for _ in 0..OPS {
+                    let (at, ev) = q.pop().expect("hold model never drains");
+                    q.push(at + Time::from_ns(1 + rng.gen_range(1 << 12)), ev);
+                }
+                q.len()
+            },
+        )
+    });
+    h.bench_function("calendar/binheap_pod_hold4096", |b| {
+        b.elements(OPS);
+        b.iter_batched(
+            || {
+                let mut q = PodBinHeap::default();
+                let mut rng = Rng64::new(11);
+                for token in 0..HELD {
+                    q.push(Time::from_ns(rng.gen_range(1 << 16)), token);
+                }
+                (q, rng)
+            },
+            |(mut q, mut rng)| {
+                for _ in 0..OPS {
+                    let (at, token) = q.pop().expect("hold model never drains");
+                    q.push(at + Time::from_ns(1 + rng.gen_range(1 << 12)), token);
+                }
+                q.len()
+            },
+        )
+    });
+    h.bench_function("calendar/bucket_ring_hold4096", |b| {
+        b.elements(OPS);
+        b.iter_batched(
+            || {
+                let mut q = BucketRing::new();
+                let mut rng = Rng64::new(11);
+                for token in 0..HELD {
+                    q.push(Time::from_ns(rng.gen_range(1 << 16)), token);
+                }
+                (q, rng)
+            },
+            |(mut q, mut rng)| {
+                for _ in 0..OPS {
+                    let (at, token) = q.pop().expect("hold model never drains");
+                    q.push(at + Time::from_ns(1 + rng.gen_range(1 << 12)), token);
+                }
+                q.len()
+            },
+        )
+    });
+}
+
+/// `std::BinaryHeap` over POD `(time, seq, token)` entries sized like the
+/// engine's calendar entries — the shape the engine's hand-rolled 4-ary
+/// heap was benchmarked against before committing (see `netsim::event`).
+#[derive(Default)]
+struct PodBinHeap {
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<(Time, u64, [u64; 3])>>,
+    seq: u64,
+}
+
+impl PodBinHeap {
+    fn push(&mut self, at: Time, token: u64) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(std::cmp::Reverse((at, seq, [token, 0, 0])));
+    }
+
+    fn pop(&mut self) -> Option<(Time, u64)> {
+        self.heap
+            .pop()
+            .map(|std::cmp::Reverse((at, _, p))| (at, p[0]))
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+/// A bucketed-ring calendar prototype, benchmarked against the engine's
+/// heap before committing to it (see `netsim::event`).
+/// Fixed-width time buckets in a ring; each bucket is an unsorted `Vec`
+/// scanned for its `(time, seq)` minimum on pop. Deltas must stay within
+/// the ring horizon (true for the hold model above).
+struct BucketRing {
+    buckets: Vec<Vec<(Time, u64, u64)>>,
+    width_ps: u64,
+    cursor: usize,
+    len: usize,
+    seq: u64,
+}
+
+impl BucketRing {
+    const BUCKETS: usize = 1024;
+
+    fn new() -> BucketRing {
+        BucketRing {
+            buckets: (0..Self::BUCKETS).map(|_| Vec::new()).collect(),
+            // 64 ns buckets: a ~65 us horizon, several fabric RTTs.
+            width_ps: Time::from_ns(64).as_ps().max(1),
+            cursor: 0,
+            len: 0,
+            seq: 0,
+        }
+    }
+
+    fn bucket_of(&self, at: Time) -> usize {
+        ((at.as_ps() / self.width_ps) as usize) % Self::BUCKETS
+    }
+
+    fn push(&mut self, at: Time, token: u64) {
+        let b = self.bucket_of(at);
+        let seq = self.seq;
+        self.seq += 1;
+        self.buckets[b].push((at, seq, token));
+        self.len += 1;
+    }
+
+    fn pop(&mut self) -> Option<(Time, u64)> {
+        if self.len == 0 {
+            return None;
+        }
+        // Advance the cursor to the next non-empty bucket, then extract the
+        // (time, seq)-minimum so FIFO tie-breaks match the heap's.
+        loop {
+            if !self.buckets[self.cursor].is_empty() {
+                let bucket = &mut self.buckets[self.cursor];
+                let mut best = 0;
+                for i in 1..bucket.len() {
+                    let (t, s, _) = bucket[i];
+                    let (bt, bs, _) = bucket[best];
+                    if (t, s) < (bt, bs) {
+                        best = i;
+                    }
+                }
+                let (at, _, token) = bucket.swap_remove(best);
+                self.len -= 1;
+                return Some((at, token));
+            }
+            self.cursor = (self.cursor + 1) % Self::BUCKETS;
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+/// End-to-end simulation benches (from `benches/simulation.rs`).
+fn bench_simulation(h: &mut Harness) {
+    let run_tornado = |lb: LbKind| {
+        let w = patterns::tornado(16, 256 << 10);
+        let mut exp = Experiment::new("bench", FatTreeConfig::two_tier(8, 1), lb, w);
+        exp.seed = 3;
+        exp.deadline = Time::from_ms(100);
+        let res = exp.run();
+        assert!(res.summary.completed);
+        res.summary.max_fct.as_ps()
+    };
+    h.bench_function("simulation/tornado_16hosts_reps", |b| {
+        b.iter(|| run_tornado(LbKind::Reps(RepsConfig::default())))
+    });
+    h.bench_function("simulation/tornado_16hosts_ops", |b| {
+        b.iter(|| run_tornado(LbKind::Ops { evs_size: 1 << 16 }))
+    });
+    h.bench_function("simulation/tornado_16hosts_ecmp", |b| {
+        b.iter(|| run_tornado(LbKind::Ecmp))
+    });
+    h.bench_function("simulation/incast_8to1_1MiB", |b| {
+        b.iter(|| {
+            let w = patterns::incast(32, 8, HostId(0), 1 << 20);
+            let mut exp = Experiment::new(
+                "bench",
+                FatTreeConfig::two_tier(8, 1),
+                LbKind::Reps(RepsConfig::default()),
+                w,
+            );
+            exp.seed = 5;
+            exp.deadline = Time::from_ms(100);
+            exp.run().summary.completed
+        })
+    });
+}
+
+/// The permutation-workload cell the refactor targets: a 32-host two-tier
+/// fabric running a 1 MiB-per-host permutation under REPS — the same shape
+/// as the `permutation-sweep` preset's cells. Reported in simulator
+/// events/sec (engine build excluded from timing).
+fn bench_hotpath(h: &mut Harness) {
+    let exp = hotpath_experiment();
+    let deadline = exp.deadline;
+    // Events per run are deterministic for the fixed seed: count them once.
+    let mut probe = exp.build();
+    let events = probe.run_until(deadline);
+    assert!(events > 100_000, "hot-path cell too small: {events} events");
+    h.bench_function(GATED_BENCH, |b| {
+        b.elements(events);
+        b.iter_custom(|iters| {
+            let mut total = std::time::Duration::ZERO;
+            for _ in 0..iters {
+                let mut engine = exp.build();
+                let start = Instant::now();
+                let n = engine.run_until(deadline);
+                total += start.elapsed();
+                assert_eq!(n, events, "nondeterministic event count");
+            }
+            total
+        })
+    });
+}
+
+fn hotpath_experiment() -> Experiment {
+    let mut rng = Rng64::new(3);
+    let w = patterns::permutation(32, 1 << 20, &mut rng);
+    let mut exp = Experiment::new(
+        "hotpath",
+        FatTreeConfig::two_tier(8, 1),
+        LbKind::Reps(RepsConfig::default()),
+        w,
+    );
+    exp.seed = 3;
+    exp.deadline = Time::from_ms(100);
+    exp
+}

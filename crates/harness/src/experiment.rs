@@ -182,18 +182,29 @@ impl Experiment {
     /// inspection plus a summary.
     pub fn run(&self) -> RunResult {
         let mut engine = self.build();
+        let started = std::time::Instant::now();
         let completed = engine.run_to_completion(self.deadline);
+        let wall_ns = started.elapsed().as_nanos() as u64;
         let summary = Summary::from_engine(self, &engine, completed);
-        RunResult { engine, summary }
+        RunResult {
+            summary,
+            wall_ns,
+            engine,
+        }
     }
 }
 
 /// The outcome of one experiment run.
 pub struct RunResult {
-    /// The engine, for timeseries extraction.
+    /// The engine, for timeseries extraction (`engine.events_processed`
+    /// carries the event count for events/sec accounting).
     pub engine: Engine,
     /// Aggregate summary.
     pub summary: Summary,
+    /// Wall-clock nanoseconds spent inside the event loop (excludes
+    /// engine construction). Nondeterministic by nature — reported through
+    /// the sweep perf sink, never through the byte-stable summary JSONL.
+    pub wall_ns: u64,
 }
 
 /// Aggregate metrics of one run.

@@ -1,0 +1,212 @@
+//! The engine-owned packet arena.
+//!
+//! A [`Packet`] is ~100 bytes (and its `Body::Ack` variant owns two
+//! `Vec`s), so moving packets by value through the calendar, link queues
+//! and service slots costs several memcpys per hop. Instead, the engine
+//! stores every in-fabric packet in one [`PacketArena`] and passes a
+//! 4-byte [`PacketRef`] through the event queue and link queues; the
+//! packet itself is written once when the host hands it to the NIC and
+//! read/mutated in place (ECN marking, trimming) until it is delivered to
+//! the destination endpoint or dropped.
+//!
+//! Freed slots go on a free list and are reused before the slot vector
+//! grows, so the arena converges to the simulation's in-flight high-water
+//! mark and then recycles slots without touching the allocator — one of
+//! the invariants behind the zero-allocation switch path (see the
+//! allocation-counting test in `tests/alloc.rs`).
+
+use crate::packet::Packet;
+
+/// A handle to a packet parked in a [`PacketArena`].
+///
+/// Plain index, deliberately `Copy`: calendar entries and link queues
+/// move 4 bytes instead of the packet. The arena's owner is responsible
+/// for not using a ref after [`PacketArena::take`] — enforced by the
+/// `Option` occupancy check, which panics on use-after-take.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketRef(pub u32);
+
+/// A generic slot-recycling slab: `Vec<Option<T>>` plus a free list.
+///
+/// The building block behind [`PacketArena`] and the calendar's
+/// out-of-line timer/control payload storage
+/// ([`EventQueue`](crate::event::EventQueue)).
+#[derive(Debug)]
+pub struct Slab<T> {
+    slots: Vec<Option<T>>,
+    free: Vec<u32>,
+}
+
+// Manual impl: the derive would needlessly require `T: Default`.
+impl<T> Default for Slab<T> {
+    fn default() -> Slab<T> {
+        Slab {
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+}
+
+impl<T> Slab<T> {
+    /// Parks a value, returning its slot index.
+    pub fn insert(&mut self, value: T) -> u32 {
+        match self.free.pop() {
+            Some(i) => {
+                debug_assert!(self.slots[i as usize].is_none(), "free slot occupied");
+                self.slots[i as usize] = Some(value);
+                i
+            }
+            None => {
+                self.slots.push(Some(value));
+                (self.slots.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Removes and returns the value in slot `i`, recycling the slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is empty (use-after-take).
+    pub fn take(&mut self, i: u32) -> T {
+        let v = self.slots[i as usize].take().expect("slab slot empty");
+        self.free.push(i);
+        v
+    }
+
+    /// Borrows the value in slot `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is empty (use-after-take).
+    pub fn get(&self, i: u32) -> &T {
+        self.slots[i as usize].as_ref().expect("slab slot empty")
+    }
+
+    /// Mutably borrows the value in slot `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is empty (use-after-take).
+    pub fn get_mut(&mut self, i: u32) -> &mut T {
+        self.slots[i as usize].as_mut().expect("slab slot empty")
+    }
+
+    /// Number of occupied slots.
+    pub fn live(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Slot high-water mark.
+    pub fn high_water(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+/// Slab-style packet storage with slot recycling.
+#[derive(Debug, Default)]
+pub struct PacketArena {
+    slab: Slab<Packet>,
+}
+
+impl PacketArena {
+    /// Creates an empty arena.
+    pub fn new() -> PacketArena {
+        PacketArena::default()
+    }
+
+    /// Parks a packet, returning its handle.
+    pub fn insert(&mut self, pkt: Packet) -> PacketRef {
+        PacketRef(self.slab.insert(pkt))
+    }
+
+    /// Removes and returns the packet behind `r`, recycling its slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is empty (use-after-take).
+    pub fn take(&mut self, r: PacketRef) -> Packet {
+        self.slab.take(r.0)
+    }
+
+    /// Borrows the packet behind `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is empty (use-after-take).
+    pub fn get(&self, r: PacketRef) -> &Packet {
+        self.slab.get(r.0)
+    }
+
+    /// Mutably borrows the packet behind `r` (marking, trimming).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is empty (use-after-take).
+    pub fn get_mut(&mut self, r: PacketRef) -> &mut Packet {
+        self.slab.get_mut(r.0)
+    }
+
+    /// Number of packets currently parked.
+    pub fn live(&self) -> usize {
+        self.slab.live()
+    }
+
+    /// Slot high-water mark (diagnostics: peak in-flight packets).
+    pub fn high_water(&self) -> usize {
+        self.slab.high_water()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ConnId, HostId};
+
+    fn pkt(id: u64) -> Packet {
+        Packet::data(id, HostId(0), HostId(1), ConnId(0), 0, id, 4096, false)
+    }
+
+    #[test]
+    fn insert_take_round_trips() {
+        let mut a = PacketArena::new();
+        let r1 = a.insert(pkt(1));
+        let r2 = a.insert(pkt(2));
+        assert_eq!(a.live(), 2);
+        assert_eq!(a.get(r1).id, 1);
+        assert_eq!(a.get(r2).id, 2);
+        assert_eq!(a.take(r1).id, 1);
+        assert_eq!(a.live(), 1);
+    }
+
+    #[test]
+    fn slots_are_recycled() {
+        let mut a = PacketArena::new();
+        for round in 0..50u64 {
+            let refs: Vec<PacketRef> = (0..4).map(|i| a.insert(pkt(round * 4 + i))).collect();
+            for r in refs {
+                a.take(r);
+            }
+        }
+        assert_eq!(a.live(), 0);
+        assert!(a.high_water() <= 4, "arena grew: {}", a.high_water());
+    }
+
+    #[test]
+    fn get_mut_mutates_in_place() {
+        let mut a = PacketArena::new();
+        let r = a.insert(pkt(1));
+        a.get_mut(r).ecn_ce = true;
+        assert!(a.get(r).ecn_ce);
+        assert!(a.take(r).ecn_ce);
+    }
+
+    #[test]
+    #[should_panic(expected = "slab slot empty")]
+    fn use_after_take_panics() {
+        let mut a = PacketArena::new();
+        let r = a.insert(pkt(1));
+        a.take(r);
+        a.get(r);
+    }
+}

@@ -5,7 +5,25 @@
 //! `transport` crate and plugs in through the [`Endpoint`] trait), routes
 //! packets through switches, applies failures, and feeds the statistics
 //! collector.
+//!
+//! # Hot-path invariants
+//!
+//! The per-packet switch path (`route → select_uplink → push_link`) is
+//! allocation-free in steady state, pinned by the allocation-counting test
+//! in `tests/alloc.rs`:
+//!
+//! * packets live in the engine-owned [`PacketArena`]; the calendar and
+//!   link queues move 4-byte [`PacketRef`]s, and a packet is written once
+//!   (when the host hands it to its NIC) and mutated in place,
+//! * routing queries return borrowed slices of the topology's precomputed
+//!   per-switch tables ([`RouteChoice`]),
+//! * uplink selection works by index; the only buffer it touches is the
+//!   engine's reusable failover scratch (capacity bounded by the widest
+//!   ECMP group, retained across packets),
+//! * calendar, link deques, arena free list and the endpoint action
+//!   buffer all retain their high-water capacity.
 
+use crate::arena::{PacketArena, PacketRef};
 use crate::config::SimConfig;
 use crate::event::{ControlEvent, Event, EventQueue};
 use crate::hash::ecmp_select;
@@ -140,6 +158,118 @@ impl Endpoint for NullEndpoint {
     fn on_command(&mut self, _cmd: Command, _ctx: &mut Ctx<'_>) {}
 }
 
+/// A borrowed view of the routing-relevant engine state.
+///
+/// Packaging the immutable parts (`topo`, `links`) separately from the
+/// mutable ones (`rng`, the scratch buffer) lets the per-packet switch
+/// path run on disjoint field borrows of the engine — and makes the
+/// selection logic testable in isolation (the routing-equivalence
+/// property tests drive it directly).
+pub struct RoutingView<'a> {
+    /// Static topology (routing tables).
+    pub topo: &'a Topology,
+    /// Link arena, for failure state and queue depths.
+    pub links: &'a [Link],
+    /// Current simulation time.
+    pub now: Time,
+    /// ECMP reconvergence delay ([`SimConfig::ecmp_failover`]).
+    pub failover: Option<Time>,
+    /// Uplink selection mode.
+    pub mode: RoutingMode,
+}
+
+impl RoutingView<'_> {
+    /// True when routing still considers `link` usable toward `dst`:
+    /// either the link (and the next hop's onward down-path) is up, or the
+    /// reconvergence delay since its failure has not elapsed yet.
+    pub fn failover_usable(&self, link: LinkId, dst: HostId, delay: Time) -> bool {
+        let l = &self.links[link.index()];
+        if !l.up && self.now >= l.down_since + delay {
+            return false;
+        }
+        // Route withdrawal: if the next-hop switch would descend toward
+        // `dst` over a link that failed long enough ago, upstream routing
+        // has excluded this path too.
+        if let NodeRef::Switch(peer) = l.to {
+            if let Some(RouteChoice::Down(down)) = self.topo.route(peer, dst) {
+                let d = &self.links[down.index()];
+                if !d.up && self.now >= d.down_since + delay {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Applies ECMP failover filtering, then hash or adaptive selection.
+    ///
+    /// Allocation-free on the packet path: the failover filter fills the
+    /// caller's reusable `scratch` buffer (capacity persists across
+    /// packets, bounded by the widest ECMP group) and the adaptive
+    /// least-queue tie-break selects by index instead of materializing the
+    /// tie set. The tie-break draws exactly one RNG value with the same
+    /// bound as the pre-refactor `Vec`-based implementation, so packet
+    /// traces are byte-identical.
+    pub fn select_uplink(
+        &self,
+        candidates: &[LinkId],
+        pkt: &Packet,
+        salt: u64,
+        rng: &mut Rng64,
+        scratch: &mut Vec<LinkId>,
+    ) -> LinkId {
+        assert!(!candidates.is_empty(), "empty ECMP group");
+        let usable: &[LinkId] = match self.failover {
+            Some(delay) => {
+                scratch.clear();
+                scratch.extend(
+                    candidates
+                        .iter()
+                        .copied()
+                        .filter(|&l| self.failover_usable(l, pkt.dst, delay)),
+                );
+                // Every path withdrawn: fall back to the full group (the
+                // packet blackholes instead of vanishing from the model).
+                if scratch.is_empty() {
+                    candidates
+                } else {
+                    scratch.as_slice()
+                }
+            }
+            None => candidates,
+        };
+        match self.mode {
+            RoutingMode::EcmpHash => {
+                usable[ecmp_select(pkt.src, pkt.dst, pkt.ev, salt, usable.len())]
+            }
+            RoutingMode::Adaptive => {
+                let mut min = u64::MAX;
+                let mut ties = 0usize;
+                for &l in usable {
+                    let q = self.links[l.index()].queued_bytes;
+                    if q < min {
+                        min = q;
+                        ties = 1;
+                    } else if q == min {
+                        ties += 1;
+                    }
+                }
+                let want = rng.gen_index(ties);
+                let mut seen = 0usize;
+                for &l in usable {
+                    if self.links[l.index()].queued_bytes == min {
+                        if seen == want {
+                            return l;
+                        }
+                        seen += 1;
+                    }
+                }
+                unreachable!("tie index {want} within tie count {ties}")
+            }
+        }
+    }
+}
+
 /// The discrete-event simulation engine.
 pub struct Engine {
     /// Current simulation time.
@@ -154,13 +284,23 @@ pub struct Engine {
     pub stats: Stats,
     /// Uplink selection mode.
     pub routing: RoutingMode,
+    /// Total events dispatched across all `run_*` calls (events/sec
+    /// accounting for the sweep perf sink).
+    pub events_processed: u64,
+    /// In-fabric packet storage; calendar and links hold [`PacketRef`]s.
+    pub arena: PacketArena,
     events: EventQueue,
     endpoints: Vec<Option<Box<dyn Endpoint>>>,
     rng: Rng64,
     next_pkt_id: u64,
     /// Queue sampling continues while `now` is below this.
     sample_until: Time,
+    /// True while a `StatsSample` chain is on the calendar (guards
+    /// [`Engine::enable_sampling`] against scheduling a second chain).
+    sampling_scheduled: bool,
     scratch_actions: Vec<Action>,
+    /// Reusable failover-filter buffer for [`RoutingView::select_uplink`].
+    scratch_uplinks: Vec<LinkId>,
 }
 
 impl Engine {
@@ -195,12 +335,16 @@ impl Engine {
             links,
             stats,
             routing: RoutingMode::EcmpHash,
+            events_processed: 0,
+            arena: PacketArena::new(),
             events: EventQueue::new(),
             endpoints,
             rng: Rng64::new(seed ^ 0x5EED_0FEB_ECD1_4E75),
             next_pkt_id: 0,
             sample_until: Time::ZERO,
+            sampling_scheduled: false,
             scratch_actions: Vec::new(),
+            scratch_uplinks: Vec::new(),
         }
     }
 
@@ -220,9 +364,14 @@ impl Engine {
     }
 
     /// Enables periodic queue sampling on tracked links until `until`.
+    ///
+    /// Idempotent while a sampling chain is already on the calendar:
+    /// calling it again only extends (or shortens) the horizon instead of
+    /// scheduling a second, double-recording `StatsSample` chain.
     pub fn enable_sampling(&mut self, until: Time) {
         self.sample_until = until;
-        if self.cfg.sample_period > Time::ZERO {
+        if self.cfg.sample_period > Time::ZERO && !self.sampling_scheduled {
+            self.sampling_scheduled = true;
             self.events
                 .push(self.now, Event::Control(ControlEvent::StatsSample));
         }
@@ -306,6 +455,7 @@ impl Engine {
     }
 
     fn dispatch(&mut self, ev: Event) {
+        self.events_processed += 1;
         match ev {
             Event::QueueService { link } => self.finish_service(link),
             Event::Arrive { node, pkt } => match node {
@@ -323,10 +473,10 @@ impl Engine {
         if link.busy || !link.up {
             return;
         }
-        let Some(pkt) = link.dequeue() else {
+        let Some(pkt) = link.dequeue(&self.arena) else {
             return;
         };
-        let ser = link.serialization_time(&pkt);
+        let ser = link.serialization_time(self.arena.get(pkt));
         link.busy = true;
         link.in_service = Some(pkt);
         self.events
@@ -344,11 +494,14 @@ impl Engine {
         let latency = link.latency;
         let to = link.to;
         let ber = link.ber;
-        let wire_bytes = pkt.wire_bytes as u64;
-        let is_data = pkt.is_data();
+        let (wire_bytes, is_data) = {
+            let p = self.arena.get(pkt);
+            (p.wire_bytes as u64, p.is_data())
+        };
         self.stats
             .on_transmit(link_id, self.now, wire_bytes, is_data);
         if ber > 0.0 && self.rng.gen_bool(ber) {
+            self.arena.take(pkt);
             self.stats.on_drop(DropReason::BitError);
         } else {
             self.events
@@ -357,90 +510,56 @@ impl Engine {
         self.start_service(link_id);
     }
 
-    fn arrive_at_switch(&mut self, sw: SwitchId, pkt: Packet) {
+    fn arrive_at_switch(&mut self, sw: SwitchId, pkt: PacketRef) {
         if !self.topo.switches[sw.index()].alive {
+            self.arena.take(pkt);
             self.stats.on_drop(DropReason::LinkDown);
             return;
         }
-        let choice = match self.topo.route(sw, pkt.dst) {
-            Some(c) => c,
+        // Disjoint field borrows: the routing view reads `topo`/`links`
+        // and the packet header stays in the arena, while selection draws
+        // from `rng` and fills the scratch buffer — no packet-path copies
+        // or allocations.
+        let Engine {
+            ref topo,
+            ref links,
+            ref cfg,
+            ref arena,
+            ref mut rng,
+            ref mut scratch_uplinks,
+            now,
+            routing,
+            ..
+        } = *self;
+        let header = arena.get(pkt);
+        let view = RoutingView {
+            topo,
+            links,
+            now,
+            failover: cfg.ecmp_failover,
+            mode: routing,
+        };
+        let out = match topo.route(sw, header.dst) {
+            Some(RouteChoice::Down(l)) => Some(l),
+            Some(RouteChoice::Up(candidates)) => {
+                let salt = topo.switches[sw.index()].salt;
+                Some(view.select_uplink(candidates, header, salt, rng, scratch_uplinks))
+            }
+            None => None,
+        };
+        match out {
+            Some(link) => self.push_link(link, pkt),
             None => {
+                self.arena.take(pkt);
                 self.stats.on_drop(DropReason::LinkDown);
-                return;
-            }
-        };
-        let out = match choice {
-            RouteChoice::Down(l) => l,
-            RouteChoice::Up(candidates) => self.select_uplink(sw, &pkt, candidates),
-        };
-        self.push_link(out, pkt);
-    }
-
-    /// True when routing still considers `link` usable toward `dst`:
-    /// either the link (and the next hop's onward down-path) is up, or the
-    /// reconvergence delay since its failure has not elapsed yet.
-    fn failover_usable(&self, link: LinkId, dst: HostId, delay: Time) -> bool {
-        let l = &self.links[link.index()];
-        if !l.up && self.now >= l.down_since + delay {
-            return false;
-        }
-        // Route withdrawal: if the next-hop switch would descend toward
-        // `dst` over a link that failed long enough ago, upstream routing
-        // has excluded this path too.
-        if let NodeRef::Switch(peer) = l.to {
-            if let Some(RouteChoice::Down(down)) = self.topo.route(peer, dst) {
-                let d = &self.links[down.index()];
-                if !d.up && self.now >= d.down_since + delay {
-                    return false;
-                }
-            }
-        }
-        true
-    }
-
-    /// Applies ECMP failover filtering, then hash or adaptive selection.
-    fn select_uplink(&mut self, sw: SwitchId, pkt: &Packet, candidates: Vec<LinkId>) -> LinkId {
-        let usable: Vec<LinkId> = match self.cfg.ecmp_failover {
-            Some(delay) => {
-                let filtered: Vec<LinkId> = candidates
-                    .iter()
-                    .copied()
-                    .filter(|&l| self.failover_usable(l, pkt.dst, delay))
-                    .collect();
-                if filtered.is_empty() {
-                    candidates
-                } else {
-                    filtered
-                }
-            }
-            None => candidates,
-        };
-        match self.routing {
-            RoutingMode::EcmpHash => {
-                let salt = self.topo.switches[sw.index()].salt;
-                let i = ecmp_select(pkt.src, pkt.dst, pkt.ev, salt, usable.len());
-                usable[i]
-            }
-            RoutingMode::Adaptive => {
-                let min = usable
-                    .iter()
-                    .map(|l| self.links[l.index()].queued_bytes)
-                    .min()
-                    .expect("non-empty");
-                let least: Vec<LinkId> = usable
-                    .iter()
-                    .copied()
-                    .filter(|l| self.links[l.index()].queued_bytes == min)
-                    .collect();
-                *self.rng.choose(&least)
             }
         }
     }
 
     /// Enqueues `pkt` on `link`, recording the outcome and scheduling service.
-    fn push_link(&mut self, link_id: LinkId, pkt: Packet) {
+    fn push_link(&mut self, link_id: LinkId, pkt: PacketRef) {
         let link = &mut self.links[link_id.index()];
-        match link.enqueue(pkt, &mut self.rng) {
+        match link.enqueue(pkt, &mut self.arena, &mut self.rng) {
             EnqueueOutcome::Queued { marked } => {
                 if marked {
                     self.stats.on_ecn_mark();
@@ -455,7 +574,8 @@ impl Engine {
         self.start_service(link_id);
     }
 
-    fn arrive_at_host(&mut self, host: HostId, pkt: Packet) {
+    fn arrive_at_host(&mut self, host: HostId, pkt: PacketRef) {
+        let pkt = self.arena.take(pkt);
         let Some(mut ep) = self.endpoints[host.index()].take() else {
             return;
         };
@@ -502,6 +622,7 @@ impl Engine {
             match action {
                 Action::Send(pkt) => {
                     let up = self.topo.host_up[host.index()];
+                    let pkt = self.arena.insert(pkt);
                     self.push_link(up, pkt);
                 }
                 Action::Timer { at, token } => {
@@ -519,7 +640,7 @@ impl Engine {
     fn control(&mut self, ev: ControlEvent) {
         match ev {
             ControlEvent::LinkDown(l) => {
-                let flushed = self.links[l.index()].set_down(self.now);
+                let flushed = self.links[l.index()].set_down(self.now, &mut self.arena);
                 for _ in 0..flushed {
                     self.stats.on_drop(DropReason::LinkDown);
                 }
@@ -536,7 +657,7 @@ impl Engine {
             ControlEvent::SwitchDown(sw) => {
                 self.topo.switches[sw.index()].alive = false;
                 for l in self.topo.switch_links(sw) {
-                    let flushed = self.links[l.index()].set_down(self.now);
+                    let flushed = self.links[l.index()].set_down(self.now, &mut self.arena);
                     for _ in 0..flushed {
                         self.stats.on_drop(DropReason::LinkDown);
                     }
@@ -549,8 +670,10 @@ impl Engine {
                 }
             }
             ControlEvent::StatsSample => {
-                let tracked: Vec<LinkId> = self.stats.tracked_links().map(|(l, _)| *l).collect();
-                for l in tracked {
+                // Iterate the cached tracked-link list by index: no
+                // per-tick Vec, and insertion order is deterministic.
+                for i in 0..self.stats.tracked_count() {
+                    let l = self.stats.tracked_id(i);
                     let bytes = self.links[l.index()].queued_bytes;
                     self.stats.on_queue_sample(l, self.now, bytes);
                 }
@@ -559,6 +682,8 @@ impl Engine {
                         self.now + self.cfg.sample_period,
                         Event::Control(ControlEvent::StatsSample),
                     );
+                } else {
+                    self.sampling_scheduled = false;
                 }
             }
             ControlEvent::HostStart(h) => {
@@ -777,6 +902,52 @@ mod tests {
         let order: Vec<u32> = engine.stats.flows.iter().map(|f| f.flow.0).collect();
         assert_eq!(order, vec![1, 2, 3]);
         assert_eq!(engine.stats.flows[0].end, Time::from_us(10));
+    }
+
+    #[test]
+    fn enable_sampling_twice_does_not_double_record() {
+        let run = |enables: u32| {
+            let mut engine = small_engine(7);
+            let up = engine.topo.host_up[0];
+            engine.stats.track_link(up);
+            for _ in 0..enables {
+                engine.enable_sampling(Time::from_us(50));
+            }
+            engine.command(
+                HostId(0),
+                Command::StartMessage(MessageSpec {
+                    flow: FlowId(0),
+                    dst: HostId(40),
+                    bytes: 4096,
+                    tag: 0,
+                }),
+            );
+            engine.run_until(Time::from_us(60));
+            engine.stats.link_series(up).unwrap().queue_samples.len()
+        };
+        let once = run(1);
+        let twice = run(2);
+        assert!(once >= 50, "sampling must run: {once}");
+        assert_eq!(once, twice, "second enable_sampling must not double-record");
+    }
+
+    #[test]
+    fn sampling_can_be_rearmed_after_the_chain_ends() {
+        let mut engine = small_engine(8);
+        let up = engine.topo.host_up[0];
+        engine.stats.track_link(up);
+        engine.enable_sampling(Time::from_us(10));
+        engine.run_until(Time::from_us(20));
+        let first = engine.stats.link_series(up).unwrap().queue_samples.len();
+        assert!(first >= 10, "first chain must sample: {first}");
+        // The first chain has expired; re-enabling must start a new one.
+        engine.enable_sampling(Time::from_us(40));
+        engine.run_until(Time::from_us(50));
+        let total = engine.stats.link_series(up).unwrap().queue_samples.len();
+        assert!(
+            total >= first + 10,
+            "re-arm after expiry must sample again: {first} -> {total}"
+        );
     }
 
     #[test]

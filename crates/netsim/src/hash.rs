@@ -10,7 +10,92 @@
 //! distinct EVs may collide onto the same port. A well-mixed hash makes the
 //! induced distribution near-uniform, which §4.5.2 quantifies.
 
+use std::hash::{BuildHasher, Hasher};
+
 use crate::ids::HostId;
+
+/// A fast, deterministic hasher for the simulator's hot-path maps
+/// (rustc-hash's FxHash algorithm: rotate-xor-multiply per word).
+///
+/// The per-packet paths hit several `HashMap`s (sender in-flight tables,
+/// receiver demux, tracked-link stats); the default SipHash costs more
+/// than the lookup itself for small integer keys. FxHash is not
+/// DoS-resistant — irrelevant for a simulator — and, unlike
+/// `RandomState`, it is fully deterministic, so map iteration order can
+/// never vary between runs or platforms. (Order-sensitive consumers still
+/// sort before drawing RNG values; see `transport::conn`.)
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher(u64);
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+/// The [`BuildHasher`] producing [`FxHasher`]s (zero state, deterministic).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxBuildHasher;
+
+impl BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher::default()
+    }
+}
+
+/// A `HashMap` using the deterministic [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
 
 /// Mixes the routing-relevant header fields with a switch salt.
 ///
@@ -100,5 +185,35 @@ mod tests {
                 assert!(ecmp_select(HostId(5), HostId(6), ev, 1, n) < n);
             }
         }
+    }
+
+    #[test]
+    fn fx_hasher_is_deterministic_and_spreads() {
+        use std::hash::{BuildHasher, Hasher};
+        let h = |n: u64| {
+            let mut hasher = FxBuildHasher.build_hasher();
+            hasher.write_u64(n);
+            hasher.finish()
+        };
+        assert_eq!(h(42), h(42), "same input, same hash");
+        let mut seen = std::collections::HashSet::new();
+        for n in 0..1_000u64 {
+            seen.insert(h(n));
+        }
+        assert_eq!(seen.len(), 1_000, "small integers must not collide");
+    }
+
+    #[test]
+    fn fx_map_iteration_is_stable_across_instances() {
+        // Determinism contract: two identically-filled maps iterate in the
+        // same order (RandomState would not).
+        let fill = || {
+            let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+            for k in 0..100 {
+                m.insert(k * 7919, k as u32);
+            }
+            m.keys().copied().collect::<Vec<_>>()
+        };
+        assert_eq!(fill(), fill());
     }
 }

@@ -16,6 +16,25 @@
 //! * Everything is deterministic for a fixed seed: the calendar breaks ties
 //!   FIFO and all randomness flows from [`rng::Rng64`].
 //!
+//! # Hot-path design
+//!
+//! The per-packet inner loop is allocation-free in steady state:
+//!
+//! * in-fabric packets live in the engine-owned [`arena::PacketArena`];
+//!   the calendar ([`event::EventQueue`]) and link queues move 4-byte
+//!   [`arena::PacketRef`]s, so heap sifts and queue rotations never copy
+//!   packet bodies;
+//! * [`topology::Topology::route`] returns borrowed slices of precomputed
+//!   per-switch tables, and [`engine::RoutingView`] selects uplinks by
+//!   index over a reusable engine-owned scratch buffer (failover filter)
+//!   — no `Vec` is constructed on any packet path;
+//! * every buffer (arena slots and free list, heap, link deques, action
+//!   scratch) retains its high-water capacity across packets.
+//!
+//! These invariants are pinned by an allocation-counting integration test
+//! (`tests/alloc.rs`), routing-equivalence property tests
+//! (`tests/properties.rs`) and the sweep crate's golden-output tests.
+//!
 //! # Examples
 //!
 //! ```
@@ -29,6 +48,7 @@
 //! assert_eq!(engine.topo.n_hosts, 128);
 //! ```
 
+pub mod arena;
 pub mod config;
 pub mod engine;
 pub mod event;
@@ -43,7 +63,7 @@ pub mod time;
 pub mod topology;
 
 pub use config::SimConfig;
-pub use engine::{Command, Ctx, Endpoint, Engine, MessageSpec, RoutingMode};
+pub use engine::{Command, Ctx, Endpoint, Engine, MessageSpec, RoutingMode, RoutingView};
 pub use ids::{ConnId, FlowId, HostId, LinkId, NodeRef, SwitchId};
 pub use packet::{Ack, Body, EvEcho, Packet, HEADER_BYTES};
 pub use rng::Rng64;

@@ -5,9 +5,16 @@
 //! marking between `K_min` and `K_max` (§2.1), tail-drop or packet trimming
 //! when full, and runtime-mutable rate and failure state for the failure
 //! experiments (§4.3.3).
+//!
+//! Queues hold [`PacketRef`]s into the engine-owned
+//! [`PacketArena`](crate::arena::PacketArena) rather than packets by value:
+//! enqueue/dequeue move 4 bytes, and marking/trimming mutate the packet in
+//! place. The arena is threaded through the few operations that need the
+//! packet itself.
 
 use std::collections::VecDeque;
 
+use crate::arena::{PacketArena, PacketRef};
 use crate::config::SimConfig;
 use crate::ids::{LinkId, NodeRef};
 use crate::packet::Packet;
@@ -35,7 +42,7 @@ pub enum EnqueueOutcome {
     },
     /// Packet payload was trimmed; the header was queued in the control band.
     Trimmed,
-    /// Packet dropped.
+    /// Packet dropped (and already released from the arena).
     Dropped(DropReason),
 }
 
@@ -64,13 +71,13 @@ pub struct Link {
     pub busy: bool,
     /// The packet currently being serialized (committed at service start so
     /// a control-band arrival cannot swap itself into a data packet's slot).
-    pub in_service: Option<Packet>,
+    pub in_service: Option<PacketRef>,
     /// Generation counter invalidating stale service events after failures.
     pub service_gen: u64,
     /// Control-priority band (ACKs, credits, trimmed headers).
-    ctrl: VecDeque<Packet>,
+    ctrl: VecDeque<PacketRef>,
     /// Data band.
-    data: VecDeque<Packet>,
+    data: VecDeque<PacketRef>,
     /// Bytes across both bands.
     pub queued_bytes: u64,
     /// Capacity in bytes.
@@ -128,36 +135,51 @@ impl Link {
 
     /// Offers a packet to the queue, applying RED marking and drop/trim
     /// policy. Does not schedule service; the engine does that.
-    pub fn enqueue(&mut self, mut pkt: Packet, rng: &mut Rng64) -> EnqueueOutcome {
+    ///
+    /// On [`EnqueueOutcome::Dropped`] the packet has been removed from the
+    /// arena; the ref must not be used again.
+    pub fn enqueue(
+        &mut self,
+        pkt: PacketRef,
+        arena: &mut PacketArena,
+        rng: &mut Rng64,
+    ) -> EnqueueOutcome {
         if !self.up {
+            arena.take(pkt);
             return EnqueueOutcome::Dropped(DropReason::LinkDown);
         }
-        let fits = self.queued_bytes + pkt.wire_bytes as u64 <= self.capacity_bytes;
+        // One arena access for the whole admission decision.
+        let p = arena.get_mut(pkt);
+        let wire_bytes = p.wire_bytes as u64;
+        let is_data = p.is_data();
+        let is_control = p.is_control();
+        let fits = self.queued_bytes + wire_bytes <= self.capacity_bytes;
         if !fits {
-            if self.trimming && pkt.is_data() {
-                pkt.trim();
+            if self.trimming && is_data {
+                p.trim();
                 // Trimmed headers ride the control band; they are tiny, so we
                 // admit them even at capacity (bounded by packet count).
-                self.queued_bytes += pkt.wire_bytes as u64;
+                self.queued_bytes += p.wire_bytes as u64;
                 self.ctrl.push_back(pkt);
                 return EnqueueOutcome::Trimmed;
             }
+            arena.take(pkt);
             return EnqueueOutcome::Dropped(DropReason::QueueFull);
         }
         // RED marking on admission, based on the instantaneous occupancy the
         // packet observes (the paper's K_min/K_max description).
-        let marked = if self.mark_enabled && pkt.is_data() {
+        let marked = if self.mark_enabled && is_data {
             let occupancy = self.queued_bytes;
-            let p = red_mark_probability(occupancy, self.kmin_bytes, self.kmax_bytes);
-            p > 0.0 && rng.gen_bool(p)
+            let prob = red_mark_probability(occupancy, self.kmin_bytes, self.kmax_bytes);
+            prob > 0.0 && rng.gen_bool(prob)
         } else {
             false
         };
         if marked {
-            pkt.ecn_ce = true;
+            p.ecn_ce = true;
         }
-        self.queued_bytes += pkt.wire_bytes as u64;
-        if pkt.is_control() {
+        self.queued_bytes += wire_bytes;
+        if is_control {
             self.ctrl.push_back(pkt);
         } else {
             self.data.push_back(pkt);
@@ -166,18 +188,18 @@ impl Link {
     }
 
     /// Removes the next packet to transmit (control band first).
-    pub fn dequeue(&mut self) -> Option<Packet> {
+    pub fn dequeue(&mut self, arena: &PacketArena) -> Option<PacketRef> {
         let pkt = self.ctrl.pop_front().or_else(|| self.data.pop_front())?;
-        self.queued_bytes -= pkt.wire_bytes as u64;
+        self.queued_bytes -= arena.get(pkt).wire_bytes as u64;
         Some(pkt)
     }
 
     /// Wire size of the next packet to transmit, if any.
-    pub fn peek_bytes(&self) -> Option<u64> {
+    pub fn peek_bytes(&self, arena: &PacketArena) -> Option<u64> {
         self.ctrl
             .front()
             .or_else(|| self.data.front())
-            .map(|p| p.wire_bytes as u64)
+            .map(|&p| arena.get(p).wire_bytes as u64)
     }
 
     /// Serialization time of `pkt` at the current rate.
@@ -186,20 +208,24 @@ impl Link {
     }
 
     /// Takes the link down, flushing all queued packets (they are lost,
-    /// including the frame on the wire mid-serialization).
+    /// including the frame on the wire mid-serialization) back into the
+    /// arena's free list.
     ///
     /// Returns the number of packets flushed.
-    pub fn set_down(&mut self, now: Time) -> usize {
+    pub fn set_down(&mut self, now: Time, arena: &mut PacketArena) -> usize {
         self.up = false;
         self.down_since = now;
-        let mut flushed = self.queued_packets();
-        if self.in_service.take().is_some() {
+        let mut flushed = 0;
+        for pkt in self.ctrl.drain(..).chain(self.data.drain(..)) {
+            arena.take(pkt);
+            flushed += 1;
+        }
+        if let Some(pkt) = self.in_service.take() {
+            arena.take(pkt);
             flushed += 1;
         }
         self.busy = false;
         self.service_gen += 1;
-        self.ctrl.clear();
-        self.data.clear();
         self.queued_bytes = 0;
         flushed
     }
@@ -244,8 +270,17 @@ mod tests {
         )
     }
 
-    fn data_pkt(id: u64, bytes: u32) -> Packet {
-        Packet::data(id, HostId(0), HostId(1), ConnId(0), 0, id, bytes, false)
+    fn data_pkt(arena: &mut PacketArena, id: u64, bytes: u32) -> PacketRef {
+        arena.insert(Packet::data(
+            id,
+            HostId(0),
+            HostId(1),
+            ConnId(0),
+            0,
+            id,
+            bytes,
+            false,
+        ))
     }
 
     #[test]
@@ -261,37 +296,45 @@ mod tests {
     fn fifo_order_within_band() {
         let cfg = SimConfig::paper_default();
         let mut link = test_link(&cfg);
+        let mut arena = PacketArena::new();
         let mut rng = Rng64::new(1);
         for i in 0..5 {
+            let p = data_pkt(&mut arena, i, 1000);
             assert!(matches!(
-                link.enqueue(data_pkt(i, 1000), &mut rng),
+                link.enqueue(p, &mut arena, &mut rng),
                 EnqueueOutcome::Queued { .. }
             ));
         }
         for i in 0..5 {
-            assert_eq!(link.dequeue().unwrap().id, i);
+            let p = link.dequeue(&arena).unwrap();
+            assert_eq!(arena.take(p).id, i);
         }
-        assert!(link.dequeue().is_none());
+        assert!(link.dequeue(&arena).is_none());
         assert_eq!(link.queued_bytes, 0);
+        assert_eq!(arena.live(), 0);
     }
 
     #[test]
     fn control_band_preempts_data() {
         let cfg = SimConfig::paper_default();
         let mut link = test_link(&cfg);
+        let mut arena = PacketArena::new();
         let mut rng = Rng64::new(1);
-        link.enqueue(data_pkt(1, 1000), &mut rng);
-        let ack = Packet::control(
+        let d = data_pkt(&mut arena, 1, 1000);
+        link.enqueue(d, &mut arena, &mut rng);
+        let ack = arena.insert(Packet::control(
             2,
             HostId(1),
             HostId(0),
             ConnId(0),
             0,
             crate::packet::Body::Nack { seq: 0 },
-        );
-        link.enqueue(ack, &mut rng);
-        assert_eq!(link.dequeue().unwrap().id, 2, "control must go first");
-        assert_eq!(link.dequeue().unwrap().id, 1);
+        ));
+        link.enqueue(ack, &mut arena, &mut rng);
+        let first = link.dequeue(&arena).unwrap();
+        assert_eq!(arena.get(first).id, 2, "control must go first");
+        let second = link.dequeue(&arena).unwrap();
+        assert_eq!(arena.get(second).id, 1);
     }
 
     #[test]
@@ -299,11 +342,13 @@ mod tests {
         let mut cfg = SimConfig::paper_default();
         cfg.queue_capacity_bytes = 10_000;
         let mut link = test_link(&cfg);
+        let mut arena = PacketArena::new();
         let mut rng = Rng64::new(1);
         let mut queued = 0;
         let mut dropped = 0;
         for i in 0..10 {
-            match link.enqueue(data_pkt(i, 2000), &mut rng) {
+            let p = data_pkt(&mut arena, i, 2000);
+            match link.enqueue(p, &mut arena, &mut rng) {
                 EnqueueOutcome::Queued { .. } => queued += 1,
                 EnqueueOutcome::Dropped(DropReason::QueueFull) => dropped += 1,
                 other => panic!("unexpected {other:?}"),
@@ -311,6 +356,7 @@ mod tests {
         }
         assert!(queued > 0 && dropped > 0);
         assert!(link.queued_bytes <= cfg.queue_capacity_bytes);
+        assert_eq!(arena.live(), queued, "dropped packets leave the arena");
     }
 
     #[test]
@@ -319,14 +365,18 @@ mod tests {
         cfg.queue_capacity_bytes = 5_000;
         cfg.trimming = true;
         let mut link = test_link(&cfg);
+        let mut arena = PacketArena::new();
         let mut rng = Rng64::new(1);
-        link.enqueue(data_pkt(0, 4000), &mut rng);
-        match link.enqueue(data_pkt(1, 4000), &mut rng) {
+        let a = data_pkt(&mut arena, 0, 4000);
+        link.enqueue(a, &mut arena, &mut rng);
+        let b = data_pkt(&mut arena, 1, 4000);
+        match link.enqueue(b, &mut arena, &mut rng) {
             EnqueueOutcome::Trimmed => {}
             other => panic!("expected trim, got {other:?}"),
         }
         // The trimmed header is in the control band, served first.
-        let first = link.dequeue().unwrap();
+        let first = link.dequeue(&arena).unwrap();
+        let first = arena.take(first);
         assert!(first.trimmed);
         assert_eq!(first.id, 1);
     }
@@ -336,11 +386,13 @@ mod tests {
         let mut cfg = SimConfig::paper_default();
         cfg.queue_capacity_bytes = 100_000;
         let mut link = test_link(&cfg);
+        let mut arena = PacketArena::new();
         let mut rng = Rng64::new(1);
         // Fill to above K_max (80KB) and verify marks start appearing.
         let mut marks = 0;
         for i in 0..24 {
-            if let EnqueueOutcome::Queued { marked } = link.enqueue(data_pkt(i, 4096), &mut rng) {
+            let p = data_pkt(&mut arena, i, 4096);
+            if let EnqueueOutcome::Queued { marked } = link.enqueue(p, &mut arena, &mut rng) {
                 if marked {
                     marks += 1;
                 }
@@ -348,25 +400,30 @@ mod tests {
         }
         assert!(marks > 0, "expected ECN marks above K_min");
         // First packet (empty queue) is never marked.
-        let head = link.dequeue().unwrap();
-        assert!(!head.ecn_ce);
+        let head = link.dequeue(&arena).unwrap();
+        assert!(!arena.get(head).ecn_ce);
     }
 
     #[test]
     fn down_link_blackholes_and_flushes() {
         let cfg = SimConfig::paper_default();
         let mut link = test_link(&cfg);
+        let mut arena = PacketArena::new();
         let mut rng = Rng64::new(1);
-        link.enqueue(data_pkt(0, 1000), &mut rng);
-        let flushed = link.set_down(Time::from_us(10));
+        let p = data_pkt(&mut arena, 0, 1000);
+        link.enqueue(p, &mut arena, &mut rng);
+        let flushed = link.set_down(Time::from_us(10), &mut arena);
         assert_eq!(flushed, 1);
+        assert_eq!(arena.live(), 0, "flushed packets leave the arena");
+        let q = data_pkt(&mut arena, 1, 1000);
         assert_eq!(
-            link.enqueue(data_pkt(1, 1000), &mut rng),
+            link.enqueue(q, &mut arena, &mut rng),
             EnqueueOutcome::Dropped(DropReason::LinkDown)
         );
         link.set_up();
+        let r = data_pkt(&mut arena, 2, 1000);
         assert!(matches!(
-            link.enqueue(data_pkt(2, 1000), &mut rng),
+            link.enqueue(r, &mut arena, &mut rng),
             EnqueueOutcome::Queued { .. }
         ));
     }
@@ -375,7 +432,7 @@ mod tests {
     fn rate_change_affects_serialization() {
         let cfg = SimConfig::paper_default();
         let mut link = test_link(&cfg);
-        let pkt = data_pkt(0, 4096);
+        let pkt = Packet::data(0, HostId(0), HostId(1), ConnId(0), 0, 0, 4096, false);
         let fast = link.serialization_time(&pkt);
         link.set_rate(200_000_000_000);
         let slow = link.serialization_time(&pkt);

@@ -6,8 +6,7 @@
 //! goodput, drops). Tracking is opt-in per link so that 8192-node runs can
 //! restrict bookkeeping to the switch under study.
 
-use std::collections::HashMap;
-
+use crate::hash::FxHashMap;
 use crate::ids::{FlowId, HostId, LinkId};
 use crate::link::DropReason;
 use crate::time::Time;
@@ -102,7 +101,12 @@ pub struct Stats {
     /// Width of a utilization bucket.
     pub bucket_width: Time,
     /// Per-tracked-link series.
-    tracked: HashMap<LinkId, LinkSeries>,
+    tracked: FxHashMap<LinkId, LinkSeries>,
+    /// Tracked links in insertion order — the cached iteration list, so
+    /// per-tick sampling walks links by index without allocating (and in
+    /// a deterministic order, unlike the map). Maintained by
+    /// [`Stats::track_link`].
+    tracked_order: Vec<LinkId>,
     /// Completed flow records, in completion order.
     pub flows: Vec<FlowRecord>,
     /// Global counters.
@@ -116,7 +120,8 @@ impl Stats {
     pub fn new(bucket_width: Time) -> Stats {
         Stats {
             bucket_width,
-            tracked: HashMap::new(),
+            tracked: FxHashMap::default(),
+            tracked_order: Vec::new(),
             flows: Vec::new(),
             counters: Counters::default(),
             expected_flows: 0,
@@ -125,7 +130,10 @@ impl Stats {
 
     /// Enables utilization/queue tracking for `link`.
     pub fn track_link(&mut self, link: LinkId) {
-        self.tracked.entry(link).or_default();
+        if !self.tracked.contains_key(&link) {
+            self.tracked_order.push(link);
+            self.tracked.insert(link, LinkSeries::default());
+        }
     }
 
     /// Returns the tracked series for `link`, if tracking was enabled.
@@ -133,9 +141,26 @@ impl Stats {
         self.tracked.get(&link)
     }
 
-    /// Iterates over all tracked links.
+    /// Number of tracked links (pairs with [`Stats::tracked_id`] for
+    /// allocation-free iteration).
+    pub fn tracked_count(&self) -> usize {
+        self.tracked_order.len()
+    }
+
+    /// The `i`-th tracked link, in tracking order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.tracked_count()`.
+    pub fn tracked_id(&self, i: usize) -> LinkId {
+        self.tracked_order[i]
+    }
+
+    /// Iterates over all tracked links, in tracking order.
     pub fn tracked_links(&self) -> impl Iterator<Item = (&LinkId, &LinkSeries)> {
-        self.tracked.iter()
+        self.tracked_order
+            .iter()
+            .map(move |l| (l, &self.tracked[l]))
     }
 
     /// Whether the given link is tracked.
@@ -149,6 +174,10 @@ impl Stats {
             self.counters.data_tx += 1;
         } else {
             self.counters.ctrl_tx += 1;
+        }
+        // Macro runs track nothing: skip the map probe on every transmit.
+        if self.tracked_order.is_empty() {
+            return;
         }
         if let Some(series) = self.tracked.get_mut(&link) {
             let bucket = (now.as_ps() / self.bucket_width.as_ps().max(1)) as usize;

@@ -88,14 +88,21 @@ impl Time {
 
     /// Returns the serialization time of `bytes` at `rate_bps` bits per second.
     ///
-    /// Computed in 128-bit arithmetic so that no realistic byte count or rate
-    /// can overflow, then truncated to picoseconds.
+    /// Exact integer arithmetic; the wide path uses 128 bits so that no
+    /// realistic byte count or rate can overflow. Every frame-sized input
+    /// (the per-packet hot path) takes the single-`u64`-division fast path,
+    /// which computes the identical truncated quotient.
     ///
     /// # Panics
     ///
     /// Panics if `rate_bps` is zero.
     pub fn serialization(bytes: u64, rate_bps: u64) -> Time {
         assert!(rate_bps > 0, "link rate must be positive");
+        // bits * 1e12 fits u64 for bits < 2^24 (1.7e19 < u64::MAX): all
+        // frames up to 2 MiB, i.e. every packet the simulator makes.
+        if bytes < (1 << 21) {
+            return Time(bytes * 8 * 1_000_000_000_000 / rate_bps);
+        }
         let bits = bytes as u128 * 8;
         let ps = bits * 1_000_000_000_000u128 / rate_bps as u128;
         Time(ps as u64)

@@ -165,12 +165,17 @@ impl FatTreeConfig {
 }
 
 /// The routing decision at a switch.
-#[derive(Debug, Clone)]
-pub enum RouteChoice {
+///
+/// Borrows the switch's precomputed link tables, so answering a routing
+/// query never allocates: `Up` hands back the switch's uplink table as a
+/// slice and the caller picks an index (see
+/// [`RoutingView::select_uplink`](crate::engine::RoutingView::select_uplink)).
+#[derive(Debug, Clone, Copy)]
+pub enum RouteChoice<'a> {
     /// Descend on this specific link.
     Down(LinkId),
     /// Ascend; pick among these equal-cost uplinks.
-    Up(Vec<LinkId>),
+    Up(&'a [LinkId]),
 }
 
 /// A built topology: switches, link endpoints, host attachments.
@@ -210,9 +215,10 @@ impl Topology {
 
     /// Routes a packet for `dst` arriving at `sw`.
     ///
-    /// Returns `None` if the switch cannot make progress (should not happen
-    /// in a well-formed fabric).
-    pub fn route(&self, sw: SwitchId, dst: HostId) -> Option<RouteChoice> {
+    /// Allocation-free: `Down` carries the link id, `Up` borrows the
+    /// switch's precomputed uplink table. Returns `None` if the switch
+    /// cannot make progress (should not happen in a well-formed fabric).
+    pub fn route(&self, sw: SwitchId, dst: HostId) -> Option<RouteChoice<'_>> {
         let meta = &self.switches[sw.index()];
         let cfg = &self.cfg;
         let dst_tor_global = dst.0 / cfg.hosts_per_tor;
@@ -223,7 +229,7 @@ impl Topology {
                     let slot = (dst.0 % cfg.hosts_per_tor) as usize;
                     Some(RouteChoice::Down(meta.down_links[slot]))
                 } else {
-                    Some(RouteChoice::Up(meta.up_links.clone()))
+                    Some(RouteChoice::Up(&meta.up_links))
                 }
             }
             Tier::T1 => {
@@ -232,7 +238,7 @@ impl Topology {
                     let slot = (dst_tor_global % cfg.tors) as usize;
                     Some(RouteChoice::Down(meta.down_links[slot]))
                 } else {
-                    Some(RouteChoice::Up(meta.up_links.clone()))
+                    Some(RouteChoice::Up(&meta.up_links))
                 }
             }
             Tier::T2 => {

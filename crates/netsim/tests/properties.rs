@@ -1,10 +1,21 @@
 //! Property-based tests for the simulator substrate: topology/routing
-//! invariants, tracker correctness, hash uniformity.
+//! invariants, tracker correctness, hash uniformity — plus the
+//! zero-allocation refactor's equivalence proofs: the borrowed routing
+//! tables and the indexed uplink selection must make bit-identical
+//! choices to the pre-refactor `Vec`-based implementations (preserved
+//! below as test-local references).
 
 use proptest::prelude::*;
 
+use netsim::arena::PacketArena;
+use netsim::config::SimConfig;
+use netsim::engine::{RoutingMode, RoutingView};
 use netsim::hash::ecmp_select;
-use netsim::ids::{HostId, NodeRef};
+use netsim::ids::{ConnId, HostId, LinkId, NodeRef};
+use netsim::link::Link;
+use netsim::packet::Packet;
+use netsim::rng::Rng64;
+use netsim::time::Time;
 use netsim::topology::{FatTreeConfig, RouteChoice, Topology};
 
 /// Walks a packet from `src` to `dst`, taking the hash choice on every
@@ -27,6 +38,214 @@ fn walk(topo: &Topology, src: HostId, dst: HostId, ev: u16) -> Option<usize> {
         }
     }
     None
+}
+
+/// The routing decision as the pre-refactor `Topology::route` returned it
+/// (an owned uplink list instead of a borrowed table).
+#[derive(Debug, Clone, PartialEq)]
+enum RefChoice {
+    Down(LinkId),
+    Up(Vec<LinkId>),
+}
+
+/// Verbatim port of the pre-refactor `Topology::route` (allocating).
+fn ref_route(topo: &Topology, sw: netsim::ids::SwitchId, dst: HostId) -> Option<RefChoice> {
+    use netsim::topology::Tier;
+    let meta = &topo.switches[sw.index()];
+    let cfg = &topo.cfg;
+    let dst_tor_global = dst.0 / cfg.hosts_per_tor;
+    match meta.tier {
+        Tier::T0 => {
+            let my_tor_global = meta.pod * cfg.tors + meta.idx;
+            if dst_tor_global == my_tor_global {
+                let slot = (dst.0 % cfg.hosts_per_tor) as usize;
+                Some(RefChoice::Down(meta.down_links[slot]))
+            } else {
+                Some(RefChoice::Up(meta.up_links.clone()))
+            }
+        }
+        Tier::T1 => {
+            let dst_pod = dst_tor_global / cfg.tors;
+            if cfg.tiers == 2 || dst_pod == meta.pod {
+                let slot = (dst_tor_global % cfg.tors) as usize;
+                Some(RefChoice::Down(meta.down_links[slot]))
+            } else {
+                Some(RefChoice::Up(meta.up_links.clone()))
+            }
+        }
+        Tier::T2 => {
+            let dst_pod = (dst_tor_global / cfg.tors) as usize;
+            Some(RefChoice::Down(meta.down_links[dst_pod]))
+        }
+    }
+}
+
+/// Verbatim port of the pre-refactor `Engine::failover_usable`.
+fn ref_failover_usable(
+    topo: &Topology,
+    links: &[Link],
+    now: Time,
+    link: LinkId,
+    dst: HostId,
+    delay: Time,
+) -> bool {
+    let l = &links[link.index()];
+    if !l.up && now >= l.down_since + delay {
+        return false;
+    }
+    if let NodeRef::Switch(peer) = l.to {
+        if let Some(RefChoice::Down(down)) = ref_route(topo, peer, dst) {
+            let d = &links[down.index()];
+            if !d.up && now >= d.down_since + delay {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Verbatim port of the pre-refactor `Engine::select_uplink`
+/// (`Vec`-based failover filter and adaptive tie-break).
+#[allow(clippy::too_many_arguments)]
+fn ref_select_uplink(
+    topo: &Topology,
+    links: &[Link],
+    now: Time,
+    failover: Option<Time>,
+    mode: RoutingMode,
+    salt: u64,
+    pkt: &Packet,
+    candidates: Vec<LinkId>,
+    rng: &mut Rng64,
+) -> LinkId {
+    let usable: Vec<LinkId> = match failover {
+        Some(delay) => {
+            let filtered: Vec<LinkId> = candidates
+                .iter()
+                .copied()
+                .filter(|&l| ref_failover_usable(topo, links, now, l, pkt.dst, delay))
+                .collect();
+            if filtered.is_empty() {
+                candidates
+            } else {
+                filtered
+            }
+        }
+        None => candidates,
+    };
+    match mode {
+        RoutingMode::EcmpHash => {
+            let i = ecmp_select(pkt.src, pkt.dst, pkt.ev, salt, usable.len());
+            usable[i]
+        }
+        RoutingMode::Adaptive => {
+            let min = usable
+                .iter()
+                .map(|l| links[l.index()].queued_bytes)
+                .min()
+                .expect("non-empty");
+            let least: Vec<LinkId> = usable
+                .iter()
+                .copied()
+                .filter(|l| links[l.index()].queued_bytes == min)
+                .collect();
+            *rng.choose(&least)
+        }
+    }
+}
+
+/// Builds the engine's link arena for a topology and applies a random
+/// failure/congestion state drawn from `seed`.
+fn random_link_state(topo: &Topology, seed: u64) -> (Vec<Link>, Time) {
+    let cfg = SimConfig::paper_default();
+    let mut rng = Rng64::new(seed);
+    let mut arena = PacketArena::new();
+    let mut links: Vec<Link> = topo
+        .links
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| Link::new(LinkId(i as u32), spec.from, spec.to, cfg.link_latency, &cfg))
+        .collect();
+    let now = Time::from_us(rng.gen_range(200));
+    for link in &mut links {
+        link.queued_bytes = rng.gen_range(1 << 18);
+        // ~20% of links failed at some instant before `now`.
+        if rng.gen_bool(0.2) {
+            let at = Time::from_us(rng.gen_range(200)).min(now);
+            link.set_down(at, &mut arena);
+        }
+    }
+    (links, now)
+}
+
+proptest! {
+    /// The borrowed `route` returns exactly what the pre-refactor
+    /// allocating version returned, across random fabrics.
+    #[test]
+    fn borrowed_route_matches_reference(
+        two_tier in any::<bool>(),
+        radix_half in 2u32..7,
+        oversub in 1u32..4,
+        seed in any::<u64>(),
+        pick in any::<(u32, u32)>(),
+    ) {
+        let cfg = if two_tier {
+            FatTreeConfig::two_tier(radix_half * (oversub + 1), oversub)
+        } else {
+            FatTreeConfig::three_tier(radix_half * 2, 1)
+        };
+        let topo = Topology::build(cfg, seed);
+        let sw = netsim::ids::SwitchId(pick.0 % topo.switches.len() as u32);
+        let dst = HostId(pick.1 % topo.n_hosts);
+        match (topo.route(sw, dst), ref_route(&topo, sw, dst)) {
+            (Some(RouteChoice::Down(a)), Some(RefChoice::Down(b))) => prop_assert_eq!(a, b),
+            (Some(RouteChoice::Up(a)), Some(RefChoice::Up(b))) => prop_assert_eq!(a, &b[..]),
+            (None, None) => {}
+            (a, b) => prop_assert!(false, "shape mismatch: {a:?} vs {b:?}"),
+        }
+    }
+
+    /// The indexed, scratch-buffer uplink selection picks bit-identical
+    /// links — and leaves the RNG in the same state — as the pre-refactor
+    /// `Vec`-based selection, across random fabrics, destinations,
+    /// failure sets, failover delays and both routing modes.
+    #[test]
+    fn indexed_select_uplink_matches_reference(
+        radix_half in 2u32..7,
+        seed in any::<u64>(),
+        state_seed in any::<u64>(),
+        pick in any::<(u32, u32, u16)>(),
+        failover_us in prop_oneof![Just(None), (0u64..100).prop_map(Some)],
+        adaptive in any::<bool>(),
+    ) {
+        let topo = Topology::build(FatTreeConfig::two_tier(radix_half * 2, 1), seed);
+        let (links, now) = random_link_state(&topo, state_seed);
+        let n = topo.n_hosts;
+        let src = HostId(pick.0 % n);
+        let dst = HostId(pick.1 % n);
+        // Select at the source ToR; only meaningful for Up routes.
+        let tor = topo.tor_of(src);
+        prop_assume!(topo.tor_of(dst) != tor);
+        let candidates = match topo.route(tor, dst).expect("route") {
+            RouteChoice::Up(c) => c,
+            RouteChoice::Down(_) => unreachable!("cross-rack must ascend"),
+        };
+        let salt = topo.switches[tor.index()].salt;
+        let pkt = Packet::data(1, src, dst, ConnId(0), pick.2, 0, 4096, false);
+        let failover = failover_us.map(Time::from_us);
+        let mode = if adaptive { RoutingMode::Adaptive } else { RoutingMode::EcmpHash };
+
+        let view = RoutingView { topo: &topo, links: &links, now, failover, mode };
+        let mut rng_new = Rng64::new(seed ^ 0xABCD);
+        let mut rng_ref = rng_new.clone();
+        let mut scratch = Vec::new();
+        let got = view.select_uplink(candidates, &pkt, salt, &mut rng_new, &mut scratch);
+        let want = ref_select_uplink(
+            &topo, &links, now, failover, mode, salt, &pkt, candidates.to_vec(), &mut rng_ref,
+        );
+        prop_assert_eq!(got, want, "selected link diverged");
+        prop_assert_eq!(rng_new.next_u64(), rng_ref.next_u64(), "RNG stream diverged");
+    }
 }
 
 proptest! {

@@ -3,7 +3,8 @@
 //! ```text
 //! repsbench list [--scale quick|full]
 //! repsbench run [--filter GLOB] [--threads N] [--scale quick|full]
-//!               [--seeds N] [--out PATH] [--baseline LABEL] [--quiet]
+//!               [--seeds N] [--out PATH] [--perf PATH]
+//!               [--baseline LABEL] [--quiet]
 //! ```
 //!
 //! `list` prints every preset with its cell count; `run` expands the
@@ -12,13 +13,18 @@
 //! `--out` (default `results.jsonl`; `-` = stdout), then prints cross-seed
 //! aggregate tables. Output is byte-identical for any `--threads` value.
 //! `--scale` defaults to the `REPS_SCALE` environment variable (`quick`).
+//!
+//! `--perf` additionally writes one JSONL record per cell with its event
+//! count, wall time and events/sec (a *separate* file because wall time is
+//! nondeterministic and `--out` is byte-stable); the run footer always
+//! reports aggregate simulator events/sec.
 
 use std::io::Write;
 use std::process::ExitCode;
 
 use harness::Scale;
 use sweep::matrix::Cell;
-use sweep::{glob, presets, render_aggregates, run_cells, write_jsonl};
+use sweep::{events_per_sec, glob, presets, render_aggregates, run_cells, write_jsonl};
 
 struct RunOpts {
     filter: String,
@@ -26,12 +32,13 @@ struct RunOpts {
     scale: Scale,
     seeds: Option<u32>,
     out: String,
+    perf: Option<String>,
     baseline: String,
     quiet: bool,
 }
 
 fn usage() -> &'static str {
-    "usage:\n  repsbench list [--scale quick|full]\n  repsbench run [--filter GLOB] [--threads N] [--scale quick|full]\n                [--seeds N] [--out PATH|-] [--baseline LABEL] [--quiet]"
+    "usage:\n  repsbench list [--scale quick|full]\n  repsbench run [--filter GLOB] [--threads N] [--scale quick|full]\n                [--seeds N] [--out PATH|-] [--perf PATH] [--baseline LABEL] [--quiet]"
 }
 
 fn parse_scale(v: &str) -> Result<Scale, String> {
@@ -93,6 +100,7 @@ fn parse_run(args: &[String]) -> Result<RunOpts, String> {
         scale: Scale::from_env(),
         seeds: None,
         out: "results.jsonl".to_string(),
+        perf: None,
         baseline: "OPS".to_string(),
         quiet: false,
     };
@@ -119,6 +127,7 @@ fn parse_run(args: &[String]) -> Result<RunOpts, String> {
                 )
             }
             "--out" => opts.out = value("--out")?.clone(),
+            "--perf" => opts.perf = Some(value("--perf")?.clone()),
             "--baseline" => opts.baseline = value("--baseline")?.clone(),
             "--quiet" => opts.quiet = true,
             other => return Err(format!("unknown argument {other:?}\n{}", usage())),
@@ -194,6 +203,20 @@ fn run(opts: &RunOpts) -> ExitCode {
         eprintln!("wrote {} records to {}", results.len(), opts.out);
     }
 
+    if let Some(perf_path) = &opts.perf {
+        let written = std::fs::File::create(perf_path).and_then(|f| {
+            let mut w = std::io::BufWriter::new(f);
+            sweep::write_perf_jsonl(&mut w, &results)?;
+            w.flush()
+        });
+        if let Err(e) = written {
+            return fail(&format!("writing {perf_path}: {e}"));
+        }
+        if !opts.quiet {
+            eprintln!("wrote {} perf records to {perf_path}", results.len());
+        }
+    }
+
     if !opts.quiet {
         // Aggregates go to stderr when JSONL owns stdout.
         let tables = render_aggregates(&results, &opts.baseline);
@@ -203,11 +226,14 @@ fn run(opts: &RunOpts) -> ExitCode {
             print!("{tables}");
         }
         let incomplete = results.iter().filter(|r| !r.summary.completed).count();
+        let (events, rate) = events_per_sec(&results);
         eprintln!(
-            "{} cells in {:.1}s ({} hit the deadline)",
+            "{} cells in {:.1}s ({} hit the deadline); {:.1}M events at {:.2}M events/s/core",
             results.len(),
             elapsed.as_secs_f64(),
-            incomplete
+            incomplete,
+            events as f64 / 1e6,
+            rate / 1e6,
         );
     }
     ExitCode::SUCCESS

@@ -46,5 +46,8 @@ pub mod spec;
 
 pub use matrix::{Cell, CellResult, LabeledLb, ScenarioMatrix};
 pub use runner::{default_threads, run_cells, run_experiments, threads_from_env};
-pub use sink::{aggregate, render_aggregates, to_jsonl, write_jsonl};
+pub use sink::{
+    aggregate, events_per_sec, perf_record, render_aggregates, to_jsonl, write_jsonl,
+    write_perf_jsonl,
+};
 pub use spec::{FabricSpec, FailureSpec, SimProfile, WorkloadSpec};

@@ -372,14 +372,16 @@ impl Cell {
 
     /// Runs the cell to completion.
     pub fn run(&self) -> CellResult {
-        let summary = self.experiment().run().summary;
+        let res = self.experiment().run();
         CellResult {
             key: self.key(),
             scenario: self.scenario(),
             lb: self.lb.label.clone(),
             seed: self.seed,
             derived_seed: self.derived_seed(),
-            summary,
+            events: res.engine.events_processed,
+            wall_ns: res.wall_ns,
+            summary: res.summary,
         }
     }
 }
@@ -397,6 +399,11 @@ pub struct CellResult {
     pub seed: u32,
     /// The RNG seed the cell actually ran with.
     pub derived_seed: u64,
+    /// Simulator events processed (deterministic for a fixed key).
+    pub events: u64,
+    /// Wall-clock nanoseconds in the event loop (nondeterministic; kept
+    /// out of the byte-stable result JSONL — see [`crate::sink`]).
+    pub wall_ns: u64,
     /// Aggregate run metrics.
     pub summary: Summary,
 }

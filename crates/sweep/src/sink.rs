@@ -4,6 +4,12 @@
 //! JSONL output is byte-deterministic: [`crate::runner::run_cells`] sorts
 //! results by cell key and every record's field order is fixed, so a sweep
 //! produces identical bytes regardless of thread count.
+//!
+//! Per-cell *performance* records (events processed, wall-clock
+//! nanoseconds, events/sec) are deliberately a separate stream
+//! ([`perf_record`], `repsbench run --perf`): wall time varies run to run,
+//! so folding it into the result records would break the byte-determinism
+//! contract the CI smoke test and golden tests pin.
 
 use std::collections::BTreeMap;
 use std::io::Write;
@@ -40,6 +46,45 @@ pub fn to_jsonl(results: &[CellResult]) -> String {
     let mut buf = Vec::new();
     write_jsonl(&mut buf, results).expect("write to Vec cannot fail");
     String::from_utf8(buf).expect("records are valid UTF-8")
+}
+
+/// Renders one cell's performance counters as a JSONL record
+/// (no trailing newline). Wall time is nondeterministic, which is why
+/// this is not part of [`jsonl_record`].
+pub fn perf_record(r: &CellResult) -> String {
+    let events_per_sec = if r.wall_ns > 0 {
+        r.events as f64 * 1e9 / r.wall_ns as f64
+    } else {
+        0.0
+    };
+    Object::new()
+        .str("key", &r.key)
+        .u64("events", r.events)
+        .u64("wall_ns", r.wall_ns)
+        .f64("events_per_sec", events_per_sec)
+        .render()
+}
+
+/// Writes per-cell perf records (same order as the results) as JSON Lines.
+pub fn write_perf_jsonl(out: &mut dyn Write, results: &[CellResult]) -> std::io::Result<()> {
+    for r in results {
+        writeln!(out, "{}", perf_record(r))?;
+    }
+    Ok(())
+}
+
+/// Aggregate events/sec over a result set: total events divided by the
+/// *sum* of per-cell wall time (i.e. single-core simulation throughput,
+/// independent of how many workers ran the sweep).
+pub fn events_per_sec(results: &[CellResult]) -> (u64, f64) {
+    let events: u64 = results.iter().map(|r| r.events).sum();
+    let wall_ns: u64 = results.iter().map(|r| r.wall_ns).sum();
+    let rate = if wall_ns > 0 {
+        events as f64 * 1e9 / wall_ns as f64
+    } else {
+        0.0
+    };
+    (events, rate)
 }
 
 /// Cross-seed aggregate of one `(scenario, lb)` group.
@@ -193,6 +238,25 @@ mod tests {
         assert_eq!(keys, sorted, "records are key-sorted");
         keys.dedup();
         assert_eq!(keys.len(), 4, "keys are unique");
+    }
+
+    #[test]
+    fn perf_records_report_events_and_rate() {
+        let results = small_results();
+        for r in &results {
+            assert!(r.events > 0, "cells must count events");
+            assert!(r.wall_ns > 0, "cells must measure wall time");
+            let line = perf_record(r);
+            assert!(line.starts_with("{\"key\":"), "{line}");
+            assert!(line.contains("\"events\":"), "{line}");
+            assert!(line.contains("\"events_per_sec\":"), "{line}");
+        }
+        let (events, rate) = events_per_sec(&results);
+        assert_eq!(events, results.iter().map(|r| r.events).sum::<u64>());
+        assert!(rate > 0.0);
+        // The deterministic fields must not leak into the result records.
+        let record = jsonl_record(&results[0]);
+        assert!(!record.contains("wall_ns"), "{record}");
     }
 
     #[test]

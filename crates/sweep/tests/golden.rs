@@ -1,0 +1,46 @@
+//! Golden-output pinning for the DES hot-path refactor.
+//!
+//! The zero-allocation engine rework (borrowed routing tables, indexed
+//! uplink selection, the arena-indexed POD calendar) must not change a
+//! single output byte: these tests replay small `fig*` presets and
+//! compare the JSONL result stream against snapshots recorded from the
+//! pre-refactor engine (`tests/golden/*.jsonl`, generated with
+//! `repsbench run --filter <preset> --quiet --out <file>` at quick
+//! scale).
+//!
+//! If a future change *intentionally* alters simulation behaviour —
+//! a model fix, a new default — regenerate the snapshots with the same
+//! command and call the change out in the PR. If these tests fail
+//! *unintentionally*, an engine change broke determinism; do not
+//! regenerate.
+
+use harness::Scale;
+use sweep::{glob, presets, run_cells, to_jsonl};
+
+fn preset_jsonl(name: &str) -> String {
+    let cells: Vec<_> = presets::all(Scale::Quick)
+        .into_iter()
+        .filter(|m| glob::matches(name, &m.name))
+        .flat_map(|m| m.expand())
+        .collect();
+    assert!(!cells.is_empty(), "no preset matches {name:?}");
+    to_jsonl(&run_cells(&cells, 4))
+}
+
+#[test]
+fn fig02_tornado_micro_output_is_byte_identical_to_pre_refactor() {
+    assert_eq!(
+        preset_jsonl("fig02*"),
+        include_str!("golden/fig02-tornado-micro.quick.jsonl"),
+        "fig02 output drifted from the pre-refactor golden snapshot"
+    );
+}
+
+#[test]
+fn fig07_failure_micro_output_is_byte_identical_to_pre_refactor() {
+    assert_eq!(
+        preset_jsonl("fig07*"),
+        include_str!("golden/fig07-failure-micro.quick.jsonl"),
+        "fig07 output drifted from the pre-refactor golden snapshot"
+    );
+}

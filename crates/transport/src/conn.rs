@@ -5,9 +5,10 @@
 //! congestion controller, the in-flight table and the retransmission state;
 //! the receiver owns the out-of-order tracker and the ACK coalescer.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use netsim::engine::Ctx;
+use netsim::hash::FxHashMap;
 use netsim::ids::{ConnId, FlowId, HostId};
 use netsim::packet::{Ack, Body, EvEcho, Packet};
 use netsim::stats::FlowRecord;
@@ -73,14 +74,17 @@ pub struct SenderConn {
     msgs: Vec<MsgState>,
     /// Index of the first message with unsent packets.
     cursor: usize,
-    inflight: HashMap<u64, Inflight>,
+    inflight: FxHashMap<u64, Inflight>,
     inflight_bytes: u64,
-    lost: HashMap<u64, LostPkt>,
+    lost: FxHashMap<u64, LostPkt>,
     retx_queue: VecDeque<u64>,
     /// Every sequence the receiver confirmed, independent of whether the
     /// confirmation raced a timeout (prevents crediting a packet twice or —
     /// worse — never, when an ACK overtakes its own loss declaration).
     acked: OooTracker,
+    /// Reused per-ACK buffer of newly confirmed sequences (capacity
+    /// retained, so the per-packet ACK path stays allocation-free).
+    newly_acked: Vec<u64>,
     next_seq: u64,
     srtt: Time,
     /// Total retransmissions (instrumentation + flow records).
@@ -115,11 +119,12 @@ impl SenderConn {
             cc,
             msgs: Vec::new(),
             cursor: 0,
-            inflight: HashMap::new(),
+            inflight: FxHashMap::default(),
             inflight_bytes: 0,
-            lost: HashMap::new(),
+            lost: FxHashMap::default(),
             retx_queue: VecDeque::new(),
             acked: OooTracker::new(),
+            newly_acked: Vec::new(),
             next_seq: 0,
             srtt: cfg.base_rtt,
             total_retx: 0,
@@ -280,7 +285,8 @@ impl SenderConn {
     pub fn on_ack(&mut self, ack: &Ack, ctx: &mut Ctx<'_>) -> AckOutcome {
         let now = ctx.now;
         let mut outcome = AckOutcome::default();
-        let mut newly_acked: Vec<u64> = Vec::new();
+        let mut newly_acked = std::mem::take(&mut self.newly_acked);
+        newly_acked.clear();
 
         // Record every confirmed sequence exactly once, whether it is still
         // in flight, already declared lost, or long since retired.
@@ -300,7 +306,7 @@ impl SenderConn {
         }
 
         let mut acked_bytes = 0u64;
-        for seq in newly_acked {
+        for &seq in &newly_acked {
             // Cancel any pending retransmission.
             self.lost.remove(&seq);
             let msg_idx = self.msg_of_seq(seq);
@@ -330,6 +336,8 @@ impl SenderConn {
                 outcome.completed_tags.push(msg.tag);
             }
         }
+
+        self.newly_acked = newly_acked;
 
         // Congestion control sees the aggregate covering information.
         self.cc
@@ -419,7 +427,7 @@ pub struct ReceiverConn {
     /// Connection id (mirrored from the sender).
     pub conn: ConnId,
     tracker: OooTracker,
-    msgs: HashMap<u32, (u32, u32)>, // msg -> (received, total)
+    msgs: FxHashMap<u32, (u32, u32)>, // msg -> (received, total)
     ratio: u32,
     variant: CoalesceVariant,
     pend_echoes: Vec<EvEcho>,
@@ -450,7 +458,7 @@ impl ReceiverConn {
             peer,
             conn,
             tracker: OooTracker::new(),
-            msgs: HashMap::new(),
+            msgs: FxHashMap::default(),
             ratio: cfg.coalesce.ratio,
             variant: cfg.coalesce.variant,
             pend_echoes: Vec::new(),
@@ -521,15 +529,19 @@ impl ReceiverConn {
         if self.pend_sacked.is_empty() {
             return None;
         }
+        // Clone-and-clear rather than `mem::take`: the pending buffers keep
+        // their capacity, so steady-state flushing performs exactly one
+        // exact-size allocation per outgoing `Vec` instead of re-growing
+        // the pending buffers from zero after every ACK.
         let echoes = match self.variant {
             CoalesceVariant::Plain | CoalesceVariant::ReuseEvs => {
                 vec![*self.pend_echoes.last().expect("non-empty")]
             }
-            CoalesceVariant::CarryEvs => std::mem::take(&mut self.pend_echoes),
+            CoalesceVariant::CarryEvs => self.pend_echoes.clone(),
         };
         let ack = Ack {
             cum_ack: self.tracker.cum_ack(),
-            sacked: std::mem::take(&mut self.pend_sacked),
+            sacked: self.pend_sacked.clone(),
             echoes,
             covered: self.pend_covered,
             marked: self.pend_marked,
@@ -538,6 +550,7 @@ impl ReceiverConn {
                 _ => 1,
             },
         };
+        self.pend_sacked.clear();
         self.pend_echoes.clear();
         self.pend_covered = 0;
         self.pend_marked = 0;

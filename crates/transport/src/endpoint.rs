@@ -6,9 +6,8 @@
 //! message starts, and fires dependency triggers when messages complete
 //! (the mechanism the AI-collective workloads are built on).
 
-use std::collections::HashMap;
-
 use netsim::engine::{Command, Ctx, Endpoint, MessageSpec};
+use netsim::hash::FxHashMap;
 use netsim::ids::{ConnId, HostId};
 use netsim::packet::{Ack, Body, Packet};
 use netsim::time::Time;
@@ -34,16 +33,16 @@ pub struct HostEndpoint {
     /// Total hosts (connection-id derivation).
     n_hosts: u32,
     /// Senders keyed by `(destination, background-class)`.
-    senders: HashMap<(HostId, bool), SenderConn>,
+    senders: FxHashMap<(HostId, bool), SenderConn>,
     /// Receivers keyed by connection id (distinguishes traffic classes).
-    receivers: HashMap<ConnId, ReceiverConn>,
+    receivers: FxHashMap<ConnId, ReceiverConn>,
     /// Messages to start at fixed times, sorted by time ascending.
     schedule: Vec<(Time, MessageSpec)>,
     schedule_next: usize,
     /// tag → messages to start when a message with that tag is *received*.
-    on_receive: HashMap<u64, Vec<MessageSpec>>,
+    on_receive: FxHashMap<u64, Vec<MessageSpec>>,
     /// tag → messages to start when our *send* with that tag completes.
-    on_send_complete: HashMap<u64, Vec<MessageSpec>>,
+    on_send_complete: FxHashMap<u64, Vec<MessageSpec>>,
     sweep_armed: bool,
     eqds_armed: bool,
     /// Round-robin cursor over demanding peers (EQDS pacer fairness).
@@ -58,12 +57,12 @@ impl HostEndpoint {
             cfg,
             link_bps,
             n_hosts,
-            senders: HashMap::new(),
-            receivers: HashMap::new(),
+            senders: FxHashMap::default(),
+            receivers: FxHashMap::default(),
             schedule: Vec::new(),
             schedule_next: 0,
-            on_receive: HashMap::new(),
-            on_send_complete: HashMap::new(),
+            on_receive: FxHashMap::default(),
+            on_send_complete: FxHashMap::default(),
             sweep_armed: false,
             eqds_armed: false,
             eqds_rr: 0,
@@ -603,7 +602,7 @@ mod tests {
             }),
         );
         assert!(engine.run_to_completion(Time::from_ms(10)));
-        let by_flow: HashMap<u32, &netsim::stats::FlowRecord> =
+        let by_flow: std::collections::HashMap<u32, &netsim::stats::FlowRecord> =
             engine.stats.flows.iter().map(|f| (f.flow.0, f)).collect();
         assert!(
             by_flow[&1].start >= by_flow[&0].end - Time::from_us(5),
