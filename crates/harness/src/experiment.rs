@@ -292,6 +292,73 @@ impl Summary {
 }
 
 impl Summary {
+    /// Parses a summary back from the JSON object [`Summary::to_json`]
+    /// renders. `from_json(v).to_json()` is byte-identical to the source
+    /// for any summary this crate emitted — the round trip `repsbench
+    /// merge` and the sweep cell cache rely on.
+    pub fn from_json(v: &crate::json::Value) -> Result<Summary, String> {
+        let field = |k: &str| v.get(k).ok_or_else(|| format!("summary missing {k:?}"));
+        let time = |k: &str| -> Result<Time, String> {
+            field(k)?
+                .as_u64()
+                .map(Time)
+                .ok_or_else(|| format!("summary field {k:?} is not a u64"))
+        };
+        let counters = field("counters")?;
+        let counter = |k: &str| -> Result<u64, String> {
+            counters
+                .get(k)
+                .and_then(crate::json::Value::as_u64)
+                .ok_or_else(|| format!("counters field {k:?} is not a u64"))
+        };
+        Ok(Summary {
+            name: field("name")?
+                .as_str()
+                .ok_or("summary field \"name\" is not a string")?
+                .to_string(),
+            lb: field("lb")?
+                .as_str()
+                .ok_or("summary field \"lb\" is not a string")?
+                .to_string(),
+            completed: field("completed")?
+                .as_bool()
+                .ok_or("summary field \"completed\" is not a bool")?,
+            fg_flows: field("fg_flows")?
+                .as_u64()
+                .ok_or("summary field \"fg_flows\" is not a u64")? as usize,
+            max_fct: time("max_fct_ps")?,
+            avg_fct: time("avg_fct_ps")?,
+            p99_fct: time("p99_fct_ps")?,
+            makespan: time("makespan_ps")?,
+            // `to_json` renders non-finite goodput as null; read it back
+            // as NaN so the round trip stays exact.
+            avg_goodput_gbps: match field("avg_goodput_gbps")? {
+                crate::json::Value::Null => f64::NAN,
+                n => n
+                    .as_f64()
+                    .ok_or("summary field \"avg_goodput_gbps\" is not a number")?,
+            },
+            bg_max_fct: match field("bg_max_fct_ps")? {
+                crate::json::Value::Null => None,
+                n => Some(Time(
+                    n.as_u64()
+                        .ok_or("summary field \"bg_max_fct_ps\" is not null or a u64")?,
+                )),
+            },
+            counters: Counters {
+                drops_queue_full: counter("drops_queue_full")?,
+                drops_link_down: counter("drops_link_down")?,
+                drops_bit_error: counter("drops_bit_error")?,
+                trims: counter("trims")?,
+                ecn_marks: counter("ecn_marks")?,
+                data_tx: counter("data_tx")?,
+                ctrl_tx: counter("ctrl_tx")?,
+                retransmissions: counter("retransmissions")?,
+                timeouts: counter("timeouts")?,
+            },
+        })
+    }
+
     /// Renders the summary as one stable JSON object (fixed field order,
     /// times in integer picoseconds) — the sweep engine's JSONL payload.
     pub fn to_json(&self) -> String {
@@ -404,6 +471,36 @@ mod tests {
         assert!(j.contains("\"counters\":{\"drops_queue_full\":"), "{j}");
         // Deterministic: rendering twice is byte-identical.
         assert_eq!(j, s.to_json());
+    }
+
+    #[test]
+    fn summary_from_json_round_trips_byte_exactly() {
+        let run = |bg: bool| {
+            let w = patterns::tornado(32, 64 << 10);
+            let mut exp = Experiment::new(
+                "round \"trip\"",
+                FatTreeConfig::two_tier(8, 1),
+                LbKind::Reps(RepsConfig::default()),
+                w,
+            );
+            if bg {
+                exp.background = Some((patterns::tornado(32, 16 << 10), LbKind::Ecmp));
+            }
+            exp.run().summary
+        };
+        for bg in [false, true] {
+            let s = run(bg);
+            assert_eq!(s.bg_max_fct.is_some(), bg);
+            let j = s.to_json();
+            let parsed =
+                Summary::from_json(&crate::json::Value::parse(&j).expect("parse")).expect("shape");
+            assert_eq!(parsed.to_json(), j, "round trip must be byte-exact");
+            assert_eq!(parsed.bg_max_fct, s.bg_max_fct);
+            assert_eq!(parsed.fg_flows, s.fg_flows);
+        }
+        // Shape errors are reported, not panicked.
+        let bad = crate::json::Value::parse("{\"name\":\"x\"}").unwrap();
+        assert!(Summary::from_json(&bad).unwrap_err().contains("missing"));
     }
 
     #[test]

@@ -1,10 +1,16 @@
-//! Dependency-free JSON emission helpers.
+//! Dependency-free JSON emission and parsing helpers.
 //!
 //! The sweep engine records one JSON object per cell (JSON Lines); this
 //! module provides the escaping and number formatting those records need
 //! without pulling a serialization framework into the build. Output is
 //! byte-deterministic: field order is fixed by the callers and numbers use
 //! Rust's default (shortest round-trip) formatting.
+//!
+//! [`Value::parse`] is the matching reader, used by `repsbench merge` and
+//! the incremental sweep cache to re-load records. Number literals are
+//! kept verbatim ([`Value::Num`] stores the source text), so a
+//! parse → re-render round trip of our own output is byte-exact even for
+//! full-range `u64`s (e.g. derived seeds) that `f64` cannot represent.
 
 /// Escapes `s` as the contents of a JSON string literal, with quotes.
 pub fn string(s: &str) -> String {
@@ -91,6 +97,328 @@ impl Object {
     }
 }
 
+/// A parsed JSON value.
+///
+/// Numbers keep their source text ([`Value::Num`]) instead of eagerly
+/// converting to `f64`: the sweep records carry full-range `u64`s (derived
+/// seeds, picosecond times) that `f64` would silently round, and keeping
+/// the literal makes [`Value::render`] an exact inverse of [`Value::parse`]
+/// for anything this crate emitted.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, as its unmodified source literal.
+    Num(String),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in source field order (duplicate keys are kept).
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Parses one JSON document; trailing non-whitespace is an error.
+    pub fn parse(s: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            b: s.as_bytes(),
+            i: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.i != p.b.len() {
+            return Err(format!("trailing bytes at offset {}", p.i));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup (first match); `None` for non-objects too.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number as an exact `u64`, if this is a non-negative integer
+    /// literal in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(lit) => lit.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number as an `f64` (lossy for huge integers), if a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(lit) => lit.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The fields, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Renders the value back to JSON (numbers verbatim, field order and
+    /// string escaping canonical — an exact inverse of [`Value::parse`] on
+    /// this crate's own output).
+    pub fn render(&self) -> String {
+        match self {
+            Value::Null => "null".to_string(),
+            Value::Bool(b) => (if *b { "true" } else { "false" }).to_string(),
+            Value::Num(lit) => lit.clone(),
+            Value::Str(s) => string(s),
+            Value::Arr(items) => {
+                let inner: Vec<String> = items.iter().map(Value::render).collect();
+                format!("[{}]", inner.join(","))
+            }
+            Value::Obj(fields) => {
+                let mut o = Object::new();
+                for (k, v) in fields {
+                    o = o.raw(k, v.render());
+                }
+                o.render()
+            }
+        }
+    }
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.i < self.b.len() && self.b[self.i] == c {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at offset {}", c as char, self.i))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at offset {}", self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.b.get(self.i) {
+            None => Err("unexpected end of input".to_string()),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => self.number(),
+            Some(c) => Err(format!("unexpected {:?} at offset {}", *c as char, self.i)),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.b.get(self.i) == Some(&b']') {
+            self.i += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at offset {}", self.i)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.b.get(self.i) == Some(&b'}') {
+            self.i += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let v = self.value()?;
+            fields.push((key, v));
+            self.skip_ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at offset {}", self.i)),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.i;
+        if self.b.get(self.i) == Some(&b'-') {
+            self.i += 1;
+        }
+        let digits = |p: &mut Self| {
+            let from = p.i;
+            while p.i < p.b.len() && p.b[p.i].is_ascii_digit() {
+                p.i += 1;
+            }
+            p.i > from
+        };
+        if !digits(self) {
+            return Err(format!("malformed number at offset {start}"));
+        }
+        if self.b.get(self.i) == Some(&b'.') {
+            self.i += 1;
+            if !digits(self) {
+                return Err(format!("malformed number at offset {start}"));
+            }
+        }
+        if matches!(self.b.get(self.i), Some(b'e') | Some(b'E')) {
+            self.i += 1;
+            if matches!(self.b.get(self.i), Some(b'+') | Some(b'-')) {
+                self.i += 1;
+            }
+            if !digits(self) {
+                return Err(format!("malformed number at offset {start}"));
+            }
+        }
+        let lit = std::str::from_utf8(&self.b[start..self.i]).expect("ASCII number literal");
+        Ok(Value::Num(lit.to_string()))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.b.get(self.i) {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    let esc = *self
+                        .b
+                        .get(self.i)
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.i += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require the low half.
+                                if !self.b[self.i..].starts_with(b"\\u") {
+                                    return Err("lone high surrogate".to_string());
+                                }
+                                self.i += 2;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err("invalid low surrogate".to_string());
+                                }
+                                let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(cp).ok_or("invalid surrogate pair")?
+                            } else {
+                                char::from_u32(hi).ok_or("lone low surrogate")?
+                            };
+                            out.push(c);
+                        }
+                        _ => return Err(format!("bad escape \\{}", esc as char)),
+                    }
+                }
+                Some(_) => {
+                    // Advance one UTF-8 scalar. The input is a &str and the
+                    // cursor only ever lands on char boundaries, so the
+                    // lead byte gives the exact width — decode just those
+                    // bytes (re-validating the whole tail per character
+                    // would make string parsing quadratic).
+                    let width = self.b[self.i].leading_ones().max(1) as usize;
+                    let c = std::str::from_utf8(&self.b[self.i..self.i + width])
+                        .expect("valid UTF-8 scalar")
+                        .chars()
+                        .next()
+                        .expect("non-empty");
+                    out.push(c);
+                    self.i += width;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.i + 4;
+        if end > self.b.len() {
+            return Err("truncated \\u escape".to_string());
+        }
+        let hex = std::str::from_utf8(&self.b[self.i..end])
+            .ok()
+            .filter(|h| h.chars().all(|c| c.is_ascii_hexdigit()))
+            .ok_or_else(|| format!("bad \\u escape at offset {}", self.i))?;
+        self.i = end;
+        Ok(u32::from_str_radix(hex, 16).expect("validated hex"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,5 +441,80 @@ mod tests {
     fn object_preserves_field_order() {
         let o = Object::new().str("b", "x").u64("a", 3).bool("c", true);
         assert_eq!(o.render(), r#"{"b":"x","a":3,"c":true}"#);
+    }
+
+    #[test]
+    fn parse_render_round_trips_own_output() {
+        // Exactly the shapes the sweep records use, including a u64 that
+        // f64 cannot represent and shortest-round-trip floats.
+        let src = Object::new()
+            .str("key", "a/b\"c\\d\n\u{1}")
+            .u64("derived_seed", u64::MAX - 1)
+            .f64("rate", 0.1 + 0.2)
+            .f64("zero", 0.0)
+            .raw("none", "null")
+            .bool("ok", true)
+            .raw("counters", Object::new().u64("drops", 7).render())
+            .raw("arr", "[1,2.5,\"x\"]")
+            .render();
+        let v = Value::parse(&src).expect("parse");
+        assert_eq!(v.render(), src);
+        assert_eq!(v.get("derived_seed").unwrap().as_u64(), Some(u64::MAX - 1));
+        assert_eq!(v.get("rate").unwrap().as_f64(), Some(0.1 + 0.2));
+        assert_eq!(v.get("key").unwrap().as_str(), Some("a/b\"c\\d\n\u{1}"));
+        assert_eq!(v.get("none"), Some(&Value::Null));
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        let counters = v.get("counters").unwrap();
+        assert_eq!(counters.get("drops").unwrap().as_u64(), Some(7));
+        assert_eq!(
+            v.get("arr"),
+            Some(&Value::Arr(vec![
+                Value::Num("1".into()),
+                Value::Num("2.5".into()),
+                Value::Str("x".into()),
+            ]))
+        );
+    }
+
+    #[test]
+    fn parse_handles_whitespace_escapes_and_unicode() {
+        let v = Value::parse(" { \"a\" : [ 1 , -2.5e-3 , \"\\u0041\\u00e9\\ud83d\\ude00\" ] } ")
+            .expect("parse");
+        let arr = v.get("a").unwrap();
+        assert_eq!(
+            arr,
+            &Value::Arr(vec![
+                Value::Num("1".into()),
+                Value::Num("-2.5e-3".into()),
+                Value::Str("Aé😀".into()),
+            ])
+        );
+        assert_eq!(Value::parse("null").unwrap(), Value::Null);
+        assert_eq!(Value::parse("{}").unwrap(), Value::Obj(vec![]));
+        assert_eq!(Value::parse("[]").unwrap(), Value::Arr(vec![]));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "tru",
+            "1.2.3",
+            "01x",
+            "\"\\q\"",
+            "\"",
+            "1 2",
+            "{\"a\":1,}",
+            "nul",
+            "-",
+            "1e",
+            "\"\\ud800x\"",
+        ] {
+            assert!(Value::parse(bad).is_err(), "accepted {bad:?}");
+        }
     }
 }

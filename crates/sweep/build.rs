@@ -1,0 +1,72 @@
+//! Embeds a code-version fingerprint for the incremental sweep cache.
+//!
+//! The cache (`repsbench run --cache DIR`) namespaces entries by this
+//! fingerprint so results recorded by one version of the simulator are
+//! never replayed by another. `git describe --always --dirty` is the
+//! source of truth when building from a checkout; source tarballs fall
+//! back to the package version (best-effort: a fallback fingerprint only
+//! changes across releases, not commits).
+//!
+//! Granularity is the commit: successive *uncommitted* edits all describe
+//! to the same `...-dirty` fingerprint, so wipe the cache directory (or
+//! commit) when iterating on uncommitted simulator changes.
+
+use std::process::Command;
+
+fn git_describe() -> Option<String> {
+    let out = Command::new("git")
+        .args(["describe", "--always", "--dirty", "--tags"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let desc = String::from_utf8(out.stdout).ok()?;
+    let desc = desc.trim();
+    if desc.is_empty() {
+        return None;
+    }
+    Some(desc.to_string())
+}
+
+fn main() {
+    // Track branch switches (HEAD) *and* commits: HEAD is usually the
+    // symbolic `ref: refs/heads/<branch>` and does not change on commit —
+    // only the resolved ref file (or packed-refs) does, so watch those
+    // too. Skip the watches entirely when building without a .git (a
+    // missing watch path would force a rebuild on every invocation).
+    let git_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../.git");
+    let head = git_dir.join("HEAD");
+    if head.exists() {
+        println!("cargo:rerun-if-changed={}", head.display());
+        if let Ok(contents) = std::fs::read_to_string(&head) {
+            if let Some(r) = contents.strip_prefix("ref: ") {
+                let ref_file = git_dir.join(r.trim());
+                if ref_file.exists() {
+                    println!("cargo:rerun-if-changed={}", ref_file.display());
+                }
+            }
+        }
+        let packed = git_dir.join("packed-refs");
+        if packed.exists() {
+            println!("cargo:rerun-if-changed={}", packed.display());
+        }
+    } else {
+        println!("cargo:rerun-if-changed=build.rs");
+    }
+    let raw = git_describe()
+        .unwrap_or_else(|| format!("pkg-{}", std::env::var("CARGO_PKG_VERSION").unwrap()));
+    // The fingerprint becomes a cache directory name; keep it path-safe.
+    let fp: String = raw
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    println!("cargo:rustc-env=REPS_BUILD_FINGERPRINT={fp}");
+}

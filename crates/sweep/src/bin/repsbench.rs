@@ -3,8 +3,9 @@
 //! ```text
 //! repsbench list [--scale quick|full]
 //! repsbench run [--filter GLOB] [--threads N] [--scale quick|full]
-//!               [--seeds N] [--out PATH] [--perf PATH]
-//!               [--baseline LABEL] [--quiet]
+//!               [--seeds N] [--shard I/N] [--cache DIR]
+//!               [--out PATH] [--perf PATH] [--baseline LABEL] [--quiet]
+//! repsbench merge OUT IN... [--baseline LABEL] [--quiet]
 //! ```
 //!
 //! `list` prints every preset with its cell count; `run` expands the
@@ -14,31 +15,70 @@
 //! aggregate tables. Output is byte-identical for any `--threads` value.
 //! `--scale` defaults to the `REPS_SCALE` environment variable (`quick`).
 //!
-//! `--perf` additionally writes one JSONL record per cell with its event
-//! count, wall time and events/sec (a *separate* file because wall time is
-//! nondeterministic and `--out` is byte-stable); the run footer always
-//! reports aggregate simulator events/sec.
+//! # Sharded (fleet) sweeps
+//!
+//! `--shard I/N` keeps only the cells whose key hash lands in shard `I` of
+//! `N` (1-based) — a pure function of each cell key, so filters never skew
+//! the partition and every cell lands in exactly one shard. `merge` unions
+//! shard files, rejects duplicate keys, re-sorts by key and re-renders the
+//! aggregate tables; the merged JSONL is byte-identical to an unsharded
+//! run. Splitting the full suite across two boxes:
+//!
+//! ```text
+//! boxA$ repsbench run --scale full --shard 1/2 --out shard1.jsonl
+//! boxB$ repsbench run --scale full --shard 2/2 --out shard2.jsonl
+//!       # copy shard2.jsonl to boxA, then:
+//! boxA$ repsbench merge full.jsonl shard1.jsonl shard2.jsonl
+//! ```
+//!
+//! # Incremental sweeps
+//!
+//! `--cache DIR` reuses per-cell results recorded by an earlier run of the
+//! *same build* (entries are namespaced by a compiled-in `git describe`
+//! fingerprint, addressed by derived seed, and validated against the full
+//! cell key). Hits are byte-identical to fresh runs; the footer reports
+//! hit/miss counts, and a fully warm re-run executes nothing.
+//!
+//! `--perf` additionally writes one JSONL record per *executed* cell with
+//! its event count, wall time and events/sec (a *separate* file because
+//! wall time is nondeterministic and `--out` is byte-stable; cache hits
+//! have no fresh perf counters, so they are omitted); the run footer
+//! reports aggregate simulator events/sec over the executed cells.
 
 use std::io::Write;
 use std::process::ExitCode;
 
 use harness::Scale;
 use sweep::matrix::Cell;
-use sweep::{events_per_sec, glob, presets, render_aggregates, run_cells, write_jsonl};
+use sweep::{
+    events_per_sec, glob, merge_files, presets, render_aggregates, run_cells_cached, CellCache,
+    Shard,
+};
 
+#[derive(Debug)]
 struct RunOpts {
     filter: String,
     threads: usize,
     scale: Scale,
     seeds: Option<u32>,
+    shard: Option<Shard>,
+    cache: Option<String>,
     out: String,
     perf: Option<String>,
     baseline: String,
     quiet: bool,
 }
 
+#[derive(Debug)]
+struct MergeOpts {
+    out: String,
+    inputs: Vec<String>,
+    baseline: String,
+    quiet: bool,
+}
+
 fn usage() -> &'static str {
-    "usage:\n  repsbench list [--scale quick|full]\n  repsbench run [--filter GLOB] [--threads N] [--scale quick|full]\n                [--seeds N] [--out PATH|-] [--perf PATH] [--baseline LABEL] [--quiet]"
+    "usage:\n  repsbench list [--scale quick|full]\n  repsbench run [--filter GLOB] [--threads N] [--scale quick|full]\n                [--seeds N] [--shard I/N] [--cache DIR]\n                [--out PATH|-] [--perf PATH] [--baseline LABEL] [--quiet]\n  repsbench merge OUT IN... [--baseline LABEL] [--quiet]"
 }
 
 fn parse_scale(v: &str) -> Result<Scale, String> {
@@ -63,6 +103,10 @@ fn main() -> ExitCode {
         },
         Some("run") => match parse_run(&args[1..]) {
             Ok(opts) => run(&opts),
+            Err(e) => fail(&e),
+        },
+        Some("merge") => match parse_merge(&args[1..]) {
+            Ok(opts) => merge(&opts),
             Err(e) => fail(&e),
         },
         Some("--help") | Some("-h") | Some("help") => {
@@ -99,6 +143,8 @@ fn parse_run(args: &[String]) -> Result<RunOpts, String> {
         threads: sweep::default_threads(),
         scale: Scale::from_env(),
         seeds: None,
+        shard: None,
+        cache: None,
         out: "results.jsonl".to_string(),
         perf: None,
         baseline: "OPS".to_string(),
@@ -114,18 +160,23 @@ fn parse_run(args: &[String]) -> Result<RunOpts, String> {
             "--threads" => {
                 opts.threads = value("--threads")?
                     .parse::<usize>()
-                    .map_err(|e| format!("--threads: {e}"))?
-                    .max(1)
+                    .map_err(|e| format!("--threads: {e}"))?;
+                if opts.threads == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
             }
             "--scale" => opts.scale = parse_scale(value("--scale")?)?,
             "--seeds" => {
-                opts.seeds = Some(
-                    value("--seeds")?
-                        .parse::<u32>()
-                        .map_err(|e| format!("--seeds: {e}"))?
-                        .max(1),
-                )
+                let n = value("--seeds")?
+                    .parse::<u32>()
+                    .map_err(|e| format!("--seeds: {e}"))?;
+                if n == 0 {
+                    return Err("--seeds must be at least 1".to_string());
+                }
+                opts.seeds = Some(n);
             }
+            "--shard" => opts.shard = Some(Shard::parse(value("--shard")?)?),
+            "--cache" => opts.cache = Some(value("--cache")?.clone()),
             "--out" => opts.out = value("--out")?.clone(),
             "--perf" => opts.perf = Some(value("--perf")?.clone()),
             "--baseline" => opts.baseline = value("--baseline")?.clone(),
@@ -134,6 +185,45 @@ fn parse_run(args: &[String]) -> Result<RunOpts, String> {
         }
     }
     Ok(opts)
+}
+
+fn parse_merge(args: &[String]) -> Result<MergeOpts, String> {
+    let mut out: Option<String> = None;
+    let mut inputs: Vec<String> = Vec::new();
+    let mut baseline = "OPS".to_string();
+    let mut quiet = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--baseline" => {
+                baseline = it.next().ok_or("--baseline needs a value")?.clone();
+            }
+            "--quiet" => quiet = true,
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown argument {flag:?}\n{}", usage()));
+            }
+            path => {
+                if out.is_none() {
+                    out = Some(path.to_string());
+                } else {
+                    inputs.push(path.to_string());
+                }
+            }
+        }
+    }
+    let out = out.ok_or_else(|| format!("merge needs an output path\n{}", usage()))?;
+    if inputs.is_empty() {
+        return Err(format!("merge needs at least one input shard\n{}", usage()));
+    }
+    if inputs.contains(&out) {
+        return Err(format!("merge output {out:?} is also an input"));
+    }
+    Ok(MergeOpts {
+        out,
+        inputs,
+        baseline,
+        quiet,
+    })
 }
 
 fn list(scale: Scale) {
@@ -158,6 +248,17 @@ fn list(scale: Scale) {
     println!("{total} cells total at {scale:?} scale");
 }
 
+/// Writes `text` to `path`, with `-` meaning stdout.
+fn write_output(path: &str, text: &str) -> std::io::Result<()> {
+    if path == "-" {
+        let mut out = std::io::stdout().lock();
+        out.write_all(text.as_bytes())?;
+        out.flush()
+    } else {
+        std::fs::write(path, text)
+    }
+}
+
 fn run(opts: &RunOpts) -> ExitCode {
     let mut cells: Vec<Cell> = Vec::new();
     let mut matched = 0usize;
@@ -174,29 +275,45 @@ fn run(opts: &RunOpts) -> ExitCode {
     if matched == 0 {
         return fail(&format!("no preset matches filter {:?}", opts.filter));
     }
+    let total = cells.len();
+    if let Some(shard) = opts.shard {
+        cells = shard.select(cells);
+    }
+    let cache = match &opts.cache {
+        None => None,
+        Some(dir) => match CellCache::open_versioned(dir) {
+            Ok(c) => Some(c),
+            Err(e) => return fail(&format!("opening cache {dir}: {e}")),
+        },
+    };
     if !opts.quiet {
+        let sharding = match opts.shard {
+            Some(s) => format!(" (shard {s} of {total} cells)"),
+            None => String::new(),
+        };
         eprintln!(
-            "{} preset(s), {} cells, {} thread(s), {:?} scale",
+            "{} preset(s), {} cells{}, {} thread(s), {:?} scale",
             matched,
             cells.len(),
+            sharding,
             opts.threads,
             opts.scale
         );
     }
     let start = std::time::Instant::now();
-    let results = run_cells(&cells, opts.threads);
+    let outcome = run_cells_cached(&cells, opts.threads, cache.as_ref());
     let elapsed = start.elapsed();
+    let results = &outcome.results;
+    if outcome.store_errors > 0 {
+        // Best-effort: a full disk must not cost the sweep its results.
+        eprintln!(
+            "warning: failed to store {} result(s) in cache {}",
+            outcome.store_errors,
+            opts.cache.as_deref().unwrap_or("")
+        );
+    }
 
-    let write_result = if opts.out == "-" {
-        write_jsonl(&mut std::io::stdout().lock(), &results)
-    } else {
-        std::fs::File::create(&opts.out).and_then(|f| {
-            let mut w = std::io::BufWriter::new(f);
-            write_jsonl(&mut w, &results)?;
-            w.flush()
-        })
-    };
-    if let Err(e) = write_result {
+    if let Err(e) = write_output(&opts.out, &sweep::to_jsonl(results)) {
         return fail(&format!("writing {}: {e}", opts.out));
     }
     if !opts.quiet && opts.out != "-" {
@@ -206,30 +323,40 @@ fn run(opts: &RunOpts) -> ExitCode {
     if let Some(perf_path) = &opts.perf {
         let written = std::fs::File::create(perf_path).and_then(|f| {
             let mut w = std::io::BufWriter::new(f);
-            sweep::write_perf_jsonl(&mut w, &results)?;
+            for r in outcome.executed_results() {
+                writeln!(w, "{}", sweep::perf_record(r))?;
+            }
             w.flush()
         });
         if let Err(e) = written {
             return fail(&format!("writing {perf_path}: {e}"));
         }
         if !opts.quiet {
-            eprintln!("wrote {} perf records to {perf_path}", results.len());
+            eprintln!(
+                "wrote {} perf records to {perf_path}",
+                outcome.executed.len()
+            );
         }
     }
 
     if !opts.quiet {
         // Aggregates go to stderr when JSONL owns stdout.
-        let tables = render_aggregates(&results, &opts.baseline);
+        let tables = render_aggregates(results, &opts.baseline);
         if opts.out == "-" {
             eprint!("{tables}");
         } else {
             print!("{tables}");
         }
         let incomplete = results.iter().filter(|r| !r.summary.completed).count();
-        let (events, rate) = events_per_sec(&results);
+        let (events, rate) = events_per_sec(outcome.executed_results());
+        let caching = match opts.cache {
+            Some(_) => format!(" ({} cached, {} executed)", outcome.hits, outcome.misses),
+            None => String::new(),
+        };
         eprintln!(
-            "{} cells in {:.1}s ({} hit the deadline); {:.1}M events at {:.2}M events/s/core",
+            "{} cells{} in {:.1}s ({} hit the deadline); {:.1}M events at {:.2}M events/s/core",
             results.len(),
+            caching,
             elapsed.as_secs_f64(),
             incomplete,
             events as f64 / 1e6,
@@ -237,4 +364,160 @@ fn run(opts: &RunOpts) -> ExitCode {
         );
     }
     ExitCode::SUCCESS
+}
+
+fn merge(opts: &MergeOpts) -> ExitCode {
+    let merged = match merge_files(&opts.inputs) {
+        Ok(m) => m,
+        Err(e) => return fail(&e),
+    };
+    if let Err(e) = write_output(&opts.out, &merged.to_jsonl()) {
+        return fail(&format!("writing {}: {e}", opts.out));
+    }
+    if !opts.quiet {
+        if opts.out != "-" {
+            eprintln!(
+                "merged {} records from {} shard(s) into {}",
+                merged.results.len(),
+                opts.inputs.len(),
+                opts.out
+            );
+        }
+        let tables = render_aggregates(&merged.results, &opts.baseline);
+        if opts.out == "-" {
+            eprint!("{tables}");
+        } else {
+            print!("{tables}");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn run_defaults_are_sensible() {
+        let o = parse_run(&[]).expect("no args is valid");
+        assert_eq!(o.filter, "*");
+        assert!(o.threads >= 1);
+        assert_eq!(o.seeds, None);
+        assert_eq!(o.shard, None);
+        assert_eq!(o.cache, None);
+        assert_eq!(o.out, "results.jsonl");
+        assert_eq!(o.perf, None);
+        assert_eq!(o.baseline, "OPS");
+        assert!(!o.quiet);
+    }
+
+    #[test]
+    fn run_parses_every_flag() {
+        let o = parse_run(&sv(&[
+            "--filter",
+            "fig0*",
+            "--threads",
+            "8",
+            "--scale",
+            "full",
+            "--seeds",
+            "5",
+            "--shard",
+            "2/4",
+            "--cache",
+            "/tmp/c",
+            "--out",
+            "-",
+            "--perf",
+            "p.jsonl",
+            "--baseline",
+            "REPS",
+            "--quiet",
+        ]))
+        .expect("all flags valid");
+        assert_eq!(o.filter, "fig0*");
+        assert_eq!(o.threads, 8);
+        assert!(matches!(o.scale, Scale::Full));
+        assert_eq!(o.seeds, Some(5));
+        assert_eq!(o.shard, Some(Shard { index: 2, count: 4 }));
+        assert_eq!(o.cache.as_deref(), Some("/tmp/c"));
+        assert_eq!(o.out, "-");
+        assert_eq!(o.perf.as_deref(), Some("p.jsonl"));
+        assert_eq!(o.baseline, "REPS");
+        assert!(o.quiet);
+    }
+
+    #[test]
+    fn zero_threads_and_zero_seeds_are_rejected_not_clamped() {
+        let err = parse_run(&sv(&["--threads", "0"])).expect_err("0 threads");
+        assert!(err.contains("--threads"), "{err}");
+        let err = parse_run(&sv(&["--seeds", "0"])).expect_err("0 seeds");
+        assert!(err.contains("--seeds"), "{err}");
+    }
+
+    #[test]
+    fn malformed_run_arguments_are_rejected() {
+        for bad in [
+            sv(&["--threads"]),
+            sv(&["--threads", "x"]),
+            sv(&["--threads", "-2"]),
+            sv(&["--seeds", "1.5"]),
+            sv(&["--scale", "medium"]),
+            sv(&["--shard", "0/2"]),
+            sv(&["--shard", "3/2"]),
+            sv(&["--shard", "2"]),
+            sv(&["--cache"]),
+            sv(&["--bogus"]),
+            sv(&["extra"]),
+        ] {
+            assert!(parse_run(&bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn list_parser_accepts_scale_only() {
+        assert!(parse_list(&[]).is_ok());
+        assert!(matches!(
+            parse_list(&sv(&["--scale", "full"])),
+            Ok(Scale::Full)
+        ));
+        assert!(parse_list(&sv(&["--scale", "nope"])).is_err());
+        assert!(parse_list(&sv(&["--filter", "x"])).is_err());
+    }
+
+    #[test]
+    fn merge_parser_wants_out_then_inputs() {
+        let o = parse_merge(&sv(&[
+            "full.jsonl",
+            "a.jsonl",
+            "b.jsonl",
+            "--baseline",
+            "REPS",
+            "--quiet",
+        ]))
+        .expect("valid merge");
+        assert_eq!(o.out, "full.jsonl");
+        assert_eq!(o.inputs, vec!["a.jsonl", "b.jsonl"]);
+        assert_eq!(o.baseline, "REPS");
+        assert!(o.quiet);
+
+        assert!(parse_merge(&[]).is_err(), "no output");
+        assert!(parse_merge(&sv(&["out.jsonl"])).is_err(), "no inputs");
+        assert!(
+            parse_merge(&sv(&["x.jsonl", "x.jsonl"])).is_err(),
+            "output aliases an input"
+        );
+        assert!(parse_merge(&sv(&["out.jsonl", "a.jsonl", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn scale_parses_case_insensitively() {
+        assert!(matches!(parse_scale("QUICK"), Ok(Scale::Quick)));
+        assert!(matches!(parse_scale("Full"), Ok(Scale::Full)));
+        assert!(parse_scale("huge").is_err());
+    }
 }

@@ -1,0 +1,274 @@
+//! Content-addressed per-cell result cache for incremental sweeps
+//! (`repsbench run --cache DIR`).
+//!
+//! Cells are pure functions of their keys (the derived RNG seed is the
+//! key's FNV-1a hash), so a cell's result can be reused for as long as the
+//! simulator code is unchanged. The cache stores one canonical JSONL
+//! record per cell at
+//!
+//! ```text
+//! DIR/<fingerprint>/<derived_seed as 16 hex digits>.json
+//! ```
+//!
+//! where `<fingerprint>` is the compiled-in code version
+//! ([`build_fingerprint`], `git describe` at build time) — a new commit
+//! lands in a fresh namespace, so results from older commits are never
+//! replayed. Granularity is the commit: successive *uncommitted* edits
+//! share one `...-dirty` namespace, so wipe the cache directory (or
+//! commit) when iterating on uncommitted simulator changes. The stored
+//! record embeds the full cell key; a lookup whose key does not match (a
+//! 64-bit hash collision, or a foreign file) is treated as a miss rather
+//! than trusted.
+//!
+//! Hits are byte-identical to fresh runs: the stored bytes are the
+//! canonical record, and [`crate::sink::parse_record`] /
+//! [`crate::sink::jsonl_record`] are exact inverses (pinned by tests).
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::matrix::{Cell, CellResult};
+use crate::runner::run_cells;
+use crate::sink::{jsonl_record, parse_record};
+
+/// The compiled-in code-version fingerprint (`git describe --always
+/// --dirty` at build time; `pkg-<version>` when building without git).
+pub fn build_fingerprint() -> &'static str {
+    env!("REPS_BUILD_FINGERPRINT")
+}
+
+/// An open (created) cache namespace: one directory per code version.
+#[derive(Debug, Clone)]
+pub struct CellCache {
+    dir: PathBuf,
+}
+
+impl CellCache {
+    /// Opens `dir` under namespace `fingerprint`, creating it if needed.
+    pub fn open(dir: impl AsRef<Path>, fingerprint: &str) -> io::Result<CellCache> {
+        let dir = dir.as_ref().join(fingerprint);
+        std::fs::create_dir_all(&dir)?;
+        Ok(CellCache { dir })
+    }
+
+    /// Opens `dir` under the compiled-in [`build_fingerprint`].
+    pub fn open_versioned(dir: impl AsRef<Path>) -> io::Result<CellCache> {
+        CellCache::open(dir, build_fingerprint())
+    }
+
+    /// The namespace directory entries live in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_for(&self, derived_seed: u64) -> PathBuf {
+        self.dir.join(format!("{derived_seed:016x}.json"))
+    }
+
+    /// Looks `cell` up; `None` on absence, unreadable/unparsable entries,
+    /// or a key mismatch (hash collision / foreign file) — never an error,
+    /// a miss just re-runs the cell.
+    pub fn lookup(&self, cell: &Cell) -> Option<CellResult> {
+        let bytes = std::fs::read_to_string(self.path_for(cell.derived_seed())).ok()?;
+        let record = parse_record(bytes.trim_end_matches('\n')).ok()?;
+        if record.key != cell.key() {
+            return None;
+        }
+        Some(record)
+    }
+
+    /// Stores one result as its canonical record (atomically: write to a
+    /// temp file in the same directory, then rename, so a concurrent
+    /// reader never sees a torn entry).
+    pub fn store(&self, result: &CellResult) -> io::Result<()> {
+        let path = self.path_for(result.derived_seed);
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        std::fs::write(&tmp, format!("{}\n", jsonl_record(result)))?;
+        std::fs::rename(&tmp, &path)
+    }
+}
+
+/// The outcome of a cached sweep run.
+#[derive(Debug)]
+pub struct CachedRun {
+    /// All results (cache hits + fresh runs), sorted by cell key — the
+    /// same canonical order `run_cells` returns.
+    pub results: Vec<CellResult>,
+    /// Indices into `results` of the freshly executed cells (ascending):
+    /// the cells whose perf counters are real. Cache hits carry
+    /// `events == wall_ns == 0`.
+    pub executed: Vec<usize>,
+    /// Cells answered from the cache.
+    pub hits: usize,
+    /// Cells that had to run.
+    pub misses: usize,
+    /// Fresh results that could not be written back to the cache (the
+    /// sweep's results are unaffected — stores are best-effort so a full
+    /// disk can never discard hours of simulation).
+    pub store_errors: usize,
+}
+
+impl CachedRun {
+    /// The freshly executed results, in key order.
+    pub fn executed_results(&self) -> impl Iterator<Item = &CellResult> {
+        self.executed.iter().map(move |&i| &self.results[i])
+    }
+}
+
+/// Runs `cells` on `threads` workers, answering from `cache` where
+/// possible and storing every fresh result back (best-effort — store
+/// failures are counted, not fatal). With `cache == None` this is exactly
+/// [`run_cells`].
+pub fn run_cells_cached(cells: &[Cell], threads: usize, cache: Option<&CellCache>) -> CachedRun {
+    let Some(cache) = cache else {
+        let results = run_cells(cells, threads);
+        return CachedRun {
+            executed: (0..results.len()).collect(),
+            misses: results.len(),
+            hits: 0,
+            store_errors: 0,
+            results,
+        };
+    };
+    let mut cached: Vec<CellResult> = Vec::new();
+    let mut to_run: Vec<Cell> = Vec::new();
+    for cell in cells {
+        match cache.lookup(cell) {
+            Some(r) => cached.push(r),
+            None => to_run.push(cell.clone()),
+        }
+    }
+    let fresh = run_cells(&to_run, threads);
+    let store_errors = fresh.iter().filter(|r| cache.store(r).is_err()).count();
+    let hits = cached.len();
+    let misses = fresh.len();
+    let mut tagged: Vec<(CellResult, bool)> = cached
+        .into_iter()
+        .map(|r| (r, false))
+        .chain(fresh.into_iter().map(|r| (r, true)))
+        .collect();
+    tagged.sort_by(|a, b| a.0.key.cmp(&b.0.key));
+    let executed = tagged
+        .iter()
+        .enumerate()
+        .filter_map(|(i, (_, fresh))| fresh.then_some(i))
+        .collect();
+    CachedRun {
+        results: tagged.into_iter().map(|(r, _)| r).collect(),
+        executed,
+        hits,
+        misses,
+        store_errors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::ScenarioMatrix;
+    use crate::sink::to_jsonl;
+    use crate::spec::WorkloadSpec;
+
+    fn matrix() -> ScenarioMatrix {
+        ScenarioMatrix::new("cache-test")
+            .workloads([WorkloadSpec::Tornado { bytes: 32 << 10 }])
+            .seeds(3)
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("reps-cache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn warm_cache_executes_nothing_and_is_byte_identical() {
+        let dir = tmpdir("warm");
+        let cells = matrix().expand();
+        let cache = CellCache::open(&dir, "v-test").unwrap();
+        let cold = run_cells_cached(&cells, 2, Some(&cache));
+        assert_eq!((cold.hits, cold.misses), (0, cells.len()));
+        assert_eq!(cold.store_errors, 0);
+        assert_eq!(cold.executed_results().count(), cells.len());
+        let warm = run_cells_cached(&cells, 2, Some(&cache));
+        assert_eq!((warm.hits, warm.misses), (cells.len(), 0));
+        assert!(warm.executed.is_empty());
+        assert_eq!(to_jsonl(&warm.results), to_jsonl(&cold.results));
+        assert_eq!(
+            to_jsonl(&warm.results),
+            to_jsonl(&run_cells(&cells, 2)),
+            "cache hits must be byte-identical to a fresh run"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprint_change_invalidates_everything() {
+        let dir = tmpdir("fp");
+        let cells = matrix().expand();
+        let v1 = CellCache::open(&dir, "v1").unwrap();
+        run_cells_cached(&cells, 2, Some(&v1));
+        let v2 = CellCache::open(&dir, "v2").unwrap();
+        let run = run_cells_cached(&cells, 2, Some(&v2));
+        assert_eq!((run.hits, run.misses), (0, cells.len()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn key_mismatch_and_corruption_degrade_to_misses() {
+        let dir = tmpdir("corrupt");
+        let cells = matrix().expand();
+        let cache = CellCache::open(&dir, "v").unwrap();
+        run_cells_cached(&cells, 2, Some(&cache));
+        // Corrupt one entry, swap another cell's entry into a wrong slot.
+        let a = cells[0].derived_seed();
+        let b = cells[1].derived_seed();
+        std::fs::write(cache.dir().join(format!("{a:016x}.json")), "garbage").unwrap();
+        let b_bytes = std::fs::read(cache.dir().join(format!("{b:016x}.json"))).unwrap();
+        std::fs::write(
+            cache
+                .dir()
+                .join(format!("{:016x}.json", cells[2].derived_seed())),
+            b_bytes,
+        )
+        .unwrap();
+        let run = run_cells_cached(&cells, 2, Some(&cache));
+        assert_eq!((run.hits, run.misses), (cells.len() - 2, 2));
+        // The damaged entries were repaired by the re-run.
+        let again = run_cells_cached(&cells, 2, Some(&cache));
+        assert_eq!((again.hits, again.misses), (cells.len(), 0));
+        assert_eq!(to_jsonl(&run.results), to_jsonl(&again.results));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_failures_do_not_discard_results() {
+        let dir = tmpdir("storefail");
+        let cells = matrix().expand();
+        let cache = CellCache::open(&dir, "v").unwrap();
+        // Sabotage the namespace: replace the directory with a plain file
+        // so every store (and lookup) fails.
+        std::fs::remove_dir_all(cache.dir()).unwrap();
+        std::fs::write(cache.dir(), b"not a directory").unwrap();
+        let run = run_cells_cached(&cells, 2, Some(&cache));
+        assert_eq!(run.store_errors, cells.len(), "stores must fail");
+        assert_eq!((run.hits, run.misses), (0, cells.len()));
+        assert_eq!(
+            to_jsonl(&run.results),
+            to_jsonl(&run_cells(&cells, 2)),
+            "an unusable cache must not affect the sweep's results"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn build_fingerprint_is_nonempty_and_path_safe() {
+        let fp = build_fingerprint();
+        assert!(!fp.is_empty());
+        assert!(
+            fp.chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-')),
+            "{fp:?}"
+        );
+    }
+}

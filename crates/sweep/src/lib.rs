@@ -14,13 +14,23 @@
 //! * [`presets`] names a matrix for every simulation figure of the paper
 //!   plus new scenarios (incast/permutation sweeps, rolling link failures,
 //!   mixed AI collectives);
+//! * [`shard`] deterministically partitions a cell list by key hash so a
+//!   fleet can split one sweep (`repsbench run --shard i/n`), [`merge`]
+//!   unions the shard outputs back into the unsharded bytes, and [`cache`]
+//!   reuses per-cell results across runs of the same code version
+//!   (`--cache DIR`);
 //! * the `repsbench` binary exposes all of it on the command line
-//!   (`repsbench list`, `repsbench run --filter 'fig0*' --threads 8`).
+//!   (`repsbench list`, `repsbench run --filter 'fig0*' --threads 8`,
+//!   `repsbench merge merged.jsonl shard*.jsonl`).
 //!
 //! # Determinism contract
 //!
 //! A sweep's JSONL output is byte-identical for any `--threads` value:
 //! cells are pure functions of their keys, and output is sorted by key.
+//! Sharding and caching stay inside the contract: shard membership and
+//! cache addresses are functions of the cell key alone, so
+//! `merge`d shards and warm-cache re-runs reproduce the unsharded,
+//! uncached bytes exactly.
 //!
 //! # Examples
 //!
@@ -37,17 +47,23 @@
 //! assert!(results.iter().all(|r| r.summary.completed));
 //! ```
 
+pub mod cache;
 pub mod glob;
 pub mod matrix;
+pub mod merge;
 pub mod presets;
 pub mod runner;
+pub mod shard;
 pub mod sink;
 pub mod spec;
 
+pub use cache::{build_fingerprint, run_cells_cached, CachedRun, CellCache};
 pub use matrix::{Cell, CellResult, LabeledLb, ScenarioMatrix};
+pub use merge::{merge_contents, merge_files, MergedSweep};
 pub use runner::{default_threads, run_cells, run_experiments, threads_from_env};
+pub use shard::Shard;
 pub use sink::{
-    aggregate, events_per_sec, perf_record, render_aggregates, to_jsonl, write_jsonl,
+    aggregate, events_per_sec, parse_record, perf_record, render_aggregates, to_jsonl, write_jsonl,
     write_perf_jsonl,
 };
 pub use spec::{FabricSpec, FailureSpec, SimProfile, WorkloadSpec};

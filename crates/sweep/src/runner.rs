@@ -8,6 +8,7 @@
 //! pool only changes wall-clock time, never bytes.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::Mutex;
 
@@ -52,18 +53,26 @@ where
         .collect();
     type TaskResult<R> = std::thread::Result<R>;
     let (tx, rx) = mpsc::channel::<(usize, TaskResult<R>)>();
+    // One task's failure cancels the whole sweep: every worker checks the
+    // flag before taking another item, so a poisoned run stops after the
+    // in-flight items instead of draining every queue first.
+    let cancelled = AtomicBool::new(false);
     std::thread::scope(|scope| {
         for w in 0..threads {
             let tx = tx.clone();
             let queues = &queues;
+            let cancelled = &cancelled;
             let f = &f;
             scope.spawn(move || {
-                while let Some(i) = next_item(queues, w) {
+                while let Some(i) = next_item(queues, cancelled, w) {
                     // Catch per-item panics so the collector can report
                     // *which* item failed with its original message,
                     // instead of a bare missing-result assertion.
                     let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&items[i])));
                     let failed = r.is_err();
+                    if failed {
+                        cancelled.store(true, Ordering::Release);
+                    }
                     // A send error means the collector is gone; stop.
                     if tx.send((i, r)).is_err() || failed {
                         break;
@@ -94,12 +103,21 @@ where
 
 /// Pops the next index for worker `w`: front of its own deque, else steal
 /// from the back of the fullest other deque. `None` once all deques are
-/// empty (no task ever enqueues new work, so empty means done).
-fn next_item(queues: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
+/// empty (no task ever enqueues new work, so empty means done) or once
+/// another worker has set the cancel flag — remaining queued items are
+/// abandoned so a failed sweep stops promptly instead of running to the
+/// end.
+fn next_item(queues: &[Mutex<VecDeque<usize>>], cancelled: &AtomicBool, w: usize) -> Option<usize> {
+    if cancelled.load(Ordering::Acquire) {
+        return None;
+    }
     if let Some(i) = queues[w].lock().expect("queue poisoned").pop_front() {
         return Some(i);
     }
     loop {
+        if cancelled.load(Ordering::Acquire) {
+            return None;
+        }
         let victim = queues
             .iter()
             .enumerate()
@@ -182,6 +200,40 @@ mod tests {
             .expect("formatted panic message");
         assert!(msg.contains("task 7"), "{msg}");
         assert!(msg.contains("boom on 7"), "{msg}");
+    }
+
+    #[test]
+    fn poisoned_run_cancels_the_remaining_queue() {
+        // 1000 items, the very first one panics. Without cross-worker
+        // cancellation the other workers drain their full queues (and this
+        // test takes ~1000 × 1ms of sleeps); with it, only the handful of
+        // items already in flight when the poison lands ever execute.
+        let items: Vec<u64> = (0..1000).collect();
+        let calls = AtomicUsize::new(0);
+        let start = std::time::Instant::now();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_indexed(&items, 4, |&x| {
+                calls.fetch_add(1, Ordering::SeqCst);
+                if x == 0 {
+                    panic!("poisoned cell");
+                }
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                x
+            })
+        }))
+        .expect_err("panic must propagate");
+        let msg = err.downcast_ref::<String>().expect("formatted message");
+        assert!(msg.contains("poisoned cell"), "{msg}");
+        let executed = calls.load(Ordering::SeqCst);
+        assert!(
+            executed < items.len() / 2,
+            "cancel flag ignored: {executed} of {} items ran after the poison",
+            items.len()
+        );
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(10),
+            "poisoned run did not stop promptly"
+        );
     }
 
     #[test]

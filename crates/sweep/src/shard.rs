@@ -1,0 +1,132 @@
+//! Deterministic sweep partitioning for fleet runs (`--shard i/n`).
+//!
+//! A shard owns the cells whose *key hash* lands in its residue class:
+//! cell ∈ shard `i/n` ⇔ `fnv1a64(key) % n == i-1`. Hashing the key (rather
+//! than slicing the expanded cell list by index) keeps shard membership a
+//! pure function of what the cell *is*, so changing `--filter`, adding a
+//! preset or reordering axes never moves a surviving cell to a different
+//! shard — exactly the property that makes the per-cell cache and
+//! `repsbench merge` composable with sharding.
+//!
+//! Every cell belongs to exactly one shard of any given count, and the
+//! union of `merge`d shard outputs is byte-identical to the unsharded run
+//! (enforced by `tests/shard_merge.rs` and the CI `sweep-shard-smoke`
+//! job).
+
+use crate::matrix::Cell;
+
+/// One shard of an `n`-way deterministic sweep partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// 1-based shard index (`1..=count`).
+    pub index: u32,
+    /// Total shard count (≥ 1).
+    pub count: u32,
+}
+
+impl Shard {
+    /// Parses the CLI form `i/n` (e.g. `2/4`). `i` is 1-based and must
+    /// satisfy `1 <= i <= n`.
+    pub fn parse(s: &str) -> Result<Shard, String> {
+        let (i, n) = s
+            .split_once('/')
+            .ok_or_else(|| format!("--shard: expected i/n (e.g. 2/4), got {s:?}"))?;
+        let index: u32 = i
+            .parse()
+            .map_err(|e| format!("--shard: bad index {i:?}: {e}"))?;
+        let count: u32 = n
+            .parse()
+            .map_err(|e| format!("--shard: bad count {n:?}: {e}"))?;
+        if count == 0 {
+            return Err("--shard: count must be at least 1".to_string());
+        }
+        if index == 0 || index > count {
+            return Err(format!(
+                "--shard: index {index} out of range 1..={count} (indices are 1-based)"
+            ));
+        }
+        Ok(Shard { index, count })
+    }
+
+    /// Whether this shard owns `cell` — by key hash, so membership never
+    /// depends on filters or expansion order.
+    pub fn contains(&self, cell: &Cell) -> bool {
+        cell.derived_seed() % self.count as u64 == (self.index - 1) as u64
+    }
+
+    /// Keeps only the cells this shard owns (preserving order).
+    pub fn select(&self, cells: Vec<Cell>) -> Vec<Cell> {
+        cells.into_iter().filter(|c| self.contains(c)).collect()
+    }
+}
+
+impl std::fmt::Display for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::ScenarioMatrix;
+    use crate::spec::WorkloadSpec;
+
+    fn cells() -> Vec<Cell> {
+        ScenarioMatrix::new("shard-test")
+            .workloads([
+                WorkloadSpec::Tornado { bytes: 32 << 10 },
+                WorkloadSpec::Permutation { bytes: 32 << 10 },
+            ])
+            .seeds(8)
+            .expand()
+    }
+
+    #[test]
+    fn parse_accepts_valid_and_rejects_malformed() {
+        assert_eq!(Shard::parse("1/1"), Ok(Shard { index: 1, count: 1 }));
+        assert_eq!(Shard::parse("2/4"), Ok(Shard { index: 2, count: 4 }));
+        for bad in [
+            "", "2", "/", "0/4", "5/4", "0/0", "a/4", "2/b", "2/0", "-1/4", "1/4/2",
+        ] {
+            assert!(Shard::parse(bad).is_err(), "accepted {bad:?}");
+        }
+        assert_eq!(Shard { index: 3, count: 8 }.to_string(), "3/8");
+    }
+
+    #[test]
+    fn every_cell_lands_in_exactly_one_shard() {
+        let cells = cells();
+        for count in [1u32, 2, 3, 5, 7] {
+            for cell in &cells {
+                let owners: Vec<u32> = (1..=count)
+                    .filter(|&i| Shard { index: i, count }.contains(cell))
+                    .collect();
+                assert_eq!(owners.len(), 1, "cell {} owners {owners:?}", cell.key());
+            }
+        }
+    }
+
+    #[test]
+    fn membership_is_independent_of_filters_and_order() {
+        let all = cells();
+        let shard = Shard { index: 2, count: 3 };
+        let owned: std::collections::HashSet<String> =
+            shard.select(all.clone()).iter().map(Cell::key).collect();
+        // A filtered subset keeps exactly the owned ∩ subset cells.
+        let subset: Vec<Cell> = all
+            .iter()
+            .filter(|c| c.workload.label().starts_with("tornado"))
+            .cloned()
+            .collect();
+        for c in shard.select(subset) {
+            assert!(owned.contains(&c.key()));
+        }
+        // Reversing the input changes selection order, not membership.
+        let mut reversed = all.clone();
+        reversed.reverse();
+        let owned_rev: std::collections::HashSet<String> =
+            shard.select(reversed).iter().map(Cell::key).collect();
+        assert_eq!(owned, owned_rev);
+    }
+}

@@ -33,6 +33,40 @@ pub fn jsonl_record(r: &CellResult) -> String {
         .render()
 }
 
+/// Parses one JSONL record back into a [`CellResult`] — the exact inverse
+/// of [`jsonl_record`]: `jsonl_record(&parse_record(line)?) == line` for
+/// any line this crate wrote. Used by `repsbench merge` and the sweep cell
+/// cache.
+///
+/// The perf-only fields (`events`, `wall_ns`) are not part of the
+/// byte-stable record and come back as 0.
+pub fn parse_record(line: &str) -> Result<CellResult, String> {
+    let v = harness::json::Value::parse(line).map_err(|e| format!("bad JSONL record: {e}"))?;
+    let field = |k: &str| v.get(k).ok_or_else(|| format!("record missing {k:?}"));
+    let text = |k: &str| -> Result<String, String> {
+        field(k)?
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| format!("record field {k:?} is not a string"))
+    };
+    let seed = field("seed")?
+        .as_u64()
+        .filter(|&s| s <= u32::MAX as u64)
+        .ok_or("record field \"seed\" is not a u32")?;
+    Ok(CellResult {
+        key: text("key")?,
+        scenario: text("scenario")?,
+        lb: text("lb")?,
+        seed: seed as u32,
+        derived_seed: field("derived_seed")?
+            .as_u64()
+            .ok_or("record field \"derived_seed\" is not a u64")?,
+        events: 0,
+        wall_ns: 0,
+        summary: Summary::from_json(field("summary")?)?,
+    })
+}
+
 /// Writes results (already sorted by key) as JSON Lines.
 pub fn write_jsonl(out: &mut dyn Write, results: &[CellResult]) -> std::io::Result<()> {
     for r in results {
@@ -75,10 +109,15 @@ pub fn write_perf_jsonl(out: &mut dyn Write, results: &[CellResult]) -> std::io:
 
 /// Aggregate events/sec over a result set: total events divided by the
 /// *sum* of per-cell wall time (i.e. single-core simulation throughput,
-/// independent of how many workers ran the sweep).
-pub fn events_per_sec(results: &[CellResult]) -> (u64, f64) {
-    let events: u64 = results.iter().map(|r| r.events).sum();
-    let wall_ns: u64 = results.iter().map(|r| r.wall_ns).sum();
+/// independent of how many workers ran the sweep). Takes any borrowing
+/// iterator so callers can feed a subset (e.g. only the freshly executed
+/// cells of a cached run) without cloning.
+pub fn events_per_sec<'a>(results: impl IntoIterator<Item = &'a CellResult>) -> (u64, f64) {
+    let (mut events, mut wall_ns) = (0u64, 0u64);
+    for r in results {
+        events += r.events;
+        wall_ns += r.wall_ns;
+    }
     let rate = if wall_ns > 0 {
         events as f64 * 1e9 / wall_ns as f64
     } else {
@@ -127,13 +166,22 @@ pub fn aggregate(results: &[CellResult]) -> Vec<Aggregate> {
             mean.name = scenario.clone();
             mean.lb = lb.clone();
             mean.completed = rs.iter().all(|r| r.summary.completed);
+            mean.fg_flows =
+                (rs.iter().map(|r| r.summary.fg_flows as u128).sum::<u128>() / n as u128) as usize;
             mean.max_fct = mean_time(rs.iter().map(|r| r.summary.max_fct), n);
             mean.avg_fct = mean_time(rs.iter().map(|r| r.summary.avg_fct), n);
             mean.p99_fct = mean_time(rs.iter().map(|r| r.summary.p99_fct), n);
             mean.makespan = mean_time(rs.iter().map(|r| r.summary.makespan), n);
             mean.avg_goodput_gbps =
                 rs.iter().map(|r| r.summary.avg_goodput_gbps).sum::<f64>() / n as f64;
-            mean.bg_max_fct = None;
+            // Mixed-traffic scenarios report a background FCT per seed;
+            // average the seeds that have one instead of dropping them all.
+            let bg: Vec<Time> = rs.iter().filter_map(|r| r.summary.bg_max_fct).collect();
+            mean.bg_max_fct = if bg.is_empty() {
+                None
+            } else {
+                Some(mean_time(bg.iter().copied(), bg.len()))
+            };
             // Sum across seeds first, divide once: per-element flooring
             // would erase counters rarer than one event per seed (exactly
             // the drop/timeout tallies failure scenarios measure).
@@ -241,6 +289,35 @@ mod tests {
     }
 
     #[test]
+    fn parse_record_inverts_jsonl_record_byte_exactly() {
+        let mut results = small_results();
+        // Cover the mixed-traffic shape too (bg_max_fct: Some).
+        results.push({
+            let m = ScenarioMatrix::new("sink-bg")
+                .workloads([WorkloadSpec::Tornado { bytes: 32 << 10 }])
+                .background(WorkloadSpec::Tornado { bytes: 8 << 10 }, LbKind::Ecmp);
+            m.expand()[0].run()
+        });
+        for r in &results {
+            let line = jsonl_record(r);
+            let parsed = parse_record(&line).expect("canonical record parses");
+            assert_eq!(jsonl_record(&parsed), line, "round trip must be exact");
+            assert_eq!(parsed.key, r.key);
+            assert_eq!(parsed.seed, r.seed);
+            assert_eq!(parsed.derived_seed, r.derived_seed);
+            assert_eq!(parsed.events, 0, "perf fields are not in the record");
+        }
+        for bad in [
+            "",
+            "not json",
+            "{\"key\":\"x\"}",
+            "{\"key\":\"x\",\"scenario\":\"s\",\"lb\":\"L\",\"seed\":-1,\"derived_seed\":0,\"summary\":{}}",
+        ] {
+            assert!(parse_record(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
     fn perf_records_report_events_and_rate() {
         let results = small_results();
         for r in &results {
@@ -257,6 +334,135 @@ mod tests {
         // The deterministic fields must not leak into the result records.
         let record = jsonl_record(&results[0]);
         assert!(!record.contains("wall_ns"), "{record}");
+    }
+
+    /// A synthetic cell result whose every numeric summary field is
+    /// `base * scale`, so seeds are numerically distinguishable.
+    fn synthetic_result(seed: u32, scale: u64, completed: bool) -> CellResult {
+        use harness::experiment::Summary;
+        let t = |base: u64| Time(base * scale);
+        let summary = Summary {
+            name: format!("synthetic/lb=X/s={seed}"),
+            lb: "X".to_string(),
+            completed,
+            fg_flows: (10 * scale) as usize,
+            max_fct: t(1_000),
+            avg_fct: t(700),
+            p99_fct: t(950),
+            makespan: t(1_100),
+            avg_goodput_gbps: 1.5 * scale as f64,
+            bg_max_fct: Some(t(2_000)),
+            counters: netsim::stats::Counters {
+                drops_queue_full: scale,
+                drops_link_down: 2 * scale,
+                drops_bit_error: 3 * scale,
+                trims: 4 * scale,
+                ecn_marks: 5 * scale,
+                data_tx: 6 * scale,
+                ctrl_tx: 7 * scale,
+                retransmissions: 8 * scale,
+                timeouts: 9 * scale,
+            },
+        };
+        CellResult {
+            key: format!("synthetic/lb=X/s={seed}"),
+            scenario: "synthetic".to_string(),
+            lb: "X".to_string(),
+            seed,
+            derived_seed: seed as u64,
+            events: 0,
+            wall_ns: 0,
+            summary,
+        }
+    }
+
+    /// Walks two seed summaries and their aggregate as generic JSON, so a
+    /// future `Summary` field that `aggregate()` forgets to average fails
+    /// here without being named: every numeric field must equal the mean
+    /// of the seeds (±1 for integer flooring), every boolean must be the
+    /// conjunction, and the seeds are constructed so that for every
+    /// numeric field the mean differs from either seed's value.
+    fn assert_fieldwise_mean(
+        path: &str,
+        a: &harness::json::Value,
+        b: &harness::json::Value,
+        mean: &harness::json::Value,
+    ) {
+        use harness::json::Value;
+        match (a, b, mean) {
+            (Value::Obj(fa), Value::Obj(fb), Value::Obj(fm)) => {
+                let keys = |f: &[(String, Value)]| -> Vec<String> {
+                    f.iter().map(|(k, _)| k.clone()).collect()
+                };
+                assert_eq!(keys(fa), keys(fb), "{path}: seed field sets differ");
+                assert_eq!(keys(fa), keys(fm), "{path}: aggregate field set drifted");
+                for (k, va) in fa {
+                    let vb = b.get(k).unwrap();
+                    let vm = mean.get(k).unwrap();
+                    assert_fieldwise_mean(&format!("{path}.{k}"), va, vb, vm);
+                }
+            }
+            (Value::Num(_), Value::Num(_), Value::Num(_)) => {
+                let (na, nb, nm) = (
+                    a.as_f64().unwrap(),
+                    b.as_f64().unwrap(),
+                    mean.as_f64().unwrap(),
+                );
+                assert_ne!(na, nb, "{path}: seeds must differ for the test to bite");
+                let expected = (na + nb) / 2.0;
+                assert!(
+                    (nm - expected).abs() <= 1.0,
+                    "{path}: aggregate {nm} is not the mean of {na} and {nb} — un-averaged Summary field?"
+                );
+            }
+            (Value::Bool(ba), Value::Bool(bb), Value::Bool(bm)) => {
+                assert_eq!(
+                    *bm,
+                    *ba && *bb,
+                    "{path}: boolean aggregate must be the conjunction"
+                );
+            }
+            (Value::Str(_), Value::Str(_), Value::Str(_)) => {
+                // Identity fields (name/lb); the aggregate rewrites them.
+            }
+            _ => panic!("{path}: mismatched shapes {a:?} / {b:?} / {mean:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregate_means_every_summary_field() {
+        use harness::json::Value;
+        let results = vec![synthetic_result(0, 1, true), synthetic_result(1, 3, false)];
+        let aggs = aggregate(&results);
+        assert_eq!(aggs.len(), 1);
+        let a = Value::parse(&results[0].summary.to_json()).unwrap();
+        let b = Value::parse(&results[1].summary.to_json()).unwrap();
+        let mean = Value::parse(&aggs[0].mean.to_json()).unwrap();
+        assert_fieldwise_mean("summary", &a, &b, &mean);
+        // The regressions this guards, stated directly: no seed-0 leakage
+        // in fg_flows, and a preserved background FCT.
+        assert_eq!(aggs[0].mean.fg_flows, 20);
+        assert_eq!(aggs[0].mean.bg_max_fct, Some(Time(4_000)));
+        assert!(!aggs[0].mean.completed);
+    }
+
+    #[test]
+    fn aggregate_keeps_bg_fct_when_a_seed_lacks_it() {
+        let mut partial = synthetic_result(1, 3, true);
+        partial.summary.bg_max_fct = None;
+        let results = vec![synthetic_result(0, 1, true), partial];
+        let aggs = aggregate(&results);
+        assert_eq!(aggs[0].mean.bg_max_fct, Some(Time(2_000)));
+        // All-None stays None.
+        let none = |seed, scale| {
+            let mut r = synthetic_result(seed, scale, true);
+            r.summary.bg_max_fct = None;
+            r
+        };
+        assert_eq!(
+            aggregate(&[none(0, 1), none(1, 3)])[0].mean.bg_max_fct,
+            None
+        );
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! The fleet contract, as properties:
+//!
+//! 1. for any shard count and any filter, every cell lands in exactly one
+//!    shard, and `merge`-ing the per-shard outputs reproduces the
+//!    unsharded JSONL byte-for-byte;
+//! 2. a warm cache answers the entire sweep (0 cells executed) with bytes
+//!    identical to the uncached run — including when the warmth was
+//!    accumulated shard by shard.
+
+use proptest::prelude::*;
+
+use baselines::kind::LbKind;
+use reps::reps::RepsConfig;
+use sweep::matrix::{Cell, LabeledLb, ScenarioMatrix};
+use sweep::spec::{FabricSpec, FailureSpec, WorkloadSpec};
+use sweep::{merge_contents, run_cells, run_cells_cached, to_jsonl, CellCache, Shard};
+
+/// A small but non-trivial grid: 2 lbs × 2 workloads × 2 failures × seeds.
+fn small_matrix(seeds: u32) -> ScenarioMatrix {
+    ScenarioMatrix::new("shard-merge-test")
+        .fabrics([FabricSpec::two_tier(4, 1)])
+        .lbs([
+            LabeledLb::plain(LbKind::Ops { evs_size: 1 << 16 }),
+            LabeledLb::plain(LbKind::Reps(RepsConfig::default())),
+        ])
+        .workloads([
+            WorkloadSpec::Tornado { bytes: 16 << 10 },
+            WorkloadSpec::Permutation { bytes: 16 << 10 },
+        ])
+        .failures([
+            FailureSpec::None,
+            FailureSpec::OneCable {
+                at: netsim::time::Time::from_us(5),
+                duration: None,
+            },
+        ])
+        .seeds(seeds)
+}
+
+/// Applies an arbitrary axis filter, mimicking `--filter`-style selection.
+fn filtered(cells: &[Cell], pick: (bool, bool, bool)) -> Vec<Cell> {
+    cells
+        .iter()
+        .filter(|c| {
+            (pick.0 || c.lb.label == "REPS")
+                && (pick.1 || c.workload.label().starts_with("tornado"))
+                && (pick.2 || c.failures.label() == "none")
+        })
+        .cloned()
+        .collect()
+}
+
+proptest! {
+    /// Union-of-shards == unsharded run, byte for byte, for any shard
+    /// count and filter; and the shards partition the cell set.
+    #[test]
+    fn sharded_union_merges_to_the_unsharded_bytes(
+        count in 2u32..6,
+        pick in any::<(bool, bool, bool)>(),
+    ) {
+        let cells = filtered(&small_matrix(2).expand(), pick);
+        prop_assume!(!cells.is_empty());
+        let unsharded = to_jsonl(&run_cells(&cells, 4));
+
+        let mut shard_files: Vec<(String, String)> = Vec::new();
+        let mut owned_total = 0usize;
+        for index in 1..=count {
+            let shard = Shard { index, count };
+            // Exactly-one-shard: each cell is owned by this shard iff no
+            // other shard owns it (checked via the running total below).
+            let owned = shard.select(cells.clone());
+            owned_total += owned.len();
+            shard_files.push((
+                format!("shard{index}.jsonl"),
+                to_jsonl(&run_cells(&owned, 4)),
+            ));
+        }
+        prop_assert_eq!(owned_total, cells.len(), "shards must partition the cells");
+        let merged = merge_contents(&shard_files).expect("disjoint shards merge");
+        prop_assert_eq!(merged.to_jsonl(), unsharded);
+    }
+}
+
+#[test]
+fn shard_membership_ignores_the_filter() {
+    // The same surviving cell must stay in the same shard whichever
+    // filter selected it — the property that makes fleet runs cacheable.
+    let all = small_matrix(2).expand();
+    let shard = Shard { index: 1, count: 3 };
+    let from_all: std::collections::HashSet<String> =
+        shard.select(all.clone()).iter().map(Cell::key).collect();
+    for pick in [
+        (false, true, true),
+        (true, false, true),
+        (true, true, false),
+    ] {
+        for c in shard.select(filtered(&all, pick)) {
+            assert!(
+                from_all.contains(&c.key()),
+                "filter moved {} into shard {shard}",
+                c.key()
+            );
+        }
+    }
+}
+
+#[test]
+fn warm_cache_executes_zero_cells_and_reproduces_the_bytes() {
+    let dir = std::env::temp_dir().join(format!("reps-shard-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cells = small_matrix(1).expand();
+    let uncached = to_jsonl(&run_cells(&cells, 4));
+
+    // Warm the cache shard by shard (two "boxes" sharing a cache dir)...
+    let cache = CellCache::open(&dir, "shard-test").unwrap();
+    for index in 1..=2 {
+        let shard = Shard { index, count: 2 };
+        let owned = shard.select(cells.clone());
+        let run = run_cells_cached(&owned, 4, Some(&cache));
+        assert_eq!(run.misses, owned.len(), "cold shard runs everything");
+    }
+    // ...then the full sweep is answered entirely from cache.
+    let warm = run_cells_cached(&cells, 4, Some(&cache));
+    assert_eq!(
+        (warm.hits, warm.misses),
+        (cells.len(), 0),
+        "warm run must execute nothing"
+    );
+    assert!(warm.executed.is_empty());
+    assert_eq!(
+        to_jsonl(&warm.results),
+        uncached,
+        "cache hits must be byte-identical to the uncached run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
