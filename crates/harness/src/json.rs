@@ -41,6 +41,21 @@ pub fn number(v: f64) -> String {
     }
 }
 
+/// Renders an array from already-rendered JSON items (canonical form: no
+/// whitespace), matching what [`Value::render`] produces so parse →
+/// re-render round trips stay byte-exact.
+pub fn array(items: impl IntoIterator<Item = String>) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&item);
+    }
+    out.push(']');
+    out
+}
+
 /// An incremental `{...}` builder with fixed field order.
 #[derive(Debug, Default)]
 pub struct Object {
@@ -441,6 +456,18 @@ mod tests {
     fn object_preserves_field_order() {
         let o = Object::new().str("b", "x").u64("a", 3).bool("c", true);
         assert_eq!(o.render(), r#"{"b":"x","a":3,"c":true}"#);
+    }
+
+    #[test]
+    fn array_renders_canonically() {
+        assert_eq!(array([]), "[]");
+        assert_eq!(
+            array(["1".to_string(), "[2,3]".to_string(), "\"x\"".to_string()]),
+            "[1,[2,3],\"x\"]"
+        );
+        // Round trip through the parser is byte-exact.
+        let src = array((0..3).map(|i| i.to_string()));
+        assert_eq!(Value::parse(&src).unwrap().render(), src);
     }
 
     #[test]

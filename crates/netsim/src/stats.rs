@@ -95,6 +95,32 @@ impl Counters {
     }
 }
 
+/// An ordered, owned snapshot of every tracked link's series.
+///
+/// This is the export surface for out-of-process sinks (the sweep crate's
+/// `--series` JSONL stream): links appear in tracking order — the same
+/// deterministic order sampling walks them — and the data is owned, so a
+/// sink can outlive the engine that recorded it.
+#[derive(Debug, Clone, Default)]
+pub struct SeriesExport {
+    /// Utilization bucket width the series were recorded at.
+    pub bucket_width: Time,
+    /// Per-link series, in tracking order.
+    pub links: Vec<(LinkId, LinkSeries)>,
+}
+
+impl SeriesExport {
+    /// Number of exported links.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Whether no links were tracked.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+}
+
 /// The statistics collector owned by the engine.
 #[derive(Debug)]
 pub struct Stats {
@@ -166,6 +192,18 @@ impl Stats {
     /// Whether the given link is tracked.
     pub fn is_tracked(&self, link: LinkId) -> bool {
         self.tracked.contains_key(&link)
+    }
+
+    /// Snapshots every tracked link's series, in tracking order.
+    pub fn export_series(&self) -> SeriesExport {
+        SeriesExport {
+            bucket_width: self.bucket_width,
+            links: self
+                .tracked_order
+                .iter()
+                .map(|l| (*l, self.tracked[l].clone()))
+                .collect(),
+        }
     }
 
     /// Records `bytes` transmitted on `link` at `now`.
@@ -335,6 +373,29 @@ mod tests {
         s.on_transmit(LinkId(3), Time::from_us(5), 1000, false);
         assert!(s.link_series(LinkId(3)).is_none());
         assert_eq!(s.counters.ctrl_tx, 1);
+    }
+
+    #[test]
+    fn export_series_snapshots_in_tracking_order() {
+        let mut s = Stats::new(Time::from_us(20));
+        // Track in non-sorted id order: the export must preserve it.
+        for id in [5u32, 2, 9] {
+            s.track_link(LinkId(id));
+        }
+        s.on_transmit(LinkId(2), Time::from_us(5), 1000, true);
+        s.on_queue_sample(LinkId(9), Time::from_us(7), 333);
+        let export = s.export_series();
+        assert_eq!(export.len(), 3);
+        assert!(!export.is_empty());
+        assert_eq!(export.bucket_width, Time::from_us(20));
+        let ids: Vec<u32> = export.links.iter().map(|(l, _)| l.0).collect();
+        assert_eq!(ids, vec![5, 2, 9]);
+        assert_eq!(export.links[1].1.bucket_bytes, vec![1000]);
+        assert_eq!(export.links[2].1.queue_samples[0].bytes, 333);
+        // The export is a snapshot: mutating the collector afterwards does
+        // not change it.
+        s.on_transmit(LinkId(2), Time::from_us(5), 1000, true);
+        assert_eq!(export.links[1].1.bucket_bytes, vec![1000]);
     }
 
     #[test]

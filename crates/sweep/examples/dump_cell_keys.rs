@@ -1,0 +1,29 @@
+//! Dumps every built-in preset cell as `derived_seed<TAB>shard-of-4<TAB>key`,
+//! one line per cell, quick scale first and then full scale.
+//!
+//! This is the generator for
+//! `crates/sweep/tests/fixtures/cell_keys_pre_oversub.tsv`, the frozen
+//! pre-oversubscription-axis snapshot that
+//! `tests/key_stability.rs` diffs against: derived seeds decide RNG
+//! streams, cache addresses and shard membership, so an accidental key
+//! change silently invalidates warm caches and moves cells between fleet
+//! shards. Regenerate the fixture ONLY when a key change is intentional:
+//!
+//! ```text
+//! cargo run -p sweep --example dump_cell_keys \
+//!     > crates/sweep/tests/fixtures/cell_keys_pre_oversub.tsv
+//! ```
+
+use harness::Scale;
+use sweep::presets;
+
+fn main() {
+    for (tag, scale) in [("quick", Scale::Quick), ("full", Scale::Full)] {
+        for m in presets::all(scale) {
+            for cell in m.expand() {
+                let seed = cell.derived_seed();
+                println!("{tag}\t{seed:016x}\t{}\t{}", seed % 4, cell.key());
+            }
+        }
+    }
+}

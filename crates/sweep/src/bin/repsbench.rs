@@ -1,9 +1,10 @@
 //! `repsbench` — run the REPS scenario-sweep suite from the command line.
 //!
 //! ```text
-//! repsbench list [--scale quick|full]
+//! repsbench list [--scale quick|full] [--spec-file PATH]...
 //! repsbench run [--filter GLOB] [--threads N] [--scale quick|full]
 //!               [--seeds N] [--shard I/N] [--cache DIR]
+//!               [--spec-file PATH]... [--series DIR]
 //!               [--out PATH] [--perf PATH] [--baseline LABEL] [--quiet]
 //! repsbench merge OUT IN... [--baseline LABEL] [--quiet]
 //! ```
@@ -14,6 +15,68 @@
 //! `--out` (default `results.jsonl`; `-` = stdout), then prints cross-seed
 //! aggregate tables. Output is byte-identical for any `--threads` value.
 //! `--scale` defaults to the `REPS_SCALE` environment variable (`quick`).
+//!
+//! # User-defined grids (`--spec-file`)
+//!
+//! New scenarios are a text file, not a code change: each `--spec-file`
+//! adds the scenario matrices of a line-oriented grid file (grammar in
+//! [`sweep::specfile`]) to the preset pool — they list, filter, shard,
+//! cache and sink exactly like built-ins. A name collision with a built-in
+//! preset (or between spec files) is an error, never a silent preference.
+//! A grid file holds any number of `[name]` sections; `axis = v1, v2`
+//! lines widen that matrix's axes using the same stable labels cell keys
+//! are built from, omitted axes keep their defaults, and `#` comments:
+//!
+//! ```text
+//! # REPS vs. OPS as the fabric gets oversubscribed, healthy vs. degraded.
+//! [oversub-grid]
+//! fabric   = ls-8x8-o1, ls-8x8-o2, ls-8x8-o4
+//! lb       = OPS, REPS
+//! workload = perm-131072B
+//! failure  = none, degraded10pct-200G
+//! seed     = 0, 1
+//!
+//! # How fast must routing reconverge before spraying rides out a cut?
+//! [reconv-grid]
+//! lb       = OPS, REPS
+//! workload = perm-262144B
+//! failure  = cable1-at8us-perm
+//! reconv   = none, 25us, 100us
+//! ```
+//!
+//! ```text
+//! repsbench run --spec-file examples/oversub.grid --filter '*-grid'
+//! ```
+//!
+//! Axes: `fabric` (`2t-kK-oO`, `3t-kK-oO`, `ls-TxH-oO`,
+//! `2t-custom-TxH-uU`), `lb` (paper legend names plus `REPS-nofreeze`,
+//! `REPS+freeze@Nus`), `workload` (`tornado-NB`, `perm-NB`,
+//! `incastDto1-NB`, `ringar-NB`, `bflyar-NB`, `a2a-wW-NB`,
+//! `dctrace-Ppct-Tus`), `failure` (the cell-key failure labels), `reconv`
+//! (`none` or a delay like `25us`), `seed`, `cc`, `coalesce`, and the
+//! single-valued `sim`, `background` (`workload+LB`), `deadline`. Parse
+//! errors name their line number.
+//!
+//! # Per-cell time series (`--series DIR`)
+//!
+//! `--series DIR` additionally streams every executed cell's
+//! link-utilization buckets and queue-occupancy samples (ToR 0's uplinks,
+//! the micro figures' vantage point) into
+//! `DIR/<derived_seed hex>.series.jsonl`. Line 1 is a header, then one
+//! record per tracked link:
+//!
+//! ```text
+//! {"key":...,"derived_seed":N,"bucket_width_ps":N,"sample_period_ps":N,"links":N}
+//! {"link":N,"bucket_bytes":[...],"queue_samples":[[at_ps,bytes],...]}
+//! ```
+//!
+//! Series documents are pure functions of cell keys — identical across
+//! `--threads` values and shard splits (shards may share one directory or
+//! be unioned later) — and fully separate from the byte-stable result
+//! stream, which is unchanged by the flag. With `--cache`, a cached cell
+//! only skips execution when its series document already exists; pointing
+//! a warm cache at an empty series directory re-runs the cells. See
+//! [`sweep::series`] for the full schema.
 //!
 //! # Sharded (fleet) sweeps
 //!
@@ -51,8 +114,8 @@ use std::process::ExitCode;
 use harness::Scale;
 use sweep::matrix::Cell;
 use sweep::{
-    events_per_sec, glob, merge_files, presets, render_aggregates, run_cells_cached, CellCache,
-    Shard,
+    events_per_sec, glob, merge_files, presets, render_aggregates, run_cells_sinked, specfile,
+    CellCache, ScenarioMatrix, SeriesSink, Shard,
 };
 
 #[derive(Debug)]
@@ -63,10 +126,30 @@ struct RunOpts {
     seeds: Option<u32>,
     shard: Option<Shard>,
     cache: Option<String>,
+    spec_files: Vec<String>,
+    series: Option<String>,
     out: String,
     perf: Option<String>,
     baseline: String,
     quiet: bool,
+}
+
+#[derive(Debug)]
+struct ListOpts {
+    scale: Scale,
+    spec_files: Vec<String>,
+}
+
+/// The run's matrix pool: every built-in preset at `scale` plus the
+/// matrices of each `--spec-file`, rejecting name collisions (a spec file
+/// shadowing a built-in would otherwise silently lose to it).
+fn matrix_pool(scale: Scale, spec_files: &[String]) -> Result<Vec<ScenarioMatrix>, String> {
+    let mut pool = presets::all(scale);
+    for path in spec_files {
+        pool.extend(specfile::parse_file(path)?);
+    }
+    presets::ensure_unique_names(&pool)?;
+    Ok(pool)
 }
 
 #[derive(Debug)]
@@ -78,7 +161,7 @@ struct MergeOpts {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  repsbench list [--scale quick|full]\n  repsbench run [--filter GLOB] [--threads N] [--scale quick|full]\n                [--seeds N] [--shard I/N] [--cache DIR]\n                [--out PATH|-] [--perf PATH] [--baseline LABEL] [--quiet]\n  repsbench merge OUT IN... [--baseline LABEL] [--quiet]"
+    "usage:\n  repsbench list [--scale quick|full] [--spec-file PATH]...\n  repsbench run [--filter GLOB] [--threads N] [--scale quick|full]\n                [--seeds N] [--shard I/N] [--cache DIR]\n                [--spec-file PATH]... [--series DIR]\n                [--out PATH|-] [--perf PATH] [--baseline LABEL] [--quiet]\n  repsbench merge OUT IN... [--baseline LABEL] [--quiet]"
 }
 
 fn parse_scale(v: &str) -> Result<Scale, String> {
@@ -95,10 +178,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("list") => match parse_list(&args[1..]) {
-            Ok(scale) => {
-                list(scale);
-                ExitCode::SUCCESS
-            }
+            Ok(opts) => list(&opts),
             Err(e) => fail(&e),
         },
         Some("run") => match parse_run(&args[1..]) {
@@ -122,19 +202,26 @@ fn fail(msg: &str) -> ExitCode {
     ExitCode::FAILURE
 }
 
-fn parse_list(args: &[String]) -> Result<Scale, String> {
-    let mut scale = Scale::from_env();
+fn parse_list(args: &[String]) -> Result<ListOpts, String> {
+    let mut opts = ListOpts {
+        scale: Scale::from_env(),
+        spec_files: Vec::new(),
+    };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--scale" => {
                 let v = it.next().ok_or("--scale needs a value")?;
-                scale = parse_scale(v)?;
+                opts.scale = parse_scale(v)?;
+            }
+            "--spec-file" => {
+                let v = it.next().ok_or("--spec-file needs a value")?;
+                opts.spec_files.push(v.clone());
             }
             other => return Err(format!("unknown argument {other:?}\n{}", usage())),
         }
     }
-    Ok(scale)
+    Ok(opts)
 }
 
 fn parse_run(args: &[String]) -> Result<RunOpts, String> {
@@ -145,6 +232,8 @@ fn parse_run(args: &[String]) -> Result<RunOpts, String> {
         seeds: None,
         shard: None,
         cache: None,
+        spec_files: Vec::new(),
+        series: None,
         out: "results.jsonl".to_string(),
         perf: None,
         baseline: "OPS".to_string(),
@@ -177,6 +266,8 @@ fn parse_run(args: &[String]) -> Result<RunOpts, String> {
             }
             "--shard" => opts.shard = Some(Shard::parse(value("--shard")?)?),
             "--cache" => opts.cache = Some(value("--cache")?.clone()),
+            "--spec-file" => opts.spec_files.push(value("--spec-file")?.clone()),
+            "--series" => opts.series = Some(value("--series")?.clone()),
             "--out" => opts.out = value("--out")?.clone(),
             "--perf" => opts.perf = Some(value("--perf")?.clone()),
             "--baseline" => opts.baseline = value("--baseline")?.clone(),
@@ -226,26 +317,32 @@ fn parse_merge(args: &[String]) -> Result<MergeOpts, String> {
     })
 }
 
-fn list(scale: Scale) {
+fn list(opts: &ListOpts) -> ExitCode {
+    let pool = match matrix_pool(opts.scale, &opts.spec_files) {
+        Ok(p) => p,
+        Err(e) => return fail(&e),
+    };
     println!(
-        "{:<28} {:>6} {:>4} {:>4} {:>4} {:>4} {:>6}",
-        "preset", "cells", "lbs", "wl", "fail", "fab", "seeds"
+        "{:<28} {:>6} {:>4} {:>4} {:>4} {:>4} {:>4} {:>6}",
+        "preset", "cells", "lbs", "wl", "fail", "fab", "rc", "seeds"
     );
     let mut total = 0usize;
-    for m in presets::all(scale) {
+    for m in pool {
         total += m.len();
         println!(
-            "{:<28} {:>6} {:>4} {:>4} {:>4} {:>4} {:>6}",
+            "{:<28} {:>6} {:>4} {:>4} {:>4} {:>4} {:>4} {:>6}",
             m.name,
             m.len(),
             m.lbs.len(),
             m.workloads.len(),
             m.failures.len(),
             m.fabrics.len(),
+            m.reconv.len(),
             m.seeds.len(),
         );
     }
-    println!("{total} cells total at {scale:?} scale");
+    println!("{total} cells total at {:?} scale", opts.scale);
+    ExitCode::SUCCESS
 }
 
 /// Writes `text` to `path`, with `-` meaning stdout.
@@ -260,9 +357,13 @@ fn write_output(path: &str, text: &str) -> std::io::Result<()> {
 }
 
 fn run(opts: &RunOpts) -> ExitCode {
+    let pool = match matrix_pool(opts.scale, &opts.spec_files) {
+        Ok(p) => p,
+        Err(e) => return fail(&e),
+    };
     let mut cells: Vec<Cell> = Vec::new();
     let mut matched = 0usize;
-    for mut m in presets::all(opts.scale) {
+    for mut m in pool {
         if !glob::matches(&opts.filter, &m.name) {
             continue;
         }
@@ -286,6 +387,13 @@ fn run(opts: &RunOpts) -> ExitCode {
             Err(e) => return fail(&format!("opening cache {dir}: {e}")),
         },
     };
+    let series = match &opts.series {
+        None => None,
+        Some(dir) => match SeriesSink::create(dir) {
+            Ok(s) => Some(s),
+            Err(e) => return fail(&format!("opening series directory {dir}: {e}")),
+        },
+    };
     if !opts.quiet {
         let sharding = match opts.shard {
             Some(s) => format!(" (shard {s} of {total} cells)"),
@@ -301,7 +409,7 @@ fn run(opts: &RunOpts) -> ExitCode {
         );
     }
     let start = std::time::Instant::now();
-    let outcome = run_cells_cached(&cells, opts.threads, cache.as_ref());
+    let outcome = run_cells_sinked(&cells, opts.threads, cache.as_ref(), series.as_ref());
     let elapsed = start.elapsed();
     let results = &outcome.results;
     if outcome.store_errors > 0 {
@@ -310,6 +418,19 @@ fn run(opts: &RunOpts) -> ExitCode {
             "warning: failed to store {} result(s) in cache {}",
             outcome.store_errors,
             opts.cache.as_deref().unwrap_or("")
+        );
+    }
+    if outcome.series_errors > 0 {
+        eprintln!(
+            "warning: failed to write {} series document(s) in {}",
+            outcome.series_errors,
+            opts.series.as_deref().unwrap_or("")
+        );
+    }
+    if let (Some(dir), false) = (&opts.series, opts.quiet) {
+        eprintln!(
+            "wrote {} series document(s) to {dir}",
+            outcome.executed.len() - outcome.series_errors
         );
     }
 
@@ -409,6 +530,8 @@ mod tests {
         assert_eq!(o.seeds, None);
         assert_eq!(o.shard, None);
         assert_eq!(o.cache, None);
+        assert!(o.spec_files.is_empty());
+        assert_eq!(o.series, None);
         assert_eq!(o.out, "results.jsonl");
         assert_eq!(o.perf, None);
         assert_eq!(o.baseline, "OPS");
@@ -430,6 +553,12 @@ mod tests {
             "2/4",
             "--cache",
             "/tmp/c",
+            "--spec-file",
+            "a.grid",
+            "--spec-file",
+            "b.grid",
+            "--series",
+            "series-out",
             "--out",
             "-",
             "--perf",
@@ -445,6 +574,8 @@ mod tests {
         assert_eq!(o.seeds, Some(5));
         assert_eq!(o.shard, Some(Shard { index: 2, count: 4 }));
         assert_eq!(o.cache.as_deref(), Some("/tmp/c"));
+        assert_eq!(o.spec_files, vec!["a.grid", "b.grid"]);
+        assert_eq!(o.series.as_deref(), Some("series-out"));
         assert_eq!(o.out, "-");
         assert_eq!(o.perf.as_deref(), Some("p.jsonl"));
         assert_eq!(o.baseline, "REPS");
@@ -479,14 +610,37 @@ mod tests {
     }
 
     #[test]
-    fn list_parser_accepts_scale_only() {
+    fn list_parser_accepts_scale_and_spec_files() {
         assert!(parse_list(&[]).is_ok());
         assert!(matches!(
             parse_list(&sv(&["--scale", "full"])),
-            Ok(Scale::Full)
+            Ok(ListOpts {
+                scale: Scale::Full,
+                ..
+            })
         ));
+        let o = parse_list(&sv(&["--spec-file", "g.grid"])).expect("spec file accepted");
+        assert_eq!(o.spec_files, vec!["g.grid"]);
         assert!(parse_list(&sv(&["--scale", "nope"])).is_err());
         assert!(parse_list(&sv(&["--filter", "x"])).is_err());
+        assert!(parse_list(&sv(&["--spec-file"])).is_err());
+    }
+
+    #[test]
+    fn matrix_pool_rejects_spec_shadowing_a_builtin() {
+        let dir = std::env::temp_dir().join(format!("repsbench-shadow-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("shadow.grid");
+        std::fs::write(&path, "[fig02-tornado-micro]\nlb = OPS\n").unwrap();
+        let err = matrix_pool(Scale::Quick, &[path.to_string_lossy().into_owned()])
+            .expect_err("shadowing a built-in preset must fail");
+        assert!(err.contains("fig02-tornado-micro"), "{err}");
+        // A non-colliding grid joins the pool.
+        std::fs::write(&path, "[my-grid]\nlb = OPS\n").unwrap();
+        let pool = matrix_pool(Scale::Quick, &[path.to_string_lossy().into_owned()])
+            .expect("fresh name joins the pool");
+        assert!(pool.iter().any(|m| m.name == "my-grid"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -28,7 +28,8 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use crate::matrix::{Cell, CellResult};
-use crate::runner::run_cells;
+use crate::runner::run_indexed;
+use crate::series::SeriesSink;
 use crate::sink::{jsonl_record, parse_record};
 
 /// The compiled-in code-version fingerprint (`git describe --always
@@ -106,6 +107,9 @@ pub struct CachedRun {
     /// sweep's results are unaffected — stores are best-effort so a full
     /// disk can never discard hours of simulation).
     pub store_errors: usize,
+    /// Series documents that could not be written (best-effort, like cache
+    /// stores; always 0 when no series sink was given).
+    pub series_errors: usize,
 }
 
 impl CachedRun {
@@ -118,34 +122,60 @@ impl CachedRun {
 /// Runs `cells` on `threads` workers, answering from `cache` where
 /// possible and storing every fresh result back (best-effort — store
 /// failures are counted, not fatal). With `cache == None` this is exactly
-/// [`run_cells`].
+/// [`crate::runner::run_cells`].
 pub fn run_cells_cached(cells: &[Cell], threads: usize, cache: Option<&CellCache>) -> CachedRun {
-    let Some(cache) = cache else {
-        let results = run_cells(cells, threads);
-        return CachedRun {
-            executed: (0..results.len()).collect(),
-            misses: results.len(),
-            hits: 0,
-            store_errors: 0,
-            results,
-        };
-    };
+    run_cells_sinked(cells, threads, cache, None)
+}
+
+/// [`run_cells_cached`] with an optional per-cell time-series sink
+/// ([`crate::series`]): executed cells additionally write their series
+/// document into `series` (best-effort, counted in
+/// [`CachedRun::series_errors`]).
+///
+/// The sink *gates* cache hits: a cached result only stands in for an
+/// execution when its series document already exists in `series`, so
+/// pairing a warm cache with a fresh series directory re-runs the cells
+/// instead of silently omitting their series. Results are byte-identical
+/// either way — series instrumentation never perturbs the result stream.
+pub fn run_cells_sinked(
+    cells: &[Cell],
+    threads: usize,
+    cache: Option<&CellCache>,
+    series: Option<&SeriesSink>,
+) -> CachedRun {
     let mut cached: Vec<CellResult> = Vec::new();
     let mut to_run: Vec<Cell> = Vec::new();
     for cell in cells {
-        match cache.lookup(cell) {
+        let hit = cache
+            .and_then(|c| c.lookup(cell))
+            .filter(|_| series.is_none_or(|s| s.has(cell)));
+        match hit {
             Some(r) => cached.push(r),
             None => to_run.push(cell.clone()),
         }
     }
-    let fresh = run_cells(&to_run, threads);
-    let store_errors = fresh.iter().filter(|r| cache.store(r).is_err()).count();
+    let fresh: Vec<(CellResult, bool)> = run_indexed(&to_run, threads, |cell| match series {
+        None => (cell.run(), true),
+        Some(sink) => {
+            let (result, doc) = cell.run_with_series();
+            let stored = sink.store(result.derived_seed, &doc).is_ok();
+            (result, stored)
+        }
+    });
+    let series_errors = fresh.iter().filter(|(_, stored)| !stored).count();
+    let store_errors = match cache {
+        Some(cache) => fresh
+            .iter()
+            .filter(|(r, _)| cache.store(r).is_err())
+            .count(),
+        None => 0,
+    };
     let hits = cached.len();
     let misses = fresh.len();
     let mut tagged: Vec<(CellResult, bool)> = cached
         .into_iter()
         .map(|r| (r, false))
-        .chain(fresh.into_iter().map(|r| (r, true)))
+        .chain(fresh.into_iter().map(|(r, _)| (r, true)))
         .collect();
     tagged.sort_by(|a, b| a.0.key.cmp(&b.0.key));
     let executed = tagged
@@ -159,6 +189,7 @@ pub fn run_cells_cached(cells: &[Cell], threads: usize, cache: Option<&CellCache
         hits,
         misses,
         store_errors,
+        series_errors,
     }
 }
 
@@ -166,6 +197,7 @@ pub fn run_cells_cached(cells: &[Cell], threads: usize, cache: Option<&CellCache
 mod tests {
     use super::*;
     use crate::matrix::ScenarioMatrix;
+    use crate::runner::run_cells;
     use crate::sink::to_jsonl;
     use crate::spec::WorkloadSpec;
 

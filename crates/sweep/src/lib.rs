@@ -13,12 +13,20 @@
 //!   aggregates through [`harness::report`];
 //! * [`presets`] names a matrix for every simulation figure of the paper
 //!   plus new scenarios (incast/permutation sweeps, rolling link failures,
-//!   mixed AI collectives);
+//!   mixed AI collectives, oversubscription/asymmetry and
+//!   reconvergence-delay sweeps);
+//! * [`specfile`] parses user-defined grids from a line-oriented text
+//!   format (`repsbench run --spec-file grid.txt`) — new scenarios are a
+//!   text file, not a code change — with canonical rendering as its exact
+//!   inverse;
 //! * [`shard`] deterministically partitions a cell list by key hash so a
 //!   fleet can split one sweep (`repsbench run --shard i/n`), [`merge`]
 //!   unions the shard outputs back into the unsharded bytes, and [`cache`]
 //!   reuses per-cell results across runs of the same code version
 //!   (`--cache DIR`);
+//! * [`series`] streams per-cell link-utilization and queue-occupancy
+//!   series as canonical JSONL (`--series DIR`), fully separate from the
+//!   byte-stable result stream;
 //! * the `repsbench` binary exposes all of it on the command line
 //!   (`repsbench list`, `repsbench run --filter 'fig0*' --threads 8`,
 //!   `repsbench merge merged.jsonl shard*.jsonl`).
@@ -30,7 +38,8 @@
 //! Sharding and caching stay inside the contract: shard membership and
 //! cache addresses are functions of the cell key alone, so
 //! `merge`d shards and warm-cache re-runs reproduce the unsharded,
-//! uncached bytes exactly.
+//! uncached bytes exactly. Series documents are pure functions of cell
+//! keys too, and enabling the series sink changes no result byte.
 //!
 //! # Examples
 //!
@@ -53,17 +62,21 @@ pub mod matrix;
 pub mod merge;
 pub mod presets;
 pub mod runner;
+pub mod series;
 pub mod shard;
 pub mod sink;
 pub mod spec;
+pub mod specfile;
 
-pub use cache::{build_fingerprint, run_cells_cached, CachedRun, CellCache};
+pub use cache::{build_fingerprint, run_cells_cached, run_cells_sinked, CachedRun, CellCache};
 pub use matrix::{Cell, CellResult, LabeledLb, ScenarioMatrix};
 pub use merge::{merge_contents, merge_files, MergedSweep};
 pub use runner::{default_threads, run_cells, run_experiments, threads_from_env};
+pub use series::{series_doc, SeriesSink};
 pub use shard::Shard;
 pub use sink::{
     aggregate, events_per_sec, parse_record, perf_record, render_aggregates, to_jsonl, write_jsonl,
     write_perf_jsonl,
 };
 pub use spec::{FabricSpec, FailureSpec, SimProfile, WorkloadSpec};
+pub use specfile::SpecError;

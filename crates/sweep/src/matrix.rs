@@ -74,6 +74,26 @@ pub fn labeled_lineup(lineup: &[LbKind]) -> Vec<LabeledLb> {
         .collect()
 }
 
+/// The stable label of one reconvergence-axis value: `none` for the
+/// paper's pessimistic no-reconvergence default, otherwise the delay in
+/// the coarsest exact unit (`25us`, `500ns`, `77ps`) so distinct delays
+/// always get distinct labels.
+pub fn reconv_label(delay: Option<Time>) -> String {
+    match delay {
+        None => "none".to_string(),
+        Some(t) => {
+            let ps = t.as_ps();
+            if ps % 1_000_000 == 0 {
+                format!("{}us", ps / 1_000_000)
+            } else if ps % 1_000 == 0 {
+                format!("{}ns", ps / 1_000)
+            } else {
+                format!("{ps}ps")
+            }
+        }
+    }
+}
+
 /// A declarative scenario grid.
 #[derive(Debug, Clone)]
 pub struct ScenarioMatrix {
@@ -93,6 +113,12 @@ pub struct ScenarioMatrix {
     pub ccs: Vec<CcKind>,
     /// ACK-coalescing axis as `(label, config)` (default per-packet).
     pub coalesce: Vec<(String, CoalesceConfig)>,
+    /// Routing-reconvergence axis: how long after a failure switches keep
+    /// spraying onto the dead path (`None` = never reconverge, the paper's
+    /// pessimistic default). The default single-`None` axis is *omitted*
+    /// from cell keys so pre-existing derived seeds, shard membership and
+    /// cache addresses survive the axis addition.
+    pub reconv: Vec<Option<Time>>,
     /// Simulator profile for every cell.
     pub sim: SimProfile,
     /// Optional background traffic applied to every cell.
@@ -117,6 +143,7 @@ impl ScenarioMatrix {
             seeds: vec![0],
             ccs: vec![CcKind::Dctcp],
             coalesce: vec![("pp".to_string(), CoalesceConfig::per_packet())],
+            reconv: vec![None],
             sim: SimProfile::PaperDefault,
             background: None,
             deadline: Time::from_secs(2),
@@ -165,6 +192,12 @@ impl ScenarioMatrix {
         self
     }
 
+    /// Replaces the routing-reconvergence axis (`None` = never).
+    pub fn reconv(mut self, delays: impl IntoIterator<Item = Option<Time>>) -> Self {
+        self.reconv = delays.into_iter().collect();
+        self
+    }
+
     /// Sets the simulator profile.
     pub fn sim(mut self, sim: SimProfile) -> Self {
         self.sim = sim;
@@ -192,6 +225,7 @@ impl ScenarioMatrix {
             * self.seeds.len()
             * self.ccs.len()
             * self.coalesce.len()
+            * self.reconv.len()
     }
 
     /// Whether any axis is empty.
@@ -200,7 +234,8 @@ impl ScenarioMatrix {
     }
 
     /// Expands the cartesian grid into independent cells (deterministic
-    /// order: fabrics, workloads, failures, ccs, coalesce, lbs, seeds).
+    /// order: fabrics, workloads, failures, ccs, coalesce, reconv, lbs,
+    /// seeds).
     ///
     /// # Panics
     ///
@@ -236,6 +271,10 @@ impl ScenarioMatrix {
             self.ccs.iter().map(|c| c.label().to_string()).collect(),
             "cc",
         );
+        unique(
+            self.reconv.iter().map(|r| reconv_label(*r)).collect(),
+            "reconv",
+        );
         unique(self.seeds.iter().map(|s| s.to_string()).collect(), "seed");
 
         let mut cells = Vec::with_capacity(self.len());
@@ -244,22 +283,25 @@ impl ScenarioMatrix {
                 for failure in &self.failures {
                     for cc in &self.ccs {
                         for (co_label, co) in &self.coalesce {
-                            for lb in &self.lbs {
-                                for &seed in &self.seeds {
-                                    cells.push(Cell {
-                                        preset: self.name.clone(),
-                                        fabric: fabric.clone(),
-                                        lb: lb.clone(),
-                                        workload: workload.clone(),
-                                        failures: failure.clone(),
-                                        cc: *cc,
-                                        coalesce_label: co_label.clone(),
-                                        coalesce: *co,
-                                        sim: self.sim,
-                                        background: self.background.clone(),
-                                        seed,
-                                        deadline: self.deadline,
-                                    });
+                            for &reconv in &self.reconv {
+                                for lb in &self.lbs {
+                                    for &seed in &self.seeds {
+                                        cells.push(Cell {
+                                            preset: self.name.clone(),
+                                            fabric: fabric.clone(),
+                                            lb: lb.clone(),
+                                            workload: workload.clone(),
+                                            failures: failure.clone(),
+                                            cc: *cc,
+                                            coalesce_label: co_label.clone(),
+                                            coalesce: *co,
+                                            reconv,
+                                            sim: self.sim,
+                                            background: self.background.clone(),
+                                            seed,
+                                            deadline: self.deadline,
+                                        });
+                                    }
                                 }
                             }
                         }
@@ -291,6 +333,8 @@ pub struct Cell {
     pub coalesce_label: String,
     /// Coalescing policy.
     pub coalesce: CoalesceConfig,
+    /// Routing-reconvergence delay (`None` = never reconverge).
+    pub reconv: Option<Time>,
     /// Simulator profile.
     pub sim: SimProfile,
     /// Optional background traffic.
@@ -313,13 +357,23 @@ impl Cell {
     /// The scenario key: the cell key minus the load-balancer and seed
     /// components. Cells sharing a scenario key form one comparison row
     /// group in reports.
+    ///
+    /// The reconvergence component (`rc=...`) is only present when the
+    /// axis is set: the default (`None`, never reconverge) renders exactly
+    /// the pre-axis key, so derived seeds, shard membership and cache
+    /// addresses of every pre-existing cell are unchanged (pinned by
+    /// `tests/key_stability.rs`).
     pub fn scenario(&self) -> String {
         let background = match &self.background {
             None => "none".to_string(),
             Some((w, lb)) => format!("{}+{}", w.label(), lb.label()),
         };
+        let rc = match self.reconv {
+            None => String::new(),
+            Some(t) => format!("/rc={}", reconv_label(Some(t))),
+        };
         format!(
-            "{}/{}/{}/{}/sim={}/cc={}/co={}/bg={}/dl={}us",
+            "{}/{}/{}/{}/sim={}/cc={}/co={}{rc}/bg={}/dl={}us",
             self.preset,
             self.fabric.label,
             self.workload.label(),
@@ -341,7 +395,10 @@ impl Cell {
     /// Builds the experiment for this cell.
     pub fn experiment(&self) -> Experiment {
         let seed = self.derived_seed();
-        let sim = self.sim.config();
+        let mut sim = self.sim.config();
+        if self.reconv.is_some() {
+            sim.ecmp_failover = self.reconv;
+        }
         let n = self.fabric.config.n_hosts();
         // Distinct derived streams per role so adding an axis value never
         // perturbs an existing cell's draws.
@@ -372,7 +429,25 @@ impl Cell {
 
     /// Runs the cell to completion.
     pub fn run(&self) -> CellResult {
-        let res = self.experiment().run();
+        self.result_from(self.experiment().run())
+    }
+
+    /// Runs the cell with series instrumentation enabled (ToR 0's uplinks
+    /// tracked, queue sampling on up to [`crate::series::SAMPLE_HORIZON`])
+    /// and returns the result plus the canonical per-cell series document
+    /// (see [`crate::series`]). Instrumentation only *reads* fabric state,
+    /// so the byte-stable result record is identical to [`Cell::run`]'s
+    /// (pinned by `tests/series.rs`).
+    pub fn run_with_series(&self) -> (CellResult, String) {
+        let mut exp = self.experiment();
+        exp.track = harness::experiment::TrackLinks::TorUplinks(0);
+        exp.sample_until = self.deadline.min(crate::series::SAMPLE_HORIZON);
+        let res = exp.run();
+        let doc = crate::series::series_doc(self, &res.engine);
+        (self.result_from(res), doc)
+    }
+
+    fn result_from(&self, res: harness::experiment::RunResult) -> CellResult {
         CellResult {
             key: self.key(),
             scenario: self.scenario(),
@@ -500,6 +575,52 @@ mod tests {
         assert_eq!(fnv1a64(""), 0xcbf29ce484222325);
         assert_eq!(fnv1a64("a"), 0xaf63dc4c8601ec8c);
         assert_eq!(fnv1a64("foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn default_reconv_axis_leaves_keys_untouched() {
+        // The exact pre-axis key shape: no `rc=` component anywhere. This
+        // is what keeps every previously recorded derived seed, shard
+        // assignment and cache address valid.
+        let key = ScenarioMatrix::new("t").expand()[0].key();
+        assert!(!key.contains("rc="), "{key}");
+        assert_eq!(
+            key,
+            "t/2t-k8-o1/tornado-262144B/none/sim=paper/cc=DCTCP/co=pp/bg=none/dl=2000000us/lb=OPS/s=0"
+        );
+    }
+
+    #[test]
+    fn reconv_axis_is_keyed_and_seeded() {
+        let m = ScenarioMatrix::new("t").reconv([None, Some(Time::from_us(25))]);
+        assert_eq!(m.len(), 2 * 2);
+        let cells = m.expand();
+        let none = &cells[0];
+        let some = &cells[2];
+        assert_eq!(none.reconv, None);
+        assert!(!none.key().contains("rc="), "{}", none.key());
+        assert!(some.key().contains("/co=pp/rc=25us/bg="), "{}", some.key());
+        assert_ne!(none.derived_seed(), some.derived_seed());
+        // The delay reaches the simulator config; the default does not
+        // override the profile.
+        assert_eq!(none.experiment().sim.ecmp_failover, None);
+        assert_eq!(some.experiment().sim.ecmp_failover, Some(Time::from_us(25)));
+    }
+
+    #[test]
+    fn reconv_labels_pick_the_coarsest_exact_unit() {
+        assert_eq!(reconv_label(None), "none");
+        assert_eq!(reconv_label(Some(Time::from_us(25))), "25us");
+        assert_eq!(reconv_label(Some(Time::from_ns(500))), "500ns");
+        assert_eq!(reconv_label(Some(Time(1_500_077))), "1500077ps");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate reconv label")]
+    fn duplicate_reconv_axis_is_rejected() {
+        ScenarioMatrix::new("t")
+            .reconv([Some(Time::from_us(10)), Some(Time::from_us(10))])
+            .expand();
     }
 
     #[test]

@@ -14,7 +14,13 @@
 //! * `permutation-sweep` — message-size sweep, multi-seed,
 //! * `rolling-failures` — a rolling maintenance wave of transient cable
 //!   outages (the fabric is never healthy, never badly broken),
-//! * `mixed-collectives` — AI collectives with background AllToAll.
+//! * `mixed-collectives` — AI collectives with background AllToAll,
+//! * `oversub-asym` — REPS vs. OPS across oversubscription ratios
+//!   (`o ∈ {1, 2, 4}` leaf/spine plus a 2:1 three-tier), healthy and with
+//!   degraded uplinks — the entropy-recycling-under-asymmetry claim on
+//!   constrained fabrics,
+//! * `reconv-delay` — the routing-reconvergence axis: how quickly must
+//!   switches withdraw a cut path before spraying stops paying for it?
 
 use baselines::kind::LbKind;
 use baselines::plb::PlbConfig;
@@ -370,7 +376,65 @@ pub fn all(scale: Scale) -> Vec<ScenarioMatrix> {
                 LbKind::Ecmp,
             )
             .deadline(Time::from_secs(5)),
+        ScenarioMatrix::new("oversub-asym")
+            .fabrics({
+                let (tors, hosts) = scale.pick((8, 8), (16, 16));
+                vec![
+                    FabricSpec::leaf_spine(tors, hosts, 1),
+                    FabricSpec::leaf_spine(tors, hosts, 2),
+                    FabricSpec::leaf_spine(tors, hosts, 4),
+                    FabricSpec::three_tier(scale.pick(6, 12), 2),
+                ]
+            })
+            .lbs(ops_vs_reps())
+            .workloads([WorkloadSpec::Permutation {
+                bytes: macro_bytes(scale, 2),
+            }])
+            .failures([
+                FailureSpec::None,
+                FailureSpec::DegradedUplinks { pct: 10, gbps: 200 },
+            ]),
+        ScenarioMatrix::new("reconv-delay")
+            .fabrics([FabricSpec::two_tier(8, 1)])
+            .lbs([
+                LabeledLb::plain(LbKind::Ecmp),
+                LabeledLb::plain(ops()),
+                LabeledLb::plain(reps()),
+            ])
+            .workloads([WorkloadSpec::Permutation {
+                bytes: micro_bytes(scale, 2),
+            }])
+            .failures([FailureSpec::OneCable {
+                at: fail_at,
+                duration: None,
+            }])
+            .reconv([
+                None,
+                Some(Time::from_us(10)),
+                Some(Time::from_us(50)),
+                Some(Time::from_us(200)),
+            ]),
     ]
+}
+
+/// Validates that every matrix name in a combined pool (built-in presets
+/// plus `--spec-file` grids) is unique: name lookups and per-preset
+/// filters take the first match, so a shadowed name would silently prefer
+/// the built-in instead of the user's grid.
+pub fn ensure_unique_names<'a>(
+    matrices: impl IntoIterator<Item = &'a ScenarioMatrix>,
+) -> Result<(), String> {
+    let mut seen = std::collections::HashSet::new();
+    for m in matrices {
+        if !seen.insert(m.name.as_str()) {
+            return Err(format!(
+                "matrix name {:?} is defined twice (a spec file must not shadow a built-in \
+                 preset or repeat a name)",
+                m.name
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// Looks up one preset by exact name.
@@ -404,9 +468,48 @@ mod tests {
             "permutation-sweep",
             "rolling-failures",
             "mixed-collectives",
+            "oversub-asym",
+            "reconv-delay",
         ] {
             assert!(names.iter().any(|n| n == required), "missing {required}");
         }
+    }
+
+    #[test]
+    fn oversub_preset_sweeps_o_at_fixed_hosts() {
+        let m = by_name("oversub-asym", Scale::Quick).expect("preset exists");
+        let hosts: Vec<u32> = m.fabrics.iter().map(|f| f.config.n_hosts()).collect();
+        assert_eq!(
+            &hosts[..3],
+            &[64, 64, 64],
+            "leaf/spine hosts fixed across o"
+        );
+        let uplinks: Vec<u32> = m.fabrics.iter().map(|f| f.config.tor_uplinks).collect();
+        assert_eq!(&uplinks[..3], &[8, 4, 2], "uplinks shrink with o");
+        assert_eq!(m.fabrics[3].config.tiers, 3);
+    }
+
+    #[test]
+    fn reconv_preset_sweeps_the_reconvergence_axis() {
+        let m = by_name("reconv-delay", Scale::Quick).expect("preset exists");
+        assert_eq!(m.reconv.len(), 4);
+        assert_eq!(m.reconv[0], None);
+        let keys: Vec<String> = m.expand().iter().map(|c| c.key()).collect();
+        assert!(keys.iter().any(|k| k.contains("/rc=50us/")), "{keys:?}");
+        assert!(
+            keys.iter().filter(|k| k.contains("rc=")).count() == keys.len() / 4 * 3,
+            "exactly the non-default reconv cells carry the rc= component"
+        );
+    }
+
+    #[test]
+    fn ensure_unique_names_rejects_shadowing() {
+        let pool = all(Scale::Quick);
+        ensure_unique_names(&pool).expect("built-ins are collision-free");
+        let mut shadowed = pool;
+        shadowed.push(ScenarioMatrix::new("fig02-tornado-micro"));
+        let err = ensure_unique_names(&shadowed).expect_err("shadowing must fail");
+        assert!(err.contains("fig02-tornado-micro"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,247 @@
+//! Opt-in per-cell time-series sink (`repsbench run --series DIR`).
+//!
+//! Summaries tell you *whether* a scheme won; the paper's micro figures
+//! argue *why* with link-utilization and queue-occupancy series. This
+//! module streams those series out of every executed cell without touching
+//! the byte-stable result JSONL: each cell writes one self-describing
+//! document at
+//!
+//! ```text
+//! DIR/<derived_seed as 16 hex digits>.series.jsonl
+//! ```
+//!
+//! Tracking covers ToR 0's uplinks (the same vantage point as the micro
+//! figures) and queue sampling runs up to [`SAMPLE_HORIZON`] of simulated
+//! time, so a stalled cell cannot balloon its document.
+//!
+//! # Record schema
+//!
+//! Line 1 is a header, then one record per tracked link (in deterministic
+//! tracking order):
+//!
+//! ```text
+//! {"key":"<cell key>","derived_seed":N,"bucket_width_ps":N,
+//!  "sample_period_ps":N,"links":N}
+//! {"link":<link id>,"bucket_bytes":[b0,b1,...],
+//!  "queue_samples":[[at_ps,bytes],...]}
+//! ```
+//!
+//! `bucket_bytes[i]` is the bytes serialized onto the link during
+//! utilization bucket `i` (bucket `i` covers
+//! `[i*bucket_width, (i+1)*bucket_width)`; divide by the width for Gbps —
+//! [`netsim::stats::bucket_gbps`]). `queue_samples` pairs are
+//! `(sample instant in ps, queued bytes)`.
+//!
+//! # Determinism contract
+//!
+//! A cell's document is a pure function of its key: instrumentation only
+//! *reads* fabric state, so enabling `--series` changes neither the result
+//! bytes nor any derived seed, and the same cell writes identical series
+//! bytes at any `--threads` value or shard split. Files are stored
+//! atomically (temp + rename), and because each cell owns exactly one
+//! file, shards writing into one shared directory — or the same directory
+//! merged after the fact — produce the identical directory an unsharded
+//! run would. Every line parses with [`harness::json::Value`] and
+//! re-renders byte-exactly.
+//!
+//! With `--cache`, a cached result can only stand in for an execution if
+//! its series document already exists: [`SeriesSink::has`] gates cache
+//! hits, so a warm cache pointed at an empty series directory re-runs the
+//! cells rather than silently leaving the series out.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use netsim::time::Time;
+
+use crate::matrix::Cell;
+
+/// Queue sampling stops after this much simulated time even when the cell
+/// runs longer: at the paper profile's 1 µs sample period this bounds the
+/// document at 2000 samples per tracked link, while quick-scale cells
+/// (hundreds of µs) are covered end to end. Utilization buckets are not
+/// capped — they cost one `u64` per 20 µs of simulated time.
+pub const SAMPLE_HORIZON: Time = Time::from_ms(2);
+
+/// Renders one cell's canonical series document (header + one record per
+/// tracked link, one JSON object per line, trailing newline).
+pub fn series_doc(cell: &Cell, engine: &netsim::engine::Engine) -> String {
+    use harness::json::{array, Object};
+    let export = engine.stats.export_series();
+    let mut doc = String::new();
+    doc.push_str(
+        &Object::new()
+            .str("key", &cell.key())
+            .u64("derived_seed", cell.derived_seed())
+            .u64("bucket_width_ps", export.bucket_width.as_ps())
+            .u64("sample_period_ps", engine.cfg.sample_period.as_ps())
+            .u64("links", export.links.len() as u64)
+            .render(),
+    );
+    doc.push('\n');
+    for (link, series) in &export.links {
+        let buckets = array(series.bucket_bytes.iter().map(u64::to_string));
+        let samples = array(
+            series
+                .queue_samples
+                .iter()
+                .map(|s| array([s.at.as_ps().to_string(), s.bytes.to_string()])),
+        );
+        doc.push_str(
+            &Object::new()
+                .u64("link", link.0 as u64)
+                .raw("bucket_bytes", buckets)
+                .raw("queue_samples", samples)
+                .render(),
+        );
+        doc.push('\n');
+    }
+    doc
+}
+
+/// An open (created) series output directory.
+#[derive(Debug, Clone)]
+pub struct SeriesSink {
+    dir: PathBuf,
+}
+
+impl SeriesSink {
+    /// Opens `dir`, creating it if needed.
+    pub fn create(dir: impl AsRef<Path>) -> io::Result<SeriesSink> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        Ok(SeriesSink { dir })
+    }
+
+    /// The directory documents are written to.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The document path for a cell with the given derived seed.
+    pub fn path_for(&self, derived_seed: u64) -> PathBuf {
+        self.dir.join(format!("{derived_seed:016x}.series.jsonl"))
+    }
+
+    /// Whether `cell`'s document already exists *for this exact cell*: the
+    /// header's embedded key must match, so a foreign file or 64-bit hash
+    /// collision reads as absent rather than trusted. Only the header line
+    /// is read — warm `--cache --series` re-runs probe every cell, and
+    /// utilization buckets can make the document body large.
+    pub fn has(&self, cell: &Cell) -> bool {
+        use std::io::BufRead;
+        let Ok(file) = std::fs::File::open(self.path_for(cell.derived_seed())) else {
+            return false;
+        };
+        let mut header = String::new();
+        if std::io::BufReader::new(file)
+            .read_line(&mut header)
+            .is_err()
+        {
+            return false;
+        }
+        let Ok(v) = harness::json::Value::parse(header.trim_end_matches('\n')) else {
+            return false;
+        };
+        v.get("key").and_then(|k| k.as_str()) == Some(cell.key().as_str())
+    }
+
+    /// Stores one document atomically (write to a temp file in the same
+    /// directory, then rename, so concurrent readers never see a torn
+    /// document).
+    pub fn store(&self, derived_seed: u64, doc: &str) -> io::Result<()> {
+        let path = self.path_for(derived_seed);
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        std::fs::write(&tmp, doc)?;
+        std::fs::rename(&tmp, &path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::ScenarioMatrix;
+    use crate::spec::WorkloadSpec;
+
+    fn cell() -> Cell {
+        ScenarioMatrix::new("series-unit")
+            .workloads([WorkloadSpec::Tornado { bytes: 32 << 10 }])
+            .expand()
+            .remove(0)
+    }
+
+    #[test]
+    fn doc_is_canonical_and_self_describing() {
+        let c = cell();
+        let (res, doc) = c.run_with_series();
+        assert!(res.summary.completed);
+        let lines: Vec<&str> = doc.lines().collect();
+        assert!(doc.ends_with('\n'));
+        let header = harness::json::Value::parse(lines[0]).expect("header parses");
+        assert_eq!(header.get("key").unwrap().as_str(), Some(c.key().as_str()));
+        assert_eq!(
+            header.get("derived_seed").unwrap().as_u64(),
+            Some(c.derived_seed())
+        );
+        let links = header.get("links").unwrap().as_u64().unwrap() as usize;
+        assert!(links > 0, "ToR 0 must have tracked uplinks");
+        assert_eq!(lines.len(), 1 + links);
+        let mut saw_traffic = false;
+        for line in &lines[1..] {
+            // Canonical: every record re-renders byte-exactly.
+            let v = harness::json::Value::parse(line).expect("record parses");
+            assert_eq!(v.render(), *line);
+            let buckets = match v.get("bucket_bytes") {
+                Some(harness::json::Value::Arr(items)) => items.len(),
+                other => panic!("bucket_bytes shape: {other:?}"),
+            };
+            saw_traffic |= buckets > 0;
+            assert!(
+                matches!(v.get("queue_samples"), Some(harness::json::Value::Arr(s)) if !s.is_empty()),
+                "queue sampling must have run: {line}"
+            );
+        }
+        assert!(saw_traffic, "a tornado must load some ToR-0 uplink");
+    }
+
+    #[test]
+    fn instrumentation_does_not_change_the_result_record() {
+        let c = cell();
+        let plain = c.run();
+        let (instrumented, _) = c.run_with_series();
+        assert_eq!(
+            crate::sink::jsonl_record(&plain),
+            crate::sink::jsonl_record(&instrumented),
+            "--series must not perturb the byte-stable result stream"
+        );
+    }
+
+    #[test]
+    fn docs_are_deterministic() {
+        let c = cell();
+        assert_eq!(c.run_with_series().1, c.run_with_series().1);
+    }
+
+    #[test]
+    fn sink_stores_and_validates_ownership() {
+        let dir = std::env::temp_dir().join(format!("reps-series-unit-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let sink = SeriesSink::create(&dir).unwrap();
+        let c = cell();
+        assert!(!sink.has(&c), "empty sink has nothing");
+        let (_, doc) = c.run_with_series();
+        sink.store(c.derived_seed(), &doc).unwrap();
+        assert!(sink.has(&c));
+        assert_eq!(
+            std::fs::read_to_string(sink.path_for(c.derived_seed())).unwrap(),
+            doc
+        );
+        // A foreign document under this cell's address reads as absent.
+        sink.store(c.derived_seed(), "{\"key\":\"someone-else\"}\n")
+            .unwrap();
+        assert!(!sink.has(&c));
+        std::fs::write(sink.path_for(c.derived_seed()), "not json").unwrap();
+        assert!(!sink.has(&c));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -49,6 +49,28 @@ impl FabricSpec {
             config: FatTreeConfig::two_tier_custom(tors, hosts_per_tor, tor_uplinks),
         }
     }
+
+    /// A 2-tier leaf/spine fabric with an explicit oversubscription ratio:
+    /// `tors` ToRs of `hosts_per_tor` hosts each and `hosts_per_tor / o`
+    /// uplinks per ToR. Unlike [`FabricSpec::two_tier`], which derives the
+    /// shape from a switch radix (and so cannot express `o = 2` and `o = 4`
+    /// at the same radix), this keeps the host count fixed while the
+    /// uplink capacity shrinks — the oversubscription sweeps' axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `hosts_per_tor` is a positive multiple of `o`.
+    pub fn leaf_spine(tors: u32, hosts_per_tor: u32, o: u32) -> FabricSpec {
+        assert!(o >= 1, "oversubscription must be at least 1:1");
+        assert!(
+            hosts_per_tor >= o && hosts_per_tor.is_multiple_of(o),
+            "hosts_per_tor {hosts_per_tor} not divisible by oversubscription {o}"
+        );
+        FabricSpec {
+            label: format!("ls-{tors}x{hosts_per_tor}-o{o}"),
+            config: FatTreeConfig::two_tier_custom(tors, hosts_per_tor, hosts_per_tor / o),
+        }
+    }
 }
 
 /// Which [`SimConfig`] profile a matrix runs under.
@@ -398,6 +420,22 @@ mod tests {
         assert_eq!(FabricSpec::two_tier(8, 1).label, "2t-k8-o1");
         assert_eq!(FabricSpec::three_tier(4, 1).label, "3t-k4-o1");
         assert_eq!(FabricSpec::custom(2, 8, 4).label, "2t-custom-2x8-u4");
+        assert_eq!(FabricSpec::leaf_spine(8, 8, 2).label, "ls-8x8-o2");
+    }
+
+    #[test]
+    fn leaf_spine_scales_uplinks_not_hosts() {
+        for (o, uplinks) in [(1, 8), (2, 4), (4, 2)] {
+            let f = FabricSpec::leaf_spine(8, 8, o);
+            assert_eq!(f.config.n_hosts(), 64, "o={o}");
+            assert_eq!(f.config.tor_uplinks, uplinks, "o={o}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn leaf_spine_rejects_fractional_uplink_counts() {
+        FabricSpec::leaf_spine(8, 8, 3);
     }
 
     #[test]

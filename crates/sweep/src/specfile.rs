@@ -1,0 +1,763 @@
+//! The `repsbench` grid file format: user-defined scenario matrices as
+//! plain text (`repsbench run --spec-file PATH`), no TOML dependency.
+//!
+//! A spec file is line-oriented: `[name]` opens a matrix, `axis = v1, v2`
+//! lines widen its axes, `#` starts a comment, blank lines separate.
+//! Axis values use exactly the same stable labels that appear in cell
+//! keys, so a grid is readable next to its results and every built-in
+//! preset can be re-expressed as text with identical cell keys (pinned by
+//! `tests/specfile.rs`):
+//!
+//! ```text
+//! # REPS vs. oblivious spraying across oversubscription ratios.
+//! [oversub-demo]
+//! fabric   = ls-8x8-o1, ls-8x8-o2, ls-8x8-o4
+//! lb       = OPS, REPS
+//! workload = perm-131072B
+//! failure  = none, degraded10pct-200G
+//! seed     = 0, 1
+//!
+//! # How fast must routing reconverge for spraying to ride out a cut?
+//! [reconv-demo]
+//! lb       = OPS, REPS
+//! workload = perm-262144B
+//! failure  = cable1-at8us-perm
+//! reconv   = none, 25us, 100us
+//! ```
+//!
+//! Axes: `fabric`, `lb`, `workload`, `failure`, `reconv`, `seed`, `cc`,
+//! `coalesce`, plus the single-valued settings `sim`, `background` and
+//! `deadline`. Omitted axes keep the [`ScenarioMatrix::new`] defaults.
+//! [`parse`] reports every problem with its 1-based line number;
+//! [`render`] is the canonical inverse (parse → render → parse is
+//! byte-stable).
+
+use baselines::kind::LbKind;
+use baselines::plb::PlbConfig;
+use netsim::time::Time;
+use reps::reps::RepsConfig;
+use transport::cc::CcKind;
+use transport::config::{CoalesceConfig, CoalesceVariant};
+
+use crate::matrix::{reconv_label, LabeledLb, ScenarioMatrix};
+use crate::spec::{FabricSpec, FailureSpec, SimProfile, WorkloadSpec};
+
+/// A parse failure, pinned to its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// 1-based line number the problem was found on.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// The axis names [`parse`] accepts, in canonical render order.
+const AXES: [&str; 11] = [
+    "fabric",
+    "lb",
+    "workload",
+    "failure",
+    "reconv",
+    "seed",
+    "cc",
+    "coalesce",
+    "sim",
+    "background",
+    "deadline",
+];
+
+/// Parses a spec file into its scenario matrices.
+pub fn parse(text: &str) -> Result<Vec<ScenarioMatrix>, SpecError> {
+    let mut matrices: Vec<ScenarioMatrix> = Vec::new();
+    // (matrix under construction, axes already set in it)
+    let mut current: Option<(ScenarioMatrix, Vec<&str>)> = None;
+    let fail = |line: usize, msg: String| Err(SpecError { line, msg });
+
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(inner) = line.strip_prefix('[') {
+            let Some(name) = inner.strip_suffix(']') else {
+                return fail(lineno, format!("unterminated section header {line:?}"));
+            };
+            let name = name.trim();
+            if name.is_empty() {
+                return fail(lineno, "empty matrix name".to_string());
+            }
+            if matrices.iter().any(|m| m.name == name)
+                || current.as_ref().is_some_and(|(m, _)| m.name == name)
+            {
+                return fail(lineno, format!("duplicate matrix name {name:?}"));
+            }
+            if let Some((done, _)) = current.take() {
+                matrices.push(done);
+            }
+            current = Some((ScenarioMatrix::new(name), Vec::new()));
+            continue;
+        }
+        let Some((axis, values)) = line.split_once('=') else {
+            return fail(
+                lineno,
+                format!("expected `[name]` or `axis = values`, got {line:?}"),
+            );
+        };
+        let axis = axis.trim();
+        let Some(axis) = AXES.iter().find(|a| **a == axis) else {
+            return fail(
+                lineno,
+                format!(
+                    "unknown axis {axis:?} (expected one of {})",
+                    AXES.join(", ")
+                ),
+            );
+        };
+        let Some((matrix, seen)) = current.as_mut() else {
+            return fail(lineno, format!("axis {axis:?} outside a [matrix] section"));
+        };
+        if seen.contains(axis) {
+            return fail(
+                lineno,
+                format!("duplicate axis {axis:?} in matrix {:?}", matrix.name),
+            );
+        }
+        seen.push(axis);
+        let values: Vec<&str> = values.split(',').map(str::trim).collect();
+        if values == [""] {
+            return fail(lineno, format!("axis {axis:?} has an empty value list"));
+        }
+        if values.iter().any(|v| v.is_empty()) {
+            return fail(
+                lineno,
+                format!("empty value in axis {axis:?} (trailing or doubled comma?)"),
+            );
+        }
+        if let Err(msg) = apply_axis(matrix, axis, &values) {
+            return fail(lineno, msg);
+        }
+    }
+    if let Some((done, _)) = current.take() {
+        matrices.push(done);
+    }
+    Ok(matrices)
+}
+
+/// [`parse`], annotating errors with a file path (the CLI entry point).
+pub fn parse_file(path: &str) -> Result<Vec<ScenarioMatrix>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading spec file {path}: {e}"))?;
+    parse(&text).map_err(|e| format!("{path}:{e}"))
+}
+
+fn apply_axis(matrix: &mut ScenarioMatrix, axis: &str, values: &[&str]) -> Result<(), String> {
+    let unique = |labels: &[String]| -> Result<(), String> {
+        let mut seen = std::collections::HashSet::new();
+        for l in labels {
+            if !seen.insert(l) {
+                return Err(format!("duplicate {axis} value {l:?}"));
+            }
+        }
+        Ok(())
+    };
+    let single = || -> Result<&str, String> {
+        match values {
+            [v] => Ok(v),
+            _ => Err(format!(
+                "{axis} takes exactly one value, got {}",
+                values.len()
+            )),
+        }
+    };
+    match axis {
+        "fabric" => {
+            let parsed: Vec<FabricSpec> = values
+                .iter()
+                .map(|v| parse_fabric(v))
+                .collect::<Result<_, _>>()?;
+            unique(&parsed.iter().map(|f| f.label.clone()).collect::<Vec<_>>())?;
+            matrix.fabrics = parsed;
+        }
+        "lb" => {
+            let parsed: Vec<LabeledLb> = values
+                .iter()
+                .map(|v| parse_lb(v))
+                .collect::<Result<_, _>>()?;
+            unique(&parsed.iter().map(|l| l.label.clone()).collect::<Vec<_>>())?;
+            matrix.lbs = parsed;
+        }
+        "workload" => {
+            let parsed: Vec<WorkloadSpec> = values
+                .iter()
+                .map(|v| parse_workload(v))
+                .collect::<Result<_, _>>()?;
+            unique(&parsed.iter().map(WorkloadSpec::label).collect::<Vec<_>>())?;
+            matrix.workloads = parsed;
+        }
+        "failure" => {
+            let parsed: Vec<FailureSpec> = values
+                .iter()
+                .map(|v| parse_failure(v))
+                .collect::<Result<_, _>>()?;
+            unique(&parsed.iter().map(FailureSpec::label).collect::<Vec<_>>())?;
+            matrix.failures = parsed;
+        }
+        "reconv" => {
+            let parsed: Vec<Option<Time>> = values
+                .iter()
+                .map(|v| parse_reconv(v))
+                .collect::<Result<_, _>>()?;
+            unique(&parsed.iter().map(|r| reconv_label(*r)).collect::<Vec<_>>())?;
+            matrix.reconv = parsed;
+        }
+        "seed" => {
+            let parsed: Vec<u32> = values
+                .iter()
+                .map(|v| num(v, "seed"))
+                .collect::<Result<_, _>>()?;
+            unique(&parsed.iter().map(u32::to_string).collect::<Vec<_>>())?;
+            matrix.seeds = parsed;
+        }
+        "cc" => {
+            let parsed: Vec<CcKind> = values
+                .iter()
+                .map(|v| parse_cc(v))
+                .collect::<Result<_, _>>()?;
+            unique(
+                &parsed
+                    .iter()
+                    .map(|c| c.label().to_string())
+                    .collect::<Vec<_>>(),
+            )?;
+            matrix.ccs = parsed;
+        }
+        "coalesce" => {
+            let parsed: Vec<(String, CoalesceConfig)> = values
+                .iter()
+                .map(|v| parse_coalesce(v))
+                .collect::<Result<_, _>>()?;
+            unique(&parsed.iter().map(|(l, _)| l.clone()).collect::<Vec<_>>())?;
+            matrix.coalesce = parsed;
+        }
+        "sim" => {
+            matrix.sim = match single()? {
+                "paper" => SimProfile::PaperDefault,
+                "fpga" => SimProfile::FpgaTestbed,
+                other => return Err(format!("unknown sim profile {other:?} (paper or fpga)")),
+            };
+        }
+        "background" => {
+            let v = single()?;
+            matrix.background = if v == "none" {
+                None
+            } else {
+                // Split on the FIRST '+': workload labels never contain
+                // one, while lb labels can (`REPS+freeze@50us`).
+                let (wl, lb) = v
+                    .split_once('+')
+                    .ok_or_else(|| format!("background {v:?} is not `workload+LB` or `none`"))?;
+                Some((parse_workload(wl)?, parse_lb(lb)?.kind))
+            };
+        }
+        "deadline" => {
+            matrix.deadline = parse_time(single()?)?;
+        }
+        other => unreachable!("axis {other:?} validated against AXES"),
+    }
+    Ok(())
+}
+
+/// Renders matrices as a canonical spec file: every axis explicit, values
+/// as their cell-key labels, matrices separated by a blank line. The exact
+/// inverse of [`parse`] on its own output.
+pub fn render(matrices: &[ScenarioMatrix]) -> String {
+    matrices
+        .iter()
+        .map(render_matrix)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Renders one matrix block (see [`render`]).
+pub fn render_matrix(m: &ScenarioMatrix) -> String {
+    fn line(out: &mut String, axis: &str, values: impl IntoIterator<Item = String>) {
+        out.push_str(axis);
+        out.push_str(" = ");
+        out.push_str(&values.into_iter().collect::<Vec<_>>().join(", "));
+        out.push('\n');
+    }
+    let mut out = format!("[{}]\n", m.name);
+    line(
+        &mut out,
+        "fabric",
+        m.fabrics.iter().map(|f| f.label.clone()),
+    );
+    line(&mut out, "lb", m.lbs.iter().map(|l| l.label.clone()));
+    line(&mut out, "workload", m.workloads.iter().map(|w| w.label()));
+    line(&mut out, "failure", m.failures.iter().map(|f| f.label()));
+    line(
+        &mut out,
+        "reconv",
+        m.reconv.iter().map(|r| reconv_label(*r)),
+    );
+    line(&mut out, "seed", m.seeds.iter().map(u32::to_string));
+    line(&mut out, "cc", m.ccs.iter().map(|c| c.label().to_string()));
+    line(
+        &mut out,
+        "coalesce",
+        m.coalesce.iter().map(|(l, _)| l.clone()),
+    );
+    line(&mut out, "sim", [m.sim.label().to_string()]);
+    line(
+        &mut out,
+        "background",
+        [match &m.background {
+            None => "none".to_string(),
+            Some((w, lb)) => format!("{}+{}", w.label(), lb.label()),
+        }],
+    );
+    line(&mut out, "deadline", [reconv_label(Some(m.deadline))]);
+    out
+}
+
+// === Value parsers (inverses of the cell-key labels) =====================
+
+fn num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    s.parse::<T>().map_err(|e| format!("bad {what} {s:?}: {e}"))
+}
+
+/// Parses a duration label: `25us`, `500ns` or `77ps`.
+fn parse_time(s: &str) -> Result<Time, String> {
+    if let Some(v) = s.strip_suffix("us") {
+        return Ok(Time::from_us(num(v, "duration")?));
+    }
+    if let Some(v) = s.strip_suffix("ns") {
+        return Ok(Time::from_ns(num(v, "duration")?));
+    }
+    if let Some(v) = s.strip_suffix("ps") {
+        return Ok(Time::from_ps(num(v, "duration")?));
+    }
+    Err(format!(
+        "bad duration {s:?} (expected e.g. 25us, 500ns, 77ps)"
+    ))
+}
+
+fn parse_reconv(s: &str) -> Result<Option<Time>, String> {
+    if s == "none" {
+        return Ok(None);
+    }
+    parse_time(s).map(Some)
+}
+
+fn parse_fabric(s: &str) -> Result<FabricSpec, String> {
+    let bad =
+        || format!("bad fabric {s:?} (expected 2t-kK-oO, 3t-kK-oO, ls-TxH-oO or 2t-custom-TxH-uU)");
+    if let Some(rest) = s.strip_prefix("2t-custom-") {
+        let (tors, rest) = rest.split_once('x').ok_or_else(bad)?;
+        let (hosts, uplinks) = rest.split_once("-u").ok_or_else(bad)?;
+        let (tors, hosts, uplinks) = (
+            num::<u32>(tors, "ToR count")?,
+            num::<u32>(hosts, "hosts per ToR")?,
+            num::<u32>(uplinks, "uplinks per ToR")?,
+        );
+        if tors == 0 || hosts == 0 || uplinks == 0 {
+            return Err(format!("fabric {s:?} has a zero dimension"));
+        }
+        return Ok(FabricSpec::custom(tors, hosts, uplinks));
+    }
+    if let Some(rest) = s.strip_prefix("ls-") {
+        let (tors, rest) = rest.split_once('x').ok_or_else(bad)?;
+        let (hosts, o) = rest.split_once("-o").ok_or_else(bad)?;
+        let (tors, hosts, o) = (
+            num::<u32>(tors, "ToR count")?,
+            num::<u32>(hosts, "hosts per ToR")?,
+            num::<u32>(o, "oversubscription")?,
+        );
+        if tors == 0 || o == 0 || hosts == 0 || !hosts.is_multiple_of(o) {
+            return Err(format!(
+                "fabric {s:?}: hosts per ToR must be a positive multiple of the oversubscription"
+            ));
+        }
+        return Ok(FabricSpec::leaf_spine(tors, hosts, o));
+    }
+    for (prefix, three_tier) in [("2t-k", false), ("3t-k", true)] {
+        if let Some(rest) = s.strip_prefix(prefix) {
+            let (k, o) = rest.split_once("-o").ok_or_else(bad)?;
+            let (k, o) = (num::<u32>(k, "radix")?, num::<u32>(o, "oversubscription")?);
+            if k == 0 || o == 0 || !k.is_multiple_of(o + 1) || (three_tier && !k.is_multiple_of(2))
+            {
+                return Err(format!(
+                    "fabric {s:?}: radix {k} does not support oversubscription {o}:1 \
+                     (needs k divisible by {}{})",
+                    o + 1,
+                    if three_tier { " and even" } else { "" }
+                ));
+            }
+            return Ok(if three_tier {
+                FabricSpec::three_tier(k, o)
+            } else {
+                FabricSpec::two_tier(k, o)
+            });
+        }
+    }
+    Err(bad())
+}
+
+/// The paper RTT the default lineups size Flowlet gaps and BitMap aging
+/// from (mirrors the preset construction).
+fn paper_rtt() -> Time {
+    netsim::config::SimConfig::paper_default().base_rtt(3)
+}
+
+fn parse_lb(s: &str) -> Result<LabeledLb, String> {
+    let kind = match s {
+        "ECMP" => LbKind::Ecmp,
+        "OPS" => LbKind::Ops { evs_size: 1 << 16 },
+        "REPS" => LbKind::Reps(RepsConfig::default()),
+        "PLB" => LbKind::Plb(PlbConfig::default()),
+        "MPRDMA" => LbKind::Mprdma,
+        "MPTCP" => LbKind::MptcpLike { subflows: 8 },
+        "Adaptive RoCE" => LbKind::AdaptiveRoce,
+        "Flowlet" => LbKind::Flowlet {
+            gap: paper_rtt() / 2,
+        },
+        "BitMap" => LbKind::Bitmap {
+            evs_size: 1 << 16,
+            clear_period: paper_rtt() * 2,
+        },
+        "REPS-nofreeze" => LbKind::Reps(RepsConfig::default().without_freezing()),
+        other => {
+            if let Some(at) = other
+                .strip_prefix("REPS+freeze@")
+                .and_then(|r| r.strip_suffix("us"))
+            {
+                LbKind::Reps(RepsConfig {
+                    force_freezing_at: Some(Time::from_us(num(at, "freeze instant")?)),
+                    ..RepsConfig::default()
+                })
+            } else {
+                return Err(format!(
+                    "unknown lb {other:?} (expected ECMP, OPS, REPS, PLB, MPRDMA, MPTCP, \
+                     Flowlet, BitMap, Adaptive RoCE, REPS-nofreeze or REPS+freeze@Nus)"
+                ));
+            }
+        }
+    };
+    Ok(LabeledLb::named(s, kind))
+}
+
+fn parse_workload(s: &str) -> Result<WorkloadSpec, String> {
+    let bytes = |v: &str| -> Result<u64, String> {
+        num(
+            v.strip_suffix('B')
+                .ok_or_else(|| format!("size {v:?} missing its B suffix"))?,
+            "byte count",
+        )
+    };
+    if let Some(rest) = s.strip_prefix("tornado-") {
+        return Ok(WorkloadSpec::Tornado {
+            bytes: bytes(rest)?,
+        });
+    }
+    if let Some(rest) = s.strip_prefix("perm-") {
+        return Ok(WorkloadSpec::Permutation {
+            bytes: bytes(rest)?,
+        });
+    }
+    if let Some(rest) = s.strip_prefix("incast") {
+        let (degree, b) = rest
+            .split_once("to1-")
+            .ok_or_else(|| format!("bad incast workload {s:?} (expected incastDto1-NB)"))?;
+        return Ok(WorkloadSpec::Incast {
+            degree: num(degree, "incast degree")?,
+            bytes: bytes(b)?,
+        });
+    }
+    if let Some(rest) = s.strip_prefix("ringar-") {
+        return Ok(WorkloadSpec::RingAllreduce {
+            bytes: bytes(rest)?,
+        });
+    }
+    if let Some(rest) = s.strip_prefix("bflyar-") {
+        return Ok(WorkloadSpec::ButterflyAllreduce {
+            bytes: bytes(rest)?,
+        });
+    }
+    if let Some(rest) = s.strip_prefix("a2a-w") {
+        let (window, b) = rest
+            .split_once('-')
+            .ok_or_else(|| format!("bad alltoall workload {s:?} (expected a2a-wW-NB)"))?;
+        return Ok(WorkloadSpec::AllToAll {
+            bytes: bytes(b)?,
+            window: num(window, "alltoall window")?,
+        });
+    }
+    if let Some(rest) = s.strip_prefix("dctrace-") {
+        let (pct, dur) = rest
+            .split_once("pct-")
+            .ok_or_else(|| format!("bad trace workload {s:?} (expected dctrace-Ppct-Tus)"))?;
+        let dur = dur
+            .strip_suffix("us")
+            .ok_or_else(|| format!("bad trace duration in {s:?}"))?;
+        return Ok(WorkloadSpec::DcTrace {
+            load_pct: num(pct, "load percentage")?,
+            duration: Time::from_us(num(dur, "trace duration")?),
+        });
+    }
+    Err(format!(
+        "unknown workload {s:?} (expected tornado-NB, perm-NB, incastDto1-NB, ringar-NB, \
+         bflyar-NB, a2a-wW-NB or dctrace-Ppct-Tus)"
+    ))
+}
+
+/// Parses the `atTus-perm` / `atTus-Dus` tail shared by failure labels.
+fn parse_at_dur(rest: &str, label: &str) -> Result<(Time, Option<Time>), String> {
+    let bad = || format!("bad failure {label:?} (expected ...-atTus-perm or ...-atTus-Dus)");
+    let rest = rest.strip_prefix("at").ok_or_else(bad)?;
+    let (at, dur) = rest.split_once("us-").ok_or_else(bad)?;
+    let at = Time::from_us(num(at, "failure instant")?);
+    let duration = if dur == "perm" {
+        None
+    } else {
+        let d = dur.strip_suffix("us").ok_or_else(bad)?;
+        Some(Time::from_us(num(d, "failure duration")?))
+    };
+    Ok((at, duration))
+}
+
+fn parse_failure(s: &str) -> Result<FailureSpec, String> {
+    if s == "none" {
+        return Ok(FailureSpec::None);
+    }
+    if let Some(rest) = s.strip_prefix("cable1-") {
+        let (at, duration) = parse_at_dur(rest, s)?;
+        return Ok(FailureSpec::OneCable { at, duration });
+    }
+    if let Some(rest) = s.strip_prefix("switch1-") {
+        let (at, duration) = parse_at_dur(rest, s)?;
+        return Ok(FailureSpec::OneSwitch { at, duration });
+    }
+    for (prefix, switches) in [("cables", false), ("switches", true)] {
+        if let Some(rest) = s.strip_prefix(prefix) {
+            if let Some((pct, tail)) = rest.split_once("pct-") {
+                let pct = num(pct, "failure percentage")?;
+                let (at, duration) = parse_at_dur(tail, s)?;
+                return Ok(if switches {
+                    FailureSpec::RandomSwitches { pct, at, duration }
+                } else {
+                    FailureSpec::RandomCables { pct, at, duration }
+                });
+            }
+        }
+    }
+    if let Some(rest) = s.strip_prefix("degraded") {
+        let (pct, gbps) = rest
+            .split_once("pct-")
+            .and_then(|(p, g)| g.strip_suffix('G').map(|g| (p, g)))
+            .ok_or_else(|| format!("bad failure {s:?} (expected degradedPpct-NG)"))?;
+        return Ok(FailureSpec::DegradedUplinks {
+            pct: num(pct, "degraded percentage")?,
+            gbps: num(gbps, "degraded rate")?,
+        });
+    }
+    if let Some(rest) = s.strip_prefix("ber") {
+        let (pm, at) = rest
+            .split_once("pm-at")
+            .and_then(|(p, a)| a.strip_suffix("us").map(|a| (p, a)))
+            .ok_or_else(|| format!("bad failure {s:?} (expected berBpm-atTus)"))?;
+        return Ok(FailureSpec::BitErrorCable {
+            ber_millis: num(pm, "bit-error rate")?,
+            at: Time::from_us(num(at, "onset instant")?),
+        });
+    }
+    if let Some(rest) = s.strip_prefix("rolling") {
+        let bad = || format!("bad failure {s:?} (expected rollingC-everyPus-downDus)");
+        let (count, tail) = rest.split_once("-every").ok_or_else(bad)?;
+        let (period, down) = tail.split_once("us-down").ok_or_else(bad)?;
+        let down = down.strip_suffix("us").ok_or_else(bad)?;
+        return Ok(FailureSpec::Rolling {
+            count: num(count, "cable count")?,
+            period: Time::from_us(num(period, "failure period")?),
+            down_for: Time::from_us(num(down, "downtime")?),
+        });
+    }
+    if let Some(rest) = s.strip_prefix("incuplinks") {
+        let bad = || format!("bad failure {s:?} (expected incuplinksC-everyPus)");
+        let (count, period) = rest.split_once("-every").ok_or_else(bad)?;
+        let period = period.strip_suffix("us").ok_or_else(bad)?;
+        return Ok(FailureSpec::IncrementalTorUplinks {
+            count: num(count, "uplink count")?,
+            period: Time::from_us(num(period, "failure period")?),
+        });
+    }
+    Err(format!(
+        "unknown failure {s:?} (expected none, cable1-..., switch1-..., cablesPpct-..., \
+         switchesPpct-..., degradedPpct-NG, berBpm-atTus, rollingC-everyPus-downDus or \
+         incuplinksC-everyPus)"
+    ))
+}
+
+fn parse_cc(s: &str) -> Result<CcKind, String> {
+    match s {
+        "DCTCP" => Ok(CcKind::Dctcp),
+        "EQDS" => Ok(CcKind::Eqds),
+        "INTERNAL" => Ok(CcKind::Internal),
+        other => Err(format!("unknown cc {other:?} (DCTCP, EQDS or INTERNAL)")),
+    }
+}
+
+fn parse_coalesce(s: &str) -> Result<(String, CoalesceConfig), String> {
+    if s == "pp" {
+        return Ok(("pp".to_string(), CoalesceConfig::per_packet()));
+    }
+    for (prefix, variant) in [
+        ("plain", CoalesceVariant::Plain),
+        ("carry", CoalesceVariant::CarryEvs),
+        ("reuse", CoalesceVariant::ReuseEvs),
+    ] {
+        if let Some(ratio) = s.strip_prefix(prefix) {
+            let n: u32 = num(ratio, "coalescing ratio")?;
+            if n == 0 {
+                return Err(format!("coalescing ratio in {s:?} must be at least 1"));
+            }
+            return Ok((s.to_string(), CoalesceConfig::ratio(n, variant)));
+        }
+    }
+    Err(format!(
+        "unknown coalesce policy {s:?} (pp, plainN, carryN or reuseN)"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DEMO: &str = "\
+# demo grid
+[oversub-demo]
+fabric = ls-4x4-o1, ls-4x4-o2
+lb = OPS, REPS
+workload = perm-65536B
+failure = none, degraded25pct-200G
+seed = 0, 1
+
+[reconv-demo]
+lb = OPS, REPS
+workload = perm-131072B
+failure = cable1-at8us-perm
+reconv = none, 25us
+";
+
+    #[test]
+    fn demo_parses_into_two_matrices() {
+        let ms = parse(DEMO).expect("demo parses");
+        assert_eq!(ms.len(), 2);
+        assert_eq!(ms[0].name, "oversub-demo");
+        assert_eq!(ms[0].len(), 2 * 2 * 2 * 2);
+        assert_eq!(ms[0].fabrics[1].label, "ls-4x4-o2");
+        assert_eq!(ms[1].name, "reconv-demo");
+        assert_eq!(ms[1].reconv, vec![None, Some(Time::from_us(25))]);
+        // Omitted axes keep the builder defaults.
+        assert_eq!(ms[1].fabrics[0].label, "2t-k8-o1");
+        assert_eq!(ms[1].deadline, Time::from_secs(2));
+        // Expansion works without panicking (labels validated at parse):
+        // 2 lbs × 1 failure × 2 reconv values.
+        assert_eq!(ms[1].expand().len(), 4);
+    }
+
+    #[test]
+    fn render_is_parse_stable() {
+        let ms = parse(DEMO).expect("demo parses");
+        let canonical = render(&ms);
+        let reparsed = parse(&canonical).expect("canonical text parses");
+        assert_eq!(render(&reparsed), canonical, "render∘parse must be stable");
+        let keys = |ms: &[ScenarioMatrix]| -> Vec<String> {
+            ms.iter()
+                .flat_map(|m| m.expand())
+                .map(|c| c.key())
+                .collect()
+        };
+        assert_eq!(keys(&ms), keys(&reparsed));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        for (text, line, needle) in [
+            ("[a]\nbogus = 1", 2, "unknown axis"),
+            ("[a]\nlb = OPS,,REPS", 2, "empty value"),
+            ("[a]\n[a]", 2, "duplicate matrix name"),
+            ("[a]\n[b]\n\n[a]", 4, "duplicate matrix name"),
+            ("lb = OPS", 1, "outside a [matrix]"),
+            ("[a]\nlb = OPS\nlb = REPS", 3, "duplicate axis"),
+            ("[a]\nlb = NOPE", 2, "unknown lb"),
+            ("[]", 1, "empty matrix name"),
+            ("[a\nlb = OPS", 1, "unterminated"),
+            ("[a]\njust words", 2, "expected `[name]`"),
+            ("[a]\nseed = 1, 1", 2, "duplicate seed value"),
+            ("[a]\nsim = paper, fpga", 2, "exactly one value"),
+            ("[a]\nfabric = 2t-k8-o2", 2, "does not support"),
+            ("[a]\ndeadline = 5", 2, "bad duration"),
+            ("[a]\nworkload = waves-1B", 2, "unknown workload"),
+            ("[a]\nfailure = meteor", 2, "unknown failure"),
+        ] {
+            let err = parse(text).expect_err(text);
+            assert_eq!(err.line, line, "{text:?} -> {err}");
+            assert!(err.to_string().contains(needle), "{text:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn background_lb_may_contain_a_plus() {
+        let ms = parse("[g]\nbackground = perm-1024B+REPS+freeze@50us\n").expect("parses");
+        let (wl, lb) = ms[0].background.as_ref().expect("background set");
+        assert_eq!(wl.label(), "perm-1024B");
+        assert_eq!(lb.label(), "REPS");
+        assert!(
+            matches!(lb, baselines::kind::LbKind::Reps(cfg) if cfg.force_freezing_at.is_some()),
+            "freeze suffix must reach the config"
+        );
+    }
+
+    #[test]
+    fn every_label_form_parses_back() {
+        // One value of every supported shape, exercised through a single
+        // matrix so label rendering and parsing stay inverses.
+        let text = "\
+[kitchen-sink]
+fabric = 2t-k8-o1, 3t-k6-o2, 2t-custom-2x8-u4, ls-8x8-o4
+lb = ECMP, OPS, REPS, PLB, MPRDMA, MPTCP, Flowlet, BitMap, Adaptive RoCE, REPS-nofreeze, REPS+freeze@50us
+workload = tornado-1024B, perm-2048B, incast8to1-4096B, ringar-8192B, bflyar-16384B, a2a-w4-512B, dctrace-30pct-100us
+failure = none, cable1-at8us-perm, switch1-at8us-30us, cables5pct-at10us-perm, switches5pct-at10us-20us, degraded3pct-200G, ber10pm-at5us, rolling4-every40us-down80us, incuplinks3-every50us
+reconv = none, 10us, 500ns, 77ps
+seed = 0, 3, 7
+cc = DCTCP, EQDS, INTERNAL
+coalesce = pp, plain4, carry16, reuse16
+sim = fpga
+background = tornado-8192B+ECMP
+deadline = 5000000us
+";
+        let ms = parse(text).expect("kitchen sink parses");
+        let canonical = render(&ms);
+        let reparsed = parse(&canonical).expect("canonical reparses");
+        assert_eq!(render(&reparsed), canonical);
+        // Spot-check a few materializations.
+        let m = &ms[0];
+        assert!(matches!(m.sim, SimProfile::FpgaTestbed));
+        assert_eq!(m.deadline, Time::from_secs(5));
+        assert!(m.background.is_some());
+        assert_eq!(m.fabrics[3].config.tor_uplinks, 2);
+        assert_eq!(m.lbs[10].label, "REPS+freeze@50us");
+    }
+}

@@ -44,3 +44,26 @@ fn fig07_failure_micro_output_is_byte_identical_to_pre_refactor() {
         "fig07 output drifted from the pre-refactor golden snapshot"
     );
 }
+
+// The two axis presets introduced with the spec-file layer (oversubscribed
+// fabrics, reconvergence-delay sweeps) are locked deterministic from day
+// one: snapshots recorded at quick scale with
+// `repsbench run --filter <preset> --quiet --out <file>`.
+
+#[test]
+fn oversub_asym_output_is_byte_identical_to_its_snapshot() {
+    assert_eq!(
+        preset_jsonl("oversub-asym"),
+        include_str!("golden/oversub-asym.quick.jsonl"),
+        "oversub-asym output drifted from its day-one golden snapshot"
+    );
+}
+
+#[test]
+fn reconv_delay_output_is_byte_identical_to_its_snapshot() {
+    assert_eq!(
+        preset_jsonl("reconv-delay"),
+        include_str!("golden/reconv-delay.quick.jsonl"),
+        "reconv-delay output drifted from its day-one golden snapshot"
+    );
+}
