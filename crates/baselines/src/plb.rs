@@ -10,7 +10,7 @@ use netsim::time::Time;
 use reps::lb::{AckFeedback, LoadBalancer};
 
 /// PLB tuning parameters.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlbConfig {
     /// EVS size to draw new paths from.
     pub evs_size: u32,

@@ -1,0 +1,99 @@
+//! LB-spec grammar properties: `parse ∘ spec` is the identity over
+//! generated [`LbKind`] values, and `spec ∘ parse` is byte-stable on
+//! canonical strings — the pair is what keeps cell keys, derived seeds
+//! and cache addresses spelling-independent.
+
+use proptest::prelude::*;
+
+use baselines::kind::{paper_rtt, LbKind};
+use baselines::plb::PlbConfig;
+use netsim::time::Time;
+use reps::reps::RepsConfig;
+
+/// Deterministic pool sampler driven by the proptest-shim seed.
+struct Pick(u64);
+
+impl Pick {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn choice<T: Clone>(&mut self, pool: &[T]) -> T {
+        pool[(self.next() % pool.len() as u64) as usize].clone()
+    }
+}
+
+/// Parameter pools: defaults mixed with tuned values, so generated specs
+/// cover bare names, single overrides and full parameter lists — plus the
+/// legacy-canonical configurations (freezing off, forced freezing).
+fn arbitrary_kind(seed: u64) -> LbKind {
+    let mut pick = Pick(seed);
+    let evs = [1u32, 64, 256, 4096, 65_535, 1 << 16];
+    let times = [
+        Time::from_us(100),
+        Time::from_us(1),
+        Time::from_ns(500),
+        Time(1_500_077),
+        paper_rtt() / 2,
+        paper_rtt() * 2,
+    ];
+    match pick.next() % 9 {
+        0 => LbKind::Ecmp,
+        1 => LbKind::Mprdma,
+        2 => LbKind::AdaptiveRoce,
+        3 => LbKind::Ops {
+            evs_size: pick.choice(&evs),
+        },
+        4 => LbKind::MptcpLike {
+            subflows: pick.choice(&[1usize, 4, 8, 16]),
+        },
+        5 => LbKind::Flowlet {
+            gap: pick.choice(&times),
+        },
+        6 => LbKind::Bitmap {
+            evs_size: pick.choice(&evs),
+            clear_period: pick.choice(&times),
+        },
+        7 => LbKind::Plb(PlbConfig {
+            evs_size: pick.choice(&evs),
+            ecn_threshold: pick.choice(&[0.05, 0.0, 1.0, 0.1, 0.123456789]),
+            congested_rounds: pick.choice(&[1u32, 2, 5]),
+        }),
+        _ => LbKind::Reps(RepsConfig {
+            buffer_size: pick.choice(&[1usize, 8, 16]),
+            evs_size: pick.choice(&evs),
+            freezing_enabled: pick.next() & 1 == 1,
+            freezing_timeout: pick.choice(&times),
+            force_freezing_at: pick.choice(&[
+                None,
+                Some(Time::from_us(50)),
+                Some(Time::from_ns(500)),
+            ]),
+        }),
+    }
+}
+
+proptest! {
+    /// parse ∘ spec = id over generated kinds.
+    #[test]
+    fn parse_inverts_spec(seed in any::<u64>()) {
+        let kind = arbitrary_kind(seed);
+        let spec = kind.spec();
+        let reparsed = LbKind::parse(&spec)
+            .unwrap_or_else(|e| panic!("{spec:?} does not reparse: {e}"));
+        prop_assert_eq!(&reparsed, &kind, "spec {} is lossy", spec);
+    }
+
+    /// spec ∘ parse is byte-stable on canonical strings (a canonical
+    /// string is a fixed point).
+    #[test]
+    fn spec_is_a_fixed_point_on_canonical_strings(seed in any::<u64>()) {
+        let canonical = arbitrary_kind(seed).spec();
+        let again = LbKind::parse(&canonical).expect("canonical parses").spec();
+        prop_assert_eq!(again, canonical);
+    }
+}

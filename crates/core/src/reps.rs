@@ -15,7 +15,7 @@ use netsim::time::Time;
 use crate::lb::{AckFeedback, LoadBalancer};
 
 /// Tuning knobs for [`Reps`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RepsConfig {
     /// Circular buffer depth. The paper uses 8 (Theorem 5.1 motivates
     /// `O(log n)` for an `n`-port switch).

@@ -12,13 +12,148 @@ use crate::ids::{ConnId, HostId};
 pub const HEADER_BYTES: u32 = 64;
 
 /// A single echoed entropy observation carried by an ACK.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct EvEcho {
     /// The entropy value copied from the data packet's header.
     pub ev: u16,
     /// Whether the data packet arrived with the ECN CE codepoint set.
     pub ecn: bool,
 }
+
+/// A small copy-on-build list storing up to `N` elements inline, spilling
+/// to the heap only beyond that.
+///
+/// ACK bodies carry two variable-length lists (SACKed sequences, echoed
+/// EVs). With per-packet ACKs — the steady-state hot path — each holds
+/// exactly one element, so `Vec`s cost two heap allocations per
+/// acknowledged packet. Inline storage makes the per-packet ACK path
+/// allocation-free while coalesced ACKs (one per `ratio` packets) may
+/// still spill; equality is by *content*, not representation.
+#[derive(Debug, Clone)]
+pub enum SmallList<T: Copy + Default, const N: usize> {
+    /// Up to `N` elements stored in place.
+    Inline {
+        /// Number of valid elements in `buf`.
+        len: u8,
+        /// Inline storage; `buf[..len]` is valid.
+        buf: [T; N],
+    },
+    /// Heap storage for lists that outgrew the inline buffer.
+    Spill(Vec<T>),
+}
+
+impl<T: Copy + Default, const N: usize> SmallList<T, N> {
+    /// Compile-time guard: the inline length is stored as `u8`, so an
+    /// instantiation with `N > 255` would silently truncate lengths.
+    const N_FITS_U8: () = assert!(
+        N <= u8::MAX as usize,
+        "SmallList inline capacity exceeds u8"
+    );
+
+    /// An empty list (inline, no allocation).
+    pub fn new() -> SmallList<T, N> {
+        #[allow(clippy::let_unit_value)]
+        let () = Self::N_FITS_U8;
+        SmallList::Inline {
+            len: 0,
+            buf: [T::default(); N],
+        }
+    }
+
+    /// Builds a list from a slice: inline when it fits, one exact-size
+    /// allocation otherwise.
+    pub fn from_slice(items: &[T]) -> SmallList<T, N> {
+        #[allow(clippy::let_unit_value)]
+        let () = Self::N_FITS_U8;
+        if items.len() <= N {
+            let mut buf = [T::default(); N];
+            buf[..items.len()].copy_from_slice(items);
+            SmallList::Inline {
+                len: items.len() as u8,
+                buf,
+            }
+        } else {
+            SmallList::Spill(items.to_vec())
+        }
+    }
+
+    /// A one-element list (inline, no allocation).
+    pub fn one(item: T) -> SmallList<T, N> {
+        SmallList::from_slice(&[item])
+    }
+
+    /// Appends an element, spilling to the heap at inline capacity.
+    pub fn push(&mut self, item: T) {
+        match self {
+            SmallList::Inline { len, buf } => {
+                if (*len as usize) < N {
+                    buf[*len as usize] = item;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(N + 1);
+                    v.extend_from_slice(&buf[..N]);
+                    v.push(item);
+                    *self = SmallList::Spill(v);
+                }
+            }
+            SmallList::Spill(v) => v.push(item),
+        }
+    }
+
+    /// The elements as a slice.
+    pub fn as_slice(&self) -> &[T] {
+        match self {
+            SmallList::Inline { len, buf } => &buf[..*len as usize],
+            SmallList::Spill(v) => v,
+        }
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for SmallList<T, N> {
+    fn default() -> SmallList<T, N> {
+        SmallList::new()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> std::ops::Deref for SmallList<T, N> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq for SmallList<T, N> {
+    fn eq(&self, other: &SmallList<T, N>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<'a, T: Copy + Default, const N: usize> IntoIterator for &'a SmallList<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> FromIterator<T> for SmallList<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> SmallList<T, N> {
+        let mut list = SmallList::new();
+        for item in iter {
+            list.push(item);
+        }
+        list
+    }
+}
+
+/// The SACKed-sequence list of an [`Ack`]: per-packet ACKs carry one
+/// sequence; duplicates from retransmission races push it to two or
+/// three, still inline.
+pub type SeqList = SmallList<u64, 3>;
+
+/// The echoed-EV list of an [`Ack`]: one echo per ACK except under the
+/// *Carry EVs* coalescing variant.
+pub type EchoList = SmallList<EvEcho, 5>;
 
 /// Transport-level payload of a packet.
 #[derive(Debug, Clone, PartialEq)]
@@ -73,12 +208,12 @@ pub struct Ack {
     pub cum_ack: u64,
     /// Sequence numbers (possibly several when coalescing) acknowledged by
     /// this ACK, beyond the cumulative prefix.
-    pub sacked: Vec<u64>,
+    pub sacked: SeqList,
     /// Echoed entropy observations, oldest first.
     ///
     /// With per-packet ACKs this has exactly one element; with the
     /// *Carry EVs* coalescing variant it has up to the coalescing ratio.
-    pub echoes: Vec<EvEcho>,
+    pub echoes: EchoList,
     /// Number of data packets this ACK covers (for ACK-clocked senders).
     pub covered: u32,
     /// Number of covered packets that carried an ECN mark.
@@ -234,6 +369,37 @@ mod tests {
     }
 
     #[test]
+    fn small_list_stays_inline_up_to_capacity_then_spills() {
+        let mut l: SmallList<u64, 3> = SmallList::new();
+        assert!(l.is_empty());
+        for v in [7u64, 8, 9] {
+            l.push(v);
+            assert!(matches!(l, SmallList::Inline { .. }));
+        }
+        assert_eq!(l.as_slice(), &[7, 8, 9]);
+        l.push(10);
+        assert!(matches!(l, SmallList::Spill(_)));
+        assert_eq!(l.as_slice(), &[7, 8, 9, 10]);
+        // Deref + iteration sugar.
+        assert_eq!(l.len(), 4);
+        assert_eq!(l.last(), Some(&10));
+        assert_eq!((&l).into_iter().copied().sum::<u64>(), 34);
+    }
+
+    #[test]
+    fn small_list_equality_is_by_content_not_representation() {
+        let inline: SmallList<u64, 3> = SmallList::from_slice(&[1, 2]);
+        let spilled = SmallList::<u64, 3>::Spill(vec![1, 2]);
+        assert_eq!(inline, spilled);
+        assert_ne!(inline, SmallList::from_slice(&[1, 2, 3]));
+        let big: SmallList<u64, 3> = SmallList::from_slice(&[1, 2, 3, 4]);
+        assert!(matches!(big, SmallList::Spill(_)));
+        assert_eq!(big.as_slice(), &[1, 2, 3, 4]);
+        let collected: SmallList<u64, 3> = (1..=2u64).collect();
+        assert_eq!(collected, inline);
+    }
+
+    #[test]
     fn acks_are_control() {
         let p = Packet::control(
             2,
@@ -243,8 +409,8 @@ mod tests {
             42,
             Body::Ack(Ack {
                 cum_ack: 3,
-                sacked: vec![],
-                echoes: vec![EvEcho { ev: 42, ecn: false }],
+                sacked: SeqList::new(),
+                echoes: EchoList::one(EvEcho { ev: 42, ecn: false }),
                 covered: 1,
                 marked: 0,
                 reuse: 1,

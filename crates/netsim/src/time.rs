@@ -86,6 +86,40 @@ impl Time {
         Time(self.0.saturating_sub(rhs.0))
     }
 
+    /// The duration's stable label in the coarsest exact unit: `25us`,
+    /// `500ns` or `77ps`. Distinct durations always get distinct labels,
+    /// and [`Time::parse_label`] is the exact inverse — the pair is what
+    /// cell keys and the LB/grid grammars spell durations with.
+    pub fn label(self) -> String {
+        if self.0.is_multiple_of(1_000_000) {
+            format!("{}us", self.0 / 1_000_000)
+        } else if self.0.is_multiple_of(1_000) {
+            format!("{}ns", self.0 / 1_000)
+        } else {
+            format!("{}ps", self.0)
+        }
+    }
+
+    /// Parses a duration label (`25us`, `500ns`, `77ps`); the inverse of
+    /// [`Time::label`].
+    pub fn parse_label(s: &str) -> Result<Time, String> {
+        for (suffix, make) in [
+            ("us", Time::from_us as fn(u64) -> Time),
+            ("ns", Time::from_ns),
+            ("ps", Time::from_ps),
+        ] {
+            if let Some(v) = s.strip_suffix(suffix) {
+                return v
+                    .parse::<u64>()
+                    .map(make)
+                    .map_err(|e| format!("bad duration {s:?}: {e}"));
+            }
+        }
+        Err(format!(
+            "bad duration {s:?} (expected e.g. 25us, 500ns, 77ps)"
+        ))
+    }
+
     /// Returns the serialization time of `bytes` at `rate_bps` bits per second.
     ///
     /// Exact integer arithmetic; the wide path uses 128 bits so that no
@@ -206,6 +240,23 @@ mod tests {
     fn ordering_is_numeric() {
         assert!(Time::from_ns(1) < Time::from_us(1));
         assert!(Time::MAX > Time::from_secs(1_000));
+    }
+
+    #[test]
+    fn labels_pick_the_coarsest_exact_unit_and_round_trip() {
+        for (t, label) in [
+            (Time::ZERO, "0us"),
+            (Time::from_us(25), "25us"),
+            (Time::from_ns(500), "500ns"),
+            (Time(1_500_077), "1500077ps"),
+            (Time::from_secs(5), "5000000us"),
+        ] {
+            assert_eq!(t.label(), label);
+            assert_eq!(Time::parse_label(label), Ok(t));
+        }
+        assert!(Time::parse_label("5").is_err());
+        assert!(Time::parse_label("xus").is_err());
+        assert!(Time::parse_label("-3ns").is_err());
     }
 
     #[test]

@@ -1,17 +1,19 @@
 //! Dumps every built-in preset cell as `derived_seed<TAB>shard-of-4<TAB>key`,
 //! one line per cell, quick scale first and then full scale.
 //!
-//! This is the generator for
-//! `crates/sweep/tests/fixtures/cell_keys_pre_oversub.tsv`, the frozen
-//! pre-oversubscription-axis snapshot that
-//! `tests/key_stability.rs` diffs against: derived seeds decide RNG
-//! streams, cache addresses and shard membership, so an accidental key
-//! change silently invalidates warm caches and moves cells between fleet
-//! shards. Regenerate the fixture ONLY when a key change is intentional:
+//! This is the generator for the `tests/fixtures/cell_keys_*.tsv`
+//! snapshots `tests/key_stability.rs` diffs against —
+//! `cell_keys_pre_oversub.tsv` (frozen before the oversubscription axis)
+//! and `cell_keys_with_lbspec.tsv` (the full pool after the LB-spec
+//! grammar): derived seeds decide RNG streams, cache addresses and shard
+//! membership, so an accidental key change silently invalidates warm
+//! caches and moves cells between fleet shards. Regenerate the *latest*
+//! fixture ONLY when a key change is intentional (never the frozen
+//! historical one):
 //!
 //! ```text
 //! cargo run -p sweep --example dump_cell_keys \
-//!     > crates/sweep/tests/fixtures/cell_keys_pre_oversub.tsv
+//!     > crates/sweep/tests/fixtures/cell_keys_with_lbspec.tsv
 //! ```
 
 use harness::Scale;

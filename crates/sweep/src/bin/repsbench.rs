@@ -1,20 +1,32 @@
 //! `repsbench` — run the REPS scenario-sweep suite from the command line.
 //!
 //! ```text
-//! repsbench list [--scale quick|full] [--spec-file PATH]...
-//! repsbench run [--filter GLOB] [--threads N] [--scale quick|full]
-//!               [--seeds N] [--shard I/N] [--cache DIR]
-//!               [--spec-file PATH]... [--series DIR]
+//! repsbench list [--scale quick|full] [--spec-file PATH]... [--spec-only]
+//!                [--lbs]
+//! repsbench run [--filter GLOB] [--lb SPEC|GLOB] [--threads N]
+//!               [--scale quick|full] [--seeds N] [--shard I/N] [--cache DIR]
+//!               [--spec-file PATH]... [--spec-only] [--series DIR]
 //!               [--out PATH] [--perf PATH] [--baseline LABEL] [--quiet]
 //! repsbench merge OUT IN... [--baseline LABEL] [--quiet]
 //! ```
 //!
-//! `list` prints every preset with its cell count; `run` expands the
-//! presets whose names match `--filter` (default `*`), executes all cells
-//! on a work-stealing pool and writes one JSON Lines record per cell to
-//! `--out` (default `results.jsonl`; `-` = stdout), then prints cross-seed
-//! aggregate tables. Output is byte-identical for any `--threads` value.
-//! `--scale` defaults to the `REPS_SCALE` environment variable (`quick`).
+//! `list` prints every preset with its cell count (`--lbs` additionally
+//! prints each preset's load-balancer axis as canonical LB-spec strings);
+//! `run` expands the presets whose names match `--filter` (default `*`),
+//! executes all cells on a work-stealing pool and writes one JSON Lines
+//! record per cell to `--out` (default `results.jsonl`; `-` = stdout),
+//! then prints cross-seed aggregate tables. Output is byte-identical for
+//! any `--threads` value. `--scale` defaults to the `REPS_SCALE`
+//! environment variable (`quick`).
+//!
+//! # Filtering by load balancer (`--lb`)
+//!
+//! `--lb` keeps only the cells whose load-balancer label matches the
+//! given glob. Labels are canonical LB-spec strings (see the grammar
+//! below), and a pattern that itself parses as a spec is canonicalized
+//! first — `--lb 'REPS{freeze=off}'`, `--lb REPS-nofreeze` and
+//! `--lb 'REPS{ freeze=off }'` all select the same cells, while
+//! `--lb 'REPS*'` keeps every REPS configuration in the suite.
 //!
 //! # User-defined grids (`--spec-file`)
 //!
@@ -49,19 +61,50 @@
 //! ```
 //!
 //! Axes: `fabric` (`2t-kK-oO`, `3t-kK-oO`, `ls-TxH-oO`,
-//! `2t-custom-TxH-uU`), `lb` (paper legend names plus `REPS-nofreeze`,
-//! `REPS+freeze@Nus`), `workload` (`tornado-NB`, `perm-NB`,
-//! `incastDto1-NB`, `ringar-NB`, `bflyar-NB`, `a2a-wW-NB`,
-//! `dctrace-Ppct-Tus`), `failure` (the cell-key failure labels), `reconv`
-//! (`none` or a delay like `25us`), `seed`, `cc`, `coalesce`, and the
+//! `2t-custom-TxH-uU`), `lb` (LB-spec strings, below), `workload`
+//! (`tornado-NB`, `perm-NB`, `incastDto1-NB`, `ringar-NB`, `bflyar-NB`,
+//! `a2a-wW-NB`, `dctrace-Ppct-Tus`), `failure` (the cell-key failure
+//! labels), `reconv` (`none` or a delay like `25us`), `track` (which
+//! ToR's uplinks `--series` records), `seed`, `cc`, `coalesce`, and the
 //! single-valued `sim`, `background` (`workload+LB`), `deadline`. Parse
 //! errors name their line number.
+//!
+//! With `--spec-only` the built-in presets stay out of the pool entirely:
+//! the run is exactly the grids given, and a grid may then deliberately
+//! reuse a built-in preset name to reproduce its cells
+//! (`examples/ablation.grid` does this for the ablation presets).
+//!
+//! ## The LB-spec grammar
+//!
+//! `lb` axis values are typed spec strings: a family name is that
+//! scheme's paper-default configuration, `Family{key=value,...}`
+//! overrides individual knobs, so a parameter ablation — the paper's
+//! EVS-size sensitivity sweep, a flowlet-gap scan — is a text edit:
+//!
+//! ```text
+//! [evs-sweep]
+//! lb       = OPS{evs=64}, OPS, REPS{evs=64}, REPS
+//! workload = tornado-262144B
+//! ```
+//!
+//! Families and parameters (defaults in parentheses): `ECMP`, `MPRDMA`
+//! and `Adaptive RoCE` (none); `OPS{evs}` (65536);
+//! `REPS{evs,buf,freeze,fto,freezeat}` (65536, 8, `on`, `100us`, unset);
+//! `PLB{evs,thresh,rounds}` (65536, 0.05, 1); `Flowlet{gap}` (half the
+//! paper RTT); `BitMap{evs,clear}` (65536, twice the paper RTT);
+//! `MPTCP{subflows}` (8). Durations are `25us` / `500ns` / `77ps`.
+//! Cell keys always carry the canonical spelling (defaults omitted,
+//! fixed parameter order; the legacy `REPS-nofreeze` and
+//! `REPS+freeze@Nus` spellings remain canonical for their
+//! configurations), so every spelling of one configuration shares one
+//! derived seed, one shard and one cache address.
 //!
 //! # Per-cell time series (`--series DIR`)
 //!
 //! `--series DIR` additionally streams every executed cell's
-//! link-utilization buckets and queue-occupancy samples (ToR 0's uplinks,
-//! the micro figures' vantage point) into
+//! link-utilization buckets and queue-occupancy samples (the uplinks of
+//! the cell's `track` ToR — ToR 0, the micro figures' vantage point,
+//! unless the grid's `track` axis says otherwise) into
 //! `DIR/<derived_seed hex>.series.jsonl`. Line 1 is a header, then one
 //! record per tracked link:
 //!
@@ -121,12 +164,14 @@ use sweep::{
 #[derive(Debug)]
 struct RunOpts {
     filter: String,
+    lb_filter: Option<String>,
     threads: usize,
     scale: Scale,
     seeds: Option<u32>,
     shard: Option<Shard>,
     cache: Option<String>,
     spec_files: Vec<String>,
+    spec_only: bool,
     series: Option<String>,
     out: String,
     perf: Option<String>,
@@ -138,18 +183,56 @@ struct RunOpts {
 struct ListOpts {
     scale: Scale,
     spec_files: Vec<String>,
+    spec_only: bool,
+    lbs: bool,
 }
 
 /// The run's matrix pool: every built-in preset at `scale` plus the
 /// matrices of each `--spec-file`, rejecting name collisions (a spec file
-/// shadowing a built-in would otherwise silently lose to it).
-fn matrix_pool(scale: Scale, spec_files: &[String]) -> Result<Vec<ScenarioMatrix>, String> {
-    let mut pool = presets::all(scale);
+/// shadowing a built-in would otherwise silently lose to it). With
+/// `spec_only`, the built-ins stay out of the pool — a pure user-defined
+/// suite, where grid names may deliberately coincide with built-in preset
+/// names (e.g. `examples/ablation.grid` reproducing `evs-sensitivity`).
+fn matrix_pool(
+    scale: Scale,
+    spec_files: &[String],
+    spec_only: bool,
+) -> Result<Vec<ScenarioMatrix>, String> {
+    if spec_only && spec_files.is_empty() {
+        return Err("--spec-only needs at least one --spec-file".to_string());
+    }
+    let mut pool = if spec_only {
+        Vec::new()
+    } else {
+        presets::all(scale)
+    };
     for path in spec_files {
         pool.extend(specfile::parse_file(path)?);
     }
     presets::ensure_unique_names(&pool)?;
     Ok(pool)
+}
+
+/// Canonicalizes a `--lb` filter: a pattern that parses as an LB spec is
+/// replaced by its canonical rendering, so `--lb 'REPS{freeze=off}'` and
+/// `--lb REPS-nofreeze` select the same cells; glob patterns (`*`/`?`
+/// metacharacters, e.g. `REPS*`) are matched as written against the
+/// canonical labels. A glob-free pattern with `{...}` parameters or an
+/// `@` freeze instant can only be a spec (no canonical label contains
+/// those characters otherwise), so its parse error is surfaced instead of
+/// silently becoming a never-matching glob.
+fn canonical_lb_filter(pattern: &str) -> Result<String, String> {
+    match baselines::kind::LbKind::parse(pattern) {
+        Ok(kind) => Ok(kind.spec()),
+        Err(e) => {
+            let globby = pattern.contains('*') || pattern.contains('?');
+            if !globby && (pattern.contains('{') || pattern.contains('@')) {
+                Err(format!("--lb: {e}"))
+            } else {
+                Ok(pattern.to_string())
+            }
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -161,7 +244,7 @@ struct MergeOpts {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  repsbench list [--scale quick|full] [--spec-file PATH]...\n  repsbench run [--filter GLOB] [--threads N] [--scale quick|full]\n                [--seeds N] [--shard I/N] [--cache DIR]\n                [--spec-file PATH]... [--series DIR]\n                [--out PATH|-] [--perf PATH] [--baseline LABEL] [--quiet]\n  repsbench merge OUT IN... [--baseline LABEL] [--quiet]"
+    "usage:\n  repsbench list [--scale quick|full] [--spec-file PATH]... [--spec-only]\n                 [--lbs]\n  repsbench run [--filter GLOB] [--lb SPEC|GLOB] [--threads N]\n                [--scale quick|full] [--seeds N] [--shard I/N] [--cache DIR]\n                [--spec-file PATH]... [--spec-only] [--series DIR]\n                [--out PATH|-] [--perf PATH] [--baseline LABEL] [--quiet]\n  repsbench merge OUT IN... [--baseline LABEL] [--quiet]"
 }
 
 fn parse_scale(v: &str) -> Result<Scale, String> {
@@ -206,6 +289,8 @@ fn parse_list(args: &[String]) -> Result<ListOpts, String> {
     let mut opts = ListOpts {
         scale: Scale::from_env(),
         spec_files: Vec::new(),
+        spec_only: false,
+        lbs: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -218,6 +303,8 @@ fn parse_list(args: &[String]) -> Result<ListOpts, String> {
                 let v = it.next().ok_or("--spec-file needs a value")?;
                 opts.spec_files.push(v.clone());
             }
+            "--spec-only" => opts.spec_only = true,
+            "--lbs" => opts.lbs = true,
             other => return Err(format!("unknown argument {other:?}\n{}", usage())),
         }
     }
@@ -227,12 +314,14 @@ fn parse_list(args: &[String]) -> Result<ListOpts, String> {
 fn parse_run(args: &[String]) -> Result<RunOpts, String> {
     let mut opts = RunOpts {
         filter: "*".to_string(),
+        lb_filter: None,
         threads: sweep::default_threads(),
         scale: Scale::from_env(),
         seeds: None,
         shard: None,
         cache: None,
         spec_files: Vec::new(),
+        spec_only: false,
         series: None,
         out: "results.jsonl".to_string(),
         perf: None,
@@ -246,6 +335,7 @@ fn parse_run(args: &[String]) -> Result<RunOpts, String> {
         };
         match a.as_str() {
             "--filter" => opts.filter = value("--filter")?.clone(),
+            "--lb" => opts.lb_filter = Some(canonical_lb_filter(value("--lb")?)?),
             "--threads" => {
                 opts.threads = value("--threads")?
                     .parse::<usize>()
@@ -267,6 +357,7 @@ fn parse_run(args: &[String]) -> Result<RunOpts, String> {
             "--shard" => opts.shard = Some(Shard::parse(value("--shard")?)?),
             "--cache" => opts.cache = Some(value("--cache")?.clone()),
             "--spec-file" => opts.spec_files.push(value("--spec-file")?.clone()),
+            "--spec-only" => opts.spec_only = true,
             "--series" => opts.series = Some(value("--series")?.clone()),
             "--out" => opts.out = value("--out")?.clone(),
             "--perf" => opts.perf = Some(value("--perf")?.clone()),
@@ -318,7 +409,7 @@ fn parse_merge(args: &[String]) -> Result<MergeOpts, String> {
 }
 
 fn list(opts: &ListOpts) -> ExitCode {
-    let pool = match matrix_pool(opts.scale, &opts.spec_files) {
+    let pool = match matrix_pool(opts.scale, &opts.spec_files, opts.spec_only) {
         Ok(p) => p,
         Err(e) => return fail(&e),
     };
@@ -340,6 +431,13 @@ fn list(opts: &ListOpts) -> ExitCode {
             m.reconv.len(),
             m.seeds.len(),
         );
+        if opts.lbs {
+            // One canonical LB-spec string per axis value: what `--lb`
+            // filters and spec-file `lb =` lines match on.
+            for lb in &m.lbs {
+                println!("{:<28}   lb = {}", "", lb.label);
+            }
+        }
     }
     println!("{total} cells total at {:?} scale", opts.scale);
     ExitCode::SUCCESS
@@ -357,7 +455,7 @@ fn write_output(path: &str, text: &str) -> std::io::Result<()> {
 }
 
 fn run(opts: &RunOpts) -> ExitCode {
-    let pool = match matrix_pool(opts.scale, &opts.spec_files) {
+    let pool = match matrix_pool(opts.scale, &opts.spec_files, opts.spec_only) {
         Ok(p) => p,
         Err(e) => return fail(&e),
     };
@@ -375,6 +473,16 @@ fn run(opts: &RunOpts) -> ExitCode {
     }
     if matched == 0 {
         return fail(&format!("no preset matches filter {:?}", opts.filter));
+    }
+    if let Some(lb) = &opts.lb_filter {
+        // Cell-level filter over canonical LB-spec labels; glob syntax, so
+        // `--lb 'REPS*'` keeps the whole REPS family and `--lb OPS{evs=64}`
+        // (any spelling — the pattern was canonicalized at parse time)
+        // keeps one configuration.
+        cells.retain(|c| glob::matches(lb, &c.lb.label));
+        if cells.is_empty() {
+            return fail(&format!("no cell matches lb filter {lb:?}"));
+        }
     }
     let total = cells.len();
     if let Some(shard) = opts.shard {
@@ -526,11 +634,13 @@ mod tests {
     fn run_defaults_are_sensible() {
         let o = parse_run(&[]).expect("no args is valid");
         assert_eq!(o.filter, "*");
+        assert_eq!(o.lb_filter, None);
         assert!(o.threads >= 1);
         assert_eq!(o.seeds, None);
         assert_eq!(o.shard, None);
         assert_eq!(o.cache, None);
         assert!(o.spec_files.is_empty());
+        assert!(!o.spec_only);
         assert_eq!(o.series, None);
         assert_eq!(o.out, "results.jsonl");
         assert_eq!(o.perf, None);
@@ -543,6 +653,9 @@ mod tests {
         let o = parse_run(&sv(&[
             "--filter",
             "fig0*",
+            "--lb",
+            "REPS*",
+            "--spec-only",
             "--threads",
             "8",
             "--scale",
@@ -569,6 +682,8 @@ mod tests {
         ]))
         .expect("all flags valid");
         assert_eq!(o.filter, "fig0*");
+        assert_eq!(o.lb_filter.as_deref(), Some("REPS*"));
+        assert!(o.spec_only);
         assert_eq!(o.threads, 8);
         assert!(matches!(o.scale, Scale::Full));
         assert_eq!(o.seeds, Some(5));
@@ -619,8 +734,11 @@ mod tests {
                 ..
             })
         ));
-        let o = parse_list(&sv(&["--spec-file", "g.grid"])).expect("spec file accepted");
+        let o = parse_list(&sv(&["--spec-file", "g.grid", "--spec-only", "--lbs"]))
+            .expect("spec file accepted");
         assert_eq!(o.spec_files, vec!["g.grid"]);
+        assert!(o.spec_only);
+        assert!(o.lbs);
         assert!(parse_list(&sv(&["--scale", "nope"])).is_err());
         assert!(parse_list(&sv(&["--filter", "x"])).is_err());
         assert!(parse_list(&sv(&["--spec-file"])).is_err());
@@ -632,15 +750,47 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("shadow.grid");
         std::fs::write(&path, "[fig02-tornado-micro]\nlb = OPS\n").unwrap();
-        let err = matrix_pool(Scale::Quick, &[path.to_string_lossy().into_owned()])
+        let path_arg = [path.to_string_lossy().into_owned()];
+        let err = matrix_pool(Scale::Quick, &path_arg, false)
             .expect_err("shadowing a built-in preset must fail");
         assert!(err.contains("fig02-tornado-micro"), "{err}");
-        // A non-colliding grid joins the pool.
+        // With --spec-only the same grid is the whole pool: deliberately
+        // reusing a built-in name (to reproduce its cells) is fine.
+        let pool = matrix_pool(Scale::Quick, &path_arg, true).expect("spec-only pool");
+        assert_eq!(pool.len(), 1);
+        assert_eq!(pool[0].name, "fig02-tornado-micro");
+        // A non-colliding grid joins the full pool.
         std::fs::write(&path, "[my-grid]\nlb = OPS\n").unwrap();
-        let pool = matrix_pool(Scale::Quick, &[path.to_string_lossy().into_owned()])
-            .expect("fresh name joins the pool");
+        let pool = matrix_pool(Scale::Quick, &path_arg, false).expect("fresh name joins the pool");
         assert!(pool.iter().any(|m| m.name == "my-grid"));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spec_only_without_spec_files_is_rejected() {
+        let err = matrix_pool(Scale::Quick, &[], true).expect_err("no grids to run");
+        assert!(err.contains("--spec-only"), "{err}");
+    }
+
+    #[test]
+    fn lb_filters_canonicalize_any_spec_spelling() {
+        let ok = |p: &str| canonical_lb_filter(p).expect(p);
+        // Any spelling of a configuration selects its canonical label.
+        assert_eq!(ok("REPS{freeze=off}"), "REPS-nofreeze");
+        assert_eq!(ok("OPS{evs=65536}"), "OPS");
+        assert_eq!(ok("OPS{evs=64}"), "OPS{evs=64}");
+        // Globs and non-spec patterns pass through untouched.
+        assert_eq!(ok("REPS*"), "REPS*");
+        assert_eq!(ok("*{evs=64}"), "*{evs=64}");
+        // A glob-free braced pattern is a spec; its parse error surfaces
+        // rather than degrading to a never-matching glob.
+        let err = canonical_lb_filter("OPS{evs=0}").expect_err("malformed spec");
+        assert!(err.contains("out of range"), "{err}");
+        let err = canonical_lb_filter("OPS{evs=abc}").expect_err("malformed spec");
+        assert!(err.contains("bad evs"), "{err}");
+        let err = canonical_lb_filter("REPS+freeze@50").expect_err("missing unit suffix");
+        assert!(err.contains("bad duration"), "{err}");
+        assert!(parse_run(&sv(&["--lb", "OPS{evs=0}"])).is_err());
     }
 
     #[test]

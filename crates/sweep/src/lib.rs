@@ -13,12 +13,15 @@
 //!   aggregates through [`harness::report`];
 //! * [`presets`] names a matrix for every simulation figure of the paper
 //!   plus new scenarios (incast/permutation sweeps, rolling link failures,
-//!   mixed AI collectives, oversubscription/asymmetry and
-//!   reconvergence-delay sweeps);
+//!   mixed AI collectives, oversubscription/asymmetry,
+//!   reconvergence-delay and parameter-ablation sweeps);
 //! * [`specfile`] parses user-defined grids from a line-oriented text
 //!   format (`repsbench run --spec-file grid.txt`) — new scenarios are a
 //!   text file, not a code change — with canonical rendering as its exact
-//!   inverse;
+//!   inverse; the `lb` axis speaks the typed LB-spec grammar
+//!   ([`baselines::kind::LbKind::parse`]: `REPS{evs=256,freeze=off}`,
+//!   `Flowlet{gap=80us}`, ...), so parameter ablations are text edits
+//!   too;
 //! * [`shard`] deterministically partitions a cell list by key hash so a
 //!   fleet can split one sweep (`repsbench run --shard i/n`), [`merge`]
 //!   unions the shard outputs back into the unsharded bytes, and [`cache`]

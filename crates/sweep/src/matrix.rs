@@ -28,26 +28,31 @@ pub fn fnv1a64(s: &str) -> u64 {
     h
 }
 
-/// An [`LbKind`] with a stable axis label (plain `LbKind::label()` is not
-/// unique when a lineup ablates one scheme's parameters).
+/// An [`LbKind`] with a stable axis label. Labels are derived from the
+/// LB-spec grammar ([`LbKind::spec`]): a default configuration labels as
+/// its bare family name, a tuned one as `Family{key=value,...}` — unique
+/// per distinct configuration by construction, so parameter ablations need
+/// no hand-rolled label strings.
 #[derive(Debug, Clone)]
 pub struct LabeledLb {
-    /// Stable label used in cell keys.
+    /// Stable label used in cell keys (the canonical spec string).
     pub label: String,
     /// The scheme.
     pub kind: LbKind,
 }
 
 impl LabeledLb {
-    /// Labels a scheme with its paper legend name.
+    /// Labels a scheme with its canonical spec string ([`LbKind::spec`]).
     pub fn plain(kind: LbKind) -> LabeledLb {
         LabeledLb {
-            label: kind.label().to_string(),
+            label: kind.spec(),
             kind,
         }
     }
 
-    /// Labels a scheme explicitly (parameter ablations).
+    /// Labels a scheme with an explicit, non-canonical label. Prefer
+    /// [`LabeledLb::plain`] — the canonical label is what spec files,
+    /// `--lb` filters and cache addresses agree on.
     pub fn named(label: impl Into<String>, kind: LbKind) -> LabeledLb {
         LabeledLb {
             label: label.into(),
@@ -56,19 +61,21 @@ impl LabeledLb {
     }
 }
 
-/// Converts a lineup into labeled axis entries, suffixing duplicates so
-/// every axis label stays unique.
+/// Converts a lineup into labeled axis entries: canonical spec labels,
+/// with `#n` suffixes on (pathological) exact duplicates so every axis
+/// label stays unique.
 pub fn labeled_lineup(lineup: &[LbKind]) -> Vec<LabeledLb> {
     let mut seen = std::collections::HashMap::new();
     lineup
         .iter()
         .map(|kind| {
-            let n = seen.entry(kind.label()).or_insert(0u32);
+            let spec = kind.spec();
+            let n = seen.entry(spec.clone()).or_insert(0u32);
             *n += 1;
             if *n == 1 {
                 LabeledLb::plain(kind.clone())
             } else {
-                LabeledLb::named(format!("{}#{n}", kind.label()), kind.clone())
+                LabeledLb::named(format!("{spec}#{n}"), kind.clone())
             }
         })
         .collect()
@@ -76,21 +83,12 @@ pub fn labeled_lineup(lineup: &[LbKind]) -> Vec<LabeledLb> {
 
 /// The stable label of one reconvergence-axis value: `none` for the
 /// paper's pessimistic no-reconvergence default, otherwise the delay in
-/// the coarsest exact unit (`25us`, `500ns`, `77ps`) so distinct delays
-/// always get distinct labels.
+/// the coarsest exact unit ([`Time::label`]: `25us`, `500ns`, `77ps`) so
+/// distinct delays always get distinct labels.
 pub fn reconv_label(delay: Option<Time>) -> String {
     match delay {
         None => "none".to_string(),
-        Some(t) => {
-            let ps = t.as_ps();
-            if ps % 1_000_000 == 0 {
-                format!("{}us", ps / 1_000_000)
-            } else if ps % 1_000 == 0 {
-                format!("{}ns", ps / 1_000)
-            } else {
-                format!("{ps}ps")
-            }
-        }
+        Some(t) => t.label(),
     }
 }
 
@@ -119,6 +117,11 @@ pub struct ScenarioMatrix {
     /// from cell keys so pre-existing derived seeds, shard membership and
     /// cache addresses survive the axis addition.
     pub reconv: Vec<Option<Time>>,
+    /// Series vantage-point axis: which ToR's uplinks `--series` tracks
+    /// (per-cell, so one grid can record several vantage points). The
+    /// default ToR 0 is *omitted* from cell keys — like `reconv`, the axis
+    /// addition is invisible to every pre-existing cell.
+    pub track: Vec<u32>,
     /// Simulator profile for every cell.
     pub sim: SimProfile,
     /// Optional background traffic applied to every cell.
@@ -144,6 +147,7 @@ impl ScenarioMatrix {
             ccs: vec![CcKind::Dctcp],
             coalesce: vec![("pp".to_string(), CoalesceConfig::per_packet())],
             reconv: vec![None],
+            track: vec![0],
             sim: SimProfile::PaperDefault,
             background: None,
             deadline: Time::from_secs(2),
@@ -198,6 +202,12 @@ impl ScenarioMatrix {
         self
     }
 
+    /// Replaces the series vantage-point axis (tracked ToR indices).
+    pub fn track(mut self, tors: impl IntoIterator<Item = u32>) -> Self {
+        self.track = tors.into_iter().collect();
+        self
+    }
+
     /// Sets the simulator profile.
     pub fn sim(mut self, sim: SimProfile) -> Self {
         self.sim = sim;
@@ -226,6 +236,7 @@ impl ScenarioMatrix {
             * self.ccs.len()
             * self.coalesce.len()
             * self.reconv.len()
+            * self.track.len()
     }
 
     /// Whether any axis is empty.
@@ -234,8 +245,8 @@ impl ScenarioMatrix {
     }
 
     /// Expands the cartesian grid into independent cells (deterministic
-    /// order: fabrics, workloads, failures, ccs, coalesce, reconv, lbs,
-    /// seeds).
+    /// order: fabrics, workloads, failures, ccs, coalesce, reconv, track,
+    /// lbs, seeds).
     ///
     /// # Panics
     ///
@@ -275,7 +286,20 @@ impl ScenarioMatrix {
             self.reconv.iter().map(|r| reconv_label(*r)).collect(),
             "reconv",
         );
+        unique(self.track.iter().map(u32::to_string).collect(), "track");
         unique(self.seeds.iter().map(|s| s.to_string()).collect(), "seed");
+        for fabric in &self.fabrics {
+            for &tor in &self.track {
+                assert!(
+                    tor < fabric.config.n_tors(),
+                    "matrix {:?}: tracked ToR {tor} does not exist in fabric {} \
+                     ({} ToRs)",
+                    self.name,
+                    fabric.label,
+                    fabric.config.n_tors()
+                );
+            }
+        }
 
         let mut cells = Vec::with_capacity(self.len());
         for fabric in &self.fabrics {
@@ -284,23 +308,26 @@ impl ScenarioMatrix {
                     for cc in &self.ccs {
                         for (co_label, co) in &self.coalesce {
                             for &reconv in &self.reconv {
-                                for lb in &self.lbs {
-                                    for &seed in &self.seeds {
-                                        cells.push(Cell {
-                                            preset: self.name.clone(),
-                                            fabric: fabric.clone(),
-                                            lb: lb.clone(),
-                                            workload: workload.clone(),
-                                            failures: failure.clone(),
-                                            cc: *cc,
-                                            coalesce_label: co_label.clone(),
-                                            coalesce: *co,
-                                            reconv,
-                                            sim: self.sim,
-                                            background: self.background.clone(),
-                                            seed,
-                                            deadline: self.deadline,
-                                        });
+                                for &track in &self.track {
+                                    for lb in &self.lbs {
+                                        for &seed in &self.seeds {
+                                            cells.push(Cell {
+                                                preset: self.name.clone(),
+                                                fabric: fabric.clone(),
+                                                lb: lb.clone(),
+                                                workload: workload.clone(),
+                                                failures: failure.clone(),
+                                                cc: *cc,
+                                                coalesce_label: co_label.clone(),
+                                                coalesce: *co,
+                                                reconv,
+                                                track,
+                                                sim: self.sim,
+                                                background: self.background.clone(),
+                                                seed,
+                                                deadline: self.deadline,
+                                            });
+                                        }
                                     }
                                 }
                             }
@@ -335,6 +362,8 @@ pub struct Cell {
     pub coalesce: CoalesceConfig,
     /// Routing-reconvergence delay (`None` = never reconverge).
     pub reconv: Option<Time>,
+    /// ToR whose uplinks the series sink tracks (0 = the default vantage).
+    pub track: u32,
     /// Simulator profile.
     pub sim: SimProfile,
     /// Optional background traffic.
@@ -358,22 +387,30 @@ impl Cell {
     /// components. Cells sharing a scenario key form one comparison row
     /// group in reports.
     ///
-    /// The reconvergence component (`rc=...`) is only present when the
-    /// axis is set: the default (`None`, never reconverge) renders exactly
-    /// the pre-axis key, so derived seeds, shard membership and cache
-    /// addresses of every pre-existing cell are unchanged (pinned by
-    /// `tests/key_stability.rs`).
+    /// The reconvergence (`rc=...`) and vantage (`tk=...`) components are
+    /// only present when their axes are set: the defaults (`None` = never
+    /// reconverge, ToR 0) render exactly the pre-axis key, so derived
+    /// seeds, shard membership and cache addresses of every pre-existing
+    /// cell are unchanged (pinned by `tests/key_stability.rs`).
+    ///
+    /// The background's load balancer renders as its canonical spec
+    /// ([`LbKind::spec`]) — the family name for default configurations
+    /// (every pre-existing key), the parameterized form otherwise.
     pub fn scenario(&self) -> String {
         let background = match &self.background {
             None => "none".to_string(),
-            Some((w, lb)) => format!("{}+{}", w.label(), lb.label()),
+            Some((w, lb)) => format!("{}+{}", w.label(), lb.spec()),
         };
         let rc = match self.reconv {
             None => String::new(),
             Some(t) => format!("/rc={}", reconv_label(Some(t))),
         };
+        let tk = match self.track {
+            0 => String::new(),
+            tor => format!("/tk={tor}"),
+        };
         format!(
-            "{}/{}/{}/{}/sim={}/cc={}/co={}{rc}/bg={}/dl={}us",
+            "{}/{}/{}/{}/sim={}/cc={}/co={}{rc}{tk}/bg={}/dl={}us",
             self.preset,
             self.fabric.label,
             self.workload.label(),
@@ -432,15 +469,16 @@ impl Cell {
         self.result_from(self.experiment().run())
     }
 
-    /// Runs the cell with series instrumentation enabled (ToR 0's uplinks
-    /// tracked, queue sampling on up to [`crate::series::SAMPLE_HORIZON`])
-    /// and returns the result plus the canonical per-cell series document
-    /// (see [`crate::series`]). Instrumentation only *reads* fabric state,
-    /// so the byte-stable result record is identical to [`Cell::run`]'s
-    /// (pinned by `tests/series.rs`).
+    /// Runs the cell with series instrumentation enabled (the uplinks of
+    /// the [`Cell::track`] ToR tracked, queue sampling on up to
+    /// [`crate::series::SAMPLE_HORIZON`]) and returns the result plus the
+    /// canonical per-cell series document (see [`crate::series`]).
+    /// Instrumentation only *reads* fabric state, so the byte-stable
+    /// result record is identical to [`Cell::run`]'s (pinned by
+    /// `tests/series.rs`).
     pub fn run_with_series(&self) -> (CellResult, String) {
         let mut exp = self.experiment();
-        exp.track = harness::experiment::TrackLinks::TorUplinks(0);
+        exp.track = harness::experiment::TrackLinks::TorUplinks(self.track);
         exp.sample_until = self.deadline.min(crate::series::SAMPLE_HORIZON);
         let res = exp.run();
         let doc = crate::series::series_doc(self, &res.engine);
@@ -559,14 +597,88 @@ mod tests {
     }
 
     #[test]
-    fn labeled_lineup_disambiguates_duplicates() {
+    fn labeled_lineup_uses_spec_labels_and_disambiguates_exact_duplicates() {
         let lbs = labeled_lineup(&[
             LbKind::Reps(RepsConfig::default()),
             LbKind::Reps(RepsConfig::default().with_evs_size(64)),
+            LbKind::Reps(RepsConfig::default()),
             LbKind::Ecmp,
         ]);
         let labels: Vec<&str> = lbs.iter().map(|l| l.label.as_str()).collect();
-        assert_eq!(labels, vec!["REPS", "REPS#2", "ECMP"]);
+        // Distinct configurations get distinct spec labels; only an exact
+        // duplicate needs the #n suffix.
+        assert_eq!(labels, vec!["REPS", "REPS{evs=64}", "REPS#2", "ECMP"]);
+    }
+
+    #[test]
+    fn parameterized_lbs_label_cells_with_their_spec() {
+        let m = ScenarioMatrix::new("t").lbs([
+            LabeledLb::plain(LbKind::Ops { evs_size: 64 }),
+            LabeledLb::plain(LbKind::Reps(RepsConfig::default().without_freezing())),
+        ]);
+        let keys: Vec<String> = m.expand().iter().map(|c| c.key()).collect();
+        assert!(keys[0].ends_with("/lb=OPS{evs=64}/s=0"), "{}", keys[0]);
+        assert!(keys[1].ends_with("/lb=REPS-nofreeze/s=0"), "{}", keys[1]);
+    }
+
+    #[test]
+    fn default_track_axis_leaves_keys_untouched() {
+        let key = ScenarioMatrix::new("t").expand()[0].key();
+        assert!(!key.contains("tk="), "{key}");
+    }
+
+    #[test]
+    fn track_axis_is_keyed_and_reaches_the_series_vantage() {
+        let m = ScenarioMatrix::new("t")
+            .workloads([WorkloadSpec::Tornado { bytes: 16 << 10 }])
+            .track([0, 3]);
+        assert_eq!(m.len(), 2 * 2);
+        let cells = m.expand();
+        assert_eq!(cells[0].track, 0);
+        assert!(!cells[0].key().contains("tk="), "{}", cells[0].key());
+        assert_eq!(cells[2].track, 3);
+        assert!(
+            cells[2].key().contains("/co=pp/tk=3/bg="),
+            "{}",
+            cells[2].key()
+        );
+        assert_ne!(cells[0].derived_seed(), cells[2].derived_seed());
+        // The vantage point reaches the series document: ToR 3's uplinks
+        // are tracked instead of ToR 0's.
+        let (_, doc_t0) = cells[0].run_with_series();
+        let (_, doc_t3) = cells[2].run_with_series();
+        let links = |doc: &str| -> Vec<String> {
+            doc.lines()
+                .skip(1)
+                .map(|l| {
+                    harness::json::Value::parse(l)
+                        .expect("record parses")
+                        .get("link")
+                        .expect("link field")
+                        .render()
+                })
+                .collect()
+        };
+        assert_eq!(links(&doc_t0).len(), links(&doc_t3).len());
+        assert_ne!(links(&doc_t0), links(&doc_t3));
+    }
+
+    #[test]
+    #[should_panic(expected = "tracked ToR 9 does not exist")]
+    fn out_of_range_track_vantage_is_rejected_at_expansion() {
+        ScenarioMatrix::new("t").track([9]).expand();
+    }
+
+    #[test]
+    fn parameterized_background_lb_is_keyed_by_its_spec() {
+        let key = ScenarioMatrix::new("t")
+            .background(
+                WorkloadSpec::Tornado { bytes: 1 << 10 },
+                LbKind::Ops { evs_size: 128 },
+            )
+            .expand()[0]
+            .key();
+        assert!(key.contains("/bg=tornado-1024B+OPS{evs=128}/"), "{key}");
     }
 
     #[test]

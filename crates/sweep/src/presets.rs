@@ -21,6 +21,11 @@
 //!   constrained fabrics,
 //! * `reconv-delay` — the routing-reconvergence axis: how quickly must
 //!   switches withdraw a cut path before spraying stops paying for it?
+//! * `evs-sensitivity` — the §4.5.2 parameter ablation: OPS vs. REPS at
+//!   EVS sizes 64 … 64K, every axis value a plain LB-spec string
+//!   (`OPS{evs=64}`, `REPS{evs=64}`, …),
+//! * `flowlet-gap` — flowlet inactivity-gap sweep (`Flowlet{gap=...}`)
+//!   around the paper's RTT/2 default, under degraded uplinks.
 
 use baselines::kind::LbKind;
 use baselines::plb::PlbConfig;
@@ -259,13 +264,11 @@ pub fn all(scale: Scale) -> Vec<ScenarioMatrix> {
             .lbs([
                 LabeledLb::plain(ops()),
                 LabeledLb::plain(reps()),
-                LabeledLb::named(
-                    "REPS+freeze@50us",
-                    LbKind::Reps(RepsConfig {
-                        force_freezing_at: Some(Time::from_us(50)),
-                        ..RepsConfig::default()
-                    }),
-                ),
+                // Canonical spec label: `REPS+freeze@50us`.
+                LabeledLb::plain(LbKind::Reps(RepsConfig {
+                    force_freezing_at: Some(Time::from_us(50)),
+                    ..RepsConfig::default()
+                })),
             ])
             .workloads([WorkloadSpec::Tornado {
                 bytes: micro_bytes(scale, 16),
@@ -290,10 +293,8 @@ pub fn all(scale: Scale) -> Vec<ScenarioMatrix> {
             .lbs([
                 LabeledLb::plain(ops()),
                 LabeledLb::plain(reps()),
-                LabeledLb::named(
-                    "REPS-nofreeze",
-                    LbKind::Reps(RepsConfig::default().without_freezing()),
-                ),
+                // Canonical spec label: `REPS-nofreeze`.
+                LabeledLb::plain(LbKind::Reps(RepsConfig::default().without_freezing())),
             ])
             .workloads([WorkloadSpec::Permutation {
                 bytes: macro_bytes(scale, 8),
@@ -414,6 +415,56 @@ pub fn all(scale: Scale) -> Vec<ScenarioMatrix> {
                 Some(Time::from_us(50)),
                 Some(Time::from_us(200)),
             ]),
+        // The §4.5.2 sensitivity claim as a sweep: REPS keeps its win down
+        // to tiny entropy spaces while OPS degrades, because recycling
+        // needs only *some* good entropies, not a large space of them.
+        // Every axis value is a plain LB-spec string — the grid this
+        // expands to is exactly what `examples/ablation.grid` spells.
+        ScenarioMatrix::new("evs-sensitivity")
+            .fabrics([FabricSpec::two_tier(8, 1)])
+            .lbs(
+                [64u32, 256, 4096, 1 << 16]
+                    .into_iter()
+                    .flat_map(|evs| {
+                        [
+                            LbKind::Ops { evs_size: evs },
+                            LbKind::Reps(RepsConfig::default().with_evs_size(evs)),
+                        ]
+                    })
+                    .map(LabeledLb::plain)
+                    .collect::<Vec<_>>(),
+            )
+            .workloads([WorkloadSpec::Tornado {
+                bytes: micro_bytes(scale, 2),
+            }]),
+        // How aggressive must flowlet switching be before it competes with
+        // per-packet spraying? A gap sweep around the paper's RTT/2
+        // default, under the asymmetry that makes path choice matter.
+        ScenarioMatrix::new("flowlet-gap")
+            .fabrics([FabricSpec::two_tier(8, 1)])
+            .lbs(
+                [
+                    LbKind::Ops { evs_size: 1 << 16 },
+                    LbKind::Reps(RepsConfig::default()),
+                    LbKind::Flowlet {
+                        gap: Time::from_us(1),
+                    },
+                    LbKind::Flowlet { gap: rtt() / 2 },
+                    LbKind::Flowlet {
+                        gap: Time::from_us(20),
+                    },
+                    LbKind::Flowlet {
+                        gap: Time::from_us(100),
+                    },
+                ]
+                .into_iter()
+                .map(LabeledLb::plain)
+                .collect::<Vec<_>>(),
+            )
+            .workloads([WorkloadSpec::Tornado {
+                bytes: micro_bytes(scale, 2),
+            }])
+            .failures([FailureSpec::DegradedUplinks { pct: 10, gbps: 200 }]),
     ]
 }
 
@@ -470,6 +521,8 @@ mod tests {
             "mixed-collectives",
             "oversub-asym",
             "reconv-delay",
+            "evs-sensitivity",
+            "flowlet-gap",
         ] {
             assert!(names.iter().any(|n| n == required), "missing {required}");
         }
@@ -500,6 +553,67 @@ mod tests {
             keys.iter().filter(|k| k.contains("rc=")).count() == keys.len() / 4 * 3,
             "exactly the non-default reconv cells carry the rc= component"
         );
+    }
+
+    #[test]
+    fn evs_sensitivity_sweeps_both_schemes_through_the_grammar() {
+        let m = by_name("evs-sensitivity", Scale::Quick).expect("preset exists");
+        let labels: Vec<&str> = m.lbs.iter().map(|l| l.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "OPS{evs=64}",
+                "REPS{evs=64}",
+                "OPS{evs=256}",
+                "REPS{evs=256}",
+                "OPS{evs=4096}",
+                "REPS{evs=4096}",
+                "OPS",
+                "REPS",
+            ]
+        );
+        for lb in &m.lbs {
+            assert_eq!(LbKind::parse(&lb.label).unwrap(), lb.kind, "{}", lb.label);
+        }
+    }
+
+    #[test]
+    fn flowlet_gap_sweeps_around_the_default() {
+        let m = by_name("flowlet-gap", Scale::Quick).expect("preset exists");
+        let labels: Vec<&str> = m.lbs.iter().map(|l| l.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "OPS",
+                "REPS",
+                "Flowlet{gap=1us}",
+                "Flowlet",
+                "Flowlet{gap=20us}",
+                "Flowlet{gap=100us}",
+            ]
+        );
+    }
+
+    #[test]
+    fn every_preset_lb_label_is_its_canonical_spec() {
+        for scale in [Scale::Quick, Scale::Full] {
+            for m in all(scale) {
+                for lb in &m.lbs {
+                    assert_eq!(
+                        lb.label,
+                        lb.kind.spec(),
+                        "{}: non-canonical lb label",
+                        m.name
+                    );
+                    assert_eq!(
+                        LbKind::parse(&lb.label).unwrap(),
+                        lb.kind,
+                        "{}: label does not reparse to its kind",
+                        m.name
+                    );
+                }
+            }
+        }
     }
 
     #[test]

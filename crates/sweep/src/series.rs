@@ -10,9 +10,12 @@
 //! DIR/<derived_seed as 16 hex digits>.series.jsonl
 //! ```
 //!
-//! Tracking covers ToR 0's uplinks (the same vantage point as the micro
-//! figures) and queue sampling runs up to [`SAMPLE_HORIZON`] of simulated
-//! time, so a stalled cell cannot balloon its document.
+//! Tracking covers the uplinks of the cell's vantage ToR — ToR 0, the
+//! micro figures' vantage point, unless the grid's `track` axis selects
+//! another (see [`crate::matrix::ScenarioMatrix::track`]; non-default
+//! vantages are keyed as `tk=N`, so they are distinct cells). Queue
+//! sampling runs up to [`SAMPLE_HORIZON`] of simulated time, so a stalled
+//! cell cannot balloon its document.
 //!
 //! # Record schema
 //!

@@ -25,17 +25,51 @@
 //! reconv   = none, 25us, 100us
 //! ```
 //!
-//! Axes: `fabric`, `lb`, `workload`, `failure`, `reconv`, `seed`, `cc`,
-//! `coalesce`, plus the single-valued settings `sim`, `background` and
-//! `deadline`. Omitted axes keep the [`ScenarioMatrix::new`] defaults.
-//! [`parse`] reports every problem with its 1-based line number;
-//! [`render`] is the canonical inverse (parse → render → parse is
-//! byte-stable).
+//! Axes: `fabric`, `lb`, `workload`, `failure`, `reconv`, `track`,
+//! `seed`, `cc`, `coalesce`, plus the single-valued settings `sim`,
+//! `background` and `deadline`. Omitted axes keep the
+//! [`ScenarioMatrix::new`] defaults. [`parse`] reports every problem with
+//! its 1-based line number; [`render`] is the canonical inverse
+//! (parse → render → parse is byte-stable).
+//!
+//! # The `lb` axis: the LB-spec grammar
+//!
+//! Load balancers are full [`baselines::kind`] spec strings, so parameter
+//! ablations — the paper's EVS-size and freezing sensitivity sweeps — are
+//! a text file, not a Rust change:
+//!
+//! ```text
+//! [evs-sweep]
+//! lb = OPS{evs=64}, OPS, REPS{evs=64}, REPS
+//! workload = tornado-262144B
+//! ```
+//!
+//! A bare family name is that scheme's paper-default configuration;
+//! `Family{key=value,...}` overrides individual knobs. The families and
+//! their parameters (defaults in parentheses):
+//!
+//! * `ECMP`, `MPRDMA`, `Adaptive RoCE` — no parameters;
+//! * `OPS{evs}` — EVS size (65536);
+//! * `REPS{evs,buf,freeze,fto,freezeat}` — EVS size (65536), cache depth
+//!   (8), freezing on/off (`on`), freezing timeout (`100us`), forced
+//!   freezing instant (unset);
+//! * `PLB{evs,thresh,rounds}` — EVS size (65536), ECN repath threshold
+//!   (0.05), consecutive congested rounds (1);
+//! * `Flowlet{gap}` — inactivity gap (half the paper RTT);
+//! * `BitMap{evs,clear}` — EVS size (65536), mark aging period (twice the
+//!   paper RTT);
+//! * `MPTCP{subflows}` — static subflow count (8).
+//!
+//! Durations use `25us` / `500ns` / `77ps` syntax. Cell keys always carry
+//! the *canonical* spelling ([`LbKind::spec`]): defaults are omitted,
+//! parameters ordered, and the legacy `REPS-nofreeze` /
+//! `REPS+freeze@Nus` forms remain canonical for the configurations they
+//! have always named — so any spelling of the same configuration shares
+//! one cell key, one derived seed and one cache address. Commas inside
+//! `{...}` do not split the value list.
 
 use baselines::kind::LbKind;
-use baselines::plb::PlbConfig;
 use netsim::time::Time;
-use reps::reps::RepsConfig;
 use transport::cc::CcKind;
 use transport::config::{CoalesceConfig, CoalesceVariant};
 
@@ -60,12 +94,13 @@ impl std::fmt::Display for SpecError {
 impl std::error::Error for SpecError {}
 
 /// The axis names [`parse`] accepts, in canonical render order.
-const AXES: [&str; 11] = [
+const AXES: [&str; 12] = [
     "fabric",
     "lb",
     "workload",
     "failure",
     "reconv",
+    "track",
     "seed",
     "cc",
     "coalesce",
@@ -74,11 +109,59 @@ const AXES: [&str; 11] = [
     "deadline",
 ];
 
+/// Splits an axis value list on top-level commas: commas inside `{...}`
+/// (LB-spec parameter lists) belong to the value, not the list. Unbalanced
+/// braces are left for the value parser to reject with a typed message.
+fn split_values(values: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in values.char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                out.push(values[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(values[start..].trim());
+    out
+}
+
+/// Cross-axis checks that need the whole matrix: a `track` vantage must
+/// name a ToR that exists in *every* fabric of the matrix, and the fabric
+/// line may come after the track line — so this runs when the section
+/// closes, reporting at the `track` line. (The matrix-level `expand`
+/// assert stays as the backstop for programmatic construction.)
+fn check_matrix(m: &ScenarioMatrix, seen: &[(&str, usize)]) -> Result<(), SpecError> {
+    let Some(&(_, line)) = seen.iter().find(|(a, _)| *a == "track") else {
+        return Ok(()); // Default vantage (ToR 0) exists in every fabric.
+    };
+    for fabric in &m.fabrics {
+        for &tor in &m.track {
+            if tor >= fabric.config.n_tors() {
+                return Err(SpecError {
+                    line,
+                    msg: format!(
+                        "tracked ToR {tor} does not exist in fabric {} ({} ToRs)",
+                        fabric.label,
+                        fabric.config.n_tors()
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Parses a spec file into its scenario matrices.
 pub fn parse(text: &str) -> Result<Vec<ScenarioMatrix>, SpecError> {
     let mut matrices: Vec<ScenarioMatrix> = Vec::new();
-    // (matrix under construction, axes already set in it)
-    let mut current: Option<(ScenarioMatrix, Vec<&str>)> = None;
+    // (matrix under construction, axes already set in it with their lines)
+    let mut current: Option<(ScenarioMatrix, Vec<(&str, usize)>)> = None;
     let fail = |line: usize, msg: String| Err(SpecError { line, msg });
 
     for (i, raw) in text.lines().enumerate() {
@@ -100,7 +183,8 @@ pub fn parse(text: &str) -> Result<Vec<ScenarioMatrix>, SpecError> {
             {
                 return fail(lineno, format!("duplicate matrix name {name:?}"));
             }
-            if let Some((done, _)) = current.take() {
+            if let Some((done, seen)) = current.take() {
+                check_matrix(&done, &seen)?;
                 matrices.push(done);
             }
             current = Some((ScenarioMatrix::new(name), Vec::new()));
@@ -125,14 +209,14 @@ pub fn parse(text: &str) -> Result<Vec<ScenarioMatrix>, SpecError> {
         let Some((matrix, seen)) = current.as_mut() else {
             return fail(lineno, format!("axis {axis:?} outside a [matrix] section"));
         };
-        if seen.contains(axis) {
+        if seen.iter().any(|(a, _)| a == axis) {
             return fail(
                 lineno,
                 format!("duplicate axis {axis:?} in matrix {:?}", matrix.name),
             );
         }
-        seen.push(axis);
-        let values: Vec<&str> = values.split(',').map(str::trim).collect();
+        seen.push((axis, lineno));
+        let values: Vec<&str> = split_values(values);
         if values == [""] {
             return fail(lineno, format!("axis {axis:?} has an empty value list"));
         }
@@ -146,7 +230,8 @@ pub fn parse(text: &str) -> Result<Vec<ScenarioMatrix>, SpecError> {
             return fail(lineno, msg);
         }
     }
-    if let Some((done, _)) = current.take() {
+    if let Some((done, seen)) = current.take() {
+        check_matrix(&done, &seen)?;
         matrices.push(done);
     }
     Ok(matrices)
@@ -218,6 +303,14 @@ fn apply_axis(matrix: &mut ScenarioMatrix, axis: &str, values: &[&str]) -> Resul
                 .collect::<Result<_, _>>()?;
             unique(&parsed.iter().map(|r| reconv_label(*r)).collect::<Vec<_>>())?;
             matrix.reconv = parsed;
+        }
+        "track" => {
+            let parsed: Vec<u32> = values
+                .iter()
+                .map(|v| num(v, "tracked ToR"))
+                .collect::<Result<_, _>>()?;
+            unique(&parsed.iter().map(u32::to_string).collect::<Vec<_>>())?;
+            matrix.track = parsed;
         }
         "seed" => {
             let parsed: Vec<u32> = values
@@ -309,6 +402,7 @@ pub fn render_matrix(m: &ScenarioMatrix) -> String {
         "reconv",
         m.reconv.iter().map(|r| reconv_label(*r)),
     );
+    line(&mut out, "track", m.track.iter().map(u32::to_string));
     line(&mut out, "seed", m.seeds.iter().map(u32::to_string));
     line(&mut out, "cc", m.ccs.iter().map(|c| c.label().to_string()));
     line(
@@ -322,10 +416,12 @@ pub fn render_matrix(m: &ScenarioMatrix) -> String {
         "background",
         [match &m.background {
             None => "none".to_string(),
-            Some((w, lb)) => format!("{}+{}", w.label(), lb.label()),
+            // The canonical spec, not the bare family name: a
+            // parameterized background LB must survive render → parse.
+            Some((w, lb)) => format!("{}+{}", w.label(), lb.spec()),
         }],
     );
-    line(&mut out, "deadline", [reconv_label(Some(m.deadline))]);
+    line(&mut out, "deadline", [m.deadline.label()]);
     out
 }
 
@@ -340,18 +436,7 @@ where
 
 /// Parses a duration label: `25us`, `500ns` or `77ps`.
 fn parse_time(s: &str) -> Result<Time, String> {
-    if let Some(v) = s.strip_suffix("us") {
-        return Ok(Time::from_us(num(v, "duration")?));
-    }
-    if let Some(v) = s.strip_suffix("ns") {
-        return Ok(Time::from_ns(num(v, "duration")?));
-    }
-    if let Some(v) = s.strip_suffix("ps") {
-        return Ok(Time::from_ps(num(v, "duration")?));
-    }
-    Err(format!(
-        "bad duration {s:?} (expected e.g. 25us, 500ns, 77ps)"
-    ))
+    Time::parse_label(s)
 }
 
 fn parse_reconv(s: &str) -> Result<Option<Time>, String> {
@@ -415,47 +500,13 @@ fn parse_fabric(s: &str) -> Result<FabricSpec, String> {
     Err(bad())
 }
 
-/// The paper RTT the default lineups size Flowlet gaps and BitMap aging
-/// from (mirrors the preset construction).
-fn paper_rtt() -> Time {
-    netsim::config::SimConfig::paper_default().base_rtt(3)
-}
-
+/// Parses one `lb` axis value through the typed LB-spec grammar
+/// ([`LbKind::parse`]) and labels it *canonically* ([`LbKind::spec`]): any
+/// spelling of a configuration — spelled-out defaults, reordered
+/// parameters, braced equivalents of the legacy forms — lands on the same
+/// cell key, derived seed, shard and cache address.
 fn parse_lb(s: &str) -> Result<LabeledLb, String> {
-    let kind = match s {
-        "ECMP" => LbKind::Ecmp,
-        "OPS" => LbKind::Ops { evs_size: 1 << 16 },
-        "REPS" => LbKind::Reps(RepsConfig::default()),
-        "PLB" => LbKind::Plb(PlbConfig::default()),
-        "MPRDMA" => LbKind::Mprdma,
-        "MPTCP" => LbKind::MptcpLike { subflows: 8 },
-        "Adaptive RoCE" => LbKind::AdaptiveRoce,
-        "Flowlet" => LbKind::Flowlet {
-            gap: paper_rtt() / 2,
-        },
-        "BitMap" => LbKind::Bitmap {
-            evs_size: 1 << 16,
-            clear_period: paper_rtt() * 2,
-        },
-        "REPS-nofreeze" => LbKind::Reps(RepsConfig::default().without_freezing()),
-        other => {
-            if let Some(at) = other
-                .strip_prefix("REPS+freeze@")
-                .and_then(|r| r.strip_suffix("us"))
-            {
-                LbKind::Reps(RepsConfig {
-                    force_freezing_at: Some(Time::from_us(num(at, "freeze instant")?)),
-                    ..RepsConfig::default()
-                })
-            } else {
-                return Err(format!(
-                    "unknown lb {other:?} (expected ECMP, OPS, REPS, PLB, MPRDMA, MPTCP, \
-                     Flowlet, BitMap, Adaptive RoCE, REPS-nofreeze or REPS+freeze@Nus)"
-                ));
-            }
-        }
-    };
-    Ok(LabeledLb::named(s, kind))
+    Ok(LabeledLb::plain(LbKind::parse(s)?))
 }
 
 fn parse_workload(s: &str) -> Result<WorkloadSpec, String> {
@@ -719,6 +770,86 @@ reconv = none, 25us
     }
 
     #[test]
+    fn braced_lb_specs_survive_the_comma_split() {
+        let ms = parse("[g]\nlb = REPS{evs=256,freeze=off}, OPS{evs=256}, OPS\n")
+            .expect("braced values parse");
+        let labels: Vec<&str> = ms[0].lbs.iter().map(|l| l.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            vec!["REPS{evs=256,freeze=off}", "OPS{evs=256}", "OPS"]
+        );
+        // Canonical text reparses to the identical cells.
+        let canonical = render(&ms);
+        assert_eq!(render(&parse(&canonical).unwrap()), canonical);
+    }
+
+    #[test]
+    fn lb_values_canonicalize_to_one_cell_key_per_configuration() {
+        // Three spellings of the same grid; the cell keys must be equal.
+        let keys = |text: &str| -> Vec<String> {
+            parse(text).expect(text)[0]
+                .expand()
+                .iter()
+                .map(|c| c.key())
+                .collect()
+        };
+        let canonical = keys("[g]\nlb = REPS-nofreeze, OPS\n");
+        assert_eq!(
+            keys("[g]\nlb = REPS{freeze=off}, OPS{evs=65536}\n"),
+            canonical
+        );
+        assert_eq!(
+            keys("[g]\nlb = REPS{ freeze=off , evs=65536 }, OPS{}\n"),
+            canonical
+        );
+        assert!(canonical[0].contains("/lb=REPS-nofreeze/"), "{canonical:?}");
+    }
+
+    #[test]
+    fn duplicate_lb_spellings_of_one_config_are_rejected() {
+        let err =
+            parse("[g]\nlb = REPS-nofreeze, REPS{freeze=off}\n").expect_err("aliases collide");
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("duplicate lb"), "{err}");
+    }
+
+    #[test]
+    fn track_axis_parses_renders_and_keys() {
+        let ms = parse("[g]\nfabric = 2t-k8-o1\ntrack = 0, 3\n").expect("track axis parses");
+        assert_eq!(ms[0].track, vec![0, 3]);
+        let canonical = render(&ms);
+        assert!(canonical.contains("track = 0, 3\n"), "{canonical}");
+        assert_eq!(render(&parse(&canonical).unwrap()), canonical);
+        let keys: Vec<String> = ms[0].expand().iter().map(|c| c.key()).collect();
+        assert!(!keys[0].contains("tk="), "{}", keys[0]);
+        assert!(keys[2].contains("/tk=3/"), "{}", keys[2]);
+
+        for (text, line, needle) in [
+            ("[g]\ntrack = 1, 1", 2, "duplicate track"),
+            ("[g]\ntrack = up", 2, "bad tracked ToR"),
+            // Out-of-range vantages are line-numbered spec errors (the
+            // default 2t-k8-o1 fabric has 8 ToRs), whichever order the
+            // fabric and track lines come in, and whether the section is
+            // closed by another section or by end of file.
+            ("[g]\ntrack = 8", 2, "tracked ToR 8 does not exist"),
+            (
+                "[g]\ntrack = 2\nfabric = 2t-custom-2x8-u4",
+                2,
+                "tracked ToR 2 does not exist",
+            ),
+            (
+                "[g]\nfabric = 2t-custom-2x8-u4\ntrack = 2\n[h]",
+                3,
+                "tracked ToR 2 does not exist",
+            ),
+        ] {
+            let err = parse(text).expect_err(text);
+            assert_eq!(err.line, line, "{text:?} -> {err}");
+            assert!(err.to_string().contains(needle), "{text:?} -> {err}");
+        }
+    }
+
+    #[test]
     fn background_lb_may_contain_a_plus() {
         let ms = parse("[g]\nbackground = perm-1024B+REPS+freeze@50us\n").expect("parses");
         let (wl, lb) = ms[0].background.as_ref().expect("background set");
@@ -737,15 +868,16 @@ reconv = none, 25us
         let text = "\
 [kitchen-sink]
 fabric = 2t-k8-o1, 3t-k6-o2, 2t-custom-2x8-u4, ls-8x8-o4
-lb = ECMP, OPS, REPS, PLB, MPRDMA, MPTCP, Flowlet, BitMap, Adaptive RoCE, REPS-nofreeze, REPS+freeze@50us
+lb = ECMP, OPS, REPS, PLB, MPRDMA, MPTCP, Flowlet, BitMap, Adaptive RoCE, REPS-nofreeze, REPS+freeze@50us, REPS{evs=256,buf=16,fto=50us}, OPS{evs=64}, PLB{thresh=0.1,rounds=3}, Flowlet{gap=80us}, BitMap{evs=1024,clear=50us}, MPTCP{subflows=4}
 workload = tornado-1024B, perm-2048B, incast8to1-4096B, ringar-8192B, bflyar-16384B, a2a-w4-512B, dctrace-30pct-100us
 failure = none, cable1-at8us-perm, switch1-at8us-30us, cables5pct-at10us-perm, switches5pct-at10us-20us, degraded3pct-200G, ber10pm-at5us, rolling4-every40us-down80us, incuplinks3-every50us
 reconv = none, 10us, 500ns, 77ps
+track = 0, 1
 seed = 0, 3, 7
 cc = DCTCP, EQDS, INTERNAL
 coalesce = pp, plain4, carry16, reuse16
 sim = fpga
-background = tornado-8192B+ECMP
+background = tornado-8192B+REPS{evs=128,freeze=off}
 deadline = 5000000us
 ";
         let ms = parse(text).expect("kitchen sink parses");
@@ -756,8 +888,15 @@ deadline = 5000000us
         let m = &ms[0];
         assert!(matches!(m.sim, SimProfile::FpgaTestbed));
         assert_eq!(m.deadline, Time::from_secs(5));
-        assert!(m.background.is_some());
         assert_eq!(m.fabrics[3].config.tor_uplinks, 2);
         assert_eq!(m.lbs[10].label, "REPS+freeze@50us");
+        assert_eq!(m.lbs[11].label, "REPS{evs=256,buf=16,fto=50us}");
+        assert_eq!(m.track, vec![0, 1]);
+        let (_, bg_lb) = m.background.as_ref().expect("background set");
+        assert!(
+            matches!(bg_lb, baselines::kind::LbKind::Reps(cfg)
+                if cfg.evs_size == 128 && !cfg.freezing_enabled),
+            "parameterized background must reach the config: {bg_lb:?}"
+        );
     }
 }

@@ -50,6 +50,28 @@ fn fig07_failure_micro_output_is_byte_identical_to_pre_refactor() {
 // one: snapshots recorded at quick scale with
 // `repsbench run --filter <preset> --quiet --out <file>`.
 
+// The LB-grammar ablation presets are likewise locked from day one:
+// every axis value is a canonical LB-spec string, and the snapshot pins
+// both the spec-derived cell keys and the simulation bytes.
+
+#[test]
+fn evs_sensitivity_output_is_byte_identical_to_its_snapshot() {
+    assert_eq!(
+        preset_jsonl("evs-sensitivity"),
+        include_str!("golden/evs-sensitivity.quick.jsonl"),
+        "evs-sensitivity output drifted from its day-one golden snapshot"
+    );
+}
+
+#[test]
+fn flowlet_gap_output_is_byte_identical_to_its_snapshot() {
+    assert_eq!(
+        preset_jsonl("flowlet-gap"),
+        include_str!("golden/flowlet-gap.quick.jsonl"),
+        "flowlet-gap output drifted from its day-one golden snapshot"
+    );
+}
+
 #[test]
 fn oversub_asym_output_is_byte_identical_to_its_snapshot() {
     assert_eq!(

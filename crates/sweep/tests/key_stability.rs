@@ -16,8 +16,15 @@ use sweep::{presets, specfile};
 
 const FIXTURE: &str = include_str!("fixtures/cell_keys_pre_oversub.tsv");
 
-fn fixture_rows() -> Vec<(&'static str, u64, u64, &'static str)> {
-    FIXTURE
+/// The full-pool snapshot regenerated after the LB-spec grammar landed
+/// (PR 5): every preset — the new ablations included — with labels
+/// derived from [`baselines::kind::LbKind::spec`]. Its overlap with the
+/// pre-oversub fixture is byte-identical, proving the grammar moved zero
+/// pre-existing cells; future PRs diff against the wider pin.
+const FIXTURE_LBSPEC: &str = include_str!("fixtures/cell_keys_with_lbspec.tsv");
+
+fn rows_of(fixture: &'static str) -> Vec<(&'static str, u64, u64, &'static str)> {
+    fixture
         .lines()
         .map(|l| {
             let mut f = l.splitn(4, '\t');
@@ -28,6 +35,10 @@ fn fixture_rows() -> Vec<(&'static str, u64, u64, &'static str)> {
             (scale, seed, shard, key)
         })
         .collect()
+}
+
+fn fixture_rows() -> Vec<(&'static str, u64, u64, &'static str)> {
+    rows_of(FIXTURE)
 }
 
 /// Current `(derived_seed, key)` pairs for the presets named in the
@@ -69,6 +80,45 @@ fn pre_existing_presets_kept_every_key_seed_and_shard() {
 }
 
 #[test]
+fn full_pool_matches_the_regenerated_lbspec_fixture() {
+    // The wider pin: the whole current pool (spec-derived LB labels, the
+    // ablation presets) in expansion order, seeds and shard membership
+    // included. Together with the pre-oversub fixture test above this
+    // proves the grammar refactor moved zero pre-existing cells while the
+    // new presets only extended the suite.
+    let rows = rows_of(FIXTURE_LBSPEC);
+    assert_eq!(rows.len(), 606, "lbspec fixture shape changed unexpectedly");
+    let pre: HashSet<(u64, &str)> = fixture_rows()
+        .iter()
+        .map(|(_, seed, _, key)| (*seed, *key))
+        .collect();
+    let post: HashSet<(u64, &str)> = rows.iter().map(|(_, seed, _, key)| (*seed, *key)).collect();
+    assert!(
+        pre.is_subset(&post),
+        "a pre-oversub cell is missing from the regenerated fixture"
+    );
+    for (tag, scale) in [("quick", Scale::Quick), ("full", Scale::Full)] {
+        let expected: Vec<(u64, String)> = rows
+            .iter()
+            .filter(|(s, _, _, _)| *s == tag)
+            .map(|(_, seed, _, key)| (*seed, key.to_string()))
+            .collect();
+        let current: Vec<(u64, String)> = presets::all(scale)
+            .into_iter()
+            .flat_map(|m| m.expand())
+            .map(|c| (c.derived_seed(), c.key()))
+            .collect();
+        assert_eq!(
+            current, expected,
+            "{tag}: the current pool drifted from the regenerated fixture"
+        );
+        for (_, seed, shard, key) in rows.iter().filter(|(s, _, _, _)| *s == tag) {
+            assert_eq!(seed % 4, *shard, "{key}: shard-of-4 membership moved");
+        }
+    }
+}
+
+#[test]
 fn new_presets_extend_rather_than_perturb_the_suite() {
     let fixture_presets: HashSet<&str> = fixture_rows()
         .iter()
@@ -81,7 +131,12 @@ fn new_presets_extend_rather_than_perturb_the_suite() {
     for name in &fixture_presets {
         assert!(now.contains(*name), "pre-existing preset {name} vanished");
     }
-    for new in ["oversub-asym", "reconv-delay"] {
+    for new in [
+        "oversub-asym",
+        "reconv-delay",
+        "evs-sensitivity",
+        "flowlet-gap",
+    ] {
         assert!(now.contains(new), "new preset {new} missing");
         assert!(
             !fixture_presets.contains(new),

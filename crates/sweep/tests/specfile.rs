@@ -64,6 +64,13 @@ fn arbitrary_matrix(seed: u64) -> ScenarioMatrix {
         "Adaptive RoCE",
         "REPS-nofreeze",
         "REPS+freeze@50us",
+        "REPS{evs=256,freeze=off}",
+        "REPS{buf=16,fto=50us,freezeat=500ns}",
+        "OPS{evs=64}",
+        "PLB{thresh=0.1,rounds=3}",
+        "Flowlet{gap=80us}",
+        "BitMap{evs=1024,clear=50us}",
+        "MPTCP{subflows=4}",
     ];
     let lb_text = format!("lb = {}", pick.subset(&lb_labels).join(", "));
     let mut m = specfile::parse(&format!("[seed-{seed}]\n{lb_text}\n"))
@@ -111,10 +118,19 @@ fn arbitrary_matrix(seed: u64) -> ScenarioMatrix {
         },
     ]);
     m.reconv = pick.subset(&[None, Some(Time::from_us(10)), Some(Time::from_ns(500))]);
+    // Every fabric in the pool has at least 2 ToRs.
+    m.track = pick.subset(&[0u32, 1]);
     m.seeds = pick.subset(&[0u32, 1, 5, 9]);
     m.deadline = pick.choice(&[Time::from_secs(2), Time::from_us(123), Time::from_ns(77)]);
     if pick.next() & 1 == 1 {
-        m.background = Some((WorkloadSpec::Tornado { bytes: 1 << 12 }, LbKind::Ecmp));
+        let bg_lb = if pick.next() & 1 == 1 {
+            LbKind::Ecmp
+        } else {
+            // A parameterized background exercises the spec-grammar render
+            // path of the `background` setting.
+            LbKind::parse("REPS{evs=128,freeze=off}").expect("background spec parses")
+        };
+        m.background = Some((WorkloadSpec::Tornado { bytes: 1 << 12 }, bg_lb));
     }
     m
 }
@@ -168,6 +184,28 @@ fn every_builtin_preset_reexpresses_with_identical_cell_keys() {
                 m.name
             );
         }
+    }
+}
+
+#[test]
+fn ablation_grid_reproduces_the_builtin_ablation_presets() {
+    // A parameter sweep is now a text file: the shipped example grid
+    // expands to exactly the built-in ablation presets' cells — identical
+    // keys, so identical derived seeds, shard membership and cache
+    // addresses.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/ablation.grid");
+    let text = std::fs::read_to_string(path).expect("examples/ablation.grid exists");
+    let parsed = specfile::parse(&text).expect("ablation grid parses");
+    let names: Vec<&str> = parsed.iter().map(|m| m.name.as_str()).collect();
+    assert_eq!(names, vec!["evs-sensitivity", "flowlet-gap"]);
+    for m in &parsed {
+        let builtin = presets::by_name(&m.name, Scale::Quick).expect("names a built-in preset");
+        assert_eq!(
+            keys(m),
+            keys(&builtin),
+            "{}: the example grid drifted from the built-in preset",
+            m.name
+        );
     }
 }
 

@@ -10,7 +10,7 @@ use std::collections::VecDeque;
 use netsim::engine::Ctx;
 use netsim::hash::FxHashMap;
 use netsim::ids::{ConnId, FlowId, HostId};
-use netsim::packet::{Ack, Body, EvEcho, Packet};
+use netsim::packet::{Ack, Body, EchoList, EvEcho, Packet, SeqList};
 use netsim::stats::FlowRecord;
 use netsim::time::Time;
 use reps::lb::{AckFeedback, LoadBalancer};
@@ -529,19 +529,20 @@ impl ReceiverConn {
         if self.pend_sacked.is_empty() {
             return None;
         }
-        // Clone-and-clear rather than `mem::take`: the pending buffers keep
-        // their capacity, so steady-state flushing performs exactly one
-        // exact-size allocation per outgoing `Vec` instead of re-growing
-        // the pending buffers from zero after every ACK.
+        // The pending buffers are connection-owned and only *copied from*:
+        // they keep their capacity across flushes, and the outgoing lists
+        // store their elements inline ([`netsim::packet::SmallList`]) —
+        // per-packet ACKs, the steady-state hot path, leave here with zero
+        // heap allocations; only wide coalesced batches spill.
         let echoes = match self.variant {
             CoalesceVariant::Plain | CoalesceVariant::ReuseEvs => {
-                vec![*self.pend_echoes.last().expect("non-empty")]
+                EchoList::one(*self.pend_echoes.last().expect("non-empty"))
             }
-            CoalesceVariant::CarryEvs => self.pend_echoes.clone(),
+            CoalesceVariant::CarryEvs => EchoList::from_slice(&self.pend_echoes),
         };
         let ack = Ack {
             cum_ack: self.tracker.cum_ack(),
-            sacked: self.pend_sacked.clone(),
+            sacked: SeqList::from_slice(&self.pend_sacked),
             echoes,
             covered: self.pend_covered,
             marked: self.pend_marked,
@@ -633,7 +634,7 @@ mod tests {
             let out = recv_data(&mut rx, seq, 100, false, Time::from_us(seq));
             let ack = out.ack.expect("per-packet ACK");
             assert_eq!(ack.covered, 1);
-            assert_eq!(ack.sacked, vec![seq]);
+            assert_eq!(ack.sacked.as_slice(), &[seq]);
             assert_eq!(ack.cum_ack, seq + 1);
             assert_eq!(ack.echoes.len(), 1);
             assert_eq!(ack.reuse, 1);

@@ -47,6 +47,14 @@ pub struct HostEndpoint {
     eqds_armed: bool,
     /// Round-robin cursor over demanding peers (EQDS pacer fairness).
     eqds_rr: usize,
+    /// Endpoint-owned scratch reused across RTO/delayed-ACK sweeps
+    /// (capacity retained, so periodic sweeps allocate nothing in steady
+    /// state).
+    sweep_conns: Vec<(HostId, bool)>,
+    /// Scratch for stale-ACK flushes (see `sweep_conns`).
+    stale_acks: Vec<(HostId, ConnId, Ack)>,
+    /// Scratch for the EQDS demand scan (see `sweep_conns`).
+    eqds_demand: Vec<(ConnId, HostId)>,
 }
 
 impl HostEndpoint {
@@ -66,6 +74,9 @@ impl HostEndpoint {
             sweep_armed: false,
             eqds_armed: false,
             eqds_rr: 0,
+            sweep_conns: Vec::new(),
+            stale_acks: Vec::new(),
+            eqds_demand: Vec::new(),
         }
     }
 
@@ -175,26 +186,34 @@ impl HostEndpoint {
         self.sweep_armed = false;
         let rto = self.cfg.rto;
         // Sweep senders in key order: each timeout draws from the shared
-        // RNG, so hash-order iteration would make runs irreproducible.
-        let mut conns: Vec<(HostId, bool)> = self.senders.keys().copied().collect();
+        // RNG, so hash-order iteration would make runs irreproducible. The
+        // scratch vector is endpoint-owned and reused (taken and restored
+        // around the loop, which needs `&mut self`).
+        let mut conns = std::mem::take(&mut self.sweep_conns);
+        conns.clear();
+        conns.extend(self.senders.keys().copied());
         conns.sort_unstable();
-        for key in conns {
+        for &key in &conns {
             self.senders
                 .get_mut(&key)
                 .expect("listed")
                 .check_timeouts(rto, ctx);
         }
+        self.sweep_conns = conns;
         // Delayed-ACK flush: release observations older than a quarter RTO.
         let cutoff = ctx.now.saturating_sub(rto / 4);
-        let mut stale: Vec<(HostId, ConnId, Ack)> = self
-            .receivers
-            .values_mut()
-            .filter_map(|rx| rx.flush_stale(cutoff).map(|a| (rx.peer, rx.conn, a)))
-            .collect();
+        let mut stale = std::mem::take(&mut self.stale_acks);
+        stale.clear();
+        stale.extend(
+            self.receivers
+                .values_mut()
+                .filter_map(|rx| rx.flush_stale(cutoff).map(|a| (rx.peer, rx.conn, a))),
+        );
         stale.sort_unstable_by_key(|(peer, conn, _)| (*peer, *conn));
-        for (peer, conn, ack) in stale {
+        for (peer, conn, ack) in stale.drain(..) {
             self.send_ack(peer, conn, ack, ctx);
         }
+        self.stale_acks = stale;
         let busy =
             self.senders.values().any(|tx| !tx.idle()) || self.schedule_next < self.schedule.len();
         if busy {
@@ -204,18 +223,22 @@ impl HostEndpoint {
 
     fn on_eqds_tick(&mut self, ctx: &mut Ctx<'_>) {
         self.eqds_armed = false;
-        let mut demanding: Vec<(ConnId, HostId)> = self
-            .receivers
-            .values()
-            .filter(|rx| rx.demand_bytes > 0)
-            .map(|rx| (rx.conn, rx.peer))
-            .collect();
+        let mut demanding = std::mem::take(&mut self.eqds_demand);
+        demanding.clear();
+        demanding.extend(
+            self.receivers
+                .values()
+                .filter(|rx| rx.demand_bytes > 0)
+                .map(|rx| (rx.conn, rx.peer)),
+        );
         if demanding.is_empty() {
+            self.eqds_demand = demanding;
             return;
         }
         // Deterministic round-robin order across HashMap iteration.
         demanding.sort_unstable_by_key(|(c, _)| *c);
         let (conn, peer) = demanding[self.eqds_rr % demanding.len()];
+        self.eqds_demand = demanding;
         self.eqds_rr = self.eqds_rr.wrapping_add(1);
         let quantum = self.cfg.eqds_quantum_pkts as u64 * self.cfg.mtu as u64;
         let grant;
