@@ -19,6 +19,8 @@ pub struct Bitmap {
     clear_period: Time,
     /// Attempts per send before giving up and accepting a congested EV.
     max_tries: u32,
+    /// Lifetime count of candidate entropies rejected for congestion.
+    pub rejections: u64,
 }
 
 impl Bitmap {
@@ -32,6 +34,7 @@ impl Bitmap {
             last_clear: Time::ZERO,
             clear_period,
             max_tries: 8,
+            rejections: 0,
         }
     }
 
@@ -68,6 +71,7 @@ impl LoadBalancer for Bitmap {
                 if !self.congested[candidate as usize] {
                     break;
                 }
+                self.rejections += 1;
                 candidate = rng.gen_range(n) as u16;
             }
         }
@@ -92,6 +96,11 @@ impl LoadBalancer for Bitmap {
 
     fn name(&self) -> &'static str {
         "BitMap"
+    }
+
+    fn diagnostics(&self, out: &mut Vec<(&'static str, u64)>) {
+        out.push(("bitmap_rejections", self.rejections));
+        out.push(("bitmap_marked_evs", self.marked_count as u64));
     }
 }
 
@@ -158,6 +167,23 @@ mod tests {
         assert_eq!(lb.footprint_bits(), 65_536);
         // The paper's point: that is 64 Kib vs REPS' 193 bits.
         assert!(lb.footprint_bits() > reps::footprint::footprint_bits(8) * 300);
+    }
+
+    #[test]
+    fn diagnostics_count_congestion_rejections() {
+        let mut lb = Bitmap::new(8, Time::from_ms(100));
+        let mut rng = Rng64::new(5);
+        for ev in [0u16, 1, 2, 3, 4, 6, 7] {
+            lb.on_ack(&fb(ev, true, Time::from_us(1)), &mut rng);
+        }
+        for _ in 0..50 {
+            lb.next_ev(Time::from_us(2), &mut rng);
+        }
+        let mut diag = Vec::new();
+        lb.diagnostics(&mut diag);
+        assert_eq!(diag[0].0, "bitmap_rejections");
+        assert!(diag[0].1 > 0, "7/8 marked EVs must reject some draws");
+        assert_eq!(diag[1], ("bitmap_marked_evs", 7));
     }
 
     #[test]

@@ -54,6 +54,10 @@ impl LoadBalancer for Flowlet {
     fn name(&self) -> &'static str {
         "Flowlet"
     }
+
+    fn diagnostics(&self, out: &mut Vec<(&'static str, u64)>) {
+        out.push(("flowlet_switches", self.switches));
+    }
 }
 
 #[cfg(test)]

@@ -55,6 +55,12 @@ impl LoadBalancer for MptcpLike {
     fn name(&self) -> &'static str {
         "MPTCP"
     }
+
+    /// Static subflows never migrate — the count (and the conspicuous
+    /// absence of a migration counter) is the diagnostic.
+    fn diagnostics(&self, out: &mut Vec<(&'static str, u64)>) {
+        out.push(("mptcp_subflows", self.subflow_evs.len() as u64));
+    }
 }
 
 #[cfg(test)]

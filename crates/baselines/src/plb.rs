@@ -112,6 +112,10 @@ impl LoadBalancer for Plb {
     fn name(&self) -> &'static str {
         "PLB"
     }
+
+    fn diagnostics(&self, out: &mut Vec<(&'static str, u64)>) {
+        out.push(("plb_repaths", self.repaths));
+    }
 }
 
 #[cfg(test)]

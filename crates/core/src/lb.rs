@@ -9,6 +9,8 @@
 use netsim::rng::Rng64;
 use netsim::time::Time;
 
+pub use netsim::trace::EvDecision;
+
 /// Feedback delivered to the load balancer for every processed ACK.
 #[derive(Debug, Clone, Copy)]
 pub struct AckFeedback {
@@ -50,6 +52,26 @@ pub trait LoadBalancer {
 
     /// Short human-readable name for reports.
     fn name(&self) -> &'static str;
+
+    /// How the most recent [`next_ev`](LoadBalancer::next_ev) call arrived
+    /// at its answer. Balancers without a cache draw fresh every time, so
+    /// that is the default.
+    fn last_decision(&self) -> EvDecision {
+        EvDecision::Fresh
+    }
+
+    /// Whether the balancer is currently replaying a frozen path set
+    /// (REPS' reconvergence mode). Balancers without the concept never are.
+    fn is_frozen(&self) -> bool {
+        false
+    }
+
+    /// Appends this balancer's decision counters as `(name, value)` pairs.
+    ///
+    /// Names must be stable identifiers (they become JSONL field names in
+    /// the opt-in `diagnostics` block); values are lifetime totals for this
+    /// connection. The default exposes nothing.
+    fn diagnostics(&self, _out: &mut Vec<(&'static str, u64)>) {}
 }
 
 #[cfg(test)]
@@ -77,5 +99,15 @@ mod tests {
         assert_eq!(lb.next_ev(Time::ZERO, &mut rng), 7);
         assert_eq!(lb.name(), "fixed");
         lb.on_congestion_loss(7, Time::ZERO); // Default impl must not panic.
+    }
+
+    #[test]
+    fn probe_defaults_are_inert() {
+        let lb = Fixed(3);
+        assert_eq!(lb.last_decision(), EvDecision::Fresh);
+        assert!(!lb.is_frozen());
+        let mut out = Vec::new();
+        lb.diagnostics(&mut out);
+        assert!(out.is_empty());
     }
 }

@@ -37,5 +37,5 @@ pub mod footprint;
 pub mod lb;
 pub mod reps;
 
-pub use lb::{AckFeedback, LoadBalancer};
+pub use lb::{AckFeedback, EvDecision, LoadBalancer};
 pub use reps::{Reps, RepsConfig};

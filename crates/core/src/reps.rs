@@ -12,7 +12,7 @@
 use netsim::rng::Rng64;
 use netsim::time::Time;
 
-use crate::lb::{AckFeedback, LoadBalancer};
+use crate::lb::{AckFeedback, EvDecision, LoadBalancer};
 
 /// Tuning knobs for [`Reps`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -89,6 +89,18 @@ pub struct Reps {
     /// Last congestion window observed (packets), seeding the exploration
     /// counter when freezing expires on the send path.
     last_cwnd_packets: u32,
+    /// How the most recent [`next_ev`](LoadBalancer::next_ev) call chose.
+    last_decision: EvDecision,
+    /// Lifetime count of fresh (exploratory) entropy draws.
+    fresh_draws: u64,
+    /// Lifetime count of recycled cache hits.
+    recycled_draws: u64,
+    /// Lifetime count of frozen-mode replays of stale cache entries.
+    frozen_replays: u64,
+    /// Times freezing mode was entered.
+    freezes: u64,
+    /// Times freezing mode was exited.
+    thaws: u64,
 }
 
 impl Reps {
@@ -108,6 +120,12 @@ impl Reps {
             freezing: false,
             exit_freezing: Time::ZERO,
             last_cwnd_packets: cfg.buffer_size as u32,
+            last_decision: EvDecision::Fresh,
+            fresh_draws: 0,
+            recycled_draws: 0,
+            frozen_replays: 0,
+            freezes: 0,
+            thaws: 0,
             cfg,
         }
     }
@@ -132,8 +150,11 @@ impl Reps {
         self.cfg.evs_size
     }
 
-    /// Draws a uniformly random entropy from the EVS.
-    fn random_ev(&self, rng: &mut Rng64) -> u16 {
+    /// Draws a uniformly random entropy from the EVS, recording the
+    /// decision as exploratory.
+    fn random_ev(&mut self, rng: &mut Rng64) -> u16 {
+        self.last_decision = EvDecision::Fresh;
+        self.fresh_draws += 1;
         rng.gen_range(self.cfg.evs_size as u64) as u16
     }
 
@@ -152,11 +173,15 @@ impl Reps {
             let offset = (self.head + n - (self.num_valid % n)) % n;
             self.buffer[offset].is_valid = false;
             self.num_valid -= 1;
+            self.last_decision = EvDecision::Recycled;
+            self.recycled_draws += 1;
             self.buffer[offset].cached_ev
         } else {
             // Freezing mode: replay stale entries round-robin. Skip slots
             // that were never written (possible only if freezing hits before
             // the first BDP of ACKs returned, which the caller guards).
+            self.last_decision = EvDecision::FrozenReplay;
+            self.frozen_replays += 1;
             let n = self.buffer.len();
             for _ in 0..n {
                 let offset = self.head;
@@ -178,6 +203,7 @@ impl LoadBalancer for Reps {
             if _now >= at && !self.freezing {
                 // Fig. 19: freeze without a failure and never thaw.
                 self.freezing = true;
+                self.freezes += 1;
                 self.exit_freezing = Time::MAX;
                 self.explore_counter = 0;
             }
@@ -189,6 +215,7 @@ impl LoadBalancer for Reps {
             // failed path) still thaws and re-explores instead of replaying
             // dead paths forever.
             self.freezing = false;
+            self.thaws += 1;
             self.explore_counter = self.last_cwnd_packets.max(1);
         }
         if self.explore_counter > 0 {
@@ -222,6 +249,7 @@ impl LoadBalancer for Reps {
         self.last_cwnd_packets = fb.cwnd_packets.max(1);
         if self.freezing && fb.now > self.exit_freezing {
             self.freezing = false;
+            self.thaws += 1;
             // Explore for a window's worth of packets after thawing so REPS
             // cannot get stuck on a stale path set (§3.2).
             self.explore_counter = fb.cwnd_packets.max(1);
@@ -235,12 +263,32 @@ impl LoadBalancer for Reps {
         }
         if !self.freezing && self.explore_counter == 0 {
             self.freezing = true;
+            self.freezes += 1;
             self.exit_freezing = now + self.cfg.freezing_timeout;
         }
     }
 
     fn name(&self) -> &'static str {
         "REPS"
+    }
+
+    fn last_decision(&self) -> EvDecision {
+        self.last_decision
+    }
+
+    fn is_frozen(&self) -> bool {
+        self.freezing
+    }
+
+    /// The EV-lifecycle counters behind the paper's mechanism claims:
+    /// recycle rate is `reps_recycled_draws / (fresh + recycled + frozen)`.
+    fn diagnostics(&self, out: &mut Vec<(&'static str, u64)>) {
+        out.push(("reps_fresh_draws", self.fresh_draws));
+        out.push(("reps_recycled_draws", self.recycled_draws));
+        out.push(("reps_frozen_replays", self.frozen_replays));
+        out.push(("reps_freezes", self.freezes));
+        out.push(("reps_thaws", self.thaws));
+        out.push(("reps_valid_entropies", self.num_valid as u64));
     }
 }
 
@@ -450,6 +498,40 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn decision_probe_and_diagnostics_track_the_ev_lifecycle() {
+        let (mut reps, mut rng) = reps_small_evs();
+        // Cold cache: fresh draw.
+        let _ = reps.next_ev(Time::ZERO, &mut rng);
+        assert_eq!(reps.last_decision(), EvDecision::Fresh);
+        // Clean ACK then reuse: recycled.
+        reps.on_ack(&fb(42, false, Time::from_us(1)), &mut rng);
+        assert_eq!(reps.next_ev(Time::from_us(2), &mut rng), 42);
+        assert_eq!(reps.last_decision(), EvDecision::Recycled);
+        // Timeout freezes; the next draw replays the (now stale) cache.
+        reps.on_timeout(Time::from_us(3));
+        assert!(reps.is_frozen());
+        assert_eq!(reps.next_ev(Time::from_us(4), &mut rng), 42);
+        assert_eq!(reps.last_decision(), EvDecision::FrozenReplay);
+        // Thaw via a late ACK.
+        reps.on_ack(&fb(43, false, Time::from_us(200)), &mut rng);
+        assert!(!reps.is_frozen());
+        let mut diag = Vec::new();
+        reps.diagnostics(&mut diag);
+        let get = |name: &str| {
+            diag.iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert_eq!(get("reps_fresh_draws"), 1);
+        assert_eq!(get("reps_recycled_draws"), 1);
+        assert_eq!(get("reps_frozen_replays"), 1);
+        assert_eq!(get("reps_freezes"), 1);
+        assert_eq!(get("reps_thaws"), 1);
+        assert_eq!(get("reps_valid_entropies"), 1);
     }
 
     #[test]

@@ -15,6 +15,7 @@ use netsim::ids::{HostId, LinkId};
 use netsim::stats::Counters;
 use netsim::time::Time;
 use netsim::topology::{FatTreeConfig, Topology};
+use netsim::trace::{NoTrace, TraceSink};
 use transport::cc::CcKind;
 use transport::config::{CoalesceConfig, TransportConfig, BACKGROUND_BIT};
 use transport::endpoint::HostEndpoint;
@@ -64,6 +65,9 @@ pub struct Experiment {
     pub track: TrackLinks,
     /// Enable periodic queue sampling until this time (0 = off).
     pub sample_until: Time,
+    /// Collect per-LB decision counters into [`Summary::diagnostics`]
+    /// (opt-in: the block changes the summary's JSONL bytes).
+    pub diagnostics: bool,
 }
 
 impl Experiment {
@@ -89,6 +93,7 @@ impl Experiment {
             deadline: Time::from_ms(500),
             track: TrackLinks::None,
             sample_until: Time::ZERO,
+            diagnostics: false,
         }
     }
 
@@ -103,9 +108,16 @@ impl Experiment {
 
     /// Builds the engine with all endpoints and schedules installed.
     pub fn build(&self) -> Engine {
+        self.build_traced(NoTrace)
+    }
+
+    /// [`Experiment::build`] with a caller-supplied flight-recorder sink
+    /// (the `--trace` path). Everything else is identical, so a traced run
+    /// replays the exact same simulation.
+    pub fn build_traced<S: TraceSink>(&self, trace: S) -> Engine<S> {
         let topo = Topology::build(self.fabric.clone(), self.seed);
         let n = topo.n_hosts;
-        let mut engine = Engine::new(topo, self.sim.clone(), self.seed);
+        let mut engine = Engine::with_trace(topo, self.sim.clone(), self.seed, trace);
         engine.routing = self.lb.routing_mode();
 
         let mut tcfg = TransportConfig::from_sim(&engine.cfg, self.max_hops(), self.lb.clone())
@@ -181,7 +193,13 @@ impl Experiment {
     /// Builds and runs to completion (or deadline), returning the engine for
     /// inspection plus a summary.
     pub fn run(&self) -> RunResult {
-        let mut engine = self.build();
+        self.run_traced(NoTrace)
+    }
+
+    /// [`Experiment::run`] with a caller-supplied flight-recorder sink; the
+    /// filled sink rides back on [`RunResult::engine`].
+    pub fn run_traced<S: TraceSink>(&self, trace: S) -> RunResult<S> {
+        let mut engine = self.build_traced(trace);
         let started = std::time::Instant::now();
         let completed = engine.run_to_completion(self.deadline);
         let wall_ns = started.elapsed().as_nanos() as u64;
@@ -195,10 +213,11 @@ impl Experiment {
 }
 
 /// The outcome of one experiment run.
-pub struct RunResult {
+pub struct RunResult<S: TraceSink = NoTrace> {
     /// The engine, for timeseries extraction (`engine.events_processed`
-    /// carries the event count for events/sec accounting).
-    pub engine: Engine,
+    /// carries the event count for events/sec accounting, and
+    /// `engine.trace` the filled flight-recorder sink).
+    pub engine: Engine<S>,
     /// Aggregate summary.
     pub summary: Summary,
     /// Wall-clock nanoseconds spent inside the event loop (excludes
@@ -232,10 +251,16 @@ pub struct Summary {
     pub bg_max_fct: Option<Time>,
     /// Fabric counters.
     pub counters: Counters,
+    /// Per-LB decision counters summed across connections (opt-in via
+    /// [`Experiment::diagnostics`]; `None` keeps the JSONL bytes identical
+    /// to a pre-diagnostics run). Values are `f64` because `repsbench
+    /// merge` averages them fieldwise; whole numbers render as integer
+    /// literals, so the round trip stays byte-exact either way.
+    pub diagnostics: Option<Vec<(String, f64)>>,
 }
 
 impl Summary {
-    fn from_engine(exp: &Experiment, engine: &Engine, completed: bool) -> Summary {
+    fn from_engine<S: TraceSink>(exp: &Experiment, engine: &Engine<S>, completed: bool) -> Summary {
         let fg_count = exp.workload.len() as u32;
         let fg: Vec<&netsim::stats::FlowRecord> = engine
             .stats
@@ -287,8 +312,31 @@ impl Summary {
                 Some(bg.iter().map(|f| f.fct()).max().unwrap())
             },
             counters: engine.stats.counters,
+            diagnostics: if exp.diagnostics {
+                Some(collect_diagnostics(engine))
+            } else {
+                None
+            },
         }
     }
+}
+
+/// Sums every host's load-balancer decision counters (host order, names in
+/// first-appearance order — deterministic for a fixed seed).
+fn collect_diagnostics<S: TraceSink>(engine: &Engine<S>) -> Vec<(String, f64)> {
+    let mut acc: Vec<(&'static str, u64)> = Vec::new();
+    for h in 0..engine.topo.n_hosts {
+        if let Some(ep) = engine
+            .endpoint(HostId(h))
+            .and_then(|e| e.as_any())
+            .and_then(|a| a.downcast_ref::<HostEndpoint>())
+        {
+            ep.lb_diagnostics(&mut acc);
+        }
+    }
+    acc.into_iter()
+        .map(|(name, v)| (name.to_string(), v as f64))
+        .collect()
 }
 
 impl Summary {
@@ -356,6 +404,20 @@ impl Summary {
                 retransmissions: counter("retransmissions")?,
                 timeouts: counter("timeouts")?,
             },
+            diagnostics: match v.get("diagnostics") {
+                None => None,
+                Some(d) => {
+                    let fields = d.as_obj().ok_or("\"diagnostics\" is not an object")?;
+                    let mut out = Vec::with_capacity(fields.len());
+                    for (k, fv) in fields {
+                        let n = fv
+                            .as_f64()
+                            .ok_or_else(|| format!("diagnostics field {k:?} is not a number"))?;
+                        out.push((k.clone(), n));
+                    }
+                    Some(out)
+                }
+            },
         })
     }
 
@@ -373,7 +435,7 @@ impl Summary {
             .u64("retransmissions", self.counters.retransmissions)
             .u64("timeouts", self.counters.timeouts)
             .render();
-        crate::json::Object::new()
+        let mut obj = crate::json::Object::new()
             .str("name", &self.name)
             .str("lb", &self.lb)
             .bool("completed", self.completed)
@@ -390,8 +452,15 @@ impl Summary {
                     None => "null".to_string(),
                 },
             )
-            .raw("counters", counters)
-            .render()
+            .raw("counters", counters);
+        if let Some(diag) = &self.diagnostics {
+            let mut d = crate::json::Object::new();
+            for (name, v) in diag {
+                d = d.f64(name, *v);
+            }
+            obj = obj.raw("diagnostics", d.render());
+        }
+        obj.render()
     }
 }
 

@@ -5,22 +5,36 @@ use netsim::time::Time;
 
 use crate::experiment::Summary;
 
-/// Formats a set of summaries as an aligned comparison table.
+/// Formats a set of summaries as an aligned comparison table. Drops are
+/// broken out by reason (queue overflow, dead link, bit error) — lumping
+/// them together hides exactly the distinction the failure figures are
+/// about, a congested balancer and a blackholed one.
 pub fn comparison_table(title: &str, rows: &[Summary]) -> String {
     let mut out = String::new();
     out.push_str(&format!("## {title}\n"));
     out.push_str(&format!(
-        "{:<14} {:>12} {:>12} {:>12} {:>10} {:>8} {:>8} {:>6}\n",
-        "LB", "max FCT(us)", "avg FCT(us)", "p99 FCT(us)", "drops", "retx", "ecn", "done"
+        "{:<14} {:>12} {:>12} {:>12} {:>8} {:>8} {:>8} {:>8} {:>8} {:>6}\n",
+        "LB",
+        "max FCT(us)",
+        "avg FCT(us)",
+        "p99 FCT(us)",
+        "qdrops",
+        "lnkdrop",
+        "berdrop",
+        "retx",
+        "ecn",
+        "done"
     ));
     for s in rows {
         out.push_str(&format!(
-            "{:<14} {:>12.1} {:>12.1} {:>12.1} {:>10} {:>8} {:>8} {:>6}\n",
+            "{:<14} {:>12.1} {:>12.1} {:>12.1} {:>8} {:>8} {:>8} {:>8} {:>8} {:>6}\n",
             s.lb,
             s.max_fct.as_us_f64(),
             s.avg_fct.as_us_f64(),
             s.p99_fct.as_us_f64(),
-            s.counters.total_drops(),
+            s.counters.drops_queue_full,
+            s.counters.drops_link_down,
+            s.counters.drops_bit_error,
             s.counters.retransmissions,
             s.counters.ecn_marks,
             if s.completed { "yes" } else { "NO" },
@@ -106,6 +120,7 @@ mod tests {
             avg_goodput_gbps: 1.0,
             bg_max_fct: None,
             counters: Counters::default(),
+            diagnostics: None,
         }
     }
 
@@ -124,6 +139,18 @@ mod tests {
         let t = comparison_table("hdr", &rows);
         assert!(t.contains("OPS"));
         assert!(t.contains("50.0"));
+    }
+
+    #[test]
+    fn comparison_table_breaks_drops_out_by_reason() {
+        let mut s = summary("REPS", 50);
+        s.counters.drops_queue_full = 3;
+        s.counters.drops_link_down = 7;
+        s.counters.drops_bit_error = 1;
+        let t = comparison_table("hdr", &[s]);
+        for col in ["qdrops", "lnkdrop", "berdrop"] {
+            assert!(t.contains(col), "missing column {col}: {t}");
+        }
     }
 
     #[test]

@@ -34,6 +34,7 @@ use crate::rng::Rng64;
 use crate::stats::{FlowRecord, Stats};
 use crate::time::Time;
 use crate::topology::{RouteChoice, Topology};
+use crate::trace::{NoTrace, TraceEvent, TraceSink};
 
 /// How switches pick among equal-cost uplinks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -84,7 +85,11 @@ enum Action {
 /// All interaction with the fabric goes through this context; endpoints never
 /// touch the engine directly, which keeps them deterministic and testable in
 /// isolation.
-pub struct Ctx<'a> {
+///
+/// The context is generic over the engine's [`TraceSink`]; with the default
+/// [`NoTrace`] every `trace.emit(...)` call monomorphizes to nothing, so
+/// untraced endpoints keep the exact pre-trace hot path.
+pub struct Ctx<'a, S: TraceSink = NoTrace> {
     /// Current simulation time.
     pub now: Time,
     /// The host this endpoint lives on.
@@ -93,11 +98,13 @@ pub struct Ctx<'a> {
     pub cfg: &'a SimConfig,
     /// Deterministic per-engine random stream.
     pub rng: &'a mut Rng64,
+    /// The engine's flight recorder (a no-op unless the run is traced).
+    pub trace: &'a mut S,
     next_pkt_id: &'a mut u64,
     actions: &'a mut Vec<Action>,
 }
 
-impl Ctx<'_> {
+impl<S: TraceSink> Ctx<'_, S> {
     /// Hands the packet to the host NIC for transmission.
     pub fn send(&mut self, pkt: Packet) {
         self.actions.push(Action::Send(pkt));
@@ -135,13 +142,18 @@ impl Ctx<'_> {
 }
 
 /// A host endpoint: the transport layer's hook into the engine.
-pub trait Endpoint {
+///
+/// Generic over the engine's [`TraceSink`] (default [`NoTrace`]), so
+/// `impl Endpoint for T` keeps meaning what it always did — an untraced
+/// endpoint — while a single `impl<S: TraceSink> Endpoint<S> for T` serves
+/// traced and untraced engines from one body.
+pub trait Endpoint<S: TraceSink = NoTrace> {
     /// A packet addressed to this host arrived.
-    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>);
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_, S>);
     /// A timer set through [`Ctx::set_timer`] fired.
-    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>);
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_, S>);
     /// The harness injected a command (message start, custom).
-    fn on_command(&mut self, cmd: Command, ctx: &mut Ctx<'_>);
+    fn on_command(&mut self, cmd: Command, ctx: &mut Ctx<'_, S>);
     /// Concrete-type access for post-run instrumentation.
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         None
@@ -152,10 +164,10 @@ pub trait Endpoint {
 #[derive(Debug, Default)]
 pub struct NullEndpoint;
 
-impl Endpoint for NullEndpoint {
-    fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx<'_>) {}
-    fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx<'_>) {}
-    fn on_command(&mut self, _cmd: Command, _ctx: &mut Ctx<'_>) {}
+impl<S: TraceSink> Endpoint<S> for NullEndpoint {
+    fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx<'_, S>) {}
+    fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx<'_, S>) {}
+    fn on_command(&mut self, _cmd: Command, _ctx: &mut Ctx<'_, S>) {}
 }
 
 /// A borrowed view of the routing-relevant engine state.
@@ -271,7 +283,12 @@ impl RoutingView<'_> {
 }
 
 /// The discrete-event simulation engine.
-pub struct Engine {
+///
+/// Generic over a [`TraceSink`] flight recorder; the default [`NoTrace`]
+/// keeps every trace hook a no-op the optimizer removes, so `Engine` (the
+/// default) is exactly the pre-trace engine. [`Engine::with_trace`] builds
+/// a recording engine.
+pub struct Engine<S: TraceSink = NoTrace> {
     /// Current simulation time.
     pub now: Time,
     /// Fabric profile.
@@ -289,8 +306,10 @@ pub struct Engine {
     pub events_processed: u64,
     /// In-fabric packet storage; calendar and links hold [`PacketRef`]s.
     pub arena: PacketArena,
+    /// The flight recorder ([`NoTrace`] unless the run is traced).
+    pub trace: S,
     events: EventQueue,
-    endpoints: Vec<Option<Box<dyn Endpoint>>>,
+    endpoints: Vec<Option<Box<dyn Endpoint<S>>>>,
     rng: Rng64,
     next_pkt_id: u64,
     /// Queue sampling continues while `now` is below this.
@@ -304,8 +323,18 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Builds an engine over `topo` with fabric profile `cfg`.
+    /// Builds an untraced engine over `topo` with fabric profile `cfg`.
     pub fn new(topo: Topology, cfg: SimConfig, seed: u64) -> Engine {
+        Engine::with_trace(topo, cfg, seed, NoTrace)
+    }
+}
+
+impl<S: TraceSink> Engine<S> {
+    /// Builds an engine whose decision points feed `trace`.
+    ///
+    /// Tracing is read-only by contract: a traced engine draws the same
+    /// RNG stream and produces the same statistics as an untraced one.
+    pub fn with_trace(topo: Topology, cfg: SimConfig, seed: u64, trace: S) -> Engine<S> {
         let mut links = Vec::with_capacity(topo.links.len());
         for (i, spec) in topo.links.iter().enumerate() {
             // Fold the downstream switch traversal latency into propagation.
@@ -337,6 +366,7 @@ impl Engine {
             routing: RoutingMode::EcmpHash,
             events_processed: 0,
             arena: PacketArena::new(),
+            trace,
             events: EventQueue::new(),
             endpoints,
             rng: Rng64::new(seed ^ 0x5EED_0FEB_ECD1_4E75),
@@ -349,12 +379,12 @@ impl Engine {
     }
 
     /// Installs the endpoint for `host`.
-    pub fn set_endpoint(&mut self, host: HostId, ep: Box<dyn Endpoint>) {
+    pub fn set_endpoint(&mut self, host: HostId, ep: Box<dyn Endpoint<S>>) {
         self.endpoints[host.index()] = Some(ep);
     }
 
     /// Immutable access to an endpoint (for harness inspection).
-    pub fn endpoint(&self, host: HostId) -> Option<&dyn Endpoint> {
+    pub fn endpoint(&self, host: HostId) -> Option<&dyn Endpoint<S>> {
         self.endpoints[host.index()].as_deref()
     }
 
@@ -389,6 +419,7 @@ impl Engine {
                 host,
                 cfg: &self.cfg,
                 rng: &mut self.rng,
+                trace: &mut self.trace,
                 next_pkt_id: &mut self.next_pkt_id,
                 actions: &mut actions,
             };
@@ -527,6 +558,7 @@ impl Engine {
             ref arena,
             ref mut rng,
             ref mut scratch_uplinks,
+            ref mut trace,
             now,
             routing,
             ..
@@ -543,7 +575,14 @@ impl Engine {
             Some(RouteChoice::Down(l)) => Some(l),
             Some(RouteChoice::Up(candidates)) => {
                 let salt = topo.switches[sw.index()].salt;
-                Some(view.select_uplink(candidates, header, salt, rng, scratch_uplinks))
+                let link = view.select_uplink(candidates, header, salt, rng, scratch_uplinks);
+                trace.emit(TraceEvent::PathChoice {
+                    at: now,
+                    sw,
+                    link,
+                    ev: header.ev,
+                });
+                Some(link)
             }
             None => None,
         };
@@ -586,6 +625,7 @@ impl Engine {
                 host,
                 cfg: &self.cfg,
                 rng: &mut self.rng,
+                trace: &mut self.trace,
                 next_pkt_id: &mut self.next_pkt_id,
                 actions: &mut actions,
             };
@@ -607,6 +647,7 @@ impl Engine {
                 host,
                 cfg: &self.cfg,
                 rng: &mut self.rng,
+                trace: &mut self.trace,
                 next_pkt_id: &mut self.next_pkt_id,
                 actions: &mut actions,
             };
@@ -640,21 +681,39 @@ impl Engine {
     fn control(&mut self, ev: ControlEvent) {
         match ev {
             ControlEvent::LinkDown(l) => {
+                self.trace.emit(TraceEvent::LinkDown {
+                    at: self.now,
+                    link: l,
+                });
                 let flushed = self.links[l.index()].set_down(self.now, &mut self.arena);
                 for _ in 0..flushed {
                     self.stats.on_drop(DropReason::LinkDown);
                 }
             }
             ControlEvent::LinkUp(l) => {
+                self.trace.emit(TraceEvent::LinkUp {
+                    at: self.now,
+                    link: l,
+                });
                 self.links[l.index()].set_up();
             }
             ControlEvent::LinkRate(l, bps) => {
+                self.trace.emit(TraceEvent::LinkRate {
+                    at: self.now,
+                    link: l,
+                    bps,
+                });
                 self.links[l.index()].set_rate(bps);
             }
             ControlEvent::LinkBer(l, p) => {
+                self.trace.emit(TraceEvent::LinkBer {
+                    at: self.now,
+                    link: l,
+                });
                 self.links[l.index()].ber = p;
             }
             ControlEvent::SwitchDown(sw) => {
+                self.trace.emit(TraceEvent::SwitchDown { at: self.now, sw });
                 self.topo.switches[sw.index()].alive = false;
                 for l in self.topo.switch_links(sw) {
                     let flushed = self.links[l.index()].set_down(self.now, &mut self.arena);
@@ -664,6 +723,7 @@ impl Engine {
                 }
             }
             ControlEvent::SwitchUp(sw) => {
+                self.trace.emit(TraceEvent::SwitchUp { at: self.now, sw });
                 self.topo.switches[sw.index()].alive = true;
                 for l in self.topo.switch_links(sw) {
                     self.links[l.index()].set_up();

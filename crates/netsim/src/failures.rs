@@ -10,6 +10,7 @@ use crate::event::ControlEvent;
 use crate::ids::{LinkId, SwitchId};
 use crate::rng::Rng64;
 use crate::time::Time;
+use crate::trace::TraceSink;
 
 /// A single failure instance in a scenario.
 #[derive(Debug, Clone)]
@@ -143,7 +144,11 @@ impl FailurePlan {
     }
 
     /// Schedules every failure onto the engine calendar.
-    pub fn install(&self, engine: &mut Engine) {
+    ///
+    /// The engine emits [`crate::trace::TraceEvent`] link/switch events as
+    /// each scheduled control event executes, so a traced run records the
+    /// full failure/recovery timeline without extra bookkeeping here.
+    pub fn install<S: TraceSink>(&self, engine: &mut Engine<S>) {
         for f in &self.failures {
             match f {
                 Failure::Cable { pair, at, duration } => {

@@ -61,6 +61,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod topology;
+pub mod trace;
 
 pub use config::SimConfig;
 pub use engine::{Command, Ctx, Endpoint, Engine, MessageSpec, RoutingMode, RoutingView};
@@ -70,3 +71,4 @@ pub use rng::Rng64;
 pub use stats::{FlowRecord, Stats};
 pub use time::Time;
 pub use topology::{FatTreeConfig, Topology};
+pub use trace::{EvDecision, NoTrace, Recorder, TraceEvent, TraceSink};

@@ -6,8 +6,10 @@
 //! repsbench run [--filter GLOB] [--lb SPEC|GLOB] [--threads N]
 //!               [--scale quick|full] [--seeds N] [--shard I/N] [--cache DIR]
 //!               [--spec-file PATH]... [--spec-only] [--series DIR]
+//!               [--trace DIR] [--diagnostics]
 //!               [--out PATH] [--perf PATH] [--baseline LABEL] [--quiet]
 //! repsbench merge OUT IN... [--baseline LABEL] [--quiet]
+//! repsbench explain FILE
 //! ```
 //!
 //! `list` prints every preset with its cell count (`--lbs` additionally
@@ -121,6 +123,47 @@
 //! a warm cache at an empty series directory re-runs the cells. See
 //! [`sweep::series`] for the full schema.
 //!
+//! # Observability: traces, explain, diagnostics, progress
+//!
+//! Three opt-in layers explain *why* a cell scored the way it did; all of
+//! them are off by default and cost nothing when off.
+//!
+//! **Flight-recorder traces (`--trace DIR`).** Every executed cell
+//! additionally writes `DIR/<derived_seed hex>.trace.jsonl`: a header,
+//! then one typed event per line in simulation order — per-hop path
+//! choices (`path_choice`), every load-balancer entropy decision with its
+//! provenance (`ev_choice` with `decision` = `fresh` / `recycled` /
+//! `frozen`), receiver reorder depths (`reorder`), retransmits and RTO
+//! sweeps (`retransmit`, `timeout`), balancer freeze / thaw transitions,
+//! and link / switch failure and recovery events. Like series documents,
+//! traces are pure functions of cell keys: byte-identical across
+//! `--threads` values and shard splits, written atomically into one
+//! shared (or later-merged) directory, and gating `--cache` hits so a
+//! warm cache never leaves a requested trace unwritten. See
+//! [`sweep::trace`] for the schema.
+//!
+//! **`repsbench explain FILE`** renders one trace document into a
+//! human-readable report: EV reuse rate (recycled + frozen replays as a
+//! share of all choices), path-change counts, the reorder-depth
+//! histogram, and the failure-reaction timeline (link_down → timeout →
+//! freeze → retransmit → thaw, with timestamps).
+//!
+//! **Decision diagnostics (`--diagnostics`).** Adds a `diagnostics`
+//! object to every result record with per-LB decision counters summed
+//! across connections — REPS' fresh / recycled / frozen draw counts and
+//! freeze / thaw transitions, flowlet switches, PLB repaths, bitmap
+//! congestion rejections, MPTCP subflow counts. Unlike `--series` and
+//! `--trace` this *changes the result JSONL bytes* (that is why it is a
+//! separate flag); records without the flag are byte-identical to
+//! pre-diagnostics builds. `repsbench merge` averages diagnostics
+//! fieldwise across seeds like every other summary field, and cache
+//! entries only hit when their diagnostics presence matches the request.
+//!
+//! **Progress.** While a sweep runs, a single stderr line tracks cells
+//! done / total, executed vs. cache hits, aggregate events/s and an ETA.
+//! It appears only when stderr is a terminal (never in CI logs or
+//! redirected output) and `--quiet` suppresses it like all other chatter.
+//!
 //! # Sharded (fleet) sweeps
 //!
 //! `--shard I/N` keeps only the cells whose key hash lands in shard `I` of
@@ -157,8 +200,9 @@ use std::process::ExitCode;
 use harness::Scale;
 use sweep::matrix::Cell;
 use sweep::{
-    events_per_sec, glob, merge_files, presets, render_aggregates, run_cells_sinked, specfile,
-    CellCache, ScenarioMatrix, SeriesSink, Shard,
+    events_per_sec, explain_doc, glob, merge_files, presets, render_aggregates,
+    run_cells_instrumented, specfile, CellCache, Progress, RunSinks, ScenarioMatrix, SeriesSink,
+    Shard, TraceStore,
 };
 
 #[derive(Debug)]
@@ -173,6 +217,8 @@ struct RunOpts {
     spec_files: Vec<String>,
     spec_only: bool,
     series: Option<String>,
+    trace: Option<String>,
+    diagnostics: bool,
     out: String,
     perf: Option<String>,
     baseline: String,
@@ -244,7 +290,7 @@ struct MergeOpts {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  repsbench list [--scale quick|full] [--spec-file PATH]... [--spec-only]\n                 [--lbs]\n  repsbench run [--filter GLOB] [--lb SPEC|GLOB] [--threads N]\n                [--scale quick|full] [--seeds N] [--shard I/N] [--cache DIR]\n                [--spec-file PATH]... [--spec-only] [--series DIR]\n                [--out PATH|-] [--perf PATH] [--baseline LABEL] [--quiet]\n  repsbench merge OUT IN... [--baseline LABEL] [--quiet]"
+    "usage:\n  repsbench list [--scale quick|full] [--spec-file PATH]... [--spec-only]\n                 [--lbs]\n  repsbench run [--filter GLOB] [--lb SPEC|GLOB] [--threads N]\n                [--scale quick|full] [--seeds N] [--shard I/N] [--cache DIR]\n                [--spec-file PATH]... [--spec-only] [--series DIR]\n                [--trace DIR] [--diagnostics]\n                [--out PATH|-] [--perf PATH] [--baseline LABEL] [--quiet]\n  repsbench merge OUT IN... [--baseline LABEL] [--quiet]\n  repsbench explain FILE"
 }
 
 fn parse_scale(v: &str) -> Result<Scale, String> {
@@ -271,6 +317,10 @@ fn main() -> ExitCode {
         Some("merge") => match parse_merge(&args[1..]) {
             Ok(opts) => merge(&opts),
             Err(e) => fail(&e),
+        },
+        Some("explain") => match args[1..] {
+            [ref path] => explain(path),
+            _ => fail(&format!("explain takes exactly one FILE\n{}", usage())),
         },
         Some("--help") | Some("-h") | Some("help") => {
             println!("{}", usage());
@@ -323,6 +373,8 @@ fn parse_run(args: &[String]) -> Result<RunOpts, String> {
         spec_files: Vec::new(),
         spec_only: false,
         series: None,
+        trace: None,
+        diagnostics: false,
         out: "results.jsonl".to_string(),
         perf: None,
         baseline: "OPS".to_string(),
@@ -359,6 +411,8 @@ fn parse_run(args: &[String]) -> Result<RunOpts, String> {
             "--spec-file" => opts.spec_files.push(value("--spec-file")?.clone()),
             "--spec-only" => opts.spec_only = true,
             "--series" => opts.series = Some(value("--series")?.clone()),
+            "--trace" => opts.trace = Some(value("--trace")?.clone()),
+            "--diagnostics" => opts.diagnostics = true,
             "--out" => opts.out = value("--out")?.clone(),
             "--perf" => opts.perf = Some(value("--perf")?.clone()),
             "--baseline" => opts.baseline = value("--baseline")?.clone(),
@@ -502,6 +556,13 @@ fn run(opts: &RunOpts) -> ExitCode {
             Err(e) => return fail(&format!("opening series directory {dir}: {e}")),
         },
     };
+    let trace = match &opts.trace {
+        None => None,
+        Some(dir) => match TraceStore::create(dir) {
+            Ok(t) => Some(t),
+            Err(e) => return fail(&format!("opening trace directory {dir}: {e}")),
+        },
+    };
     if !opts.quiet {
         let sharding = match opts.shard {
             Some(s) => format!(" (shard {s} of {total} cells)"),
@@ -516,8 +577,25 @@ fn run(opts: &RunOpts) -> ExitCode {
             opts.scale
         );
     }
+    // Live progress on stderr (TTY-gated; --quiet keeps it off entirely).
+    let progress = if opts.quiet {
+        Progress::with_active(cells.len(), false)
+    } else {
+        Progress::stderr(cells.len())
+    };
     let start = std::time::Instant::now();
-    let outcome = run_cells_sinked(&cells, opts.threads, cache.as_ref(), series.as_ref());
+    let outcome = run_cells_instrumented(
+        &cells,
+        opts.threads,
+        RunSinks {
+            cache: cache.as_ref(),
+            series: series.as_ref(),
+            trace: trace.as_ref(),
+            diagnostics: opts.diagnostics,
+            progress: Some(&progress),
+        },
+    );
+    progress.finish();
     let elapsed = start.elapsed();
     let results = &outcome.results;
     if outcome.store_errors > 0 {
@@ -535,10 +613,23 @@ fn run(opts: &RunOpts) -> ExitCode {
             opts.series.as_deref().unwrap_or("")
         );
     }
+    if outcome.trace_errors > 0 {
+        eprintln!(
+            "warning: failed to write {} trace document(s) in {}",
+            outcome.trace_errors,
+            opts.trace.as_deref().unwrap_or("")
+        );
+    }
     if let (Some(dir), false) = (&opts.series, opts.quiet) {
         eprintln!(
             "wrote {} series document(s) to {dir}",
             outcome.executed.len() - outcome.series_errors
+        );
+    }
+    if let (Some(dir), false) = (&opts.trace, opts.quiet) {
+        eprintln!(
+            "wrote {} trace document(s) to {dir}",
+            outcome.executed.len() - outcome.trace_errors
         );
     }
 
@@ -595,6 +686,20 @@ fn run(opts: &RunOpts) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn explain(path: &str) -> ExitCode {
+    let doc = match std::fs::read_to_string(path) {
+        Ok(d) => d,
+        Err(e) => return fail(&format!("reading {path}: {e}")),
+    };
+    match explain_doc(&doc) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(&format!("{path}: {e}")),
+    }
+}
+
 fn merge(opts: &MergeOpts) -> ExitCode {
     let merged = match merge_files(&opts.inputs) {
         Ok(m) => m,
@@ -642,6 +747,8 @@ mod tests {
         assert!(o.spec_files.is_empty());
         assert!(!o.spec_only);
         assert_eq!(o.series, None);
+        assert_eq!(o.trace, None);
+        assert!(!o.diagnostics);
         assert_eq!(o.out, "results.jsonl");
         assert_eq!(o.perf, None);
         assert_eq!(o.baseline, "OPS");
@@ -672,6 +779,9 @@ mod tests {
             "b.grid",
             "--series",
             "series-out",
+            "--trace",
+            "trace-out",
+            "--diagnostics",
             "--out",
             "-",
             "--perf",
@@ -691,6 +801,8 @@ mod tests {
         assert_eq!(o.cache.as_deref(), Some("/tmp/c"));
         assert_eq!(o.spec_files, vec!["a.grid", "b.grid"]);
         assert_eq!(o.series.as_deref(), Some("series-out"));
+        assert_eq!(o.trace.as_deref(), Some("trace-out"));
+        assert!(o.diagnostics);
         assert_eq!(o.out, "-");
         assert_eq!(o.perf.as_deref(), Some("p.jsonl"));
         assert_eq!(o.baseline, "REPS");
@@ -717,6 +829,7 @@ mod tests {
             sv(&["--shard", "3/2"]),
             sv(&["--shard", "2"]),
             sv(&["--cache"]),
+            sv(&["--trace"]),
             sv(&["--bogus"]),
             sv(&["extra"]),
         ] {

@@ -27,10 +27,12 @@
 use std::io;
 use std::path::{Path, PathBuf};
 
-use crate::matrix::{Cell, CellResult};
+use crate::matrix::{Cell, CellResult, Instrument};
+use crate::progress::Progress;
 use crate::runner::run_indexed;
 use crate::series::SeriesSink;
 use crate::sink::{jsonl_record, parse_record};
+use crate::trace::TraceStore;
 
 /// The compiled-in code-version fingerprint (`git describe --always
 /// --dirty` at build time; `pkg-<version>` when building without git).
@@ -110,6 +112,9 @@ pub struct CachedRun {
     /// Series documents that could not be written (best-effort, like cache
     /// stores; always 0 when no series sink was given).
     pub series_errors: usize,
+    /// Trace documents that could not be written (best-effort; always 0
+    /// when no trace store was given).
+    pub trace_errors: usize,
 }
 
 impl CachedRun {
@@ -143,30 +148,94 @@ pub fn run_cells_sinked(
     cache: Option<&CellCache>,
     series: Option<&SeriesSink>,
 ) -> CachedRun {
+    run_cells_instrumented(
+        cells,
+        threads,
+        RunSinks {
+            cache,
+            series,
+            ..RunSinks::default()
+        },
+    )
+}
+
+/// Everything a `repsbench run` invocation can attach to a sweep: the
+/// cell cache, the opt-in series / trace sinks, the diagnostics flag and
+/// a progress reporter.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RunSinks<'a> {
+    /// Result cache (`--cache DIR`).
+    pub cache: Option<&'a CellCache>,
+    /// Per-cell time-series sink (`--series DIR`).
+    pub series: Option<&'a SeriesSink>,
+    /// Per-cell flight-recorder sink (`--trace DIR`).
+    pub trace: Option<&'a TraceStore>,
+    /// Collect per-LB decision counters into the summaries
+    /// (`--diagnostics`; changes the result JSONL bytes, so it also
+    /// partitions cache hits — see [`run_cells_instrumented`]).
+    pub diagnostics: bool,
+    /// Live progress reporter (ticked per finished cell).
+    pub progress: Option<&'a Progress>,
+}
+
+/// [`run_cells_cached`] with the full sink set ([`RunSinks`]): executed
+/// cells additionally write their series / trace documents (best-effort,
+/// counted in [`CachedRun::series_errors`] / [`CachedRun::trace_errors`])
+/// and collect diagnostics when asked.
+///
+/// The sinks *gate* cache hits: a cached result only stands in for an
+/// execution when its series document (if a series sink is given) and its
+/// trace document (if a trace store is given) already exist, and when its
+/// recorded diagnostics presence matches the request — a diagnostics run
+/// must not replay diagnostics-free bytes, and vice versa. Results are
+/// byte-identical to an uninstrumented run except for the opt-in
+/// diagnostics block.
+pub fn run_cells_instrumented(cells: &[Cell], threads: usize, sinks: RunSinks<'_>) -> CachedRun {
+    let inst = Instrument {
+        series: sinks.series.is_some(),
+        trace: sinks.trace.is_some(),
+        diagnostics: sinks.diagnostics,
+    };
     let mut cached: Vec<CellResult> = Vec::new();
     let mut to_run: Vec<Cell> = Vec::new();
     for cell in cells {
-        let hit = cache
+        let hit = sinks
+            .cache
             .and_then(|c| c.lookup(cell))
-            .filter(|_| series.is_none_or(|s| s.has(cell)));
+            .filter(|r| r.summary.diagnostics.is_some() == sinks.diagnostics)
+            .filter(|_| sinks.series.is_none_or(|s| s.has(cell)))
+            .filter(|_| sinks.trace.is_none_or(|t| t.has(cell)));
         match hit {
-            Some(r) => cached.push(r),
+            Some(r) => {
+                if let Some(p) = sinks.progress {
+                    p.tick_hit();
+                }
+                cached.push(r);
+            }
             None => to_run.push(cell.clone()),
         }
     }
-    let fresh: Vec<(CellResult, bool)> = run_indexed(&to_run, threads, |cell| match series {
-        None => (cell.run(), true),
-        Some(sink) => {
-            let (result, doc) = cell.run_with_series();
-            let stored = sink.store(result.derived_seed, &doc).is_ok();
-            (result, stored)
+    let fresh: Vec<(CellResult, bool, bool)> = run_indexed(&to_run, threads, |cell| {
+        let out = cell.run_instrumented(inst);
+        let series_ok = match (sinks.series, &out.series_doc) {
+            (Some(sink), Some(doc)) => sink.store(out.result.derived_seed, doc).is_ok(),
+            _ => true,
+        };
+        let trace_ok = match (sinks.trace, &out.trace_doc) {
+            (Some(store), Some(doc)) => store.store(out.result.derived_seed, doc).is_ok(),
+            _ => true,
+        };
+        if let Some(p) = sinks.progress {
+            p.tick_executed(out.result.events);
         }
+        (out.result, series_ok, trace_ok)
     });
-    let series_errors = fresh.iter().filter(|(_, stored)| !stored).count();
-    let store_errors = match cache {
+    let series_errors = fresh.iter().filter(|(_, s, _)| !s).count();
+    let trace_errors = fresh.iter().filter(|(_, _, t)| !t).count();
+    let store_errors = match sinks.cache {
         Some(cache) => fresh
             .iter()
-            .filter(|(r, _)| cache.store(r).is_err())
+            .filter(|(r, _, _)| cache.store(r).is_err())
             .count(),
         None => 0,
     };
@@ -175,7 +244,7 @@ pub fn run_cells_sinked(
     let mut tagged: Vec<(CellResult, bool)> = cached
         .into_iter()
         .map(|r| (r, false))
-        .chain(fresh.into_iter().map(|(r, _)| (r, true)))
+        .chain(fresh.into_iter().map(|(r, _, _)| (r, true)))
         .collect();
     tagged.sort_by(|a, b| a.0.key.cmp(&b.0.key));
     let executed = tagged
@@ -190,6 +259,7 @@ pub fn run_cells_sinked(
         misses,
         store_errors,
         series_errors,
+        trace_errors,
     }
 }
 

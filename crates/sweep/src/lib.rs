@@ -30,6 +30,11 @@
 //! * [`series`] streams per-cell link-utilization and queue-occupancy
 //!   series as canonical JSONL (`--series DIR`), fully separate from the
 //!   byte-stable result stream;
+//! * [`trace`] streams per-cell flight-recorder traces (`--trace DIR`) —
+//!   every per-hop path choice, every EV decision and why, every reorder
+//!   and failure reaction — and [`explain`] renders one trace into a
+//!   human-readable report (`repsbench explain FILE`); [`progress`] keeps
+//!   a live cells-done/ETA line on stderr while a sweep runs;
 //! * the `repsbench` binary exposes all of it on the command line
 //!   (`repsbench list`, `repsbench run --filter 'fig0*' --threads 8`,
 //!   `repsbench merge merged.jsonl shard*.jsonl`).
@@ -60,20 +65,28 @@
 //! ```
 
 pub mod cache;
+pub mod explain;
 pub mod glob;
 pub mod matrix;
 pub mod merge;
 pub mod presets;
+pub mod progress;
 pub mod runner;
 pub mod series;
 pub mod shard;
 pub mod sink;
 pub mod spec;
 pub mod specfile;
+pub mod trace;
 
-pub use cache::{build_fingerprint, run_cells_cached, run_cells_sinked, CachedRun, CellCache};
-pub use matrix::{Cell, CellResult, LabeledLb, ScenarioMatrix};
+pub use cache::{
+    build_fingerprint, run_cells_cached, run_cells_instrumented, run_cells_sinked, CachedRun,
+    CellCache, RunSinks,
+};
+pub use explain::explain_doc;
+pub use matrix::{Cell, CellResult, Instrument, InstrumentedRun, LabeledLb, ScenarioMatrix};
 pub use merge::{merge_contents, merge_files, MergedSweep};
+pub use progress::Progress;
 pub use runner::{default_threads, run_cells, run_experiments, threads_from_env};
 pub use series::{series_doc, SeriesSink};
 pub use shard::Shard;
@@ -83,3 +96,4 @@ pub use sink::{
 };
 pub use spec::{FabricSpec, FailureSpec, SimProfile, WorkloadSpec};
 pub use specfile::SpecError;
+pub use trace::{trace_doc, TraceStore};

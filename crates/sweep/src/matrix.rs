@@ -477,15 +477,54 @@ impl Cell {
     /// result record is identical to [`Cell::run`]'s (pinned by
     /// `tests/series.rs`).
     pub fn run_with_series(&self) -> (CellResult, String) {
-        let mut exp = self.experiment();
-        exp.track = harness::experiment::TrackLinks::TorUplinks(self.track);
-        exp.sample_until = self.deadline.min(crate::series::SAMPLE_HORIZON);
-        let res = exp.run();
-        let doc = crate::series::series_doc(self, &res.engine);
-        (self.result_from(res), doc)
+        let out = self.run_instrumented(Instrument {
+            series: true,
+            ..Instrument::default()
+        });
+        (out.result, out.series_doc.expect("series requested"))
     }
 
-    fn result_from(&self, res: harness::experiment::RunResult) -> CellResult {
+    /// Runs the cell with any combination of opt-in instrumentation:
+    /// per-link time series ([`crate::series`]), the flight-recorder trace
+    /// ([`crate::trace`]) and per-LB decision diagnostics
+    /// ([`harness::experiment::Summary::diagnostics`]).
+    ///
+    /// Series and trace instrumentation only *read* simulation state, so
+    /// the byte-stable result record is identical to [`Cell::run`]'s;
+    /// diagnostics add an extra block to the summary JSON, which is why
+    /// they are a separate opt-in (pinned by `tests/trace.rs`).
+    pub fn run_instrumented(&self, inst: Instrument) -> InstrumentedRun {
+        let mut exp = self.experiment();
+        exp.diagnostics = inst.diagnostics;
+        if inst.series {
+            exp.track = harness::experiment::TrackLinks::TorUplinks(self.track);
+            exp.sample_until = self.deadline.min(crate::series::SAMPLE_HORIZON);
+        }
+        if inst.trace {
+            let res = exp.run_traced(netsim::trace::Recorder::new());
+            InstrumentedRun {
+                series_doc: inst
+                    .series
+                    .then(|| crate::series::series_doc(self, &res.engine)),
+                trace_doc: Some(crate::trace::trace_doc(self, &res.engine.trace.events)),
+                result: self.result_from(res),
+            }
+        } else {
+            let res = exp.run();
+            InstrumentedRun {
+                series_doc: inst
+                    .series
+                    .then(|| crate::series::series_doc(self, &res.engine)),
+                trace_doc: None,
+                result: self.result_from(res),
+            }
+        }
+    }
+
+    fn result_from<S: netsim::trace::TraceSink>(
+        &self,
+        res: harness::experiment::RunResult<S>,
+    ) -> CellResult {
         CellResult {
             key: self.key(),
             scenario: self.scenario(),
@@ -497,6 +536,37 @@ impl Cell {
             summary: res.summary,
         }
     }
+}
+
+/// Which opt-in instrumentation an instrumented cell run collects.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Instrument {
+    /// Track the vantage ToR's uplinks and emit the series document.
+    pub series: bool,
+    /// Record the flight-recorder trace and emit the trace document.
+    pub trace: bool,
+    /// Collect per-LB decision counters into the summary's diagnostics
+    /// block (changes the result JSONL bytes — see
+    /// [`harness::experiment::Experiment::diagnostics`]).
+    pub diagnostics: bool,
+}
+
+impl Instrument {
+    /// Whether any instrumentation is requested at all.
+    pub fn any(&self) -> bool {
+        self.series || self.trace || self.diagnostics
+    }
+}
+
+/// The outputs of [`Cell::run_instrumented`].
+#[derive(Debug, Clone)]
+pub struct InstrumentedRun {
+    /// The cell outcome (summary carries diagnostics when requested).
+    pub result: CellResult,
+    /// The canonical series document, when requested.
+    pub series_doc: Option<String>,
+    /// The canonical trace document, when requested.
+    pub trace_doc: Option<String>,
 }
 
 /// The outcome of one cell.

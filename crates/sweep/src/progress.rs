@@ -1,0 +1,188 @@
+//! Live progress line for `repsbench run` (stderr-only, TTY-gated).
+//!
+//! A sweep can run for minutes; this module keeps one line on stderr up to
+//! date as cells finish: cells done / total, how many actually executed
+//! versus answered from the cache, the aggregate simulation rate, and an
+//! ETA extrapolated from the elapsed wall-clock. The line goes to stderr
+//! only — stdout stays reserved for the byte-stable JSONL stream — and is
+//! suppressed entirely when stderr is not a terminal (CI logs, pipes), so
+//! redirected output never collects carriage returns.
+
+use std::io::{IsTerminal, Write};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Renders the progress line from raw counters (pure — unit-testable
+/// without a terminal). `elapsed_secs` is wall-clock time since the sweep
+/// started; `events` is the total simulator events of executed cells.
+pub fn render_line(
+    done: usize,
+    total: usize,
+    executed: usize,
+    hits: usize,
+    events: u64,
+    elapsed_secs: f64,
+) -> String {
+    let rate = if elapsed_secs > 0.0 && events > 0 {
+        let evs = events as f64 / elapsed_secs;
+        if evs >= 1e6 {
+            format!(" | {:.1}M ev/s", evs / 1e6)
+        } else {
+            format!(" | {:.0}k ev/s", evs / 1e3)
+        }
+    } else {
+        String::new()
+    };
+    let eta = if done > 0 && done < total && elapsed_secs > 0.0 {
+        let remaining = elapsed_secs / done as f64 * (total - done) as f64;
+        if remaining >= 120.0 {
+            format!(" | ETA {:.0}m", remaining / 60.0)
+        } else {
+            format!(" | ETA {remaining:.0}s")
+        }
+    } else {
+        String::new()
+    };
+    format!("[{done}/{total}] {executed} run, {hits} cached{rate}{eta}")
+}
+
+#[derive(Debug, Default)]
+struct State {
+    done: usize,
+    executed: usize,
+    hits: usize,
+    events: u64,
+}
+
+/// A thread-safe progress reporter. Construct with [`Progress::stderr`];
+/// workers call [`Progress::tick_executed`] / [`Progress::tick_hit`] as
+/// cells finish. Every tick rewrites the line in place (`\r` + erase); an
+/// inactive reporter (stderr not a TTY) makes every call a no-op.
+#[derive(Debug)]
+pub struct Progress {
+    total: usize,
+    started: Instant,
+    state: Mutex<State>,
+    active: bool,
+}
+
+impl Progress {
+    /// A reporter for `total` cells, active only when stderr is a terminal.
+    pub fn stderr(total: usize) -> Progress {
+        Progress::with_active(total, std::io::stderr().is_terminal())
+    }
+
+    /// A reporter with explicit activation (tests).
+    pub fn with_active(total: usize, active: bool) -> Progress {
+        Progress {
+            total,
+            started: Instant::now(),
+            state: Mutex::new(State::default()),
+            active,
+        }
+    }
+
+    /// Whether ticks actually draw anything.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Records one freshly executed cell (`events` = its simulator events).
+    pub fn tick_executed(&self, events: u64) {
+        if !self.active {
+            return;
+        }
+        let line = {
+            let mut s = self.state.lock().expect("progress poisoned");
+            s.done += 1;
+            s.executed += 1;
+            s.events += events;
+            self.line(&s)
+        };
+        self.draw(&line);
+    }
+
+    /// Records one cache hit.
+    pub fn tick_hit(&self) {
+        if !self.active {
+            return;
+        }
+        let line = {
+            let mut s = self.state.lock().expect("progress poisoned");
+            s.done += 1;
+            s.hits += 1;
+            self.line(&s)
+        };
+        self.draw(&line);
+    }
+
+    /// Erases the line so the final report starts on a clean row.
+    pub fn finish(&self) {
+        if self.active {
+            let mut err = std::io::stderr().lock();
+            let _ = write!(err, "\r\x1b[K");
+            let _ = err.flush();
+        }
+    }
+
+    fn line(&self, s: &State) -> String {
+        render_line(
+            s.done,
+            self.total,
+            s.executed,
+            s.hits,
+            s.events,
+            self.started.elapsed().as_secs_f64(),
+        )
+    }
+
+    fn draw(&self, line: &str) {
+        let mut err = std::io::stderr().lock();
+        let _ = write!(err, "\r\x1b[K{line}");
+        let _ = err.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_shows_counts_rate_and_eta() {
+        let l = render_line(10, 40, 6, 4, 30_000_000, 10.0);
+        assert_eq!(l, "[10/40] 6 run, 4 cached | 3.0M ev/s | ETA 30s");
+        // Sub-million rates use the k suffix; long ETAs switch to minutes.
+        let l = render_line(1, 100, 1, 0, 5_000_000, 10.0);
+        assert!(l.contains("500k ev/s"), "{l}");
+        assert!(l.contains("ETA 16m"), "{l}");
+    }
+
+    #[test]
+    fn line_degrades_without_data() {
+        // No events (all cache hits) → no rate; done == total → no ETA.
+        assert_eq!(render_line(5, 5, 0, 5, 0, 2.0), "[5/5] 0 run, 5 cached");
+        // Nothing done yet → neither rate nor ETA.
+        assert_eq!(render_line(0, 9, 0, 0, 0, 0.0), "[0/9] 0 run, 0 cached");
+    }
+
+    #[test]
+    fn inactive_reporter_ignores_ticks() {
+        let p = Progress::with_active(3, false);
+        assert!(!p.is_active());
+        p.tick_executed(1000);
+        p.tick_hit();
+        p.finish();
+        // Counters still start untouched — ticks short-circuit entirely.
+        assert_eq!(p.state.lock().unwrap().done, 0);
+    }
+
+    #[test]
+    fn active_reporter_accumulates() {
+        let p = Progress::with_active(3, true);
+        p.tick_executed(1_000);
+        p.tick_executed(2_000);
+        p.tick_hit();
+        let s = p.state.lock().unwrap();
+        assert_eq!((s.done, s.executed, s.hits, s.events), (3, 2, 1, 3_000));
+    }
+}

@@ -68,7 +68,10 @@ pub const SAMPLE_HORIZON: Time = Time::from_ms(2);
 
 /// Renders one cell's canonical series document (header + one record per
 /// tracked link, one JSON object per line, trailing newline).
-pub fn series_doc(cell: &Cell, engine: &netsim::engine::Engine) -> String {
+pub fn series_doc<S: netsim::trace::TraceSink>(
+    cell: &Cell,
+    engine: &netsim::engine::Engine<S>,
+) -> String {
     use harness::json::{array, Object};
     let export = engine.stats.export_series();
     let mut doc = String::new();

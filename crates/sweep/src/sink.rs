@@ -202,6 +202,37 @@ pub fn aggregate(results: &[CellResult]) -> Vec<Aggregate> {
                 retransmissions: mean_of(|c| c.retransmissions),
                 timeouts: mean_of(|c| c.timeouts),
             };
+            // Diagnostics: fieldwise mean over the seeds carrying the block
+            // (mirrors bg_max_fct — a missing block on one seed must not
+            // erase the others'). Names keep first-appearance order.
+            let with_diag: Vec<&Vec<(String, f64)>> = rs
+                .iter()
+                .filter_map(|r| r.summary.diagnostics.as_ref())
+                .collect();
+            mean.diagnostics = if with_diag.is_empty() {
+                None
+            } else {
+                let mut names: Vec<&String> = Vec::new();
+                for d in &with_diag {
+                    for (k, _) in d.iter() {
+                        if !names.contains(&k) {
+                            names.push(k);
+                        }
+                    }
+                }
+                Some(
+                    names
+                        .into_iter()
+                        .map(|name| {
+                            let sum: f64 = with_diag
+                                .iter()
+                                .filter_map(|d| d.iter().find(|(k, _)| k == name).map(|(_, v)| *v))
+                                .sum();
+                            (name.clone(), sum / with_diag.len() as f64)
+                        })
+                        .collect(),
+                )
+            };
             Aggregate {
                 scenario,
                 lb,
@@ -363,6 +394,10 @@ mod tests {
                 retransmissions: 8 * scale,
                 timeouts: 9 * scale,
             },
+            diagnostics: Some(vec![
+                ("reps_recycled_draws".to_string(), (11 * scale) as f64),
+                ("reps_freezes".to_string(), (12 * scale) as f64),
+            ]),
         };
         CellResult {
             key: format!("synthetic/lb=X/s={seed}"),

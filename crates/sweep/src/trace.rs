@@ -1,0 +1,364 @@
+//! Opt-in per-cell flight-recorder sink (`repsbench run --trace DIR`).
+//!
+//! Where `--series` records what the fabric *carried*, `--trace` records
+//! what the simulation *decided*: every per-hop path choice, every entropy
+//! value a load balancer picked (and whether it was fresh, recycled or a
+//! frozen replay), every reorder a receiver absorbed, and every failure
+//! plus the transport's reaction to it. Each executed cell writes one
+//! self-describing document at
+//!
+//! ```text
+//! DIR/<derived_seed as 16 hex digits>.trace.jsonl
+//! ```
+//!
+//! # Record schema
+//!
+//! Line 1 is a header, then one record per event in simulation order:
+//!
+//! ```text
+//! {"key":"<cell key>","derived_seed":N,"events":N}
+//! {"t":<ps>,"kind":"ev_choice","host":H,"conn":C,"ev":E,
+//!  "decision":"recycled","frozen":false}
+//! ```
+//!
+//! Every record carries `t` (simulated picoseconds) and `kind`; the
+//! remaining fields are the event's own identifiers (switch, link, host,
+//! connection, entropy value). Kinds: `path_choice`, `ev_choice`,
+//! `freeze`, `thaw`, `reorder`, `retransmit`, `timeout`, `link_down`,
+//! `link_up`, `link_rate`, `link_ber`, `switch_down`, `switch_up`.
+//!
+//! # Determinism contract
+//!
+//! A cell's trace is a pure function of its key: events are emitted in
+//! simulation order by a single-threaded engine whose RNG seed derives
+//! from the key alone, so the same cell writes byte-identical trace
+//! documents at any `--threads` value or shard split (pinned by
+//! `tests/trace.rs`). Files are stored atomically (temp + rename), one
+//! cell per file, so shards writing into one directory — or directories
+//! merged after the fact — produce the identical tree an unsharded run
+//! would.
+//!
+//! With `--cache`, a cached result can only stand in for an execution if
+//! its trace document already exists: [`TraceStore::has`] gates cache
+//! hits exactly like [`crate::series::SeriesSink::has`].
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use netsim::trace::TraceEvent;
+
+use crate::matrix::Cell;
+
+/// Renders one recorded event as its canonical JSON line (no newline).
+pub fn event_record(e: &TraceEvent) -> String {
+    use harness::json::Object;
+    let base = |kind: &str| Object::new().u64("t", e.at().as_ps()).str("kind", kind);
+    match *e {
+        TraceEvent::PathChoice { sw, link, ev, .. } => base("path_choice")
+            .u64("sw", sw.0 as u64)
+            .u64("link", link.0 as u64)
+            .u64("ev", ev as u64)
+            .render(),
+        TraceEvent::EvChoice {
+            host,
+            conn,
+            ev,
+            decision,
+            frozen,
+            ..
+        } => base("ev_choice")
+            .u64("host", host.0 as u64)
+            .u64("conn", conn as u64)
+            .u64("ev", ev as u64)
+            .str("decision", decision.label())
+            .bool("frozen", frozen)
+            .render(),
+        TraceEvent::Freeze { host, conn, .. } => base("freeze")
+            .u64("host", host.0 as u64)
+            .u64("conn", conn as u64)
+            .render(),
+        TraceEvent::Thaw { host, conn, .. } => base("thaw")
+            .u64("host", host.0 as u64)
+            .u64("conn", conn as u64)
+            .render(),
+        TraceEvent::Reorder {
+            host, conn, depth, ..
+        } => base("reorder")
+            .u64("host", host.0 as u64)
+            .u64("conn", conn as u64)
+            .u64("depth", depth as u64)
+            .render(),
+        TraceEvent::Retransmit {
+            host,
+            conn,
+            seq,
+            ev,
+            ..
+        } => base("retransmit")
+            .u64("host", host.0 as u64)
+            .u64("conn", conn as u64)
+            .u64("seq", seq)
+            .u64("ev", ev as u64)
+            .render(),
+        TraceEvent::Timeout {
+            host,
+            conn,
+            expired,
+            ..
+        } => base("timeout")
+            .u64("host", host.0 as u64)
+            .u64("conn", conn as u64)
+            .u64("expired", expired as u64)
+            .render(),
+        TraceEvent::LinkDown { link, .. } => base("link_down").u64("link", link.0 as u64).render(),
+        TraceEvent::LinkUp { link, .. } => base("link_up").u64("link", link.0 as u64).render(),
+        TraceEvent::LinkRate { link, bps, .. } => base("link_rate")
+            .u64("link", link.0 as u64)
+            .u64("bps", bps)
+            .render(),
+        TraceEvent::LinkBer { link, .. } => base("link_ber").u64("link", link.0 as u64).render(),
+        TraceEvent::SwitchDown { sw, .. } => base("switch_down").u64("sw", sw.0 as u64).render(),
+        TraceEvent::SwitchUp { sw, .. } => base("switch_up").u64("sw", sw.0 as u64).render(),
+    }
+}
+
+/// Renders one cell's canonical trace document (header + one JSON object
+/// per event in simulation order, trailing newline).
+pub fn trace_doc(cell: &Cell, events: &[TraceEvent]) -> String {
+    use harness::json::Object;
+    let mut doc = String::new();
+    doc.push_str(
+        &Object::new()
+            .str("key", &cell.key())
+            .u64("derived_seed", cell.derived_seed())
+            .u64("events", events.len() as u64)
+            .render(),
+    );
+    doc.push('\n');
+    for e in events {
+        doc.push_str(&event_record(e));
+        doc.push('\n');
+    }
+    doc
+}
+
+/// An open (created) trace output directory.
+#[derive(Debug, Clone)]
+pub struct TraceStore {
+    dir: PathBuf,
+}
+
+impl TraceStore {
+    /// Opens `dir`, creating it if needed.
+    pub fn create(dir: impl AsRef<Path>) -> io::Result<TraceStore> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        Ok(TraceStore { dir })
+    }
+
+    /// The directory documents are written to.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The document path for a cell with the given derived seed.
+    pub fn path_for(&self, derived_seed: u64) -> PathBuf {
+        self.dir.join(format!("{derived_seed:016x}.trace.jsonl"))
+    }
+
+    /// Whether `cell`'s document already exists *for this exact cell*: the
+    /// header's embedded key must match, so a foreign file or 64-bit hash
+    /// collision reads as absent rather than trusted. Only the header line
+    /// is read — traces under failure scenarios can run to many thousands
+    /// of events.
+    pub fn has(&self, cell: &Cell) -> bool {
+        use std::io::BufRead;
+        let Ok(file) = std::fs::File::open(self.path_for(cell.derived_seed())) else {
+            return false;
+        };
+        let mut header = String::new();
+        if std::io::BufReader::new(file)
+            .read_line(&mut header)
+            .is_err()
+        {
+            return false;
+        }
+        let Ok(v) = harness::json::Value::parse(header.trim_end_matches('\n')) else {
+            return false;
+        };
+        v.get("key").and_then(|k| k.as_str()) == Some(cell.key().as_str())
+    }
+
+    /// Stores one document atomically (write to a temp file in the same
+    /// directory, then rename, so concurrent readers never see a torn
+    /// document).
+    pub fn store(&self, derived_seed: u64, doc: &str) -> io::Result<()> {
+        let path = self.path_for(derived_seed);
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        std::fs::write(&tmp, doc)?;
+        std::fs::rename(&tmp, &path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::ScenarioMatrix;
+    use crate::spec::WorkloadSpec;
+    use netsim::ids::{HostId, LinkId, SwitchId};
+    use netsim::time::Time;
+    use netsim::trace::EvDecision;
+
+    fn cell() -> Cell {
+        ScenarioMatrix::new("trace-unit")
+            .workloads([WorkloadSpec::Tornado { bytes: 32 << 10 }])
+            .expand()
+            .remove(0)
+    }
+
+    #[test]
+    fn every_event_kind_renders_canonically() {
+        let at = Time::from_us(7);
+        let events = [
+            TraceEvent::PathChoice {
+                at,
+                sw: SwitchId(1),
+                link: LinkId(2),
+                ev: 3,
+            },
+            TraceEvent::EvChoice {
+                at,
+                host: HostId(4),
+                conn: 5,
+                ev: 6,
+                decision: EvDecision::Recycled,
+                frozen: false,
+            },
+            TraceEvent::Freeze {
+                at,
+                host: HostId(4),
+                conn: 5,
+            },
+            TraceEvent::Thaw {
+                at,
+                host: HostId(4),
+                conn: 5,
+            },
+            TraceEvent::Reorder {
+                at,
+                host: HostId(4),
+                conn: 5,
+                depth: 9,
+            },
+            TraceEvent::Retransmit {
+                at,
+                host: HostId(4),
+                conn: 5,
+                seq: 77,
+                ev: 6,
+            },
+            TraceEvent::Timeout {
+                at,
+                host: HostId(4),
+                conn: 5,
+                expired: 2,
+            },
+            TraceEvent::LinkDown {
+                at,
+                link: LinkId(2),
+            },
+            TraceEvent::LinkUp {
+                at,
+                link: LinkId(2),
+            },
+            TraceEvent::LinkRate {
+                at,
+                link: LinkId(2),
+                bps: 100_000_000_000,
+            },
+            TraceEvent::LinkBer {
+                at,
+                link: LinkId(2),
+            },
+            TraceEvent::SwitchDown {
+                at,
+                sw: SwitchId(1),
+            },
+            TraceEvent::SwitchUp {
+                at,
+                sw: SwitchId(1),
+            },
+        ];
+        let mut kinds = Vec::new();
+        for e in &events {
+            let line = event_record(e);
+            let v = harness::json::Value::parse(&line).expect("record parses");
+            // Canonical: every record re-renders byte-exactly.
+            assert_eq!(v.render(), line);
+            assert_eq!(v.get("t").unwrap().as_u64(), Some(at.as_ps()));
+            kinds.push(v.get("kind").unwrap().as_str().unwrap().to_string());
+        }
+        assert_eq!(
+            kinds,
+            [
+                "path_choice",
+                "ev_choice",
+                "freeze",
+                "thaw",
+                "reorder",
+                "retransmit",
+                "timeout",
+                "link_down",
+                "link_up",
+                "link_rate",
+                "link_ber",
+                "switch_down",
+                "switch_up"
+            ]
+        );
+    }
+
+    #[test]
+    fn doc_is_self_describing() {
+        let c = cell();
+        let events = [TraceEvent::LinkDown {
+            at: Time::from_us(1),
+            link: LinkId(0),
+        }];
+        let doc = trace_doc(&c, &events);
+        assert!(doc.ends_with('\n'));
+        let lines: Vec<&str> = doc.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let header = harness::json::Value::parse(lines[0]).expect("header parses");
+        assert_eq!(header.get("key").unwrap().as_str(), Some(c.key().as_str()));
+        assert_eq!(
+            header.get("derived_seed").unwrap().as_u64(),
+            Some(c.derived_seed())
+        );
+        assert_eq!(header.get("events").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn store_validates_ownership() {
+        let dir = std::env::temp_dir().join(format!("reps-trace-unit-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = TraceStore::create(&dir).unwrap();
+        let c = cell();
+        assert!(!store.has(&c), "empty store has nothing");
+        let doc = trace_doc(&c, &[]);
+        store.store(c.derived_seed(), &doc).unwrap();
+        assert!(store.has(&c));
+        assert_eq!(
+            std::fs::read_to_string(store.path_for(c.derived_seed())).unwrap(),
+            doc
+        );
+        // A foreign document under this cell's address reads as absent.
+        store
+            .store(c.derived_seed(), "{\"key\":\"someone-else\"}\n")
+            .unwrap();
+        assert!(!store.has(&c));
+        std::fs::write(store.path_for(c.derived_seed()), "not json").unwrap();
+        assert!(!store.has(&c));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -13,6 +13,7 @@ use netsim::ids::{ConnId, FlowId, HostId};
 use netsim::packet::{Ack, Body, EchoList, EvEcho, Packet, SeqList};
 use netsim::stats::FlowRecord;
 use netsim::time::Time;
+use netsim::trace::{TraceEvent, TraceSink};
 use reps::lb::{AckFeedback, LoadBalancer};
 
 use crate::cc::{Cc, CongestionControl};
@@ -182,7 +183,7 @@ impl SenderConn {
     }
 
     /// Transmits as much as the window/credits allow.
-    pub fn pump(&mut self, ctx: &mut Ctx<'_>) {
+    pub fn pump<S: TraceSink>(&mut self, ctx: &mut Ctx<'_, S>) {
         loop {
             // Pick what to send: retransmissions first.
             let (seq, msg_idx, msg_seq, payload, retx) = if let Some(&seq) = self.retx_queue.front()
@@ -237,7 +238,50 @@ impl SenderConn {
                 self.unsent_bytes -= payload as u64;
             }
 
+            // The freeze-state probes and the event build live behind
+            // `enabled()`: with `NoTrace` the whole block (including the
+            // virtual `is_frozen` calls) folds away, keeping the untraced
+            // send path identical to the pre-trace one.
+            let frozen_before = ctx.trace.enabled() && self.lb.is_frozen();
             let ev = self.lb.next_ev(ctx.now, ctx.rng);
+            if ctx.trace.enabled() {
+                let frozen = self.lb.is_frozen();
+                if frozen != frozen_before {
+                    // `next_ev` itself can freeze (forced freezing) or thaw
+                    // (send-path freezing expiry).
+                    let transition = if frozen {
+                        TraceEvent::Freeze {
+                            at: ctx.now,
+                            host: ctx.host,
+                            conn: self.conn.0,
+                        }
+                    } else {
+                        TraceEvent::Thaw {
+                            at: ctx.now,
+                            host: ctx.host,
+                            conn: self.conn.0,
+                        }
+                    };
+                    ctx.trace.emit(transition);
+                }
+                ctx.trace.emit(TraceEvent::EvChoice {
+                    at: ctx.now,
+                    host: ctx.host,
+                    conn: self.conn.0,
+                    ev,
+                    decision: self.lb.last_decision(),
+                    frozen,
+                });
+                if retx {
+                    ctx.trace.emit(TraceEvent::Retransmit {
+                        at: ctx.now,
+                        host: ctx.host,
+                        conn: self.conn.0,
+                        seq,
+                        ev,
+                    });
+                }
+            }
             let msg_state = &self.msgs[msg_idx as usize];
             let pkt = Packet {
                 id: ctx.fresh_packet_id(),
@@ -282,7 +326,7 @@ impl SenderConn {
     }
 
     /// Processes an ACK; returns any completed messages.
-    pub fn on_ack(&mut self, ack: &Ack, ctx: &mut Ctx<'_>) -> AckOutcome {
+    pub fn on_ack<S: TraceSink>(&mut self, ack: &Ack, ctx: &mut Ctx<'_, S>) -> AckOutcome {
         let now = ctx.now;
         let mut outcome = AckOutcome::default();
         let mut newly_acked = std::mem::take(&mut self.newly_acked);
@@ -345,6 +389,7 @@ impl SenderConn {
 
         // Load-balancer feedback, entropy by entropy.
         let cwnd_packets = (self.cc.cwnd() / self.mtu.max(1) as u64).max(1) as u32;
+        let frozen_before = ctx.trace.enabled() && self.lb.is_frozen();
         for echo in &ack.echoes {
             let fb = AckFeedback {
                 ev: echo.ev,
@@ -357,13 +402,21 @@ impl SenderConn {
                 self.lb.on_ack(&fb, ctx.rng);
             }
         }
+        // ACK feedback can only thaw (freezing-window expiry, §3.2).
+        if frozen_before && !self.lb.is_frozen() {
+            ctx.trace.emit(TraceEvent::Thaw {
+                at: now,
+                host: ctx.host,
+                conn: self.conn.0,
+            });
+        }
 
         self.pump(ctx);
         outcome
     }
 
     /// Handles a trimming NACK for `seq` (congestion loss, not failure).
-    pub fn on_nack(&mut self, seq: u64, ctx: &mut Ctx<'_>) {
+    pub fn on_nack<S: TraceSink>(&mut self, seq: u64, ctx: &mut Ctx<'_, S>) {
         if let Some(info) = self.inflight.remove(&seq) {
             self.inflight_bytes -= info.payload as u64;
             self.lost.insert(
@@ -383,7 +436,7 @@ impl SenderConn {
 
     /// Declares every packet older than `rto` lost. Returns the number of
     /// packets declared lost (0 = no timeout fired).
-    pub fn check_timeouts(&mut self, rto: Time, ctx: &mut Ctx<'_>) -> usize {
+    pub fn check_timeouts<S: TraceSink>(&mut self, rto: Time, ctx: &mut Ctx<'_, S>) -> usize {
         let now = ctx.now;
         let mut expired: Vec<u64> = self
             .inflight
@@ -413,7 +466,23 @@ impl SenderConn {
             self.cc.on_loss(now);
         }
         // One failure-suspicion signal per timeout event (Algorithm 1).
+        let frozen_before = ctx.trace.enabled() && self.lb.is_frozen();
         self.lb.on_timeout(now);
+        if ctx.trace.enabled() {
+            ctx.trace.emit(TraceEvent::Timeout {
+                at: now,
+                host: ctx.host,
+                conn: self.conn.0,
+                expired: expired.len() as u32,
+            });
+            if !frozen_before && self.lb.is_frozen() {
+                ctx.trace.emit(TraceEvent::Freeze {
+                    at: now,
+                    host: ctx.host,
+                    conn: self.conn.0,
+                });
+            }
+        }
         ctx.note_timeout();
         self.pump(ctx);
         expired.len()

@@ -11,6 +11,7 @@ use netsim::hash::FxHashMap;
 use netsim::ids::{ConnId, HostId};
 use netsim::packet::{Ack, Body, Packet};
 use netsim::time::Time;
+use netsim::trace::{TraceEvent, TraceSink};
 
 use crate::cc::Cc;
 use crate::config::TransportConfig;
@@ -108,18 +109,37 @@ impl HostEndpoint {
         (self.senders.len(), self.receivers.len())
     }
 
+    /// Accumulates every sender's load-balancer decision counters into
+    /// `out`, summing values that share a name. Deterministic: senders are
+    /// visited in key order, and names keep first-appearance order.
+    pub fn lb_diagnostics(&self, out: &mut Vec<(&'static str, u64)>) {
+        let mut keys: Vec<(HostId, bool)> = self.senders.keys().copied().collect();
+        keys.sort_unstable();
+        let mut scratch = Vec::new();
+        for key in keys {
+            scratch.clear();
+            self.senders[&key].lb.diagnostics(&mut scratch);
+            for &(name, v) in &scratch {
+                match out.iter_mut().find(|(n, _)| *n == name) {
+                    Some(entry) => entry.1 += v,
+                    None => out.push((name, v)),
+                }
+            }
+        }
+    }
+
     fn conn_id(&self, src: HostId, dst: HostId, bg: bool) -> ConnId {
         ConnId((src.0 * self.n_hosts + dst.0) * 2 + bg as u32)
     }
 
-    fn arm_sweep(&mut self, ctx: &mut Ctx<'_>) {
+    fn arm_sweep<S: TraceSink>(&mut self, ctx: &mut Ctx<'_, S>) {
         if !self.sweep_armed {
             self.sweep_armed = true;
             ctx.set_timer(self.cfg.rto / 4, TOKEN_SWEEP);
         }
     }
 
-    fn arm_eqds(&mut self, ctx: &mut Ctx<'_>) {
+    fn arm_eqds<S: TraceSink>(&mut self, ctx: &mut Ctx<'_, S>) {
         if !self.eqds_armed {
             self.eqds_armed = true;
             let tick = Time::serialization(
@@ -130,7 +150,7 @@ impl HostEndpoint {
         }
     }
 
-    fn start_message(&mut self, spec: MessageSpec, ctx: &mut Ctx<'_>) {
+    fn start_message<S: TraceSink>(&mut self, spec: MessageSpec, ctx: &mut Ctx<'_, S>) {
         let bg = spec.tag & crate::config::BACKGROUND_BIT != 0;
         let conn = self.conn_id(self.host, spec.dst, bg);
         let cfg = &self.cfg;
@@ -149,7 +169,13 @@ impl HostEndpoint {
         self.arm_sweep(ctx);
     }
 
-    fn send_ack(&mut self, peer: HostId, conn: ConnId, ack: Ack, ctx: &mut Ctx<'_>) {
+    fn send_ack<S: TraceSink>(
+        &mut self,
+        peer: HostId,
+        conn: ConnId,
+        ack: Ack,
+        ctx: &mut Ctx<'_, S>,
+    ) {
         // ACKs reuse the newest echoed EV for their own routing (§3.1): no
         // extra header space, and the reverse path reflects the data path.
         let ev = ack.echoes.last().map(|e| e.ev).unwrap_or(0);
@@ -164,7 +190,7 @@ impl HostEndpoint {
         ctx.send(pkt);
     }
 
-    fn fire_receive_triggers(&mut self, tag: u64, ctx: &mut Ctx<'_>) {
+    fn fire_receive_triggers<S: TraceSink>(&mut self, tag: u64, ctx: &mut Ctx<'_, S>) {
         if let Some(specs) = self.on_receive.remove(&tag) {
             for spec in specs {
                 self.start_message(spec, ctx);
@@ -172,7 +198,7 @@ impl HostEndpoint {
         }
     }
 
-    fn fire_send_triggers(&mut self, tags: Vec<u64>, ctx: &mut Ctx<'_>) {
+    fn fire_send_triggers<S: TraceSink>(&mut self, tags: Vec<u64>, ctx: &mut Ctx<'_, S>) {
         for tag in tags {
             if let Some(specs) = self.on_send_complete.remove(&tag) {
                 for spec in specs {
@@ -182,7 +208,7 @@ impl HostEndpoint {
         }
     }
 
-    fn on_sweep(&mut self, ctx: &mut Ctx<'_>) {
+    fn on_sweep<S: TraceSink>(&mut self, ctx: &mut Ctx<'_, S>) {
         self.sweep_armed = false;
         let rto = self.cfg.rto;
         // Sweep senders in key order: each timeout draws from the shared
@@ -221,7 +247,7 @@ impl HostEndpoint {
         }
     }
 
-    fn on_eqds_tick(&mut self, ctx: &mut Ctx<'_>) {
+    fn on_eqds_tick<S: TraceSink>(&mut self, ctx: &mut Ctx<'_, S>) {
         self.eqds_armed = false;
         let mut demanding = std::mem::take(&mut self.eqds_demand);
         demanding.clear();
@@ -259,7 +285,7 @@ impl HostEndpoint {
         self.arm_eqds(ctx);
     }
 
-    fn run_schedule(&mut self, ctx: &mut Ctx<'_>) {
+    fn run_schedule<S: TraceSink>(&mut self, ctx: &mut Ctx<'_, S>) {
         while self.schedule_next < self.schedule.len()
             && self.schedule[self.schedule_next].0 <= ctx.now
         {
@@ -274,8 +300,8 @@ impl HostEndpoint {
     }
 }
 
-impl Endpoint for HostEndpoint {
-    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+impl<S: TraceSink> Endpoint<S> for HostEndpoint {
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_, S>) {
         match &pkt.body {
             Body::Data { .. } => {
                 let peer = pkt.src;
@@ -286,6 +312,19 @@ impl Endpoint for HostEndpoint {
                     .entry(conn)
                     .or_insert_with(|| ReceiverConn::new(peer, conn, cfg));
                 let out = rx.on_data(&pkt, ctx.now);
+                if ctx.trace.enabled() {
+                    // Only out-of-order states are recorded, so a perfectly
+                    // ordered flow contributes no reorder events.
+                    let depth = rx.out_of_order_count();
+                    if depth > 0 {
+                        ctx.trace.emit(TraceEvent::Reorder {
+                            at: ctx.now,
+                            host: self.host,
+                            conn: conn.0,
+                            depth,
+                        });
+                    }
+                }
                 let demand = rx.demand_bytes;
                 if let Some(seq) = out.nack_seq {
                     let nack = Packet::control(
@@ -351,7 +390,7 @@ impl Endpoint for HostEndpoint {
         }
     }
 
-    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>) {
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_, S>) {
         match token {
             TOKEN_SWEEP => self.on_sweep(ctx),
             TOKEN_EQDS => self.on_eqds_tick(ctx),
@@ -360,7 +399,7 @@ impl Endpoint for HostEndpoint {
         }
     }
 
-    fn on_command(&mut self, cmd: Command, ctx: &mut Ctx<'_>) {
+    fn on_command(&mut self, cmd: Command, ctx: &mut Ctx<'_, S>) {
         match cmd {
             Command::StartMessage(spec) => self.start_message(spec, ctx),
             Command::Custom(_) => {
@@ -400,7 +439,7 @@ mod tests {
         engine
     }
 
-    fn start(engine: &mut Engine, flow: u32, src: u32, dst: u32, bytes: u64) {
+    fn start<S: TraceSink>(engine: &mut Engine<S>, flow: u32, src: u32, dst: u32, bytes: u64) {
         engine.command(
             HostId(src),
             Command::StartMessage(MessageSpec {
@@ -506,6 +545,67 @@ mod tests {
             drops[1],
             drops[0]
         );
+    }
+
+    #[test]
+    fn traced_run_records_the_failure_reaction_story() {
+        use netsim::trace::{EvDecision, Recorder, TraceEvent as TE};
+        let sim = SimConfig::paper_default();
+        let topo = Topology::build(FatTreeConfig::two_tier(16, 1), 6);
+        let n = topo.n_hosts;
+        let mut engine = Engine::with_trace(topo, sim, 6, Recorder::new());
+        let tcfg = TransportConfig::from_sim(&engine.cfg, 4, LbKind::Reps(RepsConfig::default()));
+        for h in 0..n {
+            let ep = HostEndpoint::new(HostId(h), n, engine.cfg.link_bps, tcfg.clone());
+            engine.set_endpoint(HostId(h), Box::new(ep));
+        }
+        engine.stats.expected_flows = 1;
+        let pairs = engine.topo.tor_uplink_pairs(netsim::ids::SwitchId(0));
+        let (up, down) = pairs[0];
+        engine.schedule_control(Time::from_us(30), ControlEvent::LinkDown(up));
+        engine.schedule_control(Time::from_us(30), ControlEvent::LinkDown(down));
+        start(&mut engine, 0, 0, 64, 16 << 20);
+        assert!(engine.run_to_completion(Time::from_ms(100)));
+        let events = &engine.trace.events;
+        let has = |f: &dyn Fn(&TE) -> bool| events.iter().any(f);
+        assert!(has(&|e| matches!(e, TE::PathChoice { .. })));
+        assert!(has(&|e| matches!(
+            e,
+            TE::EvChoice {
+                decision: EvDecision::Recycled,
+                ..
+            }
+        )));
+        assert!(has(&|e| matches!(e, TE::LinkDown { .. })));
+        assert!(has(&|e| matches!(e, TE::Timeout { .. })));
+        assert!(has(&|e| matches!(e, TE::Freeze { .. })));
+        assert!(has(&|e| matches!(e, TE::Retransmit { .. })));
+        assert!(has(&|e| matches!(e, TE::Reorder { .. })));
+        // Emission order is simulation order.
+        assert!(events.windows(2).all(|w| w[0].at() <= w[1].at()));
+        // And the decision counters agree with the recorded choices.
+        let ep = engine.endpoint(HostId(0)).unwrap();
+        let ep = ep.as_any().unwrap().downcast_ref::<HostEndpoint>().unwrap();
+        let mut diag = Vec::new();
+        ep.lb_diagnostics(&mut diag);
+        let recycled = diag
+            .iter()
+            .find(|(n, _)| *n == "reps_recycled_draws")
+            .map(|(_, v)| *v)
+            .unwrap();
+        let recorded = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    TE::EvChoice {
+                        decision: EvDecision::Recycled,
+                        ..
+                    }
+                )
+            })
+            .count() as u64;
+        assert_eq!(recycled, recorded);
     }
 
     #[test]
