@@ -9,13 +9,15 @@
 //! * `hotpath/permutation_cell` — a full single sweep cell (32-host
 //!   permutation, REPS) measured in simulator **events per second**; this
 //!   is the number the CI `microbench-smoke` job gates on.
-//! * `calendar/*` — the event calendar under a synthetic hold model:
-//!   the engine's BinaryHeap-of-POD against a bucketed-ring prototype.
-//!   (Measured before committing to the heap: the POD heap won — see the
-//!   `netsim::event` module docs.)
+//! * `calendar/*` — the event calendar under a synthetic hold model: the
+//!   engine's self-tuning two-level calendar against the
+//!   BinaryHeap-of-POD it replaced, across a held-event × gap-shape
+//!   matrix (256/4096/65536 held, uniform vs bimodal gaps), plus the
+//!   naive fixed-width ring that lost the original bakeoff (see the
+//!   `netsim::event` module docs for the history).
 //!
 //! ```text
-//! microbench [--out PATH] [--target-ms N]
+//! microbench [--out PATH] [--target-ms N] [--filter SUBSTR]
 //!            [--check BASELINE.json [--tolerance F]]
 //! ```
 //!
@@ -46,11 +48,24 @@ use workloads::patterns;
 /// The gated benchmark: its events/sec must not regress vs. the baseline.
 const GATED_BENCH: &str = "hotpath/permutation_cell";
 
+/// Every bench `--check` gates (elems/sec vs. the baseline report): the
+/// end-to-end hot path plus the calendar matrix cells closest to it —
+/// the hot-path cell's held-event count under both gap shapes, and the
+/// large-held point the ROADMAP's scale target cares about. A gated
+/// bench missing from either report fails the check.
+const GATED_BENCHES: &[&str] = &[
+    GATED_BENCH,
+    "calendar/engine_queue_hold256_uniform",
+    "calendar/engine_queue_hold256_bimodal",
+    "calendar/engine_queue_hold65536_uniform",
+];
+
 struct Opts {
     out: String,
     target_ms: Option<u64>,
     check: Option<String>,
     tolerance: f64,
+    filter: Option<String>,
 }
 
 fn parse_args() -> Result<Opts, String> {
@@ -59,6 +74,7 @@ fn parse_args() -> Result<Opts, String> {
         target_ms: None,
         check: None,
         tolerance: 0.2,
+        filter: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -76,6 +92,7 @@ fn parse_args() -> Result<Opts, String> {
                 )
             }
             "--check" => opts.check = Some(value("--check")?.clone()),
+            "--filter" => opts.filter = Some(value("--filter")?.clone()),
             "--tolerance" => {
                 opts.tolerance = value("--tolerance")?
                     .parse::<f64>()
@@ -83,7 +100,7 @@ fn parse_args() -> Result<Opts, String> {
             }
             other => {
                 return Err(format!(
-                    "unknown argument {other:?}\nusage: microbench [--out PATH] [--target-ms N] [--check BASELINE.json [--tolerance F]]"
+                    "unknown argument {other:?}\nusage: microbench [--out PATH] [--target-ms N] [--filter SUBSTR] [--check BASELINE.json [--tolerance F]]"
                 ))
             }
         }
@@ -102,6 +119,9 @@ fn main() -> ExitCode {
     let mut h = Harness::new();
     if let Some(ms) = opts.target_ms {
         h = h.target_ms(ms);
+    }
+    if let Some(pat) = &opts.filter {
+        h = h.filter(pat);
     }
 
     bench_reps(&mut h);
@@ -123,7 +143,9 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Gates `GATED_BENCH` events/sec against a checked-in baseline report.
+/// Gates every bench in [`GATED_BENCHES`] (elems/sec) against a
+/// checked-in baseline report. All gated benches are evaluated so a
+/// failing run reports every regression at once, not just the first.
 fn check_regression(current: &str, baseline_path: &str, tolerance: f64) -> ExitCode {
     let baseline = match std::fs::read_to_string(baseline_path) {
         Ok(s) => s,
@@ -132,32 +154,41 @@ fn check_regression(current: &str, baseline_path: &str, tolerance: f64) -> ExitC
             return ExitCode::FAILURE;
         }
     };
-    let (Some(base), Some(now)) = (
-        json_field(&baseline, GATED_BENCH, "elems_per_sec"),
-        json_field(current, GATED_BENCH, "elems_per_sec"),
-    ) else {
-        eprintln!("{GATED_BENCH} missing from baseline or current report");
-        return ExitCode::FAILURE;
-    };
-    let floor = base * (1.0 - tolerance);
-    let ratio = now / base;
-    if now < floor {
+    let mut failed = false;
+    for name in GATED_BENCHES {
+        let (Some(base), Some(now)) = (
+            json_field(&baseline, name, "elems_per_sec"),
+            json_field(current, name, "elems_per_sec"),
+        ) else {
+            eprintln!("{name} missing from baseline or current report");
+            failed = true;
+            continue;
+        };
+        let floor = base * (1.0 - tolerance);
+        let ratio = now / base;
+        if now < floor {
+            eprintln!(
+                "REGRESSION: {name} at {:.2} M elems/s is {:.0}% of the {:.2} M elems/s baseline (floor {:.0}%)",
+                now / 1e6,
+                ratio * 100.0,
+                base / 1e6,
+                (1.0 - tolerance) * 100.0
+            );
+            failed = true;
+            continue;
+        }
         eprintln!(
-            "REGRESSION: {GATED_BENCH} at {:.2} M events/s is {:.0}% of the {:.2} M events/s baseline (floor {:.0}%)",
+            "{name}: {:.2} M elems/s ({:.0}% of baseline, floor {:.0}%) — ok",
             now / 1e6,
             ratio * 100.0,
-            base / 1e6,
             (1.0 - tolerance) * 100.0
         );
-        return ExitCode::FAILURE;
     }
-    eprintln!(
-        "{GATED_BENCH}: {:.2} M events/s ({:.0}% of baseline, floor {:.0}%) — ok",
-        now / 1e6,
-        ratio * 100.0,
-        (1.0 - tolerance) * 100.0
-    );
-    ExitCode::SUCCESS
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 /// The REPS per-packet paths (from `benches/micro.rs`).
@@ -242,62 +273,112 @@ fn bench_substrate(h: &mut Harness) {
 /// the earliest and schedules a replacement a pseudo-random delta ahead.
 /// This is the classic DES calendar stress shape (no packets involved, so
 /// it isolates the queue data structure itself).
+/// Gap distributions for the calendar hold-model matrix.
+#[derive(Clone, Copy)]
+enum Gaps {
+    /// Uniform 1..4 us deltas — the classic hold model.
+    Uniform,
+    /// ~90% short (≤256 ns) deltas with ~10% long (~16 us) outliers —
+    /// the shape a transport produces: dense per-packet service events
+    /// punctuated by RTT-scale timers. Stresses the width self-tuning:
+    /// a width fit to the short mode must absorb the outliers through
+    /// later buckets or the overflow level without thrashing.
+    Bimodal,
+}
+
+impl Gaps {
+    fn next(self, rng: &mut Rng64) -> Time {
+        match self {
+            Gaps::Uniform => Time::from_ns(1 + rng.gen_range(1 << 12)),
+            Gaps::Bimodal => {
+                if rng.gen_range(10) == 0 {
+                    Time::from_us(16) + Time::from_ns(rng.gen_range(1 << 15))
+                } else {
+                    Time::from_ns(1 + rng.gen_range(256))
+                }
+            }
+        }
+    }
+
+    fn tag(self) -> &'static str {
+        match self {
+            Gaps::Uniform => "uniform",
+            Gaps::Bimodal => "bimodal",
+        }
+    }
+}
+
 fn bench_calendar(h: &mut Harness) {
-    const HELD: u64 = 4096;
     const OPS: u64 = 65_536;
-    h.bench_function("calendar/engine_queue_hold4096", |b| {
-        b.elements(OPS);
-        b.iter_batched(
-            || {
-                let mut q = EventQueue::new();
-                let mut rng = Rng64::new(11);
-                for token in 0..HELD {
-                    q.push(
-                        Time::from_ns(rng.gen_range(1 << 16)),
-                        Event::Timer {
-                            host: HostId(0),
-                            token,
+    // The bakeoff matrix: engine calendar vs the BinaryHeap-of-POD it
+    // replaced, across held-event counts bracketing the hot-path cell
+    // (a 32-host cell holds a few hundred; the ROADMAP's O(10k)-host
+    // target holds tens of thousands) and both gap distributions.
+    for held in [256u64, 4096, 65_536] {
+        for gaps in [Gaps::Uniform, Gaps::Bimodal] {
+            h.bench_function(
+                &format!("calendar/engine_queue_hold{held}_{}", gaps.tag()),
+                |b| {
+                    b.elements(OPS);
+                    b.iter_batched(
+                        || {
+                            let mut q = EventQueue::new();
+                            let mut rng = Rng64::new(11);
+                            for token in 0..held {
+                                q.push(
+                                    Time::from_ns(rng.gen_range(1 << 16)),
+                                    Event::Timer {
+                                        host: HostId(0),
+                                        token,
+                                    },
+                                );
+                            }
+                            (q, rng)
                         },
-                    );
-                }
-                (q, rng)
-            },
-            |(mut q, mut rng)| {
-                for _ in 0..OPS {
-                    let (at, ev) = q.pop().expect("hold model never drains");
-                    q.push(at + Time::from_ns(1 + rng.gen_range(1 << 12)), ev);
-                }
-                q.len()
-            },
-        )
-    });
-    h.bench_function("calendar/binheap_pod_hold4096", |b| {
-        b.elements(OPS);
-        b.iter_batched(
-            || {
-                let mut q = PodBinHeap::default();
-                let mut rng = Rng64::new(11);
-                for token in 0..HELD {
-                    q.push(Time::from_ns(rng.gen_range(1 << 16)), token);
-                }
-                (q, rng)
-            },
-            |(mut q, mut rng)| {
-                for _ in 0..OPS {
-                    let (at, token) = q.pop().expect("hold model never drains");
-                    q.push(at + Time::from_ns(1 + rng.gen_range(1 << 12)), token);
-                }
-                q.len()
-            },
-        )
-    });
+                        |(mut q, mut rng)| {
+                            for _ in 0..OPS {
+                                let (at, ev) = q.pop().expect("hold model never drains");
+                                q.push(at + gaps.next(&mut rng), ev);
+                            }
+                            q.len()
+                        },
+                    )
+                },
+            );
+            h.bench_function(
+                &format!("calendar/binheap_pod_hold{held}_{}", gaps.tag()),
+                |b| {
+                    b.elements(OPS);
+                    b.iter_batched(
+                        || {
+                            let mut q = PodBinHeap::default();
+                            let mut rng = Rng64::new(11);
+                            for token in 0..held {
+                                q.push(Time::from_ns(rng.gen_range(1 << 16)), token);
+                            }
+                            (q, rng)
+                        },
+                        |(mut q, mut rng)| {
+                            for _ in 0..OPS {
+                                let (at, token) = q.pop().expect("hold model never drains");
+                                q.push(at + gaps.next(&mut rng), token);
+                            }
+                            q.len()
+                        },
+                    )
+                },
+            );
+        }
+    }
+    // The naive fixed-width ring that lost the original bakeoff, kept
+    // at its historical shape so old and new reports stay comparable.
     h.bench_function("calendar/bucket_ring_hold4096", |b| {
         b.elements(OPS);
         b.iter_batched(
             || {
                 let mut q = BucketRing::new();
                 let mut rng = Rng64::new(11);
-                for token in 0..HELD {
+                for token in 0..4096u64 {
                     q.push(Time::from_ns(rng.gen_range(1 << 16)), token);
                 }
                 (q, rng)

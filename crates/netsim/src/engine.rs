@@ -20,8 +20,21 @@
 //! * uplink selection works by index; the only buffer it touches is the
 //!   engine's reusable failover scratch (capacity bounded by the widest
 //!   ECMP group, retained across packets),
-//! * calendar, link deques, arena free list and the endpoint action
-//!   buffer all retain their high-water capacity.
+//! * calendar, link deques, arena free list, the endpoint action buffer
+//!   and the same-timestamp batch buffer all retain their high-water
+//!   capacity.
+//!
+//! # Batched execution
+//!
+//! Every `run_*` entry point funnels into one drain helper that pulls
+//! events from the calendar a same-timestamp batch at a time and chains
+//! consecutive link-service completions inside a single link borrow —
+//! see [`Engine::run_until`]'s shared `drain_events` and
+//! `Engine::finish_service`. Batching is an execution strategy only:
+//! dispatch order remains the exact `(time, seq)` total order, so traces,
+//! statistics and golden outputs are byte-identical to the
+//! one-pop-at-a-time engine. [`BatchStats`] exposes batch-shape counters
+//! to the sweep's perf sink.
 
 use crate::arena::{PacketArena, PacketRef};
 use crate::config::SimConfig;
@@ -46,6 +59,21 @@ pub enum RoutingMode {
     /// Per-packet adaptive routing: the switch picks the least-loaded uplink
     /// (random tie-break). Models NVIDIA Adaptive RoCE / Spectrum-X (§4.1).
     Adaptive,
+}
+
+/// Counters for the batched event-execution path.
+///
+/// Diagnostics only — they feed the sweep's perf record stream (which is
+/// not byte-golden) and never influence simulation behavior.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BatchStats {
+    /// Same-timestamp batches drained from the calendar.
+    pub batches: u64,
+    /// Largest batch observed.
+    pub max_batch: u64,
+    /// `QueueService` completions that started the next packet's
+    /// serialization in the same link borrow (the batched service path).
+    pub chained_services: u64,
 }
 
 /// A request to start (or enqueue) an application message on a host.
@@ -308,7 +336,14 @@ pub struct Engine<S: TraceSink = NoTrace> {
     pub arena: PacketArena,
     /// The flight recorder ([`NoTrace`] unless the run is traced).
     pub trace: S,
+    /// Batched-execution counters (see [`BatchStats`]).
+    pub batch_stats: BatchStats,
     events: EventQueue,
+    /// Reusable same-timestamp batch buffer ([`Engine::drain_events`]).
+    batch: Vec<(Time, u64, Event)>,
+    /// First undispatched element of `batch` (leftovers after a mid-batch
+    /// stop keep their position here).
+    batch_pos: usize,
     endpoints: Vec<Option<Box<dyn Endpoint<S>>>>,
     rng: Rng64,
     next_pkt_id: u64,
@@ -367,7 +402,10 @@ impl<S: TraceSink> Engine<S> {
             events_processed: 0,
             arena: PacketArena::new(),
             trace,
+            batch_stats: BatchStats::default(),
             events: EventQueue::new(),
+            batch: Vec::new(),
+            batch_pos: 0,
             endpoints,
             rng: Rng64::new(seed ^ 0x5EED_0FEB_ECD1_4E75),
             next_pkt_id: 0,
@@ -434,17 +472,8 @@ impl<S: TraceSink> Engine<S> {
     ///
     /// Returns the number of events processed.
     pub fn run_until(&mut self, deadline: Time) -> u64 {
-        let mut n = 0;
-        while let Some(at) = self.events.peek_time() {
-            if at > deadline {
-                break;
-            }
-            let (at, ev) = self.events.pop().expect("peeked");
-            self.now = at;
-            self.dispatch(ev);
-            n += 1;
-        }
-        if self.now < deadline && self.events.is_empty() {
+        let n = self.drain_events(deadline, |_| false);
+        if self.now < deadline && self.pending_events() == 0 {
             self.now = deadline;
         }
         n
@@ -454,14 +483,7 @@ impl<S: TraceSink> Engine<S> {
     ///
     /// Returns `true` on completion.
     pub fn run_to_completion(&mut self, deadline: Time) -> bool {
-        while let Some(at) = self.events.peek_time() {
-            if at > deadline || self.stats.all_flows_done() {
-                break;
-            }
-            let (at, ev) = self.events.pop().expect("peeked");
-            self.now = at;
-            self.dispatch(ev);
-        }
+        self.drain_events(deadline, Stats::all_flows_done);
         self.stats.all_flows_done()
     }
 
@@ -469,20 +491,89 @@ impl<S: TraceSink> Engine<S> {
     /// or `deadline` passes. Returns `true` if a new completion appeared.
     pub fn run_until_next_completion(&mut self, deadline: Time) -> bool {
         let before = self.stats.flows.len();
-        while let Some(at) = self.events.peek_time() {
-            if at > deadline || self.stats.flows.len() > before {
-                break;
-            }
-            let (at, ev) = self.events.pop().expect("peeked");
-            self.now = at;
-            self.dispatch(ev);
-        }
+        self.drain_events(deadline, |s| s.flows.len() > before);
         self.stats.flows.len() > before
+    }
+
+    /// The shared drain loop behind every `run_*` entry point: dispatches
+    /// events in exact `(time, seq)` order until the calendar empties,
+    /// the next event lies past `deadline`, or `stop(&stats)` turns true.
+    /// Returns the number of events dispatched.
+    ///
+    /// Events are pulled a same-timestamp *batch* at a time
+    /// ([`EventQueue::drain_batch_into`]), which amortizes calendar
+    /// cursor/sort work over the batch. Exactness:
+    ///
+    /// * the deadline cannot fire mid-batch on the hot path — a batch
+    ///   shares one timestamp, checked before dispatching any of it;
+    /// * a `stop` can fire mid-batch, leaving leftovers in `self.batch`.
+    ///   Dispatch pushes only at-or-after `now`, with seqs above every
+    ///   batch member, so leftovers stay ahead of anything pushed *during*
+    ///   the run — but between runs the harness may schedule controls at
+    ///   earlier keys, so the resume path (the first loop) re-checks the
+    ///   calendar head key against the leftover head per event.
+    fn drain_events(&mut self, deadline: Time, mut stop: impl FnMut(&Stats) -> bool) -> u64 {
+        let mut n = 0;
+        // Resume path: leftovers from a previous mid-batch stop, merged
+        // against the calendar key-by-key.
+        while self.batch_pos < self.batch.len() {
+            if stop(&self.stats) {
+                return n;
+            }
+            let (bt, bseq, bev) = self.batch[self.batch_pos];
+            match self.events.peek_key() {
+                Some((ct, cseq)) if (ct, cseq) < (bt, bseq) => {
+                    if ct > deadline {
+                        return n;
+                    }
+                    let (at, ev) = self.events.pop().expect("peeked");
+                    self.now = at;
+                    self.dispatch(ev);
+                }
+                _ => {
+                    if bt > deadline {
+                        return n;
+                    }
+                    self.batch_pos += 1;
+                    self.now = bt;
+                    self.dispatch(bev);
+                }
+            }
+            n += 1;
+        }
+        // Hot path: whole batches.
+        'refill: loop {
+            if stop(&self.stats) {
+                return n;
+            }
+            self.batch.clear();
+            self.batch_pos = 0;
+            match self.events.peek_time() {
+                Some(t) if t <= deadline => {}
+                _ => return n,
+            }
+            self.events.drain_batch_into(&mut self.batch);
+            self.batch_stats.batches += 1;
+            self.batch_stats.max_batch = self.batch_stats.max_batch.max(self.batch.len() as u64);
+            loop {
+                let (at, _, ev) = self.batch[self.batch_pos];
+                self.batch_pos += 1;
+                self.now = at;
+                self.dispatch(ev);
+                n += 1;
+                if self.batch_pos == self.batch.len() {
+                    continue 'refill;
+                }
+                if stop(&self.stats) {
+                    return n;
+                }
+            }
+        }
     }
 
     /// Number of pending events (diagnostics).
     pub fn pending_events(&self) -> usize {
-        self.events.len()
+        self.events.len() + (self.batch.len() - self.batch_pos)
     }
 
     fn dispatch(&mut self, ev: Event) {
@@ -504,27 +595,40 @@ impl<S: TraceSink> Engine<S> {
         if link.busy || !link.up {
             return;
         }
-        let Some(pkt) = link.dequeue(&self.arena) else {
+        let Some((pkt, ser)) = link.begin_service(&self.arena) else {
             return;
         };
-        let ser = link.serialization_time(self.arena.get(pkt));
         link.busy = true;
         link.in_service = Some(pkt);
         self.events
             .push(self.now + ser, Event::QueueService { link: link_id });
     }
 
-    /// A serialization completed: deliver the committed packet and start the
-    /// next one. Stale events (the link failed meanwhile) are no-ops.
+    /// A serialization completed: deliver the committed packet and chain
+    /// straight into the next packet's service *inside the same link
+    /// borrow* — the batched service path. A link running at capacity sees
+    /// an unbroken train of `QueueService` events; chaining pays one
+    /// link-slot lookup and one arena access per packet where the
+    /// unbatched completion-then-`start_service` shape paid two of each.
+    /// Stale events (the link failed meanwhile) are no-ops.
     fn finish_service(&mut self, link_id: LinkId) {
         let link = &mut self.links[link_id.index()];
         let Some(pkt) = link.in_service.take() else {
             return;
         };
-        link.busy = false;
         let latency = link.latency;
         let to = link.to;
         let ber = link.ber;
+        // Chain while the link is hot. The link is provably up (a down
+        // link flushes `in_service`, so we could not get here) and no
+        // longer busy — exactly the state `start_service` would re-check.
+        let next = link.begin_service(&self.arena);
+        if let Some((npkt, _)) = next {
+            link.in_service = Some(npkt);
+            self.batch_stats.chained_services += 1;
+        } else {
+            link.busy = false;
+        }
         let (wire_bytes, is_data) = {
             let p = self.arena.get(pkt);
             (p.wire_bytes as u64, p.is_data())
@@ -538,7 +642,13 @@ impl<S: TraceSink> Engine<S> {
             self.events
                 .push(self.now + latency, Event::Arrive { node: to, pkt });
         }
-        self.start_service(link_id);
+        // Calendar push order assigns seqs: the Arrive above must precede
+        // the chained QueueService, exactly as the unbatched path ordered
+        // its pushes — this keeps every output byte-identical.
+        if let Some((_, ser)) = next {
+            self.events
+                .push(self.now + ser, Event::QueueService { link: link_id });
+        }
     }
 
     fn arrive_at_switch(&mut self, sw: SwitchId, pkt: PacketRef) {

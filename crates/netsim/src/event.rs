@@ -1,32 +1,74 @@
-//! The discrete-event calendar.
+//! The discrete-event calendar: a self-tuning two-level calendar queue.
 //!
-//! A binary heap keyed on `(time, insertion sequence)` gives deterministic
-//! FIFO tie-breaking for simultaneous events, which keeps whole simulations
-//! reproducible for a fixed seed.
+//! # Bakeoff history: how the calendar got here
 //!
-//! # POD entries, arena-indexed packets
+//! The calendar went through three designs, each benchmarked in
+//! `microbench`'s `calendar/*` suite before committing:
 //!
-//! A binary heap moves entries through every sift, so calendar entries
-//! must stay small. [`Packet`]s are ~100 bytes (the `Body::Ack` variant
-//! carries two `Vec`s); instead of storing them inline, an `Arrive` event
-//! carries a 4-byte [`PacketRef`] into the engine-owned
-//! [`PacketArena`](crate::arena::PacketArena), shrinking every heap entry
-//! to a fixed-size POD: `(time, seq, discriminant + small payload)`.
+//! 1. **`BinaryHeap` of POD entries** (PR 2). Packets were moved out of
+//!    line into the engine-owned arena so every heap entry shrank to a
+//!    32-byte POD (see [`Entry`]); at that size the std heap beat both a
+//!    naive fixed-width bucket ring (~11.2 vs ~8.2 M ops/s in the
+//!    hold-4096 model) and a hand-rolled 4-ary heap. The ring lost
+//!    because its bucket width was a compile-time guess: with real event
+//!    gaps spanning five orders of magnitude (83 ns serializations to
+//!    multi-ms failure timers), most pops scanned long runs of empty
+//!    buckets or linear-searched overfull ones.
+//! 2. **Calendar queue v2** (this module). The ring's two defects are
+//!    exactly what the classic calendar-queue design fixes: the bucket
+//!    width *self-tunes* from the observed inter-event gap (an EWMA
+//!    sampled at pop time) so occupancy stays near one event per bucket,
+//!    and an **overflow level** (a small `BinaryHeap` of the same POD
+//!    entries) absorbs far-future events — reconvergence timers, failure
+//!    schedules, RTOs — that would otherwise force a huge ring horizon.
+//!    Width and bucket count are re-tuned when occupancy crosses resize
+//!    thresholds; in steady state the calendar allocates nothing (pinned
+//!    by the counting-allocator test in `tests/alloc_calendar.rs`).
+//!    O(1) push/pop replaces the heap's O(log n) sifts.
 //!
-//! FIFO tie-break semantics are exactly the pre-refactor ones — the
-//! `(time, seq)` key is assigned at push time as before, and `seq` is
-//! unique, so the key is a *total* order: pop order can never depend on
-//! the heap's internal layout, and simulations stay byte-for-byte
-//! reproducible across the refactor (the sweep determinism suite and the
-//! golden-output tests pin this).
+//! # Structure
 //!
-//! Both a bucketed-ring calendar and a hand-rolled 4-ary heap were
-//! benchmarked against `std::BinaryHeap` over these POD entries before
-//! committing (`microbench`'s `calendar/*` suite): with packets out of
-//! line the std heap won the hold-model benchmark outright (~10.2 vs
-//! ~6.9 M ops/s for the ring and ~6.5 M for the 4-ary variant on the
-//! reference box) while needing no bucket-width tuning, no horizon bound
-//! and no overflow path — so the std heap stays.
+//! * **Ring level**: `buckets.len()` (a power of two) time buckets of
+//!   width `2^shift` picoseconds. An event at absolute time `t` belongs
+//!   to absolute bucket `t >> shift`; the ring covers the window
+//!   `[cur, cur + buckets.len())` of absolute buckets, stored at slot
+//!   `abs & mask`. Only the *current* bucket is kept sorted (descending
+//!   `(time, seq)`, so `Vec::pop` yields the minimum); other buckets are
+//!   unsorted append-only and get sorted once, when the cursor reaches
+//!   them.
+//! * **Overflow level**: events beyond the ring window go to a min-heap
+//!   and migrate into the ring as the cursor advances (one cheap peek
+//!   per cursor step), or in bulk when the ring drains and the cursor
+//!   jumps to the overflow head.
+//! * **Past events**: a push at a time at or before the current bucket
+//!   (legal — harnesses schedule control events "now") lands in the
+//!   current bucket, where the sort order pops it first.
+//!
+//! # Total order and batch-drain invariants
+//!
+//! Pop order is the exact total order on `(time, seq)`: `seq` is unique
+//! and assigned at push, so pop order can never depend on bucket layout,
+//! width re-tunes, or overflow migrations — simulations stay
+//! byte-for-byte reproducible across any calendar re-configuration (the
+//! property test in `tests/calendar_order.rs` pins equivalence against a
+//! reference binary heap over arbitrary interleaved push/pop sequences,
+//! including same-timestamp FIFO ties).
+//!
+//! [`EventQueue::drain_batch_into`] supports the engine's batched
+//! execution: it pops *every* event sharing the earliest pending
+//! timestamp in one call. Two invariants make this safe:
+//!
+//! * events that share a timestamp always share an absolute bucket, so
+//!   the batch is one truncation loop on the sorted current bucket;
+//! * events pushed *while a batch executes* carry sequence numbers above
+//!   every batch member, so same-timestamp newcomers drain in a
+//!   follow-up batch, after the current one — exactly where the
+//!   one-pop-at-a-time order would put them.
+//!
+//! The engine's drain helper preserves the order even when a run stops
+//! mid-batch: leftovers keep their `(time, seq)` keys and are merged
+//! against the calendar head key-by-key on resume (see
+//! `Engine::drain_events`).
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -84,13 +126,13 @@ pub enum ControlEvent {
     Custom(u64),
 }
 
-/// The compact heap payload: every variant fits in 12 bytes.
+/// The compact calendar payload: every variant fits in 12 bytes.
 ///
 /// `Arrive` (the hot variant) is stored directly; the rare wide payloads
 /// — a timer's `u64` token, a control event — are parked in side slabs
 /// and referenced by index, which keeps the whole [`Entry`] at 32 bytes
 /// instead of 40. At a few thousand pending events that is the difference
-/// between the heap array living comfortably in L1/L2 or not.
+/// between the bucket arrays living comfortably in L1/L2 or not.
 #[derive(Debug, Clone, Copy)]
 enum Slot {
     QueueService { link: LinkId },
@@ -99,11 +141,12 @@ enum Slot {
     Control { idx: u32 },
 }
 
-/// A heap entry: POD only, cheap to move through sifts.
+/// A calendar entry: POD only, cheap to move through bucket sorts and
+/// overflow sifts.
 ///
-/// Kept well under the size of a [`Packet`] — the
-/// `heap_entries_are_small_pods` test pins the bound so a packet can never
-/// creep back inline.
+/// Kept well under the size of a [`Packet`](crate::packet::Packet) — the
+/// `calendar_entries_are_small_pods` test pins the bound so a packet can
+/// never creep back inline.
 #[derive(Debug, Clone, Copy)]
 struct Entry {
     time: Time,
@@ -127,9 +170,11 @@ impl PartialOrd for Entry {
 
 impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: the binary heap is a max-heap, we want earliest first.
-        // `seq` is unique, so this is a *total* order: pop order can never
-        // depend on the heap's internal shape.
+        // Reversed: earliest `(time, seq)` compares *greatest*. This makes
+        // the overflow `BinaryHeap` (a max-heap) pop earliest-first, and an
+        // ascending `sort_unstable` of a bucket put the earliest entry at
+        // the back, where `Vec::pop` removes it without shifting. `seq` is
+        // unique, so this is a *total* order.
         other
             .time
             .cmp(&self.time)
@@ -137,17 +182,94 @@ impl Ord for Entry {
     }
 }
 
-/// A deterministic event calendar.
+/// Fewest ring buckets the calendar keeps (and its initial size).
+const MIN_BUCKETS: usize = 16;
+/// Most ring buckets a resize may grow to (bounds the ring's memory).
+const MAX_BUCKETS: usize = 1 << 16;
+/// Narrowest bucket width: 2^6 = 64 ps.
+const MIN_SHIFT: u32 = 6;
+/// Widest bucket width: 2^40 ps ≈ 1.1 s (also clamps EWMA gap samples).
+const MAX_SHIFT: u32 = 40;
+/// Starting width before any gap has been observed: 2^16 ps ≈ 65.5 ns,
+/// about one MTU serialization at 400 Gbps.
+const DEFAULT_SHIFT: u32 = 16;
+/// Consecutive underfull pushes required before the ring shrinks (see
+/// [`EventQueue`]'s `maybe_resize`).
+const SHRINK_STREAK: u32 = 512;
+/// log2 of the occupancy a rebuild aims for (~4 events per bucket).
+/// Targeting one event per bucket (the textbook calendar) maximizes
+/// bucket count and loses to cache misses: every push lands in a random
+/// slot of a ring bigger than L2. Wider buckets shrink the ring 4x,
+/// keep pushes local, and cost only a slightly longer (still tiny)
+/// in-bucket sort at cursor arrival.
+const TARGET_OCC_SHIFT: u32 = 3;
+
+/// A deterministic event calendar (two-level, self-tuning — see the
+/// module docs for the design and its invariants).
 ///
 /// The rare wide payloads (timer tokens, control events) live in
-/// [`Slab`]s so heap entries stay 32-byte PODs (see [`Slot`]); the slabs
-/// recycle slots, so a warmed-up calendar schedules without allocating.
-#[derive(Debug, Default)]
+/// [`Slab`]s so calendar entries stay 32-byte PODs (see [`Slot`]); the
+/// slabs recycle slots, so a warmed-up calendar schedules without
+/// allocating.
+#[derive(Debug)]
 pub struct EventQueue {
-    heap: BinaryHeap<Entry>,
+    /// Ring level: bucket vecs, each holding one bucket-width of events
+    /// inside the current window. Physically never shrinks: a rebuild to
+    /// fewer buckets just narrows `mask`, leaving the now-inactive slot
+    /// vecs (and, crucially, their capacities) parked for the next grow —
+    /// this is what keeps resize oscillation allocation-free after the
+    /// ring's high-water mark is reached.
+    buckets: Vec<Vec<Entry>>,
+    /// `active_buckets - 1` where `active_buckets` is the power of two
+    /// currently in use (≤ `buckets.len()`); masks absolute bucket
+    /// numbers to slots.
+    mask: u64,
+    /// log2 of the bucket width in picoseconds.
+    shift: u32,
+    /// Absolute bucket number (`time >> shift`) the cursor is draining.
+    cur: u64,
+    /// Whether the current bucket is sorted (see [`Entry::cmp`]).
+    cur_sorted: bool,
+    /// Events held in ring buckets.
+    ring_len: usize,
+    /// Overflow level: events beyond the ring window, earliest on top.
+    overflow: BinaryHeap<Entry>,
     timers: Slab<(HostId, u64)>,
     controls: Slab<ControlEvent>,
     seq: u64,
+    /// EWMA of observed non-zero inter-pop gaps, in picoseconds; the
+    /// width self-tunes from this at resize time.
+    gap_ewma: u64,
+    /// Time of the most recent pop (EWMA sampling point).
+    last_pop: Time,
+    /// Whether `last_pop` is valid yet.
+    popped_any: bool,
+    /// Consecutive pushes that saw the ring underfull (shrink hysteresis).
+    underflow_streak: u32,
+    /// Rebuild scratch; retains capacity so resizes churn one buffer.
+    rebuild_scratch: Vec<Entry>,
+}
+
+impl Default for EventQueue {
+    fn default() -> EventQueue {
+        EventQueue {
+            buckets: (0..MIN_BUCKETS).map(|_| Vec::new()).collect(),
+            mask: (MIN_BUCKETS - 1) as u64,
+            shift: DEFAULT_SHIFT,
+            cur: 0,
+            cur_sorted: false,
+            ring_len: 0,
+            overflow: BinaryHeap::new(),
+            timers: Slab::default(),
+            controls: Slab::default(),
+            seq: 0,
+            gap_ewma: 1 << DEFAULT_SHIFT,
+            last_pop: Time::ZERO,
+            popped_any: false,
+            underflow_streak: 0,
+            rebuild_scratch: Vec::new(),
+        }
+    }
 }
 
 impl EventQueue {
@@ -170,17 +292,97 @@ impl EventQueue {
         };
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry {
+        if self.ring_len == 0 && self.overflow.is_empty() {
+            // Empty calendar: re-anchor the window at the event so a long
+            // quiet gap cannot strand the cursor far behind.
+            self.cur = at.as_ps() >> self.shift;
+            self.cur_sorted = false;
+        }
+        self.place(Entry {
             time: at,
             seq,
             slot,
         });
+        self.maybe_resize();
     }
 
     /// Pops the earliest event, if any.
     pub fn pop(&mut self) -> Option<(Time, Event)> {
-        let e = self.heap.pop()?;
-        let event = match e.slot {
+        if !self.advance() {
+            return None;
+        }
+        let idx = (self.cur & self.mask) as usize;
+        let e = self.buckets[idx].pop().expect("advance found entries");
+        self.ring_len -= 1;
+        self.note_pop(e.time);
+        Some((e.time, self.resolve(e.slot)))
+    }
+
+    /// Pops *every* event sharing the earliest pending timestamp,
+    /// appending `(time, seq, event)` triples to `out` in pop order.
+    /// Returns the batch timestamp, or `None` when the calendar is empty.
+    ///
+    /// `seq` is the FIFO tie-break token: callers that buffer a batch and
+    /// may stop mid-way (the engine's drain helper) use it to merge
+    /// leftovers against later calendar heads in exact `(time, seq)`
+    /// order. See the module docs for why the batch is always contained
+    /// in one bucket.
+    pub fn drain_batch_into(&mut self, out: &mut Vec<(Time, u64, Event)>) -> Option<Time> {
+        if !self.advance() {
+            return None;
+        }
+        let idx = (self.cur & self.mask) as usize;
+        let bucket = &self.buckets[idx];
+        let len = bucket.len();
+        let t = bucket[len - 1].time;
+        // Sorted descending `(time, seq)`, so the same-timestamp batch is
+        // exactly the suffix `[cut, len)`; walk it back-to-front for
+        // ascending seqs, then cut it off in one truncate.
+        let cut = bucket.partition_point(|e| e.time > t);
+        for i in (cut..len).rev() {
+            let e = self.buckets[idx][i];
+            let ev = self.resolve(e.slot);
+            out.push((t, e.seq, ev));
+        }
+        self.buckets[idx].truncate(cut);
+        self.ring_len -= len - cut;
+        self.note_pop(t);
+        Some(t)
+    }
+
+    /// Returns the time of the next event without removing it.
+    ///
+    /// Takes `&mut self`: peeking may advance the cursor, sort the bucket
+    /// it lands on and migrate overflow entries — all order-neutral.
+    pub fn peek_time(&mut self) -> Option<Time> {
+        self.peek_key().map(|(t, _)| t)
+    }
+
+    /// Returns the `(time, seq)` key of the next event without removing
+    /// it (see [`EventQueue::drain_batch_into`] for what `seq` is for).
+    pub fn peek_key(&mut self) -> Option<(Time, u64)> {
+        if !self.advance() {
+            return None;
+        }
+        let e = self.buckets[(self.cur & self.mask) as usize]
+            .last()
+            .expect("advance found entries");
+        Some((e.time, e.seq))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.ring_len + self.overflow.len()
+    }
+
+    /// Whether the calendar is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reconstructs the public event from a slot payload.
+    fn resolve(&mut self, slot: Slot) -> Event {
+        match slot {
             Slot::QueueService { link } => Event::QueueService { link },
             Slot::Arrive { node, pkt } => Event::Arrive { node, pkt },
             Slot::Timer { idx } => {
@@ -188,23 +390,164 @@ impl EventQueue {
                 Event::Timer { host, token }
             }
             Slot::Control { idx } => Event::Control(self.controls.take(idx)),
-        };
-        Some((e.time, event))
+        }
     }
 
-    /// Returns the time of the next event without removing it.
-    pub fn peek_time(&self) -> Option<Time> {
-        self.heap.peek().map(|e| e.time)
+    /// Files an entry into the ring or the overflow level. Does not touch
+    /// the empty-calendar anchor or the resize thresholds — `push` does.
+    fn place(&mut self, entry: Entry) {
+        let abs = entry.time.as_ps() >> self.shift;
+        // No overflow: `cur <= 2^58` (a time in ps shifted right by at
+        // least MIN_SHIFT) and the active bucket count is at most 2^16.
+        if abs > self.cur + self.mask {
+            self.overflow.push(entry);
+            return;
+        }
+        self.ring_len += 1;
+        // Past-time pushes (abs < cur) land in the current bucket, where
+        // the sort order pops them first.
+        let idx = (abs.max(self.cur) & self.mask) as usize;
+        let bucket = &mut self.buckets[idx];
+        if self.cur_sorted && idx == (self.cur & self.mask) as usize {
+            // The bucket being drained stays sorted: binary-search insert.
+            let pos = bucket.partition_point(|e| *e < entry);
+            bucket.insert(pos, entry);
+        } else {
+            bucket.push(entry);
+        }
     }
 
-    /// Number of pending events.
-    pub fn len(&self) -> usize {
-        self.heap.len()
+    /// Positions the cursor on the bucket holding the earliest event and
+    /// sorts it. Returns `false` when the calendar is empty.
+    fn advance(&mut self) -> bool {
+        if self.ring_len == 0 {
+            let Some(head) = self.overflow.peek() else {
+                return false;
+            };
+            // Ring drained: jump the window to the overflow head (always
+            // forward — overflow entries were beyond the window when
+            // filed) and migrate everything now inside it.
+            self.cur = head.time.as_ps() >> self.shift;
+            self.cur_sorted = false;
+            self.migrate();
+            debug_assert!(self.ring_len > 0, "migration must land the head");
+        }
+        loop {
+            let idx = (self.cur & self.mask) as usize;
+            if !self.buckets[idx].is_empty() {
+                if !self.cur_sorted {
+                    self.buckets[idx].sort_unstable();
+                    self.cur_sorted = true;
+                }
+                return true;
+            }
+            self.cur += 1;
+            self.cur_sorted = false;
+            self.migrate();
+        }
     }
 
-    /// Whether the calendar is empty.
-    pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+    /// Pulls overflow events that fall inside the ring window after a
+    /// cursor step or jump. One heap peek when nothing qualifies.
+    fn migrate(&mut self) {
+        let horizon = self.cur + self.mask + 1;
+        while let Some(head) = self.overflow.peek() {
+            if head.time.as_ps() >> self.shift >= horizon {
+                break;
+            }
+            let e = self.overflow.pop().expect("peeked");
+            self.ring_len += 1;
+            let abs = e.time.as_ps() >> self.shift;
+            let idx = (abs.max(self.cur) & self.mask) as usize;
+            let bucket = &mut self.buckets[idx];
+            if self.cur_sorted && idx == (self.cur & self.mask) as usize {
+                let pos = bucket.partition_point(|x| *x < e);
+                bucket.insert(pos, e);
+            } else {
+                bucket.push(e);
+            }
+        }
+    }
+
+    /// Samples the inter-pop gap EWMA the width self-tunes from.
+    /// Same-timestamp batches count as one sample point, so dense bursts
+    /// cannot drive the width to zero.
+    fn note_pop(&mut self, t: Time) {
+        if t > self.last_pop {
+            if self.popped_any {
+                let gap = (t - self.last_pop).as_ps().min(1 << MAX_SHIFT);
+                self.gap_ewma = (self.gap_ewma * 7 + gap) / 8;
+            }
+            self.last_pop = t;
+        }
+        self.popped_any = true;
+    }
+
+    /// Resizes when occupancy crosses the grow/shrink thresholds — the
+    /// only points where the calendar touches the allocator in steady
+    /// state (`tests/alloc_calendar.rs` pins this).
+    ///
+    /// Growth is immediate (an overfull ring degrades every pop), but a
+    /// shrink needs the underflow to hold for [`SHRINK_STREAK`]
+    /// consecutive pushes: a cyclic workload (burst, drain, repeat) dips
+    /// under the threshold at every drain tail, and shrinking there would
+    /// re-tune the width each cycle — remapping events onto bucket slots
+    /// whose capacity never warmed, allocating in steady state. With the
+    /// streak, cyclic load settles into one stable configuration.
+    fn maybe_resize(&mut self) {
+        let len = self.len();
+        let nb = (self.mask + 1) as usize;
+        if len > nb << (TARGET_OCC_SHIFT + 2) && nb < MAX_BUCKETS {
+            self.underflow_streak = 0;
+            self.rebuild(len);
+        } else if nb > MIN_BUCKETS && len < nb / 4 {
+            self.underflow_streak += 1;
+            if self.underflow_streak >= SHRINK_STREAK {
+                self.underflow_streak = 0;
+                self.rebuild(len);
+            }
+        } else {
+            self.underflow_streak = 0;
+        }
+    }
+
+    /// Re-tunes width from the gap EWMA, resizes the ring toward one
+    /// event per bucket, and re-files every pending entry. Order-neutral:
+    /// entries keep their `(time, seq)` keys.
+    fn rebuild(&mut self, len: usize) {
+        let target = (len >> TARGET_OCC_SHIFT)
+            .next_power_of_two()
+            .clamp(MIN_BUCKETS, MAX_BUCKETS);
+        if self.popped_any {
+            // Bucket width = 2^TARGET_OCC_SHIFT observed gaps.
+            self.shift =
+                (self.gap_ewma.max(1).ilog2() + TARGET_OCC_SHIFT).clamp(MIN_SHIFT, MAX_SHIFT);
+        }
+        let mut scratch = std::mem::take(&mut self.rebuild_scratch);
+        scratch.clear();
+        for b in &mut self.buckets {
+            scratch.append(b);
+        }
+        scratch.extend(self.overflow.drain());
+        // Grow the physical ring only past its high-water mark; shrinks
+        // just narrow the mask so parked slot vecs keep their capacity.
+        if target > self.buckets.len() {
+            self.buckets.resize_with(target, Vec::new);
+        }
+        self.mask = (target - 1) as u64;
+        self.ring_len = 0;
+        // Re-anchor at the earliest pending entry so nothing is filed as
+        // a past-time straggler.
+        self.cur = scratch
+            .iter()
+            .map(|e| e.time.as_ps() >> self.shift)
+            .min()
+            .unwrap_or(0);
+        self.cur_sorted = false;
+        for entry in scratch.drain(..) {
+            self.place(entry);
+        }
+        self.rebuild_scratch = scratch;
     }
 }
 
@@ -220,6 +563,13 @@ mod tests {
         }
     }
 
+    fn token_of(e: Event) -> u64 {
+        match e {
+            Event::Timer { token, .. } => token,
+            _ => unreachable!(),
+        }
+    }
+
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
@@ -227,10 +577,7 @@ mod tests {
         q.push(Time::from_ns(10), timer(0, 1));
         q.push(Time::from_ns(20), timer(0, 2));
         let order: Vec<u64> = std::iter::from_fn(|| q.pop())
-            .map(|(_, e)| match e {
-                Event::Timer { token, .. } => token,
-                _ => unreachable!(),
-            })
+            .map(|(_, e)| token_of(e))
             .collect();
         assert_eq!(order, vec![1, 2, 3]);
     }
@@ -243,10 +590,7 @@ mod tests {
             q.push(t, timer(0, token));
         }
         let order: Vec<u64> = std::iter::from_fn(|| q.pop())
-            .map(|(_, e)| match e {
-                Event::Timer { token, .. } => token,
-                _ => unreachable!(),
-            })
+            .map(|(_, e)| token_of(e))
             .collect();
         assert_eq!(order, (0..100).collect::<Vec<_>>());
     }
@@ -290,15 +634,99 @@ mod tests {
     }
 
     #[test]
-    fn heap_entries_are_small_pods() {
-        // The point of the arena indirection: heap sifts move fixed-size
-        // entries, never packets. Pin the bound so a packet can't creep
-        // back inline.
+    fn calendar_entries_are_small_pods() {
+        // The point of the arena indirection: bucket sorts and overflow
+        // sifts move fixed-size entries, never packets. Pin the bound so
+        // a packet can't creep back inline.
         assert!(
             std::mem::size_of::<Entry>() <= 32,
             "calendar entry grew to {} bytes",
             std::mem::size_of::<Entry>()
         );
         assert!(std::mem::size_of::<Entry>() < std::mem::size_of::<Packet>());
+    }
+
+    #[test]
+    fn far_future_events_take_the_overflow_level_and_come_back() {
+        let mut q = EventQueue::new();
+        // Way beyond the initial 16-bucket × 65.5 ns window.
+        q.push(Time::from_ms(50), timer(0, 3));
+        q.push(Time::from_secs(2), timer(0, 4));
+        q.push(Time::from_ns(10), timer(0, 1));
+        q.push(Time::from_us(1), timer(0, 2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| token_of(e))
+            .collect();
+        assert_eq!(order, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn past_time_pushes_pop_first() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_us(100), timer(0, 2));
+        // Drain the cursor up to 100us territory, then schedule earlier.
+        assert_eq!(q.peek_time(), Some(Time::from_us(100)));
+        q.push(Time::from_ns(1), timer(0, 1));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| token_of(e))
+            .collect();
+        assert_eq!(order, vec![1, 2]);
+    }
+
+    #[test]
+    fn drain_batch_takes_exactly_the_tied_timestamp() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ns(20), timer(0, 10));
+        q.push(Time::from_ns(10), timer(0, 0));
+        q.push(Time::from_ns(10), timer(0, 1));
+        q.push(Time::from_ns(10), timer(0, 2));
+        let mut batch = Vec::new();
+        assert_eq!(q.drain_batch_into(&mut batch), Some(Time::from_ns(10)));
+        let tokens: Vec<u64> = batch.iter().map(|&(_, _, e)| token_of(e)).collect();
+        assert_eq!(tokens, vec![0, 1, 2]);
+        // Seqs come out ascending — the FIFO tie-break is preserved.
+        assert!(batch.windows(2).all(|w| w[0].1 < w[1].1));
+        assert_eq!(q.len(), 1);
+        batch.clear();
+        assert_eq!(q.drain_batch_into(&mut batch), Some(Time::from_ns(20)));
+        assert_eq!(batch.len(), 1);
+        assert_eq!(q.drain_batch_into(&mut batch), None);
+    }
+
+    #[test]
+    fn occupancy_resizes_keep_the_order() {
+        // Grow well past several resize thresholds, interleaving pops so
+        // the gap EWMA has samples, then drain and check global order.
+        let mut q = EventQueue::new();
+        let mut expect: Vec<(u64, u64)> = Vec::new();
+        let mut x = 0x9E37_79B9u64;
+        for token in 0..5000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let t = x % 1_000_000_000; // 0..1ms in ps
+            q.push(Time::from_ps(t), timer(0, token));
+            expect.push((t, token));
+        }
+        // Total order: (time, push order).
+        expect.sort();
+        let got: Vec<(u64, u64)> = std::iter::from_fn(|| q.pop())
+            .map(|(t, e)| (t.as_ps(), token_of(e)))
+            .collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn empties_and_refills_across_quiet_gaps() {
+        let mut q = EventQueue::new();
+        for round in 0..50u64 {
+            // Each round jumps the clock far ahead of the previous window.
+            let base = Time::from_ms(round * 10);
+            q.push(base + Time::from_ns(5), timer(0, round * 2 + 1));
+            q.push(base, timer(0, round * 2));
+            assert_eq!(token_of(q.pop().unwrap().1), round * 2);
+            assert_eq!(token_of(q.pop().unwrap().1), round * 2 + 1);
+            assert!(q.is_empty());
+        }
     }
 }

@@ -90,6 +90,14 @@ pub struct Link {
     pub trimming: bool,
     /// Whether RED/ECN marking applies (switch egress yes, host NIC no).
     pub mark_enabled: bool,
+    /// Cached picoseconds-per-byte for the service hot path, valid while
+    /// `ser_rate == rate_bps`; 0 means the rate does not divide the ps/s
+    /// constant evenly and the generic division must run. Tagged with the
+    /// rate it was computed for so direct `rate_bps` writes (the engine's
+    /// fabric-rate override, degradation controls) auto-heal on next use.
+    ser_ps_per_byte: u64,
+    /// Rate `ser_ps_per_byte` was derived from (0 = never computed).
+    ser_rate: u64,
 }
 
 impl Link {
@@ -115,6 +123,8 @@ impl Link {
             kmin_bytes: cfg.kmin_bytes(),
             kmax_bytes: cfg.kmax_bytes(),
             trimming: cfg.trimming,
+            ser_ps_per_byte: 0,
+            ser_rate: 0,
             mark_enabled: true,
         }
     }
@@ -192,6 +202,38 @@ impl Link {
         let pkt = self.ctrl.pop_front().or_else(|| self.data.pop_front())?;
         self.queued_bytes -= arena.get(pkt).wire_bytes as u64;
         Some(pkt)
+    }
+
+    /// Dequeues the next packet *and* computes its serialization time in a
+    /// single arena access — the engine's batched service path uses this
+    /// so a completion that chains straight into the next packet's service
+    /// touches the arena once instead of twice (`dequeue` +
+    /// `serialization_time`).
+    pub fn begin_service(&mut self, arena: &PacketArena) -> Option<(PacketRef, Time)> {
+        let pkt = self.ctrl.pop_front().or_else(|| self.data.pop_front())?;
+        let wire = arena.get(pkt).wire_bytes as u64;
+        self.queued_bytes -= wire;
+        if self.ser_rate != self.rate_bps {
+            const PS_PER_SEC_BITS: u64 = 8 * 1_000_000_000_000;
+            self.ser_rate = self.rate_bps;
+            self.ser_ps_per_byte =
+                if self.rate_bps > 0 && PS_PER_SEC_BITS.is_multiple_of(self.rate_bps) {
+                    PS_PER_SEC_BITS / self.rate_bps
+                } else {
+                    0
+                };
+        }
+        // When the rate divides the ps/s constant (every realistic rate:
+        // 400G -> 20 ps/B), `bytes * 8e12 / rate == bytes * (8e12 / rate)`
+        // exactly, so the division-free product is bit-identical to
+        // `Time::serialization`. The `< 2^21` guard mirrors its fast path's
+        // overflow bound.
+        let ser = if self.ser_ps_per_byte != 0 && wire < (1 << 21) {
+            Time::from_ps(wire * self.ser_ps_per_byte)
+        } else {
+            Time::serialization(wire, self.rate_bps)
+        };
+        Some((pkt, ser))
     }
 
     /// Wire size of the next packet to transmit, if any.

@@ -15,6 +15,12 @@
 //! [`Recorder`] is the opt-in sink: an append-only event log a traced run
 //! can render into the per-cell `*.trace.jsonl` documents (`sweep::trace`)
 //! and the `repsbench explain` report.
+//!
+//! The engine's batched event execution (`netsim::engine`, batch-drained
+//! same-timestamp events and chained link service) dispatches in the
+//! exact `(time, seq)` order the one-pop-at-a-time loop used, so hooks
+//! fire in the same sequence and recorded trace documents stay
+//! byte-identical — the sweep-level determinism tests pin this.
 
 use crate::ids::{HostId, LinkId, SwitchId};
 use crate::time::Time;

@@ -533,6 +533,9 @@ impl Cell {
             derived_seed: self.derived_seed(),
             events: res.engine.events_processed,
             wall_ns: res.wall_ns,
+            batches: res.engine.batch_stats.batches,
+            max_batch: res.engine.batch_stats.max_batch,
+            chained_services: res.engine.batch_stats.chained_services,
             summary: res.summary,
         }
     }
@@ -587,6 +590,14 @@ pub struct CellResult {
     /// Wall-clock nanoseconds in the event loop (nondeterministic; kept
     /// out of the byte-stable result JSONL — see [`crate::sink`]).
     pub wall_ns: u64,
+    /// Same-timestamp batches the engine drained (deterministic for a
+    /// fixed key; perf-stream only, like `events`).
+    pub batches: u64,
+    /// Largest same-timestamp batch observed (perf-stream only).
+    pub max_batch: u64,
+    /// Link services chained without a calendar round-trip
+    /// (perf-stream only).
+    pub chained_services: u64,
     /// Aggregate run metrics.
     pub summary: Summary,
 }

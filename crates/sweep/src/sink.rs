@@ -63,6 +63,9 @@ pub fn parse_record(line: &str) -> Result<CellResult, String> {
             .ok_or("record field \"derived_seed\" is not a u64")?,
         events: 0,
         wall_ns: 0,
+        batches: 0,
+        max_batch: 0,
+        chained_services: 0,
         summary: Summary::from_json(field("summary")?)?,
     })
 }
@@ -84,10 +87,18 @@ pub fn to_jsonl(results: &[CellResult]) -> String {
 
 /// Renders one cell's performance counters as a JSONL record
 /// (no trailing newline). Wall time is nondeterministic, which is why
-/// this is not part of [`jsonl_record`].
+/// this is not part of [`jsonl_record`]; the batch-shape counters
+/// (same-timestamp batches drained, average/max batch size, chained
+/// link services) ride along so sweeps show how much the engine's
+/// batched execution amortizes per cell.
 pub fn perf_record(r: &CellResult) -> String {
     let events_per_sec = if r.wall_ns > 0 {
         r.events as f64 * 1e9 / r.wall_ns as f64
+    } else {
+        0.0
+    };
+    let avg_batch = if r.batches > 0 {
+        r.events as f64 / r.batches as f64
     } else {
         0.0
     };
@@ -96,6 +107,10 @@ pub fn perf_record(r: &CellResult) -> String {
         .u64("events", r.events)
         .u64("wall_ns", r.wall_ns)
         .f64("events_per_sec", events_per_sec)
+        .u64("batches", r.batches)
+        .f64("avg_batch", avg_batch)
+        .u64("max_batch", r.max_batch)
+        .u64("chained_services", r.chained_services)
         .render()
 }
 
@@ -354,10 +369,22 @@ mod tests {
         for r in &results {
             assert!(r.events > 0, "cells must count events");
             assert!(r.wall_ns > 0, "cells must measure wall time");
+            assert!(r.batches > 0, "cells must count drained batches");
+            assert!(
+                r.max_batch >= 1 && r.batches <= r.events,
+                "batch counters must be consistent: {} batches, max {}, {} events",
+                r.batches,
+                r.max_batch,
+                r.events
+            );
             let line = perf_record(r);
             assert!(line.starts_with("{\"key\":"), "{line}");
             assert!(line.contains("\"events\":"), "{line}");
             assert!(line.contains("\"events_per_sec\":"), "{line}");
+            assert!(line.contains("\"batches\":"), "{line}");
+            assert!(line.contains("\"avg_batch\":"), "{line}");
+            assert!(line.contains("\"max_batch\":"), "{line}");
+            assert!(line.contains("\"chained_services\":"), "{line}");
         }
         let (events, rate) = events_per_sec(&results);
         assert_eq!(events, results.iter().map(|r| r.events).sum::<u64>());
@@ -365,6 +392,7 @@ mod tests {
         // The deterministic fields must not leak into the result records.
         let record = jsonl_record(&results[0]);
         assert!(!record.contains("wall_ns"), "{record}");
+        assert!(!record.contains("batches"), "{record}");
     }
 
     /// A synthetic cell result whose every numeric summary field is
@@ -407,6 +435,9 @@ mod tests {
             derived_seed: seed as u64,
             events: 0,
             wall_ns: 0,
+            batches: 0,
+            max_batch: 0,
+            chained_services: 0,
             summary,
         }
     }

@@ -138,6 +138,7 @@ impl Bencher {
 pub struct Harness {
     results: Vec<BenchResult>,
     target: Option<Duration>,
+    filter: Option<String>,
 }
 
 impl Harness {
@@ -150,6 +151,13 @@ impl Harness {
     /// Overrides the per-sample wall-clock budget (CI smoke runs).
     pub fn target_ms(mut self, ms: u64) -> Harness {
         self.target = Some(Duration::from_millis(ms.max(1)));
+        self
+    }
+
+    /// Only runs benches whose name contains `pat` (substring match);
+    /// everything else is skipped silently and left out of the report.
+    pub fn filter(mut self, pat: &str) -> Harness {
+        self.filter = Some(pat.to_string());
         self
     }
 
@@ -169,6 +177,11 @@ impl Harness {
     /// fills the wall-clock budget, then reports the median of
     /// [`SAMPLES`] samples.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        if let Some(pat) = &self.filter {
+            if !name.contains(pat.as_str()) {
+                return;
+            }
+        }
         let target = self.target();
         let mut b = Bencher {
             iters: 1,
