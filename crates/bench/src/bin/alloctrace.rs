@@ -21,6 +21,7 @@ static BYTES: AtomicU64 = AtomicU64::new(0);
 
 struct Counting;
 
+// SAFETY: delegates to `System` unchanged; only adds a relaxed counter.
 unsafe impl GlobalAlloc for Counting {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);

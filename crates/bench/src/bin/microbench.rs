@@ -543,6 +543,7 @@ fn bench_hotpath(h: &mut Harness) {
             let mut total = std::time::Duration::ZERO;
             for _ in 0..iters {
                 let mut engine = exp.build();
+                // detlint: allow(DET002) — this IS the benchmark measurement
                 let start = Instant::now();
                 let n = engine.run_until(deadline);
                 total += start.elapsed();

@@ -319,7 +319,7 @@ mod tests {
             .collect();
         assert!(evs.iter().all(|&e| (e as u32) < 256));
         // Warm-up must not return a constant value.
-        assert!(evs.iter().collect::<std::collections::HashSet<_>>().len() > 8);
+        assert!(evs.iter().collect::<std::collections::BTreeSet<_>>().len() > 8);
     }
 
     #[test]

@@ -1,0 +1,384 @@
+//! A hand-rolled Rust lexer — just enough fidelity for linting.
+//!
+//! The rules in [`crate::rules`] must never fire on the word `HashMap`
+//! inside a doc comment or a string literal, so the lexer's one job is to
+//! classify every byte of the source into the right token kind:
+//! comments (line, nested block), string-likes (plain, raw `r#".."#`,
+//! byte, C), char literals vs lifetimes, numbers (with float detection),
+//! identifiers (including raw `r#ident`) and single-char punctuation.
+//!
+//! It is *lossless*: concatenating the `text` of every token reproduces
+//! the input byte-for-byte (pinned by the round-trip tests in
+//! `tests/rules.rs`), which is what makes the classification trustworthy
+//! — nothing is ever silently skipped.
+
+/// What a token is, at the granularity the lint rules care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Runs of whitespace (kept so the token stream is lossless).
+    Whitespace,
+    /// `// ...` including doc (`///`, `//!`) forms, without the newline.
+    LineComment,
+    /// `/* ... */`, nested; may span lines.
+    BlockComment,
+    /// Identifiers and keywords, including raw `r#ident` forms.
+    Ident,
+    /// `'a`, `'static`, `'_` — also loop labels.
+    Lifetime,
+    /// Integer literal (any base, with `_` separators and suffixes).
+    Int,
+    /// Float literal (`1.0`, `1e9`, `2.5e-3`, `1f64`, ...).
+    Float,
+    /// String-likes: `"..."`, `r"..."`, `r#"..."#`, `b"..."`, `c"..."`.
+    Str,
+    /// Character or byte-character literal (`'x'`, `b'\n'`).
+    Char,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// One lexed token: kind, exact source text, and 1-based position.
+#[derive(Debug, Clone, Copy)]
+pub struct Token<'a> {
+    /// Classification.
+    pub kind: TokKind,
+    /// The exact source slice (lossless).
+    pub text: &'a str,
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+    /// 1-based byte column of the token's first byte on that line.
+    pub col: u32,
+}
+
+impl Token<'_> {
+    /// 1-based line of the token's *last* byte (block comments and
+    /// string literals may span lines).
+    pub fn end_line(&self) -> u32 {
+        self.line + self.text.bytes().filter(|&b| b == b'\n').count() as u32
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+struct Cursor<'a> {
+    src: &'a str,
+    /// Byte offset of the next unread char.
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn peek_at(&self, n: usize) -> Option<char> {
+        self.src[self.pos..].chars().nth(n)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += c.len_utf8() as u32;
+        }
+        Some(c)
+    }
+
+    fn eat_while(&mut self, pred: impl Fn(char) -> bool) {
+        while self.peek().is_some_and(&pred) {
+            self.bump();
+        }
+    }
+}
+
+/// Tokenizes `src` losslessly (see module docs).
+pub fn lex(src: &str) -> Vec<Token<'_>> {
+    let mut cur = Cursor {
+        src,
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+    while cur.pos < src.len() {
+        let start = cur.pos;
+        let (line, col) = (cur.line, cur.col);
+        let kind = next_kind(&mut cur);
+        out.push(Token {
+            kind,
+            text: &src[start..cur.pos],
+            line,
+            col,
+        });
+    }
+    out
+}
+
+/// Consumes one token's worth of input and returns its kind.
+fn next_kind(cur: &mut Cursor<'_>) -> TokKind {
+    let c = cur.peek().expect("caller checked non-empty");
+    if c.is_whitespace() {
+        cur.eat_while(char::is_whitespace);
+        return TokKind::Whitespace;
+    }
+    if c == '/' {
+        match cur.peek_at(1) {
+            Some('/') => {
+                cur.eat_while(|c| c != '\n');
+                return TokKind::LineComment;
+            }
+            Some('*') => {
+                block_comment(cur);
+                return TokKind::BlockComment;
+            }
+            _ => {
+                cur.bump();
+                return TokKind::Punct;
+            }
+        }
+    }
+    // String-like prefixes must win over plain identifiers: `r"..."`,
+    // `r#".."#`, `b"..."`, `br#".."#`, `b'x'`, `c"..."`, `cr#".."#`.
+    if matches!(c, 'r' | 'b' | 'c') {
+        if let Some(kind) = string_prefix(cur) {
+            return kind;
+        }
+    }
+    if is_ident_start(c) {
+        cur.eat_while(is_ident_continue);
+        return TokKind::Ident;
+    }
+    if c.is_ascii_digit() {
+        return number(cur);
+    }
+    if c == '"' {
+        cur.bump();
+        plain_string_body(cur);
+        return TokKind::Str;
+    }
+    if c == '\'' {
+        return char_or_lifetime(cur);
+    }
+    cur.bump();
+    TokKind::Punct
+}
+
+/// Consumes a nested block comment (lenient on EOF: an unterminated
+/// comment swallows the rest of the file, which is what rustc does too
+/// before erroring).
+fn block_comment(cur: &mut Cursor<'_>) {
+    cur.bump(); // '/'
+    cur.bump(); // '*'
+    let mut depth = 1u32;
+    while depth > 0 {
+        match (cur.peek(), cur.peek_at(1)) {
+            (Some('/'), Some('*')) => {
+                cur.bump();
+                cur.bump();
+                depth += 1;
+            }
+            (Some('*'), Some('/')) => {
+                cur.bump();
+                cur.bump();
+                depth -= 1;
+            }
+            (Some(_), _) => {
+                cur.bump();
+            }
+            (None, _) => break,
+        }
+    }
+}
+
+/// Tries to lex a raw/byte/C string (or raw identifier) starting at an
+/// `r`/`b`/`c` prefix. Returns `None` when it is just an identifier.
+fn string_prefix(cur: &mut Cursor<'_>) -> Option<TokKind> {
+    let c0 = cur.peek()?;
+    // Longest first: two-char prefixes `br`/`cr` + raw body.
+    let (skip, raw, body) = match (c0, cur.peek_at(1)) {
+        ('b', Some('r')) | ('c', Some('r')) => match cur.peek_at(2) {
+            Some('"') | Some('#') => (2, true, cur.peek_at(2)?),
+            _ => return None,
+        },
+        ('r', Some(n @ ('"' | '#'))) => (1, true, n),
+        ('b' | 'c', Some('"')) => (1, false, '"'),
+        ('b', Some('\'')) => {
+            cur.bump();
+            cur.bump();
+            char_body(cur);
+            return Some(TokKind::Char);
+        }
+        _ => return None,
+    };
+    if raw && body == '#' {
+        // Count the `#`s; `r#ident` (one hash, then ident-start) is a raw
+        // identifier, not a string.
+        let mut hashes = 0usize;
+        while cur.peek_at(skip + hashes) == Some('#') {
+            hashes += 1;
+        }
+        match cur.peek_at(skip + hashes) {
+            Some('"') => {}
+            Some(c) if hashes == 1 && is_ident_start(c) && c0 == 'r' => {
+                cur.bump(); // 'r'
+                cur.bump(); // '#'
+                cur.eat_while(is_ident_continue);
+                return Some(TokKind::Ident);
+            }
+            _ => return None,
+        }
+        for _ in 0..skip + hashes + 1 {
+            cur.bump();
+        }
+        raw_string_body(cur, hashes);
+        return Some(TokKind::Str);
+    }
+    for _ in 0..skip + 1 {
+        cur.bump();
+    }
+    if raw {
+        raw_string_body(cur, 0);
+    } else {
+        plain_string_body(cur);
+    }
+    Some(TokKind::Str)
+}
+
+/// Consumes an escaped string body after the opening quote.
+fn plain_string_body(cur: &mut Cursor<'_>) {
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump();
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Consumes a raw string body after `r##"`, expecting `"##` with
+/// `hashes` hash marks to close.
+fn raw_string_body(cur: &mut Cursor<'_>, hashes: usize) {
+    while let Some(c) = cur.bump() {
+        if c == '"' {
+            let mut seen = 0usize;
+            while seen < hashes && cur.peek() == Some('#') {
+                cur.bump();
+                seen += 1;
+            }
+            if seen == hashes {
+                break;
+            }
+        }
+    }
+}
+
+/// Consumes a char-literal body after the opening `'`.
+fn char_body(cur: &mut Cursor<'_>) {
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump();
+            }
+            '\'' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Disambiguates `'x'` / `'\n'` (char literals) from `'a` / `'static`
+/// (lifetimes): a lifetime is `'` + ident with no closing quote.
+fn char_or_lifetime(cur: &mut Cursor<'_>) -> TokKind {
+    match (cur.peek_at(1), cur.peek_at(2)) {
+        (Some('\\'), _) => {
+            cur.bump();
+            char_body(cur);
+            TokKind::Char
+        }
+        (Some(c1), Some('\'')) if c1 != '\'' => {
+            cur.bump(); // '
+            cur.bump(); // c1
+            cur.bump(); // '
+            TokKind::Char
+        }
+        (Some(c1), _) if is_ident_start(c1) || c1.is_ascii_digit() => {
+            cur.bump();
+            cur.eat_while(is_ident_continue);
+            TokKind::Lifetime
+        }
+        _ => {
+            cur.bump();
+            TokKind::Punct
+        }
+    }
+}
+
+/// Consumes a numeric literal, deciding int vs float.
+///
+/// Float forms: a `.` followed by a digit (or by nothing identifier- or
+/// dot-like: `1.`), an exponent (`1e9`, `2.5E-3`), or an `f32`/`f64`
+/// suffix. `1..n` stays an int followed by a range, and `0x1f` stays an
+/// int whose hex digits happen to include `f`.
+fn number(cur: &mut Cursor<'_>) -> TokKind {
+    let radix_prefix = cur.peek() == Some('0')
+        && matches!(cur.peek_at(1), Some('x' | 'X' | 'o' | 'O' | 'b' | 'B'));
+    if radix_prefix {
+        cur.bump();
+        cur.bump();
+        cur.eat_while(is_ident_continue);
+        return TokKind::Int;
+    }
+    let mut float = false;
+    cur.eat_while(|c| c.is_ascii_digit() || c == '_');
+    if cur.peek() == Some('.') {
+        match cur.peek_at(1) {
+            // `1..5` range or `1.method()` — the dot is not ours.
+            Some('.') => return TokKind::Int,
+            Some(c) if is_ident_start(c) => return TokKind::Int,
+            _ => {
+                float = true;
+                cur.bump();
+                cur.eat_while(|c| c.is_ascii_digit() || c == '_');
+            }
+        }
+    }
+    if matches!(cur.peek(), Some('e' | 'E')) {
+        // Only an exponent when digits (with optional sign) follow;
+        // otherwise it's a suffix-ish identifier boundary.
+        let signed = matches!(cur.peek_at(1), Some('+' | '-'));
+        let digit_at = if signed { 2 } else { 1 };
+        if cur.peek_at(digit_at).is_some_and(|c| c.is_ascii_digit()) {
+            float = true;
+            cur.bump();
+            if signed {
+                cur.bump();
+            }
+            cur.eat_while(|c| c.is_ascii_digit() || c == '_');
+        }
+    }
+    // Type suffix (`u32`, `f64`, ...).
+    if cur.peek().is_some_and(is_ident_start) {
+        let f_suffix = cur.peek() == Some('f');
+        cur.eat_while(is_ident_continue);
+        if f_suffix {
+            float = true;
+        }
+    }
+    if float {
+        TokKind::Float
+    } else {
+        TokKind::Int
+    }
+}

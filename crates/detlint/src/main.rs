@@ -1,0 +1,75 @@
+//! The `detlint` CLI. See the library docs for the rule catalogue.
+//!
+//! ```text
+//! cargo run -p detlint -- --check            # lint the workspace, exit 1 on findings
+//! cargo run -p detlint -- --check --root DIR # lint another tree
+//! cargo run -p detlint -- --list-rules       # print the rule catalogue
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use detlint::rules::Rule;
+use detlint::walk::lint_workspace;
+
+fn usage() -> &'static str {
+    "usage: detlint [--check] [--root DIR] [--list-rules]\n\
+     \n\
+     Lints every .rs file under DIR (default: the current directory) against\n\
+     the repo determinism-and-safety rules. Exits 1 when any finding remains,\n\
+     2 on usage or I/O errors."
+}
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut list_rules = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            // Linting is the only mode; --check names it for CI clarity.
+            "--check" => {}
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("--root needs a directory\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--list-rules" => list_rules = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if list_rules {
+        for rule in Rule::ALL {
+            println!("{}: {}", rule.code(), rule.explain());
+        }
+        return ExitCode::SUCCESS;
+    }
+    let findings = match lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("detlint: walking {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        eprintln!("detlint: clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "detlint: {} finding(s); suppress only with `// detlint: allow(RULE) — reason`",
+            findings.len()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,20 @@
+//! DET001 clean file: deterministic maps only, plus the words the rule
+//! must NOT fire on — `HashMap` in comments and string literals, and a
+//! pragma-annotated alias. Linted under `crates/netsim/src/fixture.rs`.
+
+use std::collections::BTreeMap;
+
+// A doc mention of HashMap iteration order must not trip the lexer-aware
+// rule, and neither must the string below.
+pub const NOTE: &str = "HashMap and HashSet are banned here";
+
+// detlint: allow(DET001) — fixture alias standing in for netsim::hash's own
+pub type FxishMap<K, V> = std::collections::HashMap<K, V>;
+
+pub fn tally(xs: &[u64]) -> usize {
+    let mut counts: BTreeMap<u64, u32> = BTreeMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    counts.len()
+}

@@ -1,0 +1,15 @@
+//! DET001 seeded violation: RandomState maps in a simulation crate.
+//! Linted under the virtual path `crates/netsim/src/fixture.rs`.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn tally(xs: &[u64]) -> usize {
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut counts: HashMap<u64, u32> = HashMap::new();
+    for &x in xs {
+        seen.insert(x);
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    // Iteration order reaches the return value — the PR 1 bug class.
+    counts.into_iter().map(|(_, c)| c as usize).sum::<usize>() + seen.len()
+}

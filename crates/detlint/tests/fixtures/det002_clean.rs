@@ -1,0 +1,16 @@
+//! DET002 clean file: a pragma-annotated perf measurement, and `Instant`
+//! used as a type (no `::now`) — neither may fire.
+//! Linted under the virtual path `crates/sweep/src/fixture.rs`.
+
+use std::time::Instant;
+
+pub fn elapsed_ns(start: Instant) -> u64 {
+    start.elapsed().as_nanos() as u64
+}
+
+pub fn measure<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    // detlint: allow(DET002) — wall-clock perf measurement; never reaches result bytes
+    let start = Instant::now();
+    let out = f();
+    (out, elapsed_ns(start))
+}

@@ -1,0 +1,14 @@
+//! DET002 seeded violation: wall-clock reads outside the allowlist.
+//! Linted under the virtual path `crates/sweep/src/fixture.rs`.
+
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+pub fn jittered_seed() -> u64 {
+    // A wall-clock-derived seed: the canonical DET002 disaster.
+    let t = Instant::now();
+    let epoch = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap()
+        .as_nanos() as u64;
+    epoch ^ t.elapsed().as_nanos() as u64
+}

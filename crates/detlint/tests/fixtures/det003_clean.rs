@@ -1,0 +1,11 @@
+//! DET003 clean file: ordinary integer `as usize` casts must not fire.
+
+pub fn widen(n: u32, k: u16) -> usize {
+    let a = n as usize;
+    let b = k as usize;
+    a + b
+}
+
+pub fn index(mask: u64, cur: u64) -> usize {
+    (cur & mask) as usize
+}

@@ -1,0 +1,10 @@
+//! DET003 seeded violation: addresses becoming values.
+
+pub fn addr_as_key(xs: &[u64]) -> usize {
+    // An ASLR-dependent "hash": different every process.
+    xs.as_ptr() as usize
+}
+
+pub fn ref_addr(x: &u64) -> usize {
+    x as *const u64 as usize
+}

@@ -1,0 +1,24 @@
+//! DET004 clean file: integer-only derivation, with floats confined to
+//! the `#[cfg(test)]` module (statistical assertions are exactly where
+//! floats belong). Linted under `crates/netsim/src/hash.rs`.
+
+pub fn select(h: u64, n: usize) -> usize {
+    ((h as u128 * n as u128) >> 64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roughly_uniform() {
+        let mut counts = vec![0u32; 8];
+        for h in 0..100_000u64 {
+            counts[select(h.wrapping_mul(0x9E37_79B9_7F4A_7C15), 8)] += 1;
+        }
+        let expected = 100_000.0 / 8.0;
+        for &c in &counts {
+            assert!(((c as f64) - expected).abs() / expected < 0.05);
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! DET004 function-level scoping: linted under the virtual path
+//! `crates/sweep/src/matrix.rs`, where only `key`/`scenario`/
+//! `derived_seed`/`fnv1a64` bodies are seed scopes. The float inside
+//! `key` must fire; the float in `load_factor` must not.
+
+pub struct Cell {
+    pub load: f32,
+    pub seed: u32,
+}
+
+impl Cell {
+    pub fn key(&self) -> String {
+        // VIOLATION: a float formatted into the cell key.
+        format!("cell/load={:.2}/s={}", self.load * 1.5, self.seed)
+    }
+}
+
+pub fn load_factor(cells: &[Cell]) -> f64 {
+    // Fine: report-side aggregation, not a key scope.
+    cells.iter().map(|c| c.load as f64).sum::<f64>() / cells.len() as f64
+}

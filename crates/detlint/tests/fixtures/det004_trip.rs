@@ -1,0 +1,9 @@
+//! DET004 seeded violation: float arithmetic where keys/seeds are made.
+//! Linted under the virtual path `crates/netsim/src/hash.rs` (a
+//! whole-file seed-derivation scope).
+
+pub fn wobbly_select(h: u64, n: usize) -> usize {
+    // Rounding-dependent port choice: varies by platform and opt level.
+    let frac = (h as f64) / (u64::MAX as f64);
+    (frac * n as f64) as usize
+}

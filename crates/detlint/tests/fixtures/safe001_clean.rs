@@ -1,0 +1,25 @@
+//! SAFE001 clean file: every unsafe block/impl carries its argument.
+
+pub fn first_byte(xs: &[u8]) -> u8 {
+    assert!(!xs.is_empty());
+    // SAFETY: the assert above guarantees index 0 is in bounds.
+    unsafe { *xs.get_unchecked(0) }
+}
+
+pub struct Wrapper(u64);
+
+// SAFETY: Wrapper is a plain u64 with no thread-affine state; sending it
+// across threads cannot violate any invariant.
+// (A second comment line between the SAFETY line and the impl is fine.)
+unsafe impl Send for Wrapper {}
+
+/// An `unsafe fn` *declaration* is not flagged — its obligations are
+/// discharged at call sites, which need their own unsafe blocks.
+///
+/// # Safety
+///
+/// `i` must be in bounds for `xs`.
+pub unsafe fn get_at(xs: &[u8], i: usize) -> u8 {
+    // SAFETY: the function's contract puts `i` in bounds.
+    unsafe { *xs.get_unchecked(i) }
+}

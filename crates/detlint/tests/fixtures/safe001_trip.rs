@@ -1,0 +1,9 @@
+//! SAFE001 seeded violation: undocumented unsafe.
+
+pub fn first_byte(xs: &[u8]) -> u8 {
+    unsafe { *xs.get_unchecked(0) }
+}
+
+pub struct Wrapper(u64);
+
+unsafe impl Send for Wrapper {}

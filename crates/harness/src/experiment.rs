@@ -200,6 +200,7 @@ impl Experiment {
     /// filled sink rides back on [`RunResult::engine`].
     pub fn run_traced<S: TraceSink>(&self, trace: S) -> RunResult<S> {
         let mut engine = self.build_traced(trace);
+        // detlint: allow(DET002) — wall_ns perf measurement; reaches the perf JSONL only, never result bytes
         let started = std::time::Instant::now();
         let completed = engine.run_to_completion(self.deadline);
         let wall_ns = started.elapsed().as_nanos() as u64;

@@ -380,6 +380,21 @@ impl EventQueue {
         self.len() == 0
     }
 
+    /// Debug-only invariant: whenever `cur_sorted` holds, the current
+    /// bucket really is sorted ascending in [`Entry`]'s (reversed) order —
+    /// strictly, since `(time, seq)` keys are unique — with the earliest
+    /// entry at the back where `Vec::pop` takes it. Every path that files
+    /// into or sorts the current bucket re-checks this.
+    fn debug_assert_cur_bucket_sorted(&self) {
+        if cfg!(debug_assertions) && self.cur_sorted {
+            let bucket = &self.buckets[(self.cur & self.mask) as usize];
+            debug_assert!(
+                bucket.windows(2).all(|w| w[0] < w[1]),
+                "current bucket lost its sort order"
+            );
+        }
+    }
+
     /// Reconstructs the public event from a slot payload.
     fn resolve(&mut self, slot: Slot) -> Event {
         match slot {
@@ -412,6 +427,7 @@ impl EventQueue {
             // The bucket being drained stays sorted: binary-search insert.
             let pos = bucket.partition_point(|e| *e < entry);
             bucket.insert(pos, entry);
+            self.debug_assert_cur_bucket_sorted();
         } else {
             bucket.push(entry);
         }
@@ -439,6 +455,7 @@ impl EventQueue {
                     self.buckets[idx].sort_unstable();
                     self.cur_sorted = true;
                 }
+                self.debug_assert_cur_bucket_sorted();
                 return true;
             }
             self.cur += 1;
@@ -467,6 +484,16 @@ impl EventQueue {
                 bucket.push(e);
             }
         }
+        // Everything still overflowing must be beyond the ring horizon —
+        // otherwise `advance` could pop a ring entry that a stranded
+        // overflow entry should have preceded.
+        debug_assert!(
+            self.overflow
+                .peek()
+                .is_none_or(|h| h.time.as_ps() >> self.shift >= horizon),
+            "overflow head left inside the ring window after migrate"
+        );
+        self.debug_assert_cur_bucket_sorted();
     }
 
     /// Samples the inter-pop gap EWMA the width self-tunes from.
@@ -548,6 +575,13 @@ impl EventQueue {
             self.place(entry);
         }
         self.rebuild_scratch = scratch;
+        // Occupancy accounting: a rebuild re-files entries between levels
+        // but must never lose or duplicate one.
+        debug_assert_eq!(
+            self.ring_len + self.overflow.len(),
+            len,
+            "rebuild changed the pending-event count"
+        );
     }
 }
 

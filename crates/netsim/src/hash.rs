@@ -95,6 +95,7 @@ impl BuildHasher for FxBuildHasher {
 }
 
 /// A `HashMap` using the deterministic [`FxHasher`].
+// detlint: allow(DET001) — this alias IS the deterministic replacement: FxBuildHasher has no per-process state
 pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
 
 /// Mixes the routing-relevant header fields with a switch salt.
@@ -196,7 +197,7 @@ mod tests {
             hasher.finish()
         };
         assert_eq!(h(42), h(42), "same input, same hash");
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for n in 0..1_000u64 {
             seen.insert(h(n));
         }

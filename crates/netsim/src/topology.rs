@@ -596,7 +596,7 @@ mod tests {
         // From the first ToR, count distinct uplinks chosen across EVs.
         let tor = topo.tor_of(HostId(0));
         let meta = &topo.switches[tor.index()];
-        let mut used = std::collections::HashSet::new();
+        let mut used = std::collections::BTreeSet::new();
         for ev in 0..512u16 {
             let i = crate::hash::ecmp_select(HostId(0), HostId(127), ev, meta.salt, 8);
             used.insert(i);

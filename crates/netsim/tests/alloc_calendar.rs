@@ -74,9 +74,21 @@ fn step(q: &mut EventQueue, batch: &mut Vec<(Time, u64, Event)>, rng: &mut Rng64
 
 #[test]
 fn calendar_steady_state_allocates_nothing() {
+    #[cfg(not(miri))]
     const HELD: u64 = 4096;
+    #[cfg(not(miri))]
     const WARMUP: u64 = 1 << 16;
+    #[cfg(not(miri))]
     const MEASURED: u64 = 1 << 13;
+    // Miri runs the same model at a fraction of the iteration count —
+    // still enough to cross occupancy rebuilds, bucket sorts and overflow
+    // migrations, but small enough to finish in CI minutes.
+    #[cfg(miri)]
+    const HELD: u64 = 128;
+    #[cfg(miri)]
+    const WARMUP: u64 = 1 << 9;
+    #[cfg(miri)]
+    const MEASURED: u64 = 1 << 6;
 
     let mut q = EventQueue::new();
     let mut rng = Rng64::new(7);
@@ -110,9 +122,15 @@ fn calendar_steady_state_allocates_nothing() {
         HELD as usize,
         "hold model must conserve its events"
     );
+    // The zero-alloc pin is native-only: miri's short warm-up does not
+    // settle the high-water mark, and there the test's job is checking
+    // the calendar's pointer discipline, not its allocator behaviour.
+    #[cfg(not(miri))]
     assert_eq!(
         during, 0,
         "calendar steady state must not allocate: {during} allocations \
          across {MEASURED} batch cycles"
     );
+    #[cfg(miri)]
+    let _ = during;
 }

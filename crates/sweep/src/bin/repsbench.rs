@@ -583,6 +583,7 @@ fn run(opts: &RunOpts) -> ExitCode {
     } else {
         Progress::stderr(cells.len())
     };
+    // detlint: allow(DET002) — elapsed-time footer on stderr; never reaches result bytes
     let start = std::time::Instant::now();
     let outcome = run_cells_instrumented(
         &cells,

@@ -65,7 +65,7 @@ impl LabeledLb {
 /// with `#n` suffixes on (pathological) exact duplicates so every axis
 /// label stays unique.
 pub fn labeled_lineup(lineup: &[LbKind]) -> Vec<LabeledLb> {
-    let mut seen = std::collections::HashMap::new();
+    let mut seen = std::collections::BTreeMap::new();
     lineup
         .iter()
         .map(|kind| {
@@ -255,7 +255,7 @@ impl ScenarioMatrix {
     pub fn expand(&self) -> Vec<Cell> {
         assert!(!self.is_empty(), "matrix {:?} has an empty axis", self.name);
         let unique = |labels: Vec<String>, axis: &str| {
-            let mut seen = std::collections::HashSet::new();
+            let mut seen = std::collections::BTreeSet::new();
             for l in &labels {
                 assert!(
                     seen.insert(l.clone()),
@@ -619,7 +619,7 @@ mod tests {
         assert_eq!(m.len(), 2 * 2 * 3);
         let cells = m.expand();
         assert_eq!(cells.len(), 12);
-        let keys: std::collections::HashSet<String> = cells.iter().map(|c| c.key()).collect();
+        let keys: std::collections::BTreeSet<String> = cells.iter().map(|c| c.key()).collect();
         assert_eq!(keys.len(), 12, "cell keys must be unique");
     }
 

@@ -8,7 +8,7 @@
 //! unsharded run over the same cells. The parsed records ride along so the
 //! caller can re-render the cross-seed aggregate tables.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::matrix::CellResult;
 use crate::sink::{jsonl_record, parse_record};
@@ -46,7 +46,7 @@ impl MergedSweep {
 /// duplicate means overlapping shard specs or a repeated input file).
 pub fn merge_contents(inputs: &[(String, String)]) -> Result<MergedSweep, String> {
     let mut entries: Vec<(String, CellResult)> = Vec::new();
-    let mut first_seen: HashMap<String, String> = HashMap::new();
+    let mut first_seen: BTreeMap<String, String> = BTreeMap::new();
     for (name, content) in inputs {
         for (lineno, line) in content.lines().enumerate() {
             let at = format!("{name}:{}", lineno + 1);

@@ -475,7 +475,7 @@ pub fn all(scale: Scale) -> Vec<ScenarioMatrix> {
 pub fn ensure_unique_names<'a>(
     matrices: impl IntoIterator<Item = &'a ScenarioMatrix>,
 ) -> Result<(), String> {
-    let mut seen = std::collections::HashSet::new();
+    let mut seen = std::collections::BTreeSet::new();
     for m in matrices {
         if !seen.insert(m.name.as_str()) {
             return Err(format!(
@@ -502,7 +502,7 @@ mod tests {
         for m in all(Scale::Quick) {
             let cells = m.expand();
             assert_eq!(cells.len(), m.len(), "{}", m.name);
-            let keys: std::collections::HashSet<String> = cells.iter().map(|c| c.key()).collect();
+            let keys: std::collections::BTreeSet<String> = cells.iter().map(|c| c.key()).collect();
             assert_eq!(keys.len(), cells.len(), "{}: duplicate keys", m.name);
         }
     }
@@ -510,7 +510,7 @@ mod tests {
     #[test]
     fn preset_names_are_unique_and_cover_new_scenarios() {
         let names: Vec<String> = all(Scale::Quick).into_iter().map(|m| m.name).collect();
-        let set: std::collections::HashSet<&String> = names.iter().collect();
+        let set: std::collections::BTreeSet<&String> = names.iter().collect();
         assert_eq!(set.len(), names.len());
         for required in [
             "fig03-symmetric-macro",

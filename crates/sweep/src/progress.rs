@@ -76,6 +76,7 @@ impl Progress {
     pub fn with_active(total: usize, active: bool) -> Progress {
         Progress {
             total,
+            // detlint: allow(DET002) — ETA display on stderr only; never reaches result bytes
             started: Instant::now(),
             state: Mutex::new(State::default()),
             active,

@@ -111,7 +111,7 @@ mod tests {
     fn membership_is_independent_of_filters_and_order() {
         let all = cells();
         let shard = Shard { index: 2, count: 3 };
-        let owned: std::collections::HashSet<String> =
+        let owned: std::collections::BTreeSet<String> =
             shard.select(all.clone()).iter().map(Cell::key).collect();
         // A filtered subset keeps exactly the owned ∩ subset cells.
         let subset: Vec<Cell> = all
@@ -125,7 +125,7 @@ mod tests {
         // Reversing the input changes selection order, not membership.
         let mut reversed = all.clone();
         reversed.reverse();
-        let owned_rev: std::collections::HashSet<String> =
+        let owned_rev: std::collections::BTreeSet<String> =
             shard.select(reversed).iter().map(Cell::key).collect();
         assert_eq!(owned, owned_rev);
     }

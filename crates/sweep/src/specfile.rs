@@ -246,7 +246,7 @@ pub fn parse_file(path: &str) -> Result<Vec<ScenarioMatrix>, String> {
 
 fn apply_axis(matrix: &mut ScenarioMatrix, axis: &str, values: &[&str]) -> Result<(), String> {
     let unique = |labels: &[String]| -> Result<(), String> {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for l in labels {
             if !seen.insert(l) {
                 return Err(format!("duplicate {axis} value {l:?}"));

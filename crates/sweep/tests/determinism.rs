@@ -96,10 +96,10 @@ proptest! {
 
 #[test]
 fn derived_seeds_are_stable_across_preset_selection() {
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
     let scale = harness::Scale::Quick;
     // Seeds recorded while expanding everything...
-    let mut seeds: HashMap<String, u64> = HashMap::new();
+    let mut seeds: BTreeMap<String, u64> = BTreeMap::new();
     for m in presets::all(scale) {
         for c in m.expand() {
             seeds.insert(c.key(), c.derived_seed());

@@ -9,7 +9,7 @@
 //! (`scale<TAB>derived_seed<TAB>shard-of-4<TAB>key`, regenerate only for
 //! intentional changes via `cargo run -p sweep --example dump_cell_keys`).
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use harness::Scale;
 use sweep::{presets, specfile};
@@ -43,7 +43,7 @@ fn fixture_rows() -> Vec<(&'static str, u64, u64, &'static str)> {
 
 /// Current `(derived_seed, key)` pairs for the presets named in the
 /// fixture, in expansion order.
-fn current_rows(scale: Scale, preset_names: &HashSet<&str>) -> Vec<(u64, String)> {
+fn current_rows(scale: Scale, preset_names: &BTreeSet<&str>) -> Vec<(u64, String)> {
     presets::all(scale)
         .into_iter()
         .filter(|m| preset_names.contains(m.name.as_str()))
@@ -56,7 +56,7 @@ fn current_rows(scale: Scale, preset_names: &HashSet<&str>) -> Vec<(u64, String)
 fn pre_existing_presets_kept_every_key_seed_and_shard() {
     let rows = fixture_rows();
     assert_eq!(rows.len(), 522, "fixture shape changed unexpectedly");
-    let fixture_presets: HashSet<&str> = rows
+    let fixture_presets: BTreeSet<&str> = rows
         .iter()
         .map(|(_, _, _, key)| key.split('/').next().expect("preset component"))
         .collect();
@@ -88,11 +88,11 @@ fn full_pool_matches_the_regenerated_lbspec_fixture() {
     // new presets only extended the suite.
     let rows = rows_of(FIXTURE_LBSPEC);
     assert_eq!(rows.len(), 606, "lbspec fixture shape changed unexpectedly");
-    let pre: HashSet<(u64, &str)> = fixture_rows()
+    let pre: BTreeSet<(u64, &str)> = fixture_rows()
         .iter()
         .map(|(_, seed, _, key)| (*seed, *key))
         .collect();
-    let post: HashSet<(u64, &str)> = rows.iter().map(|(_, seed, _, key)| (*seed, *key)).collect();
+    let post: BTreeSet<(u64, &str)> = rows.iter().map(|(_, seed, _, key)| (*seed, *key)).collect();
     assert!(
         pre.is_subset(&post),
         "a pre-oversub cell is missing from the regenerated fixture"
@@ -120,11 +120,11 @@ fn full_pool_matches_the_regenerated_lbspec_fixture() {
 
 #[test]
 fn new_presets_extend_rather_than_perturb_the_suite() {
-    let fixture_presets: HashSet<&str> = fixture_rows()
+    let fixture_presets: BTreeSet<&str> = fixture_rows()
         .iter()
         .map(|(_, _, _, key)| key.split('/').next().expect("preset component"))
         .collect();
-    let now: HashSet<String> = presets::all(Scale::Quick)
+    let now: BTreeSet<String> = presets::all(Scale::Quick)
         .into_iter()
         .map(|m| m.name)
         .collect();
@@ -152,11 +152,11 @@ fn new_presets_extend_rather_than_perturb_the_suite() {
 /// (`presets::ensure_unique_names` is the gate the CLI applies).
 #[test]
 fn preset_pools_expand_to_disjoint_unique_nonempty_cell_sets() {
-    let mut per_scale: Vec<HashSet<String>> = Vec::new();
+    let mut per_scale: Vec<BTreeSet<String>> = Vec::new();
     for scale in [Scale::Quick, Scale::Full] {
         let pool = presets::all(scale);
         presets::ensure_unique_names(&pool).expect("built-in names are unique");
-        let mut keys: HashSet<String> = HashSet::new();
+        let mut keys: BTreeSet<String> = BTreeSet::new();
         for m in &pool {
             let cells = m.expand();
             assert!(!cells.is_empty(), "{}: empty preset", m.name);
@@ -187,7 +187,7 @@ fn preset_pools_expand_to_disjoint_unique_nonempty_cell_sets() {
     let mut pool = presets::all(Scale::Quick);
     pool.extend(specfile::parse("[my-tornado]\nlb = OPS\n").expect("grid parses"));
     presets::ensure_unique_names(&pool).expect("fresh names are fine");
-    let mut keys: HashSet<String> = HashSet::new();
+    let mut keys: BTreeSet<String> = BTreeSet::new();
     for m in &pool {
         for c in m.expand() {
             assert!(keys.insert(c.key()), "spec-file cell key collided");
@@ -199,7 +199,7 @@ fn preset_pools_expand_to_disjoint_unique_nonempty_cell_sets() {
 fn fixture_preset_keys_still_lack_the_reconv_component() {
     // The axis addition is invisible to every pre-existing cell: no `rc=`
     // component may appear in any fixture preset's current keys.
-    let fixture_presets: HashSet<&str> = fixture_rows()
+    let fixture_presets: BTreeSet<&str> = fixture_rows()
         .iter()
         .map(|(_, _, _, key)| key.split('/').next().expect("preset component"))
         .collect();

@@ -87,7 +87,7 @@ fn shard_membership_ignores_the_filter() {
     // filter selected it — the property that makes fleet runs cacheable.
     let all = small_matrix(2).expand();
     let shard = Shard { index: 1, count: 3 };
-    let from_all: std::collections::HashSet<String> =
+    let from_all: std::collections::BTreeSet<String> =
         shard.select(all.clone()).iter().map(Cell::key).collect();
     for pick in [
         (false, true, true),

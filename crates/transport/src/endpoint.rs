@@ -725,7 +725,7 @@ mod tests {
             }),
         );
         assert!(engine.run_to_completion(Time::from_ms(10)));
-        let by_flow: std::collections::HashMap<u32, &netsim::stats::FlowRecord> =
+        let by_flow: std::collections::BTreeMap<u32, &netsim::stats::FlowRecord> =
             engine.stats.flows.iter().map(|f| (f.flow.0, f)).collect();
         assert!(
             by_flow[&1].start >= by_flow[&0].end - Time::from_us(5),
