@@ -270,6 +270,7 @@ fn failure_modes(fabric: &FatTreeConfig, scale: Scale, seed: u64) -> Vec<(String
             pair: cables[2],
             at,
             p: 0.01,
+            duration: None,
         }),
     ));
     // "BER switch": every cable of one T1 drops 1% of packets.
@@ -285,6 +286,7 @@ fn failure_modes(fabric: &FatTreeConfig, scale: Scale, seed: u64) -> Vec<(String
                 pair: *pair,
                 at,
                 p: 0.01,
+                duration: None,
             });
         }
     }

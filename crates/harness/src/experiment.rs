@@ -360,6 +360,14 @@ impl Summary {
                 .and_then(crate::json::Value::as_u64)
                 .ok_or_else(|| format!("counters field {k:?} is not a u64"))
         };
+        let opt_counter = |k: &str| -> Result<u64, String> {
+            match counters.get(k) {
+                None => Ok(0),
+                Some(n) => n
+                    .as_u64()
+                    .ok_or_else(|| format!("counters field {k:?} is not a u64")),
+            }
+        };
         Ok(Summary {
             name: field("name")?
                 .as_str()
@@ -398,6 +406,10 @@ impl Summary {
                 drops_queue_full: counter("drops_queue_full")?,
                 drops_link_down: counter("drops_link_down")?,
                 drops_bit_error: counter("drops_bit_error")?,
+                // Absent when zero (see `to_json`), so records written
+                // before the fault axis existed still parse.
+                drops_gray: opt_counter("drops_gray")?,
+                drops_corrupt: opt_counter("drops_corrupt")?,
                 trims: counter("trims")?,
                 ecn_marks: counter("ecn_marks")?,
                 data_tx: counter("data_tx")?,
@@ -425,10 +437,19 @@ impl Summary {
     /// Renders the summary as one stable JSON object (fixed field order,
     /// times in integer picoseconds) — the sweep engine's JSONL payload.
     pub fn to_json(&self) -> String {
-        let counters = crate::json::Object::new()
+        let mut counters = crate::json::Object::new()
             .u64("drops_queue_full", self.counters.drops_queue_full)
             .u64("drops_link_down", self.counters.drops_link_down)
-            .u64("drops_bit_error", self.counters.drops_bit_error)
+            .u64("drops_bit_error", self.counters.drops_bit_error);
+        // The gray/corrupt counters only exist in faulted cells; omitting
+        // them at zero keeps every pre-fault-axis record byte-identical.
+        if self.counters.drops_gray > 0 {
+            counters = counters.u64("drops_gray", self.counters.drops_gray);
+        }
+        if self.counters.drops_corrupt > 0 {
+            counters = counters.u64("drops_corrupt", self.counters.drops_corrupt);
+        }
+        let counters = counters
             .u64("trims", self.counters.trims)
             .u64("ecn_marks", self.counters.ecn_marks)
             .u64("data_tx", self.counters.data_tx)
@@ -571,6 +592,37 @@ mod tests {
         // Shape errors are reported, not panicked.
         let bad = crate::json::Value::parse("{\"name\":\"x\"}").unwrap();
         assert!(Summary::from_json(&bad).unwrap_err().contains("missing"));
+    }
+
+    #[test]
+    fn gray_and_corrupt_counters_are_emitted_only_when_nonzero() {
+        let w = patterns::tornado(32, 64 << 10);
+        let exp = Experiment::new(
+            "g",
+            FatTreeConfig::two_tier(8, 1),
+            LbKind::Reps(RepsConfig::default()),
+            w,
+        );
+        let mut s = exp.run().summary;
+        let clean = s.to_json();
+        assert!(!clean.contains("drops_gray"), "{clean}");
+        assert!(!clean.contains("drops_corrupt"), "{clean}");
+        s.counters.drops_gray = 3;
+        s.counters.drops_corrupt = 1;
+        let faulted = s.to_json();
+        assert!(
+            faulted.contains("\"drops_gray\":3,\"drops_corrupt\":1,\"trims\":"),
+            "{faulted}"
+        );
+        let parsed =
+            Summary::from_json(&crate::json::Value::parse(&faulted).unwrap()).expect("shape");
+        assert_eq!(parsed.counters.drops_gray, 3);
+        assert_eq!(parsed.counters.drops_corrupt, 1);
+        assert_eq!(parsed.to_json(), faulted, "faulted round trip");
+        // Records written before the fault axis existed parse with zeros.
+        let old = Summary::from_json(&crate::json::Value::parse(&clean).unwrap()).expect("shape");
+        assert_eq!(old.counters.drops_gray, 0);
+        assert_eq!(old.counters.drops_corrupt, 0);
     }
 
     #[test]

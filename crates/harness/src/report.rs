@@ -6,14 +6,15 @@ use netsim::time::Time;
 use crate::experiment::Summary;
 
 /// Formats a set of summaries as an aligned comparison table. Drops are
-/// broken out by reason (queue overflow, dead link, bit error) — lumping
-/// them together hides exactly the distinction the failure figures are
-/// about, a congested balancer and a blackholed one.
+/// broken out by reason (queue overflow, dead link, bit error, gray loss,
+/// corruption) — lumping them together hides exactly the distinction the
+/// failure figures are about: a congested balancer, a blackholed one, and
+/// one bleeding packets on a gray cable all "drop", for different reasons.
 pub fn comparison_table(title: &str, rows: &[Summary]) -> String {
     let mut out = String::new();
     out.push_str(&format!("## {title}\n"));
     out.push_str(&format!(
-        "{:<14} {:>12} {:>12} {:>12} {:>8} {:>8} {:>8} {:>8} {:>8} {:>6}\n",
+        "{:<14} {:>12} {:>12} {:>12} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>6}\n",
         "LB",
         "max FCT(us)",
         "avg FCT(us)",
@@ -21,13 +22,15 @@ pub fn comparison_table(title: &str, rows: &[Summary]) -> String {
         "qdrops",
         "lnkdrop",
         "berdrop",
+        "graydrop",
+        "corrupt",
         "retx",
         "ecn",
         "done"
     ));
     for s in rows {
         out.push_str(&format!(
-            "{:<14} {:>12.1} {:>12.1} {:>12.1} {:>8} {:>8} {:>8} {:>8} {:>8} {:>6}\n",
+            "{:<14} {:>12.1} {:>12.1} {:>12.1} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>6}\n",
             s.lb,
             s.max_fct.as_us_f64(),
             s.avg_fct.as_us_f64(),
@@ -35,6 +38,8 @@ pub fn comparison_table(title: &str, rows: &[Summary]) -> String {
             s.counters.drops_queue_full,
             s.counters.drops_link_down,
             s.counters.drops_bit_error,
+            s.counters.drops_gray,
+            s.counters.drops_corrupt,
             s.counters.retransmissions,
             s.counters.ecn_marks,
             if s.completed { "yes" } else { "NO" },
@@ -147,9 +152,16 @@ mod tests {
         s.counters.drops_queue_full = 3;
         s.counters.drops_link_down = 7;
         s.counters.drops_bit_error = 1;
+        s.counters.drops_gray = 4;
+        s.counters.drops_corrupt = 2;
         let t = comparison_table("hdr", &[s]);
-        for col in ["qdrops", "lnkdrop", "berdrop"] {
+        for col in ["qdrops", "lnkdrop", "berdrop", "graydrop", "corrupt"] {
             assert!(t.contains(col), "missing column {col}: {t}");
+        }
+        // The data row carries each count under its own column.
+        let row = t.lines().last().unwrap();
+        for n in ["3", "7", "1", "4", "2"] {
+            assert!(row.split_whitespace().any(|f| f == n), "missing {n}: {row}");
         }
     }
 

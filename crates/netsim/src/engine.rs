@@ -619,6 +619,8 @@ impl<S: TraceSink> Engine<S> {
         let latency = link.latency;
         let to = link.to;
         let ber = link.ber;
+        let gray = link.gray;
+        let corrupt = link.corrupt;
         // Chain while the link is hot. The link is provably up (a down
         // link flushes `in_service`, so we could not get here) and no
         // longer busy — exactly the state `start_service` would re-check.
@@ -635,9 +637,19 @@ impl<S: TraceSink> Engine<S> {
         };
         self.stats
             .on_transmit(link_id, self.now, wire_bytes, is_data);
+        // The fault checks mirror the BER short-circuit: a clean link
+        // (all three probabilities 0.0) draws no randomness here, so the
+        // RNG stream — and every downstream byte — is untouched by the
+        // fault machinery's existence.
         if ber > 0.0 && self.rng.gen_bool(ber) {
             self.arena.take(pkt);
             self.stats.on_drop(DropReason::BitError);
+        } else if gray > 0.0 && self.rng.gen_bool(gray) {
+            self.arena.take(pkt);
+            self.stats.on_drop(DropReason::Gray);
+        } else if corrupt > 0.0 && self.rng.gen_bool(corrupt) {
+            self.arena.take(pkt);
+            self.stats.on_drop(DropReason::Corrupt);
         } else {
             self.events
                 .push(self.now + latency, Event::Arrive { node: to, pkt });
@@ -821,6 +833,22 @@ impl<S: TraceSink> Engine<S> {
                     link: l,
                 });
                 self.links[l.index()].ber = p;
+            }
+            ControlEvent::LinkGray(l, p) => {
+                self.trace.emit(TraceEvent::LinkGray {
+                    at: self.now,
+                    link: l,
+                    on: p > 0.0,
+                });
+                self.links[l.index()].gray = p;
+            }
+            ControlEvent::LinkCorrupt(l, p) => {
+                self.trace.emit(TraceEvent::LinkCorrupt {
+                    at: self.now,
+                    link: l,
+                    on: p > 0.0,
+                });
+                self.links[l.index()].corrupt = p;
             }
             ControlEvent::SwitchDown(sw) => {
                 self.trace.emit(TraceEvent::SwitchDown { at: self.now, sw });

@@ -114,6 +114,10 @@ pub enum ControlEvent {
     LinkRate(LinkId, u64),
     /// Set a link's random drop (bit-error) probability.
     LinkBer(LinkId, f64),
+    /// Set a link's gray-failure (silent loss) probability; 0.0 heals.
+    LinkGray(LinkId, f64),
+    /// Set a link's payload-corruption probability; 0.0 heals.
+    LinkCorrupt(LinkId, f64),
     /// Fail a whole switch (all attached links go down).
     SwitchDown(SwitchId),
     /// Recover a whole switch.

@@ -51,6 +51,59 @@ pub enum Failure {
         at: Time,
         /// Per-packet corruption probability.
         p: f64,
+        /// Optional heal delay (restores `ber = 0.0`; `None` = permanent).
+        duration: Option<Time>,
+    },
+    /// A cable gray-fails: packets are silently lost with probability `p`
+    /// while both directions keep reporting healthy (no routing signal).
+    GrayDrop {
+        /// The `(forward, reverse)` link pair.
+        pair: (LinkId, LinkId),
+        /// Onset instant.
+        at: Time,
+        /// Per-packet silent-loss probability.
+        p: f64,
+        /// Optional heal delay (`None` = permanent).
+        duration: Option<Time>,
+    },
+    /// A cable corrupts payloads with probability `p`; corrupted packets
+    /// are discarded and counted separately from drops.
+    Corrupt {
+        /// The `(forward, reverse)` link pair.
+        pair: (LinkId, LinkId),
+        /// Onset instant.
+        at: Time,
+        /// Per-packet corruption probability.
+        p: f64,
+        /// Optional heal delay (`None` = permanent).
+        duration: Option<Time>,
+    },
+    /// A cable flaps: down for `period - up_time` then up for `up_time`,
+    /// repeating from `at` until `until`. Expanded into a bounded
+    /// control-event schedule at install time, so calendar growth is
+    /// `O((until - at) / period)` — never unbounded.
+    Flap {
+        /// The `(forward, reverse)` link pair.
+        pair: (LinkId, LinkId),
+        /// First down instant.
+        at: Time,
+        /// Full flap period (down + up).
+        period: Time,
+        /// Portion of each period the link is up (`>= period` means the
+        /// link never goes down; `ZERO` means a plain cut at `at`).
+        up_time: Time,
+        /// Horizon: no control event is scheduled at or beyond it.
+        until: Time,
+    },
+    /// One direction of a cable blackholes; the reverse keeps working —
+    /// the asymmetric failure ECMP-style reconvergence cannot see.
+    UnidirBlackhole {
+        /// The failing unidirectional link.
+        link: LinkId,
+        /// Failure instant.
+        at: Time,
+        /// Optional recovery delay (`None` = permanent).
+        duration: Option<Time>,
     },
 }
 
@@ -169,9 +222,83 @@ impl FailurePlan {
                     engine.schedule_control(*at, ControlEvent::LinkRate(pair.0, *bps));
                     engine.schedule_control(*at, ControlEvent::LinkRate(pair.1, *bps));
                 }
-                Failure::BitError { pair, at, p } => {
+                Failure::BitError {
+                    pair,
+                    at,
+                    p,
+                    duration,
+                } => {
                     engine.schedule_control(*at, ControlEvent::LinkBer(pair.0, *p));
                     engine.schedule_control(*at, ControlEvent::LinkBer(pair.1, *p));
+                    if let Some(d) = duration {
+                        engine.schedule_control(*at + *d, ControlEvent::LinkBer(pair.0, 0.0));
+                        engine.schedule_control(*at + *d, ControlEvent::LinkBer(pair.1, 0.0));
+                    }
+                }
+                Failure::GrayDrop {
+                    pair,
+                    at,
+                    p,
+                    duration,
+                } => {
+                    engine.schedule_control(*at, ControlEvent::LinkGray(pair.0, *p));
+                    engine.schedule_control(*at, ControlEvent::LinkGray(pair.1, *p));
+                    if let Some(d) = duration {
+                        engine.schedule_control(*at + *d, ControlEvent::LinkGray(pair.0, 0.0));
+                        engine.schedule_control(*at + *d, ControlEvent::LinkGray(pair.1, 0.0));
+                    }
+                }
+                Failure::Corrupt {
+                    pair,
+                    at,
+                    p,
+                    duration,
+                } => {
+                    engine.schedule_control(*at, ControlEvent::LinkCorrupt(pair.0, *p));
+                    engine.schedule_control(*at, ControlEvent::LinkCorrupt(pair.1, *p));
+                    if let Some(d) = duration {
+                        engine.schedule_control(*at + *d, ControlEvent::LinkCorrupt(pair.0, 0.0));
+                        engine.schedule_control(*at + *d, ControlEvent::LinkCorrupt(pair.1, 0.0));
+                    }
+                }
+                Failure::Flap {
+                    pair,
+                    at,
+                    period,
+                    up_time,
+                    until,
+                } => {
+                    if *up_time >= *period {
+                        // duty = 1: the link never actually goes down.
+                        continue;
+                    }
+                    if *up_time == Time::ZERO {
+                        // duty = 0: a plain permanent cut at onset.
+                        if *at < *until {
+                            engine.schedule_control(*at, ControlEvent::LinkDown(pair.0));
+                            engine.schedule_control(*at, ControlEvent::LinkDown(pair.1));
+                        }
+                        continue;
+                    }
+                    let down_time = *period - *up_time;
+                    let mut t = *at;
+                    while t < *until {
+                        engine.schedule_control(t, ControlEvent::LinkDown(pair.0));
+                        engine.schedule_control(t, ControlEvent::LinkDown(pair.1));
+                        let up_at = t + down_time;
+                        if up_at >= *until {
+                            break;
+                        }
+                        engine.schedule_control(up_at, ControlEvent::LinkUp(pair.0));
+                        engine.schedule_control(up_at, ControlEvent::LinkUp(pair.1));
+                        t += *period;
+                    }
+                }
+                Failure::UnidirBlackhole { link, at, duration } => {
+                    engine.schedule_control(*at, ControlEvent::LinkDown(*link));
+                    if let Some(d) = duration {
+                        engine.schedule_control(*at + *d, ControlEvent::LinkUp(*link));
+                    }
                 }
             }
         }
@@ -269,9 +396,165 @@ mod tests {
                 pair,
                 at: Time::from_us(1),
                 p: 0.01,
+                duration: None,
             })
             .install(&mut e);
         e.run_until(Time::from_us(2));
         assert!((e.links[pair.0.index()].ber - 0.01).abs() < 1e-12);
+        // No heal was scheduled: the probability is permanent.
+        e.run_until(Time::from_ms(10));
+        assert!((e.links[pair.0.index()].ber - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bit_error_duration_heals_both_directions() {
+        let mut e = engine();
+        let pair = e.topo.cable_pairs()[1];
+        FailurePlan::none()
+            .with(Failure::BitError {
+                pair,
+                at: Time::from_us(1),
+                p: 0.05,
+                duration: Some(Time::from_us(10)),
+            })
+            .install(&mut e);
+        e.run_until(Time::from_us(5));
+        assert!((e.links[pair.0.index()].ber - 0.05).abs() < 1e-12);
+        assert!((e.links[pair.1.index()].ber - 0.05).abs() < 1e-12);
+        e.run_until(Time::from_us(20));
+        assert_eq!(e.links[pair.0.index()].ber, 0.0, "heal must restore 0.0");
+        assert_eq!(e.links[pair.1.index()].ber, 0.0);
+    }
+
+    #[test]
+    fn gray_and_corrupt_set_then_heal() {
+        let mut e = engine();
+        let pair = e.topo.cable_pairs()[2];
+        FailurePlan::none()
+            .with(Failure::GrayDrop {
+                pair,
+                at: Time::from_us(1),
+                p: 0.02,
+                duration: Some(Time::from_us(10)),
+            })
+            .with(Failure::Corrupt {
+                pair,
+                at: Time::from_us(1),
+                p: 0.03,
+                duration: None,
+            })
+            .install(&mut e);
+        e.run_until(Time::from_us(5));
+        assert!((e.links[pair.0.index()].gray - 0.02).abs() < 1e-12);
+        assert!((e.links[pair.1.index()].corrupt - 0.03).abs() < 1e-12);
+        // The link stays "up" throughout: gray failures give routing no
+        // signal to react to.
+        assert!(e.links[pair.0.index()].up);
+        e.run_until(Time::from_us(20));
+        assert_eq!(e.links[pair.0.index()].gray, 0.0);
+        assert!((e.links[pair.0.index()].corrupt - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flap_alternates_down_and_up() {
+        let mut e = engine();
+        let pair = e.topo.cable_pairs()[0];
+        FailurePlan::none()
+            .with(Failure::Flap {
+                pair,
+                at: Time::from_us(10),
+                period: Time::from_us(20),
+                up_time: Time::from_us(10),
+                until: Time::from_us(100),
+            })
+            .install(&mut e);
+        // Down at 10, up at 20, down at 30, up at 40, ...
+        e.run_until(Time::from_us(15));
+        assert!(!e.links[pair.0.index()].up);
+        e.run_until(Time::from_us(25));
+        assert!(e.links[pair.0.index()].up);
+        e.run_until(Time::from_us(35));
+        assert!(!e.links[pair.0.index()].up);
+    }
+
+    #[test]
+    fn flap_duty_edges_and_horizon_bound_the_schedule() {
+        // duty = 1 (up_time == period): no events at all.
+        let mut e = engine();
+        let pair = e.topo.cable_pairs()[0];
+        let before = e.pending_events();
+        FailurePlan::none()
+            .with(Failure::Flap {
+                pair,
+                at: Time::from_us(10),
+                period: Time::from_us(20),
+                up_time: Time::from_us(20),
+                until: Time::from_ms(100),
+            })
+            .install(&mut e);
+        assert_eq!(e.pending_events(), before, "duty=1 must schedule nothing");
+
+        // duty = 0 (up_time == ZERO): exactly one LinkDown per direction.
+        FailurePlan::none()
+            .with(Failure::Flap {
+                pair,
+                at: Time::from_us(10),
+                period: Time::from_us(20),
+                up_time: Time::ZERO,
+                until: Time::from_ms(100),
+            })
+            .install(&mut e);
+        assert_eq!(e.pending_events(), before + 2, "duty=0 is a single cut");
+        e.run_until(Time::from_us(15));
+        assert!(!e.links[pair.0.index()].up);
+        e.run_until(Time::from_ms(99));
+        assert!(!e.links[pair.0.index()].up, "duty=0 never recovers");
+
+        // The horizon truncates the schedule: 20us period over a 100us
+        // window is at most 5 cycles x 4 events, never the millions an
+        // unbounded expansion of a long deadline would make.
+        let mut e = engine();
+        let before = e.pending_events();
+        FailurePlan::none()
+            .with(Failure::Flap {
+                pair,
+                at: Time::ZERO,
+                period: Time::from_us(20),
+                up_time: Time::from_us(10),
+                until: Time::from_us(100),
+            })
+            .install(&mut e);
+        let scheduled = e.pending_events() - before;
+        assert_eq!(scheduled, 20, "5 cycles x (2 down + 2 up) events");
+        // An onset at/after the horizon schedules nothing at all.
+        let before = e.pending_events();
+        FailurePlan::none()
+            .with(Failure::Flap {
+                pair,
+                at: Time::from_us(100),
+                period: Time::from_us(20),
+                up_time: Time::from_us(10),
+                until: Time::from_us(100),
+            })
+            .install(&mut e);
+        assert_eq!(e.pending_events(), before);
+    }
+
+    #[test]
+    fn unidir_blackhole_kills_one_direction_only() {
+        let mut e = engine();
+        let pair = e.topo.cable_pairs()[4];
+        FailurePlan::none()
+            .with(Failure::UnidirBlackhole {
+                link: pair.0,
+                at: Time::from_us(10),
+                duration: Some(Time::from_us(20)),
+            })
+            .install(&mut e);
+        e.run_until(Time::from_us(15));
+        assert!(!e.links[pair.0.index()].up, "failed direction is down");
+        assert!(e.links[pair.1.index()].up, "reverse direction stays up");
+        e.run_until(Time::from_us(40));
+        assert!(e.links[pair.0.index()].up, "recovers after duration");
     }
 }

@@ -30,6 +30,13 @@ pub enum DropReason {
     LinkDown,
     /// Random corruption (bit-error-rate model).
     BitError,
+    /// Silent loss on a gray-failing link (per-packet probability, no
+    /// signal to routing — the link stays "up").
+    Gray,
+    /// Payload corrupted in flight and discarded at the receiver side of
+    /// the wire (distinguished from [`DropReason::Gray`] so the failure
+    /// figures can tell silent loss from corruption).
+    Corrupt,
 }
 
 /// Result of offering a packet to an egress queue.
@@ -67,6 +74,12 @@ pub struct Link {
     pub down_since: Time,
     /// Probability that a serialized packet is corrupted and dropped.
     pub ber: f64,
+    /// Gray-failure probability: chance a serialized packet is silently
+    /// lost while the link reports healthy (0.0 = clean link).
+    pub gray: f64,
+    /// Payload-corruption probability: chance a serialized packet arrives
+    /// corrupted and is discarded (0.0 = clean link).
+    pub corrupt: f64,
     /// True while a `QueueService` event is outstanding.
     pub busy: bool,
     /// The packet currently being serialized (committed at service start so
@@ -113,6 +126,8 @@ impl Link {
             up: true,
             down_since: Time::ZERO,
             ber: 0.0,
+            gray: 0.0,
+            corrupt: 0.0,
             busy: false,
             in_service: None,
             service_gen: 0,

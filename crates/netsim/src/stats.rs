@@ -74,6 +74,10 @@ pub struct Counters {
     pub drops_link_down: u64,
     /// Packets lost to the bit-error model.
     pub drops_bit_error: u64,
+    /// Packets silently lost on gray-failing links.
+    pub drops_gray: u64,
+    /// Packets discarded as corrupted payloads.
+    pub drops_corrupt: u64,
     /// Payloads trimmed by switches.
     pub trims: u64,
     /// Data packets ECN-marked on admission.
@@ -91,7 +95,11 @@ pub struct Counters {
 impl Counters {
     /// All packet losses, independent of cause.
     pub fn total_drops(&self) -> u64 {
-        self.drops_queue_full + self.drops_link_down + self.drops_bit_error
+        self.drops_queue_full
+            + self.drops_link_down
+            + self.drops_bit_error
+            + self.drops_gray
+            + self.drops_corrupt
     }
 }
 
@@ -239,6 +247,8 @@ impl Stats {
             DropReason::QueueFull => self.counters.drops_queue_full += 1,
             DropReason::LinkDown => self.counters.drops_link_down += 1,
             DropReason::BitError => self.counters.drops_bit_error += 1,
+            DropReason::Gray => self.counters.drops_gray += 1,
+            DropReason::Corrupt => self.counters.drops_corrupt += 1,
         }
     }
 
@@ -405,10 +415,15 @@ mod tests {
         s.on_drop(DropReason::LinkDown);
         s.on_drop(DropReason::LinkDown);
         s.on_drop(DropReason::BitError);
+        s.on_drop(DropReason::Gray);
+        s.on_drop(DropReason::Gray);
+        s.on_drop(DropReason::Corrupt);
         assert_eq!(s.counters.drops_queue_full, 1);
         assert_eq!(s.counters.drops_link_down, 2);
         assert_eq!(s.counters.drops_bit_error, 1);
-        assert_eq!(s.counters.total_drops(), 4);
+        assert_eq!(s.counters.drops_gray, 2);
+        assert_eq!(s.counters.drops_corrupt, 1);
+        assert_eq!(s.counters.total_drops(), 7);
     }
 
     #[test]

@@ -101,10 +101,13 @@ impl Time {
     }
 
     /// Parses a duration label (`25us`, `500ns`, `77ps`); the inverse of
-    /// [`Time::label`].
+    /// [`Time::label`]. Also accepts the coarser `ms` spelling as input
+    /// convenience (`10ms` == `10000us`); labels never render it, so the
+    /// render/parse pair stays a bijection on canonical labels.
     pub fn parse_label(s: &str) -> Result<Time, String> {
         for (suffix, make) in [
-            ("us", Time::from_us as fn(u64) -> Time),
+            ("ms", Time::from_ms as fn(u64) -> Time),
+            ("us", Time::from_us),
             ("ns", Time::from_ns),
             ("ps", Time::from_ps),
         ] {

@@ -169,6 +169,26 @@ pub enum TraceEvent {
         /// The affected link.
         link: LinkId,
     },
+    /// A link entered (`on`) or left (`on == false`) gray failure —
+    /// silent per-packet loss while reporting healthy.
+    LinkGray {
+        /// Onset or heal instant.
+        at: Time,
+        /// The affected link.
+        link: LinkId,
+        /// True at onset, false at heal.
+        on: bool,
+    },
+    /// A link started (`on`) or stopped (`on == false`) corrupting
+    /// payloads.
+    LinkCorrupt {
+        /// Onset or heal instant.
+        at: Time,
+        /// The affected link.
+        link: LinkId,
+        /// True at onset, false at heal.
+        on: bool,
+    },
     /// A whole switch went down (all its links with it).
     SwitchDown {
         /// Failure instant.
@@ -200,6 +220,8 @@ impl TraceEvent {
             | TraceEvent::LinkUp { at, .. }
             | TraceEvent::LinkRate { at, .. }
             | TraceEvent::LinkBer { at, .. }
+            | TraceEvent::LinkGray { at, .. }
+            | TraceEvent::LinkCorrupt { at, .. }
             | TraceEvent::SwitchDown { at, .. }
             | TraceEvent::SwitchUp { at, .. } => at,
         }

@@ -3,7 +3,8 @@
 //! ```text
 //! repsbench list [--scale quick|full] [--spec-file PATH]... [--spec-only]
 //!                [--lbs]
-//! repsbench run [--filter GLOB] [--lb SPEC|GLOB] [--threads N]
+//! repsbench run [--filter GLOB] [--lb SPEC|GLOB] [--fault SPEC|GLOB]
+//!               [--threads N]
 //!               [--scale quick|full] [--seeds N] [--shard I/N] [--cache DIR]
 //!               [--spec-file PATH]... [--spec-only] [--series DIR]
 //!               [--trace DIR] [--diagnostics]
@@ -29,6 +30,41 @@
 //! first — `--lb 'REPS{freeze=off}'`, `--lb REPS-nofreeze` and
 //! `--lb 'REPS{ freeze=off }'` all select the same cells, while
 //! `--lb 'REPS*'` keeps every REPS configuration in the suite.
+//!
+//! # Filtering by fault (`--fault`)
+//!
+//! `--fault` is the same idea for the adversarial-fault axis: it keeps
+//! only the cells whose fault label matches the glob, and a pattern that
+//! itself parses as a fault spec (grammar below) is canonicalized first —
+//! `--fault 'gray{p=0.01}'` and `--fault gray` select the same cells,
+//! `--fault 'flap*'` keeps every flapping configuration, and
+//! `--fault none` keeps only the healthy (default-axis) cells.
+//!
+//! ## The fault-spec grammar
+//!
+//! Fault axis values mirror the LB-spec grammar: a family name alone is
+//! that fault's default configuration, `family{key=value,...}` overrides
+//! knobs. Families (defaults in parentheses):
+//!
+//! * `none` — no injected fault (the default; never keyed).
+//! * `gray{p,at,for,n}` — gray failure: each packet crossing the cable is
+//!   silently dropped with probability `p` (0.01) from `at` (10us), on
+//!   `n` (1) cables, healing after `for` (never).
+//! * `corrupt{p,at,for,n}` — same shape, but the loss is payload
+//!   corruption: the packet is counted and traced as corrupted, not as a
+//!   silent gray drop.
+//! * `flap{period,duty,at,n}` — the cable flaps: down for
+//!   `(1-duty)*period`, up for `duty*period` (duty 0.5, period 100us),
+//!   repeating from `at` until the cell deadline.
+//! * `unidir{n,at,for}` — unidirectional blackhole: one direction of the
+//!   cable silently drops everything, the reverse stays healthy.
+//!
+//! Probabilities have at most six decimal digits; durations are `25us` /
+//! `10ms` / `500ns`. Cell keys carry the canonical spelling (defaults
+//! omitted, fixed parameter order, `ms` rendered as `us`) under an
+//! `ft=` component that is present only when the axis is non-default, so
+//! healthy cells keep their pre-fault-axis keys, seeds and cache
+//! addresses.
 //!
 //! # User-defined grids (`--spec-file`)
 //!
@@ -67,7 +103,8 @@
 //! (`tornado-NB`, `perm-NB`, `incastDto1-NB`, `ringar-NB`, `bflyar-NB`,
 //! `a2a-wW-NB`, `dctrace-Ppct-Tus`), `failure` (the cell-key failure
 //! labels), `reconv` (`none` or a delay like `25us`), `track` (which
-//! ToR's uplinks `--series` records), `seed`, `cc`, `coalesce`, and the
+//! ToR's uplinks `--series` records), `fault` (fault-spec strings,
+//! above), `seed`, `cc`, `coalesce`, and the
 //! single-valued `sim`, `background` (`workload+LB`), `deadline`. Parse
 //! errors name their line number.
 //!
@@ -209,6 +246,7 @@ use sweep::{
 struct RunOpts {
     filter: String,
     lb_filter: Option<String>,
+    fault_filter: Option<String>,
     threads: usize,
     scale: Scale,
     seeds: Option<u32>,
@@ -281,6 +319,26 @@ fn canonical_lb_filter(pattern: &str) -> Result<String, String> {
     }
 }
 
+/// Canonicalizes a `--fault` filter the same way: any spelling of a fault
+/// configuration (`gray{p=0.01}`, `flap{period=10ms}`) is replaced by its
+/// canonical label (`gray`, `flap{period=10000us}`), so it matches the
+/// `ft=` key component cells actually carry; glob patterns pass through.
+/// As with `--lb`, a glob-free braced pattern can only be a spec, so its
+/// parse error surfaces instead of silently matching nothing.
+fn canonical_fault_filter(pattern: &str) -> Result<String, String> {
+    match sweep::FaultSpec::parse(pattern) {
+        Ok(spec) => Ok(spec.label()),
+        Err(e) => {
+            let globby = pattern.contains('*') || pattern.contains('?');
+            if !globby && pattern.contains('{') {
+                Err(format!("--fault: {e}"))
+            } else {
+                Ok(pattern.to_string())
+            }
+        }
+    }
+}
+
 #[derive(Debug)]
 struct MergeOpts {
     out: String,
@@ -290,7 +348,7 @@ struct MergeOpts {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  repsbench list [--scale quick|full] [--spec-file PATH]... [--spec-only]\n                 [--lbs]\n  repsbench run [--filter GLOB] [--lb SPEC|GLOB] [--threads N]\n                [--scale quick|full] [--seeds N] [--shard I/N] [--cache DIR]\n                [--spec-file PATH]... [--spec-only] [--series DIR]\n                [--trace DIR] [--diagnostics]\n                [--out PATH|-] [--perf PATH] [--baseline LABEL] [--quiet]\n  repsbench merge OUT IN... [--baseline LABEL] [--quiet]\n  repsbench explain FILE"
+    "usage:\n  repsbench list [--scale quick|full] [--spec-file PATH]... [--spec-only]\n                 [--lbs]\n  repsbench run [--filter GLOB] [--lb SPEC|GLOB] [--fault SPEC|GLOB]\n                [--threads N]\n                [--scale quick|full] [--seeds N] [--shard I/N] [--cache DIR]\n                [--spec-file PATH]... [--spec-only] [--series DIR]\n                [--trace DIR] [--diagnostics]\n                [--out PATH|-] [--perf PATH] [--baseline LABEL] [--quiet]\n  repsbench merge OUT IN... [--baseline LABEL] [--quiet]\n  repsbench explain FILE"
 }
 
 fn parse_scale(v: &str) -> Result<Scale, String> {
@@ -365,6 +423,7 @@ fn parse_run(args: &[String]) -> Result<RunOpts, String> {
     let mut opts = RunOpts {
         filter: "*".to_string(),
         lb_filter: None,
+        fault_filter: None,
         threads: sweep::default_threads(),
         scale: Scale::from_env(),
         seeds: None,
@@ -388,6 +447,7 @@ fn parse_run(args: &[String]) -> Result<RunOpts, String> {
         match a.as_str() {
             "--filter" => opts.filter = value("--filter")?.clone(),
             "--lb" => opts.lb_filter = Some(canonical_lb_filter(value("--lb")?)?),
+            "--fault" => opts.fault_filter = Some(canonical_fault_filter(value("--fault")?)?),
             "--threads" => {
                 opts.threads = value("--threads")?
                     .parse::<usize>()
@@ -468,14 +528,14 @@ fn list(opts: &ListOpts) -> ExitCode {
         Err(e) => return fail(&e),
     };
     println!(
-        "{:<28} {:>6} {:>4} {:>4} {:>4} {:>4} {:>4} {:>6}",
-        "preset", "cells", "lbs", "wl", "fail", "fab", "rc", "seeds"
+        "{:<28} {:>6} {:>4} {:>4} {:>4} {:>4} {:>4} {:>4} {:>6}",
+        "preset", "cells", "lbs", "wl", "fail", "fab", "rc", "ft", "seeds"
     );
     let mut total = 0usize;
     for m in pool {
         total += m.len();
         println!(
-            "{:<28} {:>6} {:>4} {:>4} {:>4} {:>4} {:>4} {:>6}",
+            "{:<28} {:>6} {:>4} {:>4} {:>4} {:>4} {:>4} {:>4} {:>6}",
             m.name,
             m.len(),
             m.lbs.len(),
@@ -483,6 +543,7 @@ fn list(opts: &ListOpts) -> ExitCode {
             m.failures.len(),
             m.fabrics.len(),
             m.reconv.len(),
+            m.faults.len(),
             m.seeds.len(),
         );
         if opts.lbs {
@@ -536,6 +597,15 @@ fn run(opts: &RunOpts) -> ExitCode {
         cells.retain(|c| glob::matches(lb, &c.lb.label));
         if cells.is_empty() {
             return fail(&format!("no cell matches lb filter {lb:?}"));
+        }
+    }
+    if let Some(ft) = &opts.fault_filter {
+        // Same cell-level filter over canonical fault labels; default
+        // (healthy) cells carry the label `none`, so `--fault none`
+        // selects exactly the cells whose keys lack an `ft=` component.
+        cells.retain(|c| glob::matches(ft, &c.fault.label()));
+        if cells.is_empty() {
+            return fail(&format!("no cell matches fault filter {ft:?}"));
         }
     }
     let total = cells.len();
@@ -741,6 +811,7 @@ mod tests {
         let o = parse_run(&[]).expect("no args is valid");
         assert_eq!(o.filter, "*");
         assert_eq!(o.lb_filter, None);
+        assert_eq!(o.fault_filter, None);
         assert!(o.threads >= 1);
         assert_eq!(o.seeds, None);
         assert_eq!(o.shard, None);
@@ -763,6 +834,8 @@ mod tests {
             "fig0*",
             "--lb",
             "REPS*",
+            "--fault",
+            "gray*",
             "--spec-only",
             "--threads",
             "8",
@@ -794,6 +867,7 @@ mod tests {
         .expect("all flags valid");
         assert_eq!(o.filter, "fig0*");
         assert_eq!(o.lb_filter.as_deref(), Some("REPS*"));
+        assert_eq!(o.fault_filter.as_deref(), Some("gray*"));
         assert!(o.spec_only);
         assert_eq!(o.threads, 8);
         assert!(matches!(o.scale, Scale::Full));
@@ -905,6 +979,28 @@ mod tests {
         let err = canonical_lb_filter("REPS+freeze@50").expect_err("missing unit suffix");
         assert!(err.contains("bad duration"), "{err}");
         assert!(parse_run(&sv(&["--lb", "OPS{evs=0}"])).is_err());
+    }
+
+    #[test]
+    fn fault_filters_canonicalize_any_spec_spelling() {
+        let ok = |p: &str| canonical_fault_filter(p).expect(p);
+        // Any spelling of a configuration selects its canonical label —
+        // the exact string cells carry in their `ft=` key component.
+        assert_eq!(ok("gray{p=0.01}"), "gray");
+        assert_eq!(ok("gray{p=0.05,n=2}"), "gray{p=0.05,n=2}");
+        assert_eq!(ok("flap{period=10ms}"), "flap{period=10000us}");
+        assert_eq!(ok("none"), "none");
+        // Globs and non-spec patterns pass through untouched.
+        assert_eq!(ok("flap*"), "flap*");
+        assert_eq!(ok("*{n=2}"), "*{n=2}");
+        // A glob-free braced pattern is a spec; its parse error surfaces
+        // rather than degrading to a never-matching glob.
+        let err = canonical_fault_filter("gray{p=2}").expect_err("p out of range");
+        assert!(err.contains("out of range"), "{err}");
+        let err = canonical_fault_filter("gray{q=1}").expect_err("unknown key");
+        assert!(err.contains("unknown"), "{err}");
+        assert!(parse_run(&sv(&["--fault", "gray{p=2}"])).is_err());
+        assert!(parse_run(&sv(&["--fault"])).is_err());
     }
 
     #[test]

@@ -158,6 +158,23 @@ pub fn explain_doc(doc: &str) -> Result<String, String> {
             "link_ber" => {
                 t.push_timeline(format!("{:>14}  link_ber   link {}", us(at), field("link")))
             }
+            "link_gray" | "link_corrupt" => {
+                let what = if kind == "link_gray" {
+                    "gray loss"
+                } else {
+                    "corruption"
+                };
+                let phase = match v.get("on").and_then(Value::as_bool) {
+                    Some(false) => "heals",
+                    _ => "begins",
+                };
+                t.push_timeline(format!(
+                    "{:>14}  {:<10} link {} {what} {phase}",
+                    us(at),
+                    kind,
+                    field("link")
+                ));
+            }
             "switch_down" => {
                 t.push_timeline(format!("{:>14}  sw_down    switch {}", us(at), field("sw")))
             }
@@ -330,5 +347,26 @@ mod tests {
         assert!(report.contains("link_down"), "{report}");
         assert!(report.contains("timeout"), "{report}");
         assert!(report.contains("retransmits"), "{report}");
+    }
+
+    #[test]
+    fn explains_a_fault_timeline() {
+        // A gray fault with a heal: the timeline must show both the onset
+        // and the heal, in fault vocabulary rather than raw field dumps.
+        let cell = ScenarioMatrix::new("explain-fault-unit")
+            .workloads([WorkloadSpec::Permutation { bytes: 1 << 18 }])
+            .faults([crate::fault::FaultSpec::parse("gray{p=0.2,at=5us,for=40us}").unwrap()])
+            .expand()
+            .into_iter()
+            .find(|c| c.lb.label == "REPS")
+            .expect("REPS cell");
+        let out = cell.run_instrumented(Instrument {
+            trace: true,
+            ..Instrument::default()
+        });
+        let report = explain_doc(&out.trace_doc.expect("trace requested")).expect("report");
+        assert!(report.contains("link_gray"), "{report}");
+        assert!(report.contains("gray loss begins"), "{report}");
+        assert!(report.contains("gray loss heals"), "{report}");
     }
 }

@@ -27,6 +27,11 @@
 //!   unions the shard outputs back into the unsharded bytes, and [`cache`]
 //!   reuses per-cell results across runs of the same code version
 //!   (`--cache DIR`);
+//! * [`fault`] adds an adversarial-fault axis (`fault=gray{p=0.01}`,
+//!   `flap{period=10ms,duty=0.5}`, `unidir{n=1}`, `corrupt{...}`) with
+//!   the same parse/render discipline: gray failures, payload
+//!   corruption, flapping and unidirectional blackholes as
+//!   deterministic, cacheable grid values keyed only when not `none`;
 //! * [`series`] streams per-cell link-utilization and queue-occupancy
 //!   series as canonical JSONL (`--series DIR`), fully separate from the
 //!   byte-stable result stream;
@@ -66,6 +71,7 @@
 
 pub mod cache;
 pub mod explain;
+pub mod fault;
 pub mod glob;
 pub mod matrix;
 pub mod merge;
@@ -84,6 +90,7 @@ pub use cache::{
     CellCache, RunSinks,
 };
 pub use explain::explain_doc;
+pub use fault::FaultSpec;
 pub use matrix::{Cell, CellResult, Instrument, InstrumentedRun, LabeledLb, ScenarioMatrix};
 pub use merge::{merge_contents, merge_files, MergedSweep};
 pub use progress::Progress;

@@ -15,6 +15,7 @@ use reps::reps::RepsConfig;
 use transport::cc::CcKind;
 use transport::config::CoalesceConfig;
 
+use crate::fault::FaultSpec;
 use crate::spec::{FabricSpec, FailureSpec, SimProfile, WorkloadSpec};
 
 /// FNV-1a 64-bit: the stable cell-key hash. Never change these constants —
@@ -122,6 +123,11 @@ pub struct ScenarioMatrix {
     /// default ToR 0 is *omitted* from cell keys — like `reconv`, the axis
     /// addition is invisible to every pre-existing cell.
     pub track: Vec<u32>,
+    /// Adversarial-fault axis ([`FaultSpec`]): gray failures, payload
+    /// corruption, flapping, unidirectional blackholes. The default
+    /// single-`None` axis is *omitted* from cell keys — like `reconv` and
+    /// `track`, the axis addition is invisible to every pre-existing cell.
+    pub faults: Vec<FaultSpec>,
     /// Simulator profile for every cell.
     pub sim: SimProfile,
     /// Optional background traffic applied to every cell.
@@ -148,6 +154,7 @@ impl ScenarioMatrix {
             coalesce: vec![("pp".to_string(), CoalesceConfig::per_packet())],
             reconv: vec![None],
             track: vec![0],
+            faults: vec![FaultSpec::None],
             sim: SimProfile::PaperDefault,
             background: None,
             deadline: Time::from_secs(2),
@@ -208,6 +215,12 @@ impl ScenarioMatrix {
         self
     }
 
+    /// Replaces the adversarial-fault axis.
+    pub fn faults(mut self, faults: impl IntoIterator<Item = FaultSpec>) -> Self {
+        self.faults = faults.into_iter().collect();
+        self
+    }
+
     /// Sets the simulator profile.
     pub fn sim(mut self, sim: SimProfile) -> Self {
         self.sim = sim;
@@ -237,6 +250,7 @@ impl ScenarioMatrix {
             * self.coalesce.len()
             * self.reconv.len()
             * self.track.len()
+            * self.faults.len()
     }
 
     /// Whether any axis is empty.
@@ -246,7 +260,7 @@ impl ScenarioMatrix {
 
     /// Expands the cartesian grid into independent cells (deterministic
     /// order: fabrics, workloads, failures, ccs, coalesce, reconv, track,
-    /// lbs, seeds).
+    /// faults, lbs, seeds).
     ///
     /// # Panics
     ///
@@ -287,6 +301,7 @@ impl ScenarioMatrix {
             "reconv",
         );
         unique(self.track.iter().map(u32::to_string).collect(), "track");
+        unique(self.faults.iter().map(FaultSpec::label).collect(), "fault");
         unique(self.seeds.iter().map(|s| s.to_string()).collect(), "seed");
         for fabric in &self.fabrics {
             for &tor in &self.track {
@@ -309,24 +324,27 @@ impl ScenarioMatrix {
                         for (co_label, co) in &self.coalesce {
                             for &reconv in &self.reconv {
                                 for &track in &self.track {
-                                    for lb in &self.lbs {
-                                        for &seed in &self.seeds {
-                                            cells.push(Cell {
-                                                preset: self.name.clone(),
-                                                fabric: fabric.clone(),
-                                                lb: lb.clone(),
-                                                workload: workload.clone(),
-                                                failures: failure.clone(),
-                                                cc: *cc,
-                                                coalesce_label: co_label.clone(),
-                                                coalesce: *co,
-                                                reconv,
-                                                track,
-                                                sim: self.sim,
-                                                background: self.background.clone(),
-                                                seed,
-                                                deadline: self.deadline,
-                                            });
+                                    for fault in &self.faults {
+                                        for lb in &self.lbs {
+                                            for &seed in &self.seeds {
+                                                cells.push(Cell {
+                                                    preset: self.name.clone(),
+                                                    fabric: fabric.clone(),
+                                                    lb: lb.clone(),
+                                                    workload: workload.clone(),
+                                                    failures: failure.clone(),
+                                                    cc: *cc,
+                                                    coalesce_label: co_label.clone(),
+                                                    coalesce: *co,
+                                                    reconv,
+                                                    track,
+                                                    fault: fault.clone(),
+                                                    sim: self.sim,
+                                                    background: self.background.clone(),
+                                                    seed,
+                                                    deadline: self.deadline,
+                                                });
+                                            }
                                         }
                                     }
                                 }
@@ -364,6 +382,8 @@ pub struct Cell {
     pub reconv: Option<Time>,
     /// ToR whose uplinks the series sink tracks (0 = the default vantage).
     pub track: u32,
+    /// Adversarial fault injected into the cell (`None` = healthy).
+    pub fault: FaultSpec,
     /// Simulator profile.
     pub sim: SimProfile,
     /// Optional background traffic.
@@ -387,11 +407,12 @@ impl Cell {
     /// components. Cells sharing a scenario key form one comparison row
     /// group in reports.
     ///
-    /// The reconvergence (`rc=...`) and vantage (`tk=...`) components are
-    /// only present when their axes are set: the defaults (`None` = never
-    /// reconverge, ToR 0) render exactly the pre-axis key, so derived
-    /// seeds, shard membership and cache addresses of every pre-existing
-    /// cell are unchanged (pinned by `tests/key_stability.rs`).
+    /// The reconvergence (`rc=...`), vantage (`tk=...`) and fault
+    /// (`ft=...`) components are only present when their axes are set:
+    /// the defaults (`None` = never reconverge, ToR 0, no fault) render
+    /// exactly the pre-axis key, so derived seeds, shard membership and
+    /// cache addresses of every pre-existing cell are unchanged (pinned
+    /// by `tests/key_stability.rs`).
     ///
     /// The background's load balancer renders as its canonical spec
     /// ([`LbKind::spec`]) — the family name for default configurations
@@ -409,8 +430,13 @@ impl Cell {
             0 => String::new(),
             tor => format!("/tk={tor}"),
         };
+        let ft = if self.fault.is_none() {
+            String::new()
+        } else {
+            format!("/ft={}", self.fault.label())
+        };
         format!(
-            "{}/{}/{}/{}/sim={}/cc={}/co={}{rc}{tk}/bg={}/dl={}us",
+            "{}/{}/{}/{}/sim={}/cc={}/co={}{rc}{tk}{ft}/bg={}/dl={}us",
             self.preset,
             self.fabric.label,
             self.workload.label(),
@@ -441,9 +467,18 @@ impl Cell {
         // perturbs an existing cell's draws.
         let mut wl_rng = netsim::rng::Rng64::new(seed ^ 0x5741_4c4f_4144_5f31);
         let workload = self.workload.build(n, sim.link_bps, &mut wl_rng);
-        let failures = self
-            .failures
-            .build(&self.fabric.config, seed, seed ^ 0x4641_494c_5f32_5f32);
+        let mut failures =
+            self.failures
+                .build(&self.fabric.config, seed, seed ^ 0x4641_494c_5f32_5f32);
+        // The fault plan draws from its own derived stream and appends
+        // after the failure plan, so a `fault=none` cell builds exactly
+        // the pre-axis plan and a faulted cell perturbs nothing else.
+        failures.extend(self.fault.build(
+            &self.fabric.config,
+            seed,
+            seed ^ 0x4641_554c_5f34_5f34,
+            self.deadline,
+        ));
         let mut exp = Experiment::new(
             self.key(),
             self.fabric.config.clone(),
@@ -813,6 +848,66 @@ mod tests {
     fn duplicate_reconv_axis_is_rejected() {
         ScenarioMatrix::new("t")
             .reconv([Some(Time::from_us(10)), Some(Time::from_us(10))])
+            .expand();
+    }
+
+    #[test]
+    fn default_fault_axis_leaves_keys_untouched() {
+        // Same contract as `rc=`/`tk=`: `fault=none` renders the exact
+        // pre-axis key, keeping recorded seeds and cache addresses valid.
+        let key = ScenarioMatrix::new("t").expand()[0].key();
+        assert!(!key.contains("ft="), "{key}");
+    }
+
+    #[test]
+    fn fault_axis_is_keyed_and_installs_the_plan() {
+        let m = ScenarioMatrix::new("t").faults([
+            FaultSpec::None,
+            FaultSpec::parse("gray{p=0.05,n=2}").unwrap(),
+        ]);
+        assert_eq!(m.len(), 2 * 2);
+        let cells = m.expand();
+        let none = &cells[0];
+        let gray = &cells[2];
+        assert!(none.fault.is_none());
+        assert!(!none.key().contains("ft="), "{}", none.key());
+        assert!(
+            gray.key().contains("/co=pp/ft=gray{p=0.05,n=2}/bg="),
+            "{}",
+            gray.key()
+        );
+        assert_ne!(none.derived_seed(), gray.derived_seed());
+        // The plan reaches the experiment: two extra failures, appended
+        // after the (here empty) failure-axis plan.
+        assert!(none.experiment().failures.is_empty());
+        assert_eq!(gray.experiment().failures.len(), 2);
+    }
+
+    #[test]
+    fn fault_plan_expansion_is_deterministic() {
+        let m = ScenarioMatrix::new("t").faults([FaultSpec::parse("flap{period=40us}").unwrap()]);
+        let cell = &m.expand()[0];
+        let dump = |c: &Cell| -> Vec<String> {
+            c.experiment()
+                .failures
+                .failures
+                .iter()
+                .map(|f| format!("{f:?}"))
+                .collect()
+        };
+        assert_eq!(dump(cell), dump(cell));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate fault label")]
+    fn duplicate_fault_axis_is_rejected() {
+        // Two spellings of the same fault share a canonical label, so they
+        // must collide rather than silently share a cell key.
+        ScenarioMatrix::new("t")
+            .faults([
+                FaultSpec::parse("gray").unwrap(),
+                FaultSpec::parse("gray{p=0.01,at=10us}").unwrap(),
+            ])
             .expand();
     }
 

@@ -25,7 +25,12 @@
 //!   EVS sizes 64 … 64K, every axis value a plain LB-spec string
 //!   (`OPS{evs=64}`, `REPS{evs=64}`, …),
 //! * `flowlet-gap` — flowlet inactivity-gap sweep (`Flowlet{gap=...}`)
-//!   around the paper's RTT/2 default, under degraded uplinks.
+//!   around the paper's RTT/2 default, under degraded uplinks,
+//! * `gray-failures` — the adversarial-fault axis: gray (silent) loss at
+//!   two severities, payload corruption and a unidirectional blackhole,
+//!   none of which give routing a link-down signal to react to,
+//! * `flap-reconv` — flapping links crossed with the reconvergence axis:
+//!   does reconvergence help or hurt when the path keeps coming back?
 
 use baselines::kind::LbKind;
 use baselines::plb::PlbConfig;
@@ -35,8 +40,15 @@ use reps::reps::RepsConfig;
 use transport::cc::CcKind;
 use transport::config::{CoalesceConfig, CoalesceVariant};
 
+use crate::fault::FaultSpec;
 use crate::matrix::{labeled_lineup, LabeledLb, ScenarioMatrix};
 use crate::spec::{FabricSpec, FailureSpec, SimProfile, WorkloadSpec};
+
+/// Parses a static fault-spec string; presets only use literals, so a
+/// failure here is a bug caught by the preset tests.
+fn fault(s: &str) -> FaultSpec {
+    FaultSpec::parse(s).expect(s)
+}
 
 fn ops() -> LbKind {
     LbKind::Ops { evs_size: 1 << 16 }
@@ -465,6 +477,39 @@ pub fn all(scale: Scale) -> Vec<ScenarioMatrix> {
                 bytes: micro_bytes(scale, 2),
             }])
             .failures([FailureSpec::DegradedUplinks { pct: 10, gbps: 200 }]),
+        // Gray failures drop packets silently: the link stays up, routing
+        // sees nothing, and only end-to-end loss detection can route
+        // around it. Corruption and a one-direction blackhole complete the
+        // adversarial set the failure axis (which always signals) misses.
+        ScenarioMatrix::new("gray-failures")
+            .fabrics([FabricSpec::two_tier(8, 1)])
+            .lbs([
+                LabeledLb::plain(LbKind::Ecmp),
+                LabeledLb::plain(ops()),
+                LabeledLb::plain(reps()),
+            ])
+            .workloads([WorkloadSpec::Permutation {
+                bytes: micro_bytes(scale, 2),
+            }])
+            .faults([
+                FaultSpec::None,
+                fault("gray{p=0.01}"),
+                fault("gray{p=0.05,n=2}"),
+                fault("corrupt{p=0.001}"),
+                fault("unidir"),
+            ]),
+        // Flap period crossed with the reconvergence delay: when the dead
+        // path keeps coming back, slow reconvergence never catches up and
+        // fast reconvergence thrashes — entropy recycling reacts per
+        // round-trip instead.
+        ScenarioMatrix::new("flap-reconv")
+            .fabrics([FabricSpec::two_tier(8, 1)])
+            .lbs(ops_vs_reps())
+            .workloads([WorkloadSpec::Permutation {
+                bytes: micro_bytes(scale, 2),
+            }])
+            .faults([fault("flap{period=20us}"), fault("flap{period=100us}")])
+            .reconv([None, Some(Time::from_us(25))]),
     ]
 }
 
@@ -523,6 +568,8 @@ mod tests {
             "reconv-delay",
             "evs-sensitivity",
             "flowlet-gap",
+            "gray-failures",
+            "flap-reconv",
         ] {
             assert!(names.iter().any(|n| n == required), "missing {required}");
         }
@@ -614,6 +661,48 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn gray_failures_preset_spans_the_fault_families() {
+        let m = by_name("gray-failures", Scale::Quick).expect("preset exists");
+        let labels: Vec<String> = m.faults.iter().map(FaultSpec::label).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "none",
+                "gray",
+                "gray{p=0.05,n=2}",
+                "corrupt{p=0.001}",
+                "unidir",
+            ]
+        );
+        let keys: Vec<String> = m.expand().iter().map(|c| c.key()).collect();
+        // Exactly the non-default fault cells carry the ft= component.
+        assert_eq!(
+            keys.iter().filter(|k| k.contains("/ft=")).count(),
+            keys.len() / 5 * 4,
+        );
+        assert!(keys.iter().any(|k| k.contains("/ft=gray{p=0.05,n=2}/")));
+    }
+
+    #[test]
+    fn flap_reconv_preset_crosses_flapping_with_reconvergence() {
+        let m = by_name("flap-reconv", Scale::Quick).expect("preset exists");
+        assert_eq!(m.faults.len(), 2);
+        assert_eq!(m.reconv, vec![None, Some(Time::from_us(25))]);
+        let keys: Vec<String> = m.expand().iter().map(|c| c.key()).collect();
+        assert!(
+            keys.iter()
+                .any(|k| k.contains("/rc=25us/ft=flap{period=20us}/")),
+            "{keys:?}"
+        );
+        // Every cell is faulted; half also reconverge.
+        assert!(keys.iter().all(|k| k.contains("/ft=flap")));
+        assert_eq!(
+            keys.iter().filter(|k| k.contains("/rc=")).count(),
+            keys.len() / 2
+        );
     }
 
     #[test]

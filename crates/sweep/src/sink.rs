@@ -210,6 +210,8 @@ pub fn aggregate(results: &[CellResult]) -> Vec<Aggregate> {
                 drops_queue_full: mean_of(|c| c.drops_queue_full),
                 drops_link_down: mean_of(|c| c.drops_link_down),
                 drops_bit_error: mean_of(|c| c.drops_bit_error),
+                drops_gray: mean_of(|c| c.drops_gray),
+                drops_corrupt: mean_of(|c| c.drops_corrupt),
                 trims: mean_of(|c| c.trims),
                 ecn_marks: mean_of(|c| c.ecn_marks),
                 data_tx: mean_of(|c| c.data_tx),
@@ -415,6 +417,8 @@ mod tests {
                 drops_queue_full: scale,
                 drops_link_down: 2 * scale,
                 drops_bit_error: 3 * scale,
+                drops_gray: 13 * scale,
+                drops_corrupt: 14 * scale,
                 trims: 4 * scale,
                 ecn_marks: 5 * scale,
                 data_tx: 6 * scale,

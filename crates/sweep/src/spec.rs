@@ -377,6 +377,7 @@ impl FailureSpec {
                     pair: topo.cable_pairs()[0],
                     at: *at,
                     p: *ber_millis as f64 / 1000.0,
+                    duration: None,
                 })
             }
             FailureSpec::Rolling {

@@ -26,8 +26,8 @@
 //! ```
 //!
 //! Axes: `fabric`, `lb`, `workload`, `failure`, `reconv`, `track`,
-//! `seed`, `cc`, `coalesce`, plus the single-valued settings `sim`,
-//! `background` and `deadline`. Omitted axes keep the
+//! `fault`, `seed`, `cc`, `coalesce`, plus the single-valued settings
+//! `sim`, `background` and `deadline`. Omitted axes keep the
 //! [`ScenarioMatrix::new`] defaults. [`parse`] reports every problem with
 //! its 1-based line number; [`render`] is the canonical inverse
 //! (parse → render → parse is byte-stable).
@@ -67,12 +67,33 @@
 //! have always named — so any spelling of the same configuration shares
 //! one cell key, one derived seed and one cache address. Commas inside
 //! `{...}` do not split the value list.
+//!
+//! # The `fault` axis: the fault-spec grammar
+//!
+//! Adversarial faults use the same discipline through
+//! [`FaultSpec::parse`](crate::fault::FaultSpec):
+//!
+//! ```text
+//! [gray-vs-flap]
+//! lb    = OPS, REPS
+//! fault = none, gray{p=0.01}, corrupt{p=0.001}, flap{period=10ms,duty=0.5}, unidir{n=1}
+//! ```
+//!
+//! Families and parameters (defaults in parentheses): `gray` /
+//! `corrupt{p,at,for,n}` — probability (0.01), onset (`10us`), heal
+//! delay (permanent), cables (1); `flap{period,duty,at,n}` — period
+//! (`100us`), up fraction (0.5), first-down instant (`10us`), cables
+//! (1); `unidir{n,at,for}` — cables (1), onset (`10us`), recovery
+//! (permanent). Probabilities are exact decimals (ppm resolution), and
+//! the canonical label omits defaults — `fault=none` cells key exactly
+//! like pre-fault-axis cells.
 
 use baselines::kind::LbKind;
 use netsim::time::Time;
 use transport::cc::CcKind;
 use transport::config::{CoalesceConfig, CoalesceVariant};
 
+use crate::fault::FaultSpec;
 use crate::matrix::{reconv_label, LabeledLb, ScenarioMatrix};
 use crate::spec::{FabricSpec, FailureSpec, SimProfile, WorkloadSpec};
 
@@ -94,13 +115,14 @@ impl std::fmt::Display for SpecError {
 impl std::error::Error for SpecError {}
 
 /// The axis names [`parse`] accepts, in canonical render order.
-const AXES: [&str; 12] = [
+const AXES: [&str; 13] = [
     "fabric",
     "lb",
     "workload",
     "failure",
     "reconv",
     "track",
+    "fault",
     "seed",
     "cc",
     "coalesce",
@@ -312,6 +334,15 @@ fn apply_axis(matrix: &mut ScenarioMatrix, axis: &str, values: &[&str]) -> Resul
             unique(&parsed.iter().map(u32::to_string).collect::<Vec<_>>())?;
             matrix.track = parsed;
         }
+        "fault" => {
+            let parsed: Vec<FaultSpec> = values
+                .iter()
+                .map(|v| FaultSpec::parse(v))
+                .collect::<Result<_, _>>()?;
+            // Canonical labels, so two spellings of one fault collide here.
+            unique(&parsed.iter().map(FaultSpec::label).collect::<Vec<_>>())?;
+            matrix.faults = parsed;
+        }
         "seed" => {
             let parsed: Vec<u32> = values
                 .iter()
@@ -403,6 +434,7 @@ pub fn render_matrix(m: &ScenarioMatrix) -> String {
         m.reconv.iter().map(|r| reconv_label(*r)),
     );
     line(&mut out, "track", m.track.iter().map(u32::to_string));
+    line(&mut out, "fault", m.faults.iter().map(FaultSpec::label));
     line(&mut out, "seed", m.seeds.iter().map(u32::to_string));
     line(&mut out, "cc", m.ccs.iter().map(|c| c.label().to_string()));
     line(
@@ -762,6 +794,8 @@ reconv = none, 25us
             ("[a]\ndeadline = 5", 2, "bad duration"),
             ("[a]\nworkload = waves-1B", 2, "unknown workload"),
             ("[a]\nfailure = meteor", 2, "unknown failure"),
+            ("[a]\nfault = blackhole", 2, "unknown fault family"),
+            ("[a]\nfault = gray{p=2}", 2, "out of range"),
         ] {
             let err = parse(text).expect_err(text);
             assert_eq!(err.line, line, "{text:?} -> {err}");
@@ -850,6 +884,27 @@ reconv = none, 25us
     }
 
     #[test]
+    fn fault_axis_parses_renders_and_keys() {
+        let ms = parse("[g]\nfault = none, gray{p=0.05}, flap{period=10ms,duty=0.25}\n")
+            .expect("fault axis parses");
+        assert_eq!(ms[0].faults.len(), 3);
+        let canonical = render(&ms);
+        // `ms` canonicalizes: 10ms renders as 10000us.
+        assert!(
+            canonical.contains("fault = none, gray{p=0.05}, flap{period=10000us,duty=0.25}\n"),
+            "{canonical}"
+        );
+        assert_eq!(render(&parse(&canonical).unwrap()), canonical);
+        let keys: Vec<String> = ms[0].expand().iter().map(|c| c.key()).collect();
+        assert!(!keys[0].contains("ft="), "{}", keys[0]);
+        assert!(keys[2].contains("/ft=gray{p=0.05}/"), "{}", keys[2]);
+        // Two spellings of one fault share a canonical label and collide.
+        let err = parse("[g]\nfault = gray, gray{p=0.01,at=10us}\n").expect_err("aliases collide");
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("duplicate fault"), "{err}");
+    }
+
+    #[test]
     fn background_lb_may_contain_a_plus() {
         let ms = parse("[g]\nbackground = perm-1024B+REPS+freeze@50us\n").expect("parses");
         let (wl, lb) = ms[0].background.as_ref().expect("background set");
@@ -873,6 +928,7 @@ workload = tornado-1024B, perm-2048B, incast8to1-4096B, ringar-8192B, bflyar-163
 failure = none, cable1-at8us-perm, switch1-at8us-30us, cables5pct-at10us-perm, switches5pct-at10us-20us, degraded3pct-200G, ber10pm-at5us, rolling4-every40us-down80us, incuplinks3-every50us
 reconv = none, 10us, 500ns, 77ps
 track = 0, 1
+fault = none, gray{p=0.02,for=100us}, corrupt{p=0.001,n=2}, flap{period=40us,duty=0.5,at=20us}, unidir{for=200us}
 seed = 0, 3, 7
 cc = DCTCP, EQDS, INTERNAL
 coalesce = pp, plain4, carry16, reuse16

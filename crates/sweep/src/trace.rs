@@ -25,7 +25,10 @@
 //! remaining fields are the event's own identifiers (switch, link, host,
 //! connection, entropy value). Kinds: `path_choice`, `ev_choice`,
 //! `freeze`, `thaw`, `reorder`, `retransmit`, `timeout`, `link_down`,
-//! `link_up`, `link_rate`, `link_ber`, `switch_down`, `switch_up`.
+//! `link_up`, `link_rate`, `link_ber`, `link_gray`, `link_corrupt`,
+//! `switch_down`, `switch_up`. The gray/corrupt records carry `on`
+//! (true at fault onset, false at heal), so a trace shows the full
+//! fault timeline.
 //!
 //! # Determinism contract
 //!
@@ -117,6 +120,14 @@ pub fn event_record(e: &TraceEvent) -> String {
             .u64("bps", bps)
             .render(),
         TraceEvent::LinkBer { link, .. } => base("link_ber").u64("link", link.0 as u64).render(),
+        TraceEvent::LinkGray { link, on, .. } => base("link_gray")
+            .u64("link", link.0 as u64)
+            .bool("on", on)
+            .render(),
+        TraceEvent::LinkCorrupt { link, on, .. } => base("link_corrupt")
+            .u64("link", link.0 as u64)
+            .bool("on", on)
+            .render(),
         TraceEvent::SwitchDown { sw, .. } => base("switch_down").u64("sw", sw.0 as u64).render(),
         TraceEvent::SwitchUp { sw, .. } => base("switch_up").u64("sw", sw.0 as u64).render(),
     }
@@ -280,6 +291,16 @@ mod tests {
                 at,
                 link: LinkId(2),
             },
+            TraceEvent::LinkGray {
+                at,
+                link: LinkId(2),
+                on: true,
+            },
+            TraceEvent::LinkCorrupt {
+                at,
+                link: LinkId(2),
+                on: false,
+            },
             TraceEvent::SwitchDown {
                 at,
                 sw: SwitchId(1),
@@ -312,6 +333,8 @@ mod tests {
                 "link_up",
                 "link_rate",
                 "link_ber",
+                "link_gray",
+                "link_corrupt",
                 "switch_down",
                 "switch_up"
             ]

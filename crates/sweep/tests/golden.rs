@@ -89,3 +89,26 @@ fn reconv_delay_output_is_byte_identical_to_its_snapshot() {
         "reconv-delay output drifted from its day-one golden snapshot"
     );
 }
+
+// The adversarial-fault presets are locked from day one too: the snapshot
+// pins the `ft=` key components, the cell-derived cable choices, the
+// bounded flap schedules and the gray/corrupt drop counters all at once —
+// any nondeterminism in fault-plan expansion shows up as a byte diff.
+
+#[test]
+fn gray_failures_output_is_byte_identical_to_its_snapshot() {
+    assert_eq!(
+        preset_jsonl("gray-failures"),
+        include_str!("golden/gray-failures.quick.jsonl"),
+        "gray-failures output drifted from its day-one golden snapshot"
+    );
+}
+
+#[test]
+fn flap_reconv_output_is_byte_identical_to_its_snapshot() {
+    assert_eq!(
+        preset_jsonl("flap-reconv"),
+        include_str!("golden/flap-reconv.quick.jsonl"),
+        "flap-reconv output drifted from its day-one golden snapshot"
+    );
+}

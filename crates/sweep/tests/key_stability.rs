@@ -87,7 +87,7 @@ fn full_pool_matches_the_regenerated_lbspec_fixture() {
     // proves the grammar refactor moved zero pre-existing cells while the
     // new presets only extended the suite.
     let rows = rows_of(FIXTURE_LBSPEC);
-    assert_eq!(rows.len(), 606, "lbspec fixture shape changed unexpectedly");
+    assert_eq!(rows.len(), 652, "lbspec fixture shape changed unexpectedly");
     let pre: BTreeSet<(u64, &str)> = fixture_rows()
         .iter()
         .map(|(_, seed, _, key)| (*seed, *key))
@@ -136,6 +136,8 @@ fn new_presets_extend_rather_than_perturb_the_suite() {
         "reconv-delay",
         "evs-sensitivity",
         "flowlet-gap",
+        "gray-failures",
+        "flap-reconv",
     ] {
         assert!(now.contains(new), "new preset {new} missing");
         assert!(
@@ -206,6 +208,22 @@ fn fixture_preset_keys_still_lack_the_reconv_component() {
     for scale in [Scale::Quick, Scale::Full] {
         for (_, key) in current_rows(scale, &fixture_presets) {
             assert!(!key.contains("/rc="), "{key}: default reconv leaked");
+        }
+    }
+}
+
+#[test]
+fn fixture_preset_keys_still_lack_the_fault_component() {
+    // Same contract for the fault axis: `ft=` is keyed only when a cell
+    // actually injects a fault, so every pre-existing cell's key, seed,
+    // shard and cache address is untouched by the axis existing.
+    let fixture_presets: BTreeSet<&str> = fixture_rows()
+        .iter()
+        .map(|(_, _, _, key)| key.split('/').next().expect("preset component"))
+        .collect();
+    for scale in [Scale::Quick, Scale::Full] {
+        for (_, key) in current_rows(scale, &fixture_presets) {
+            assert!(!key.contains("/ft="), "{key}: default fault leaked");
         }
     }
 }

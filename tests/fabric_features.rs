@@ -47,6 +47,7 @@ fn bit_error_links_lose_packets_but_flows_recover() {
         pair,
         at: Time::ZERO,
         p: 0.01,
+        duration: None,
     });
     exp.seed = 35;
     exp.deadline = Time::from_secs(10);
