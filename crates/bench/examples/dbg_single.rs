@@ -16,10 +16,10 @@ fn main() {
     exp.deadline = Time::from_secs(1);
     let mut engine = exp.build();
     let host_up = engine.topo.host_up[0];
-    let tor_up = engine.topo.switches[0].up_links.clone();
+    let tor_up = engine.topo.switches[0].up_links;
     engine.stats.track_link(host_up);
-    for l in &tor_up {
-        engine.stats.track_link(*l);
+    for l in tor_up.iter() {
+        engine.stats.track_link(l);
     }
     engine.run_until(Time::from_ms(1));
     let bw = engine.stats.bucket_width;
@@ -32,8 +32,8 @@ fn main() {
     println!("host0 uplink Gbps/bucket: {}", gb.join(" "));
     let mut sum = 0.0;
     let mut cnt = 0;
-    for l in &tor_up {
-        let s = engine.stats.link_series(*l).unwrap();
+    for l in tor_up.iter() {
+        let s = engine.stats.link_series(l).unwrap();
         let mid: u64 = s.bucket_bytes.iter().skip(1).take(3).sum();
         sum += netsim::stats::bucket_gbps(mid / 3, bw);
         cnt += 1;

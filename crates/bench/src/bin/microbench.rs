@@ -15,6 +15,12 @@
 //!   matrix (256/4096/65536 held, uniform vs bimodal gaps), plus the
 //!   naive fixed-width ring that lost the original bakeoff (see the
 //!   `netsim::event` module docs for the history).
+//! * `hybrid/*` — the hybrid-fidelity headline: one O(10k)-host cell
+//!   (160 ToRs × 64 hosts) with an all-hosts tornado background run at
+//!   matched offered load as packets (`fidelity=pkt`) and as fluid flows
+//!   (`fidelity=hybrid{bg=fluid}`). Besides the per-bench baselines the
+//!   pair carries its own gate: the fluid variant must stay at least
+//!   [`HYBRID_SPEEDUP_FLOOR`]x faster than its all-packet twin.
 //!
 //! ```text
 //! microbench [--out PATH] [--target-ms N] [--filter SUBSTR]
@@ -41,23 +47,35 @@ use netsim::time::Time;
 use netsim::topology::FatTreeConfig;
 use reps::lb::{AckFeedback, LoadBalancer};
 use reps::reps::{Reps, RepsConfig};
-use tinybench::{json_field, Harness};
+use tinybench::{json_field, BenchResult, Harness};
 use transport::sack::OooTracker;
 use workloads::patterns;
 
 /// The gated benchmark: its events/sec must not regress vs. the baseline.
 const GATED_BENCH: &str = "hotpath/permutation_cell";
 
+/// The 10k-host hybrid cell with its background as packet flows.
+const HYBRID_PKT_BENCH: &str = "hybrid/cell10k_bg_pkt";
+/// The same cell with the background on the analytic fluid model.
+const HYBRID_FLUID_BENCH: &str = "hybrid/cell10k_bg_fluid";
+/// Minimum pkt/fluid wall-time ratio for the 10k-host cell: the whole
+/// point of hybrid fidelity is an order-of-magnitude cheaper background,
+/// so `--check` fails when the fluid variant is less than 10x faster.
+const HYBRID_SPEEDUP_FLOOR: f64 = 10.0;
+
 /// Every bench `--check` gates (elems/sec vs. the baseline report): the
 /// end-to-end hot path plus the calendar matrix cells closest to it —
-/// the hot-path cell's held-event count under both gap shapes, and the
-/// large-held point the ROADMAP's scale target cares about. A gated
-/// bench missing from either report fails the check.
+/// the hot-path cell's held-event count under both gap shapes, the
+/// large-held point the ROADMAP's scale target cares about — and both
+/// fidelities of the 10k-host hybrid cell. A gated bench missing from
+/// either report fails the check.
 const GATED_BENCHES: &[&str] = &[
     GATED_BENCH,
     "calendar/engine_queue_hold256_uniform",
     "calendar/engine_queue_hold256_bimodal",
     "calendar/engine_queue_hold65536_uniform",
+    HYBRID_PKT_BENCH,
+    HYBRID_FLUID_BENCH,
 ];
 
 struct Opts {
@@ -129,6 +147,7 @@ fn main() -> ExitCode {
     bench_calendar(&mut h);
     bench_simulation(&mut h);
     bench_hotpath(&mut h);
+    bench_hybrid(&mut h);
 
     let json = h.to_json();
     if let Err(e) = std::fs::write(&opts.out, &json) {
@@ -137,10 +156,41 @@ fn main() -> ExitCode {
     }
     eprintln!("wrote {} benches to {}", h.results().len(), opts.out);
 
+    let hybrid_ok = hybrid_speedup_holds(h.results());
     if let Some(baseline_path) = &opts.check {
-        return check_regression(&json, baseline_path, opts.tolerance);
+        let baseline = check_regression(&json, baseline_path, opts.tolerance);
+        if !hybrid_ok {
+            return ExitCode::FAILURE;
+        }
+        return baseline;
     }
     ExitCode::SUCCESS
+}
+
+/// Prints — and under `--check`, gates — the pkt/fluid wall-time ratio of
+/// the 10k-host hybrid cell. Returns `true` when the pair was filtered
+/// out or the fluid variant is at least [`HYBRID_SPEEDUP_FLOOR`]x faster.
+fn hybrid_speedup_holds(results: &[BenchResult]) -> bool {
+    let ns = |name: &str| {
+        results
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.ns_per_iter)
+    };
+    let (Some(pkt), Some(fluid)) = (ns(HYBRID_PKT_BENCH), ns(HYBRID_FLUID_BENCH)) else {
+        return true;
+    };
+    let speedup = pkt / fluid;
+    if speedup < HYBRID_SPEEDUP_FLOOR {
+        eprintln!(
+            "REGRESSION: fluid background only {speedup:.1}x faster than packets on the 10k-host cell (floor {HYBRID_SPEEDUP_FLOOR}x)"
+        );
+        return false;
+    }
+    eprintln!(
+        "hybrid/cell10k: fluid background {speedup:.1}x faster than packets (floor {HYBRID_SPEEDUP_FLOOR}x) — ok"
+    );
+    true
 }
 
 /// Gates every bench in [`GATED_BENCHES`] (elems/sec) against a
@@ -565,5 +615,64 @@ fn hotpath_experiment() -> Experiment {
     );
     exp.seed = 3;
     exp.deadline = Time::from_ms(100);
+    exp
+}
+
+/// The hybrid-fidelity headline pair: the O(10k)-host cell from
+/// [`hybrid_experiment`] run to the same simulated horizon with its
+/// background as packets vs. as fluid flows. Engine builds sit outside
+/// the timed region, so the reported wall time is pure simulation;
+/// `main` derives the pkt/fluid speedup from the two results and
+/// enforces [`HYBRID_SPEEDUP_FLOOR`] under `--check`.
+fn bench_hybrid(h: &mut Harness) {
+    for (name, fluid) in [(HYBRID_PKT_BENCH, false), (HYBRID_FLUID_BENCH, true)] {
+        // The event-count probe costs a full cell simulation, so it runs
+        // lazily inside the closure: a `--filter` that excludes the
+        // hybrid family never builds the 10k-host engine at all.
+        let mut probed: Option<u64> = None;
+        h.bench_function(name, |b| {
+            let exp = hybrid_experiment(fluid);
+            let deadline = exp.deadline;
+            let events = *probed.get_or_insert_with(|| {
+                let mut probe = exp.build();
+                let n = probe.run_until(deadline);
+                assert!(n > 10_000, "hybrid cell too small: {n} events");
+                n
+            });
+            b.elements(events);
+            b.iter_custom(|iters| {
+                let mut total = std::time::Duration::ZERO;
+                for _ in 0..iters {
+                    let mut engine = exp.build();
+                    // detlint: allow(DET002) — this IS the benchmark measurement
+                    let start = Instant::now();
+                    let n = engine.run_until(deadline);
+                    total += start.elapsed();
+                    assert_eq!(n, events, "nondeterministic event count");
+                }
+                total
+            })
+        });
+    }
+}
+
+/// The 10k-host hybrid cell (160 ToRs × 64 hosts, 2:1 oversubscribed):
+/// a foreground permutation over the first eight racks under REPS plus
+/// an all-hosts tornado background. The two fidelities differ only in
+/// `fluid_background`, so their wall-time ratio is pure
+/// background-modelling cost at matched offered load.
+fn hybrid_experiment(fluid: bool) -> Experiment {
+    let mut rng = Rng64::new(11);
+    let fg = patterns::permutation(512, 32 << 10, &mut rng);
+    let mut exp = Experiment::new(
+        "hybrid10k",
+        FatTreeConfig::two_tier_custom(160, 64, 32),
+        LbKind::Reps(RepsConfig::default()),
+        fg,
+    );
+    exp.background = Some((patterns::tornado(10_240, 32 << 10), LbKind::Ecmp));
+    exp.fluid_background = fluid;
+    exp.seed = 11;
+    exp.deadline = Time::from_ms(5);
     exp
 }

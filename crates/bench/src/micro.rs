@@ -37,7 +37,7 @@ fn run_micro(label: &str, exp: &Experiment) {
     let tor0 = &res.engine.topo.switches[0];
     let bucket = res.engine.stats.bucket_width;
     for (i, link) in tor0.up_links.iter().enumerate() {
-        let Some(series) = res.engine.stats.link_series(*link) else {
+        let Some(series) = res.engine.stats.link_series(link) else {
             continue;
         };
         let util = downsample(&utilization_series(series, bucket), 12);

@@ -52,6 +52,12 @@ pub struct Experiment {
     pub workload: Workload,
     /// Background workload (ECMP-class traffic for the mixed scenarios).
     pub background: Option<(Workload, LbKind)>,
+    /// Model the background workload as fluid flows (hybrid fidelity)
+    /// instead of packets: analytic max-min rate shares re-solved only on
+    /// control events, folded into the links' effective rates. The
+    /// background LB kind is ignored in fluid mode (the fluid model routes
+    /// per-flow by deterministic ECMP). No effect without `background`.
+    pub fluid_background: bool,
     /// Failure plan.
     pub failures: FailurePlan,
     /// Window ceiling as a multiple of the path BDP (1.5 default; the micro
@@ -87,6 +93,7 @@ impl Experiment {
             coalesce: CoalesceConfig::default(),
             workload,
             background: None,
+            fluid_background: false,
             failures: FailurePlan::none(),
             max_cwnd_bdp: 1.5,
             seed: 1,
@@ -155,7 +162,9 @@ impl Experiment {
         install(&self.workload, 0, 0);
         expected += self.workload.len();
         if let Some((bg, _)) = &self.background {
-            install(bg, BACKGROUND_BIT, self.workload.len() as u32);
+            if !self.fluid_background {
+                install(bg, BACKGROUND_BIT, self.workload.len() as u32);
+            }
             expected += bg.len();
         }
 
@@ -169,12 +178,43 @@ impl Experiment {
         self.failures.install(&mut engine);
         engine.stats.expected_flows = expected;
 
+        // Hybrid fidelity: the background workload becomes a fluid
+        // population instead of packets. Same flow ids (base-offset past
+        // the foreground), so the summary's fg/bg split and the completion
+        // accounting are oblivious to the modelling fidelity.
+        if self.fluid_background {
+            if let Some((bg, _)) = &self.background {
+                let flow_base = self.workload.len() as u32;
+                let mut fluid = netsim::fluid::FluidNet::new(engine.links.len());
+                for f in &bg.flows {
+                    let start = match f.start {
+                        StartRule::At(t) => t,
+                        // Trigger rules have no meaning without per-packet
+                        // progress; fluid flows start immediately.
+                        StartRule::OnReceive { .. } | StartRule::OnSendComplete { .. } => {
+                            Time::ZERO
+                        }
+                    };
+                    fluid.add_flow(
+                        &engine.topo,
+                        f.flow.0 + flow_base,
+                        f.src,
+                        f.dst,
+                        f.bytes,
+                        start,
+                    );
+                }
+                fluid.finalize();
+                engine.attach_fluid(fluid);
+            }
+        }
+
         match &self.track {
             TrackLinks::None => {}
             TrackLinks::TorUplinks(tor) => {
                 let meta = &engine.topo.switches[*tor as usize];
-                let ups = meta.up_links.clone();
-                for l in ups {
+                let ups = meta.up_links;
+                for l in ups.iter() {
                     engine.stats.track_link(l);
                 }
             }
@@ -335,9 +375,19 @@ fn collect_diagnostics<S: TraceSink>(engine: &Engine<S>) -> Vec<(String, f64)> {
             ep.lb_diagnostics(&mut acc);
         }
     }
-    acc.into_iter()
+    let mut out: Vec<(String, f64)> = acc
+        .into_iter()
         .map(|(name, v)| (name.to_string(), v as f64))
-        .collect()
+        .collect();
+    if let Some(fluid) = &engine.fluid {
+        out.push(("fluid_resolves".to_string(), fluid.counters.resolves as f64));
+        out.push(("fluid_bg_flows".to_string(), fluid.counters.admitted as f64));
+        out.push((
+            "fluid_residual_updates".to_string(),
+            fluid.counters.residual_updates as f64,
+        ));
+    }
+    out
 }
 
 impl Summary {
@@ -545,6 +595,37 @@ mod tests {
     }
 
     #[test]
+    fn fluid_background_completes_and_reports_diagnostics() {
+        let mut rng = netsim::rng::Rng64::new(5);
+        let main = patterns::permutation(32, 128 << 10, &mut rng);
+        let bg = patterns::tornado(32, 64 << 10);
+        let mut exp = Experiment::new(
+            "hybrid",
+            FatTreeConfig::two_tier(8, 1),
+            LbKind::Reps(RepsConfig::default()),
+            main,
+        );
+        exp.background = Some((bg, LbKind::Ecmp));
+        exp.fluid_background = true;
+        exp.diagnostics = true;
+        let res = exp.run();
+        assert!(res.summary.completed, "hybrid run must complete");
+        assert_eq!(res.summary.fg_flows, 32);
+        assert!(
+            res.summary.bg_max_fct.is_some(),
+            "fluid completions must feed the bg FCT split"
+        );
+        let diag = res.summary.diagnostics.as_ref().expect("diagnostics on");
+        let get = |k: &str| diag.iter().find(|(n, _)| n == k).map(|(_, v)| *v);
+        assert!(get("fluid_resolves").unwrap() >= 1.0);
+        assert_eq!(get("fluid_bg_flows"), Some(32.0));
+        assert!(get("fluid_residual_updates").unwrap() >= 1.0);
+        // Determinism: an identical run produces identical bytes.
+        let again = exp.run();
+        assert_eq!(again.summary.to_json(), res.summary.to_json());
+    }
+
+    #[test]
     fn summary_json_is_stable_and_escaped() {
         let w = patterns::tornado(32, 64 << 10);
         let mut exp = Experiment::new(
@@ -639,7 +720,7 @@ mod tests {
         let res = exp.run();
         assert!(res.summary.completed);
         let tor0 = &res.engine.topo.switches[0];
-        let up0 = tor0.up_links[0];
+        let up0 = tor0.up_links.at(0);
         let series = res.engine.stats.link_series(up0).expect("tracked");
         assert!(!series.bucket_bytes.is_empty());
         assert!(!series.queue_samples.is_empty());

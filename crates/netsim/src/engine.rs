@@ -15,8 +15,9 @@
 //! * packets live in the engine-owned [`PacketArena`]; the calendar and
 //!   link queues move 4-byte [`PacketRef`]s, and a packet is written once
 //!   (when the host hands it to its NIC) and mutated in place,
-//! * routing queries return borrowed slices of the topology's precomputed
-//!   per-switch tables ([`RouteChoice`]),
+//! * routing queries return compact by-value link-table descriptors
+//!   ([`RouteChoice`] carrying a [`LinkRange`]) computed in closed form —
+//!   no per-switch table is materialized,
 //! * uplink selection works by index; the only buffer it touches is the
 //!   engine's reusable failover scratch (capacity bounded by the widest
 //!   ECMP group, retained across packets),
@@ -39,6 +40,7 @@
 use crate::arena::{PacketArena, PacketRef};
 use crate::config::SimConfig;
 use crate::event::{ControlEvent, Event, EventQueue};
+use crate::fluid::FluidNet;
 use crate::hash::ecmp_select;
 use crate::ids::{FlowId, HostId, LinkId, NodeRef, SwitchId};
 use crate::link::{DropReason, EnqueueOutcome, Link};
@@ -46,7 +48,7 @@ use crate::packet::Packet;
 use crate::rng::Rng64;
 use crate::stats::{FlowRecord, Stats};
 use crate::time::Time;
-use crate::topology::{RouteChoice, Topology};
+use crate::topology::{LinkRange, RouteChoice, Topology};
 use crate::trace::{NoTrace, TraceEvent, TraceSink};
 
 /// How switches pick among equal-cost uplinks.
@@ -252,41 +254,42 @@ impl RoutingView<'_> {
     /// traces are byte-identical.
     pub fn select_uplink(
         &self,
-        candidates: &[LinkId],
+        candidates: LinkRange,
         pkt: &Packet,
         salt: u64,
         rng: &mut Rng64,
         scratch: &mut Vec<LinkId>,
     ) -> LinkId {
         assert!(!candidates.is_empty(), "empty ECMP group");
-        let usable: &[LinkId] = match self.failover {
+        // `None` = select over the whole descriptor; `Some` = over the
+        // failover-filtered scratch slice. When every path is withdrawn we
+        // fall back to the full group (the packet blackholes instead of
+        // vanishing from the model).
+        let filtered: Option<&[LinkId]> = match self.failover {
             Some(delay) => {
                 scratch.clear();
                 scratch.extend(
                     candidates
                         .iter()
-                        .copied()
                         .filter(|&l| self.failover_usable(l, pkt.dst, delay)),
                 );
-                // Every path withdrawn: fall back to the full group (the
-                // packet blackholes instead of vanishing from the model).
                 if scratch.is_empty() {
-                    candidates
+                    None
                 } else {
-                    scratch.as_slice()
+                    Some(scratch.as_slice())
                 }
             }
-            None => candidates,
+            None => None,
         };
+        let len = filtered.map_or(candidates.len(), <[LinkId]>::len);
+        let get = |i: usize| filtered.map_or_else(|| candidates.at(i), |s| s[i]);
         match self.mode {
-            RoutingMode::EcmpHash => {
-                usable[ecmp_select(pkt.src, pkt.dst, pkt.ev, salt, usable.len())]
-            }
+            RoutingMode::EcmpHash => get(ecmp_select(pkt.src, pkt.dst, pkt.ev, salt, len)),
             RoutingMode::Adaptive => {
                 let mut min = u64::MAX;
                 let mut ties = 0usize;
-                for &l in usable {
-                    let q = self.links[l.index()].queued_bytes;
+                for i in 0..len {
+                    let q = self.links[get(i).index()].queued_bytes;
                     if q < min {
                         min = q;
                         ties = 1;
@@ -296,7 +299,8 @@ impl RoutingView<'_> {
                 }
                 let want = rng.gen_index(ties);
                 let mut seen = 0usize;
-                for &l in usable {
+                for i in 0..len {
+                    let l = get(i);
                     if self.links[l.index()].queued_bytes == min {
                         if seen == want {
                             return l;
@@ -355,6 +359,9 @@ pub struct Engine<S: TraceSink = NoTrace> {
     scratch_actions: Vec<Action>,
     /// Reusable failover-filter buffer for [`RoutingView::select_uplink`].
     scratch_uplinks: Vec<LinkId>,
+    /// Fluid background-traffic model (hybrid-fidelity cells only; `None`
+    /// keeps the pure packet engine untouched).
+    pub fluid: Option<FluidNet>,
 }
 
 impl Engine {
@@ -413,6 +420,7 @@ impl<S: TraceSink> Engine<S> {
             sampling_scheduled: false,
             scratch_actions: Vec::new(),
             scratch_uplinks: Vec::new(),
+            fluid: None,
         }
     }
 
@@ -800,6 +808,53 @@ impl<S: TraceSink> Engine<S> {
         }
     }
 
+    /// Attaches a fluid background population and schedules its first
+    /// wake. No-op on an empty population.
+    pub fn attach_fluid(&mut self, mut fluid: FluidNet) {
+        if let Some(t) = fluid.next_event() {
+            let at = t.max(self.now);
+            fluid.scheduled_wake = at;
+            self.events
+                .push(at, Event::Control(ControlEvent::FluidWake));
+        }
+        self.fluid = Some(fluid);
+    }
+
+    /// Re-solves the fluid background model at `now` and folds the new
+    /// per-link residual rates into the packet layer. Called on every
+    /// capacity-changing control event and on scheduled `FluidWake`s;
+    /// between calls the background progresses in closed form, so a stale
+    /// wake is just a cheap deterministic re-solve.
+    fn fluid_resolve(&mut self) {
+        let Some(mut fluid) = self.fluid.take() else {
+            return;
+        };
+        let (active, updated) = fluid.resolve(self.now, &self.links);
+        let frame = self.cfg.full_frame_bytes() as u64;
+        for &li in fluid.changed() {
+            let l = LinkId(li);
+            self.links[l.index()].set_background(fluid.link_bg(l), frame);
+        }
+        for rec in fluid.drain_completions() {
+            self.stats.on_flow_complete(rec);
+        }
+        self.trace.emit(TraceEvent::FluidResolve {
+            at: self.now,
+            active,
+            updated,
+        });
+        if let Some(t) = fluid.next_event() {
+            let t = t.max(self.now);
+            // Dedup: only push a wake if it beats the one already on the
+            // calendar (or that one has already fired).
+            if fluid.scheduled_wake <= self.now || t < fluid.scheduled_wake {
+                fluid.scheduled_wake = t;
+                self.events.push(t, Event::Control(ControlEvent::FluidWake));
+            }
+        }
+        self.fluid = Some(fluid);
+    }
+
     fn control(&mut self, ev: ControlEvent) {
         match ev {
             ControlEvent::LinkDown(l) => {
@@ -811,6 +866,7 @@ impl<S: TraceSink> Engine<S> {
                 for _ in 0..flushed {
                     self.stats.on_drop(DropReason::LinkDown);
                 }
+                self.fluid_resolve();
             }
             ControlEvent::LinkUp(l) => {
                 self.trace.emit(TraceEvent::LinkUp {
@@ -818,6 +874,7 @@ impl<S: TraceSink> Engine<S> {
                     link: l,
                 });
                 self.links[l.index()].set_up();
+                self.fluid_resolve();
             }
             ControlEvent::LinkRate(l, bps) => {
                 self.trace.emit(TraceEvent::LinkRate {
@@ -826,6 +883,7 @@ impl<S: TraceSink> Engine<S> {
                     bps,
                 });
                 self.links[l.index()].set_rate(bps);
+                self.fluid_resolve();
             }
             ControlEvent::LinkBer(l, p) => {
                 self.trace.emit(TraceEvent::LinkBer {
@@ -859,6 +917,7 @@ impl<S: TraceSink> Engine<S> {
                         self.stats.on_drop(DropReason::LinkDown);
                     }
                 }
+                self.fluid_resolve();
             }
             ControlEvent::SwitchUp(sw) => {
                 self.trace.emit(TraceEvent::SwitchUp { at: self.now, sw });
@@ -866,6 +925,10 @@ impl<S: TraceSink> Engine<S> {
                 for l in self.topo.switch_links(sw) {
                     self.links[l.index()].set_up();
                 }
+                self.fluid_resolve();
+            }
+            ControlEvent::FluidWake => {
+                self.fluid_resolve();
             }
             ControlEvent::StatsSample => {
                 // Iterate the cached tracked-link list by index: no

@@ -122,6 +122,8 @@ pub enum ControlEvent {
     SwitchDown(SwitchId),
     /// Recover a whole switch.
     SwitchUp(SwitchId),
+    /// Re-solve the fluid background-traffic rate shares.
+    FluidWake,
     /// Periodic statistics sampling tick.
     StatsSample,
     /// Deliver a start signal to a host endpoint.

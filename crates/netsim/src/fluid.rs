@@ -1,0 +1,623 @@
+//! Fluid (flow-level) background traffic: analytic max-min rate shares
+//! coexisting with packet-level foreground flows in one engine.
+//!
+//! The hybrid-fidelity split: REPS/OPS foreground behavior — the thing the
+//! paper measures — stays packet-accurate, while background flows become a
+//! fluid model that progresses in *closed form* between control events. A
+//! [`FluidNet`] holds the background flow population; on every control
+//! event that can change capacity (flow arrival, flow departure, link or
+//! switch failure/recovery, rate change) the engine calls
+//! [`FluidNet::resolve`], which
+//!
+//! 1. advances every active flow by `floor(rate · Δt / 8e12)` bytes,
+//! 2. completes flows that ran out of bytes (exact: the wake the solver
+//!    schedules at `ceil(remaining · 8e12 / rate)` guarantees the floor
+//!    progression reaches zero at that instant),
+//! 3. admits flows whose start time has arrived,
+//! 4. re-solves max-min fair shares by integer water-filling, and
+//! 5. reports the per-link background-rate deltas so the engine can fold
+//!    them into each [`Link`](crate::link::Link)'s *effective* service
+//!    rate (foreground packets see background load as reduced rate plus a
+//!    deterministic queue-delay term — see `Link::set_background`).
+//!
+//! Rates are never recomputed per packet, and the solver never touches the
+//! allocator in steady state: every table lives in generation-stamped
+//! scratch buffers that retain their high-water capacity across resolves.
+//! All arithmetic is integer picoseconds/bytes/bps (`u128` intermediates)
+//! — no floats, no RNG — so hybrid cells stay byte-deterministic across
+//! `--threads` and `--shard` splits.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::hash::ecmp_select;
+use crate::ids::{FlowId, HostId, LinkId, NodeRef};
+use crate::link::Link;
+use crate::stats::FlowRecord;
+use crate::time::Time;
+use crate::topology::{RouteChoice, Topology};
+
+/// Longest path a fluid flow can take (3-tier: host-up, ToR-up, T1-up,
+/// core-down, T1-down, ToR-down).
+pub const MAX_PATH: usize = 6;
+
+/// Largest share of a link's rate the background may claim, in parts per
+/// million. Keeps the residual rate foreground packets see strictly
+/// positive and bounds the queue-delay term's denominator away from zero.
+pub const MAX_BG_SHARE_PPM: u64 = 950_000;
+
+/// Picoseconds-per-second times bits-per-byte: the bytes ↔ (bps × ps)
+/// conversion constant.
+const PS_PER_SEC_BITS: u128 = 8 * 1_000_000_000_000;
+
+/// One background flow.
+#[derive(Debug, Clone, Copy)]
+struct FluidFlow {
+    /// Flow id (also the entropy source for its deterministic path).
+    id: u32,
+    src: HostId,
+    dst: HostId,
+    /// Message size in bytes.
+    bytes: u64,
+    /// Arrival instant.
+    start: Time,
+    /// Bytes still to transfer.
+    remaining: u64,
+    /// Current max-min share in bits/s (0 while the path is down).
+    rate_bps: u64,
+    /// The fixed path, chosen once at admission-table build time.
+    path: [LinkId; MAX_PATH],
+    path_len: u8,
+    /// Solver scratch: true once this flow's rate is frozen this solve.
+    frozen: bool,
+}
+
+/// Counters surfaced through `--diagnostics`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FluidCounters {
+    /// Solver invocations ([`FluidNet::resolve`] calls).
+    pub resolves: u64,
+    /// Background flows admitted so far.
+    pub admitted: u64,
+    /// Background flows completed so far.
+    pub completed: u64,
+    /// Per-link residual-rate updates applied across all resolves.
+    pub residual_updates: u64,
+}
+
+/// The background-flow population and its event-driven max-min solver.
+#[derive(Debug)]
+pub struct FluidNet {
+    /// All background flows, sorted by `(start, id)` after [`FluidNet::finalize`].
+    flows: Vec<FluidFlow>,
+    /// Indices into `flows` of admitted, unfinished flows.
+    active: Vec<u32>,
+    /// First not-yet-admitted index into `flows`.
+    next_arrival: usize,
+    /// Instant the closed-form progression last ran to.
+    last_advance: Time,
+    /// Earliest `FluidWake` currently on the engine calendar (dedup so a
+    /// burst of control events does not flood the calendar with wakes).
+    pub(crate) scheduled_wake: Time,
+    /// Persistent per-link background rate in bps (what the engine last
+    /// applied), indexed by link.
+    link_bg: Vec<u64>,
+    /// Generation stamp per link (scratch validity marker).
+    stamp: Vec<u32>,
+    gen: u32,
+    /// Links touched by the current active set (scratch).
+    touched: Vec<u32>,
+    /// Links touched by the previous solve (to zero departures).
+    prev_touched: Vec<u32>,
+    /// Water-filling scratch, valid where `stamp == gen`.
+    cap: Vec<u64>,
+    nflows: Vec<u32>,
+    new_bg: Vec<u64>,
+    /// CSR per-link flow lists (scratch): `flow_of[flow_start[li]..
+    /// flow_start[li] + nflows0[li]]` are the active flows crossing `li`.
+    flow_start: Vec<u32>,
+    nflows0: Vec<u32>,
+    flow_of: Vec<u32>,
+    /// Lazy min-heap of `(fair_share, link)` candidates; stale entries are
+    /// detected by recomputing the share at pop time.
+    heap: BinaryHeap<Reverse<(u64, u32)>>,
+    /// Links whose background rate changed in the last resolve.
+    changed: Vec<u32>,
+    /// Completions produced by the last resolve, in admission order.
+    completions: Vec<FlowRecord>,
+    /// Diagnostics counters.
+    pub counters: FluidCounters,
+}
+
+impl FluidNet {
+    /// An empty background population over a fabric with `n_links` links.
+    pub fn new(n_links: usize) -> FluidNet {
+        FluidNet {
+            flows: Vec::new(),
+            active: Vec::new(),
+            next_arrival: 0,
+            last_advance: Time::ZERO,
+            scheduled_wake: Time::ZERO,
+            link_bg: vec![0; n_links],
+            stamp: vec![0; n_links],
+            gen: 0,
+            touched: Vec::new(),
+            prev_touched: Vec::new(),
+            cap: vec![0; n_links],
+            nflows: vec![0; n_links],
+            new_bg: vec![0; n_links],
+            flow_start: vec![0; n_links],
+            nflows0: vec![0; n_links],
+            flow_of: Vec::new(),
+            heap: BinaryHeap::new(),
+            changed: Vec::new(),
+            completions: Vec::new(),
+            counters: FluidCounters::default(),
+        }
+    }
+
+    /// Adds a background flow. The path is fixed at add time: the same
+    /// up/down walk a packet takes, with the flow id as the entropy value
+    /// at every ECMP ascent — deterministic, RNG-free.
+    pub fn add_flow(
+        &mut self,
+        topo: &Topology,
+        id: u32,
+        src: HostId,
+        dst: HostId,
+        bytes: u64,
+        start: Time,
+    ) {
+        let (path, path_len) = path_for(topo, src, dst, flow_entropy(id));
+        self.flows.push(FluidFlow {
+            id,
+            src,
+            dst,
+            bytes,
+            start,
+            remaining: bytes,
+            rate_bps: 0,
+            path,
+            path_len,
+            frozen: false,
+        });
+    }
+
+    /// Sorts the admission table; must be called once after the last
+    /// [`FluidNet::add_flow`] and before the first [`FluidNet::resolve`].
+    pub fn finalize(&mut self) {
+        self.flows.sort_by_key(|f| (f.start, f.id));
+        self.next_arrival = 0;
+    }
+
+    /// Number of flows in the admission table.
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Number of currently active background flows.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// The next instant the background state changes on its own: the
+    /// earliest predicted completion or the next arrival. `None` once the
+    /// population is drained.
+    pub fn next_event(&self) -> Option<Time> {
+        let mut next: Option<Time> = None;
+        for &fi in &self.active {
+            let f = &self.flows[fi as usize];
+            if f.rate_bps == 0 {
+                continue; // path down; re-predicted on recovery
+            }
+            let need = f.remaining as u128 * PS_PER_SEC_BITS;
+            let dt = need.div_ceil(f.rate_bps as u128) as u64;
+            let t = self.last_advance + Time::from_ps(dt);
+            next = Some(next.map_or(t, |n: Time| n.min(t)));
+        }
+        if let Some(f) = self.flows.get(self.next_arrival) {
+            let t = f.start;
+            next = Some(next.map_or(t, |n: Time| n.min(t)));
+        }
+        next
+    }
+
+    /// Links whose background rate changed in the last resolve.
+    pub fn changed(&self) -> &[u32] {
+        &self.changed
+    }
+
+    /// The background rate currently assigned to `link`.
+    pub fn link_bg(&self, link: LinkId) -> u64 {
+        self.link_bg[link.index()]
+    }
+
+    /// Drains the completions the last resolve produced.
+    pub fn drain_completions(&mut self) -> std::vec::Drain<'_, FlowRecord> {
+        self.completions.drain(..)
+    }
+
+    /// Advances, completes, admits and re-solves at `now`. Returns
+    /// `(active_flows, links_updated)` for the trace probe.
+    ///
+    /// Allocation-free in steady state: every buffer retains capacity.
+    pub fn resolve(&mut self, now: Time, links: &[Link]) -> (u32, u32) {
+        self.counters.resolves += 1;
+        // 1. Closed-form progression since the last control event.
+        let dt = (now - self.last_advance).as_ps() as u128;
+        if dt > 0 {
+            for &fi in &self.active {
+                let f = &mut self.flows[fi as usize];
+                let sent = (f.rate_bps as u128 * dt / PS_PER_SEC_BITS) as u64;
+                f.remaining = f.remaining.saturating_sub(sent);
+            }
+        }
+        self.last_advance = now;
+        // 2. Completions (in admission order — `active` preserves it).
+        let flows = &self.flows;
+        let completions = &mut self.completions;
+        let completed = &mut self.counters.completed;
+        self.active.retain(|&fi| {
+            let f = &flows[fi as usize];
+            if f.remaining == 0 {
+                completions.push(FlowRecord {
+                    flow: FlowId(f.id),
+                    src: f.src,
+                    dst: f.dst,
+                    bytes: f.bytes,
+                    start: f.start,
+                    end: now,
+                    retransmissions: 0,
+                });
+                *completed += 1;
+                false
+            } else {
+                true
+            }
+        });
+        // 3. Admissions.
+        while self
+            .flows
+            .get(self.next_arrival)
+            .is_some_and(|f| f.start <= now)
+        {
+            self.active.push(self.next_arrival as u32);
+            self.next_arrival += 1;
+            self.counters.admitted += 1;
+        }
+        // 4. Max-min fair shares by integer water-filling.
+        self.solve(links);
+        // 5. Per-link deltas for the engine to apply.
+        self.collect_changes();
+        self.counters.residual_updates += self.changed.len() as u64;
+        (self.active.len() as u32, self.changed.len() as u32)
+    }
+
+    /// Integer water-filling: repeatedly take the tightest link (smallest
+    /// `capacity / unfrozen-flow-count`), freeze every unfrozen flow that
+    /// crosses it at that fair share, and charge the share to the rest of
+    /// each frozen flow's path.
+    ///
+    /// The bottleneck order comes from a lazy min-heap of
+    /// `(share, link)` candidates: freezing a flow re-pushes its other
+    /// path links with their updated shares, and entries whose share no
+    /// longer matches at pop time are re-pushed corrected. Per-link CSR
+    /// flow lists make each freeze touch only the flows actually crossing
+    /// the bottleneck, so a solve is `O(active · path_len · log links)`
+    /// instead of the old `O(bottlenecks · active)` scan — the difference
+    /// between milliseconds and minutes at 10k background flows.
+    fn solve(&mut self, links: &[Link]) {
+        self.gen = self.gen.wrapping_add(1);
+        self.touched.clear();
+        for &fi in &self.active {
+            let f = &mut self.flows[fi as usize];
+            f.frozen = false;
+            f.rate_bps = 0;
+            for &l in &f.path[..f.path_len as usize] {
+                let li = l.index();
+                if self.stamp[li] != self.gen {
+                    self.stamp[li] = self.gen;
+                    self.touched.push(li as u32);
+                    let link = &links[li];
+                    self.cap[li] = if link.up {
+                        (link.rate_bps as u128 * MAX_BG_SHARE_PPM as u128 / 1_000_000) as u64
+                    } else {
+                        0
+                    };
+                    self.nflows[li] = 0;
+                    self.new_bg[li] = 0;
+                }
+                self.nflows[li] += 1;
+            }
+        }
+        // CSR flow lists: offsets from the touched-order prefix sum, then a
+        // second flow pass fills (reusing `flow_start` as the write cursor;
+        // `nflows0` keeps the immutable per-link count for range ends).
+        let mut total = 0u32;
+        for &li in &self.touched {
+            let li = li as usize;
+            self.flow_start[li] = total;
+            self.nflows0[li] = self.nflows[li];
+            total += self.nflows[li];
+        }
+        self.flow_of.clear();
+        self.flow_of.resize(total as usize, 0);
+        for &fi in &self.active {
+            let f = &self.flows[fi as usize];
+            for &l in &f.path[..f.path_len as usize] {
+                let li = l.index();
+                self.flow_of[self.flow_start[li] as usize] = fi;
+                self.flow_start[li] += 1;
+            }
+        }
+        for &li in &self.touched {
+            let li = li as usize;
+            self.flow_start[li] -= self.nflows0[li];
+        }
+        self.heap.clear();
+        for &li in &self.touched {
+            let l = li as usize;
+            if self.nflows[l] > 0 {
+                self.heap
+                    .push(Reverse((self.cap[l] / self.nflows[l] as u64, li)));
+            }
+        }
+        let mut unfrozen = self.active.len();
+        while unfrozen > 0 {
+            let Some(Reverse((share, li))) = self.heap.pop() else {
+                break; // every remaining flow crosses only down links — guard
+            };
+            let l = li as usize;
+            if self.nflows[l] == 0 {
+                continue; // stale: all of its flows froze via other links
+            }
+            let fair = self.cap[l] / self.nflows[l] as u64;
+            if fair != share {
+                self.heap.push(Reverse((fair, li)));
+                continue; // stale share: re-queue at the current value
+            }
+            let start = self.flow_start[l] as usize;
+            let end = start + self.nflows0[l] as usize;
+            for k in start..end {
+                let fi = self.flow_of[k];
+                let f = &mut self.flows[fi as usize];
+                if f.frozen {
+                    continue;
+                }
+                f.frozen = true;
+                f.rate_bps = fair;
+                unfrozen -= 1;
+                for &pl in &f.path[..f.path_len as usize] {
+                    let pi = pl.index();
+                    self.cap[pi] = self.cap[pi].saturating_sub(fair);
+                    self.nflows[pi] -= 1;
+                    self.new_bg[pi] += fair;
+                    if pi != l && self.nflows[pi] > 0 {
+                        self.heap
+                            .push(Reverse((self.cap[pi] / self.nflows[pi] as u64, pi as u32)));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Diffs the freshly solved per-link rates against what the engine has
+    /// applied, zeroing links the background departed from.
+    fn collect_changes(&mut self) {
+        self.changed.clear();
+        for &li in &self.prev_touched {
+            let li = li as usize;
+            // Departed links: touched last solve, untouched now.
+            if self.stamp[li] != self.gen && self.link_bg[li] != 0 {
+                self.link_bg[li] = 0;
+                self.changed.push(li as u32);
+            }
+        }
+        for &li in &self.touched {
+            let li = li as usize;
+            if self.link_bg[li] != self.new_bg[li] {
+                self.link_bg[li] = self.new_bg[li];
+                self.changed.push(li as u32);
+            }
+        }
+        std::mem::swap(&mut self.prev_touched, &mut self.touched);
+    }
+}
+
+/// The entropy value a background flow sprays with: a cheap integer mix of
+/// its id so sibling flows spread across ECMP groups.
+fn flow_entropy(id: u32) -> u16 {
+    (id ^ (id >> 16) ^ (id << 3)) as u16
+}
+
+/// The deterministic up/down path from `src` to `dst` under entropy `ev`:
+/// exactly the walk a packet with that entropy takes through healthy
+/// fabric (per-switch salted ECMP at every ascent).
+fn path_for(topo: &Topology, src: HostId, dst: HostId, ev: u16) -> ([LinkId; MAX_PATH], u8) {
+    let mut path = [LinkId(0); MAX_PATH];
+    let mut len = 0u8;
+    let mut link = topo.host_up[src.index()];
+    loop {
+        path[len as usize] = link;
+        len += 1;
+        match topo.links[link.index()].to {
+            NodeRef::Host(h) => {
+                debug_assert_eq!(h, dst, "fluid path must end at the destination");
+                return (path, len);
+            }
+            NodeRef::Switch(sw) => {
+                assert!(
+                    (len as usize) < MAX_PATH,
+                    "fluid path exceeded {MAX_PATH} hops"
+                );
+                link = match topo.route(sw, dst).expect("well-formed fabric") {
+                    RouteChoice::Down(l) => l,
+                    RouteChoice::Up(candidates) => {
+                        let salt = topo.switches[sw.index()].salt;
+                        candidates.at(ecmp_select(src, dst, ev, salt, candidates.len()))
+                    }
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::topology::FatTreeConfig;
+
+    fn links_for(topo: &Topology) -> Vec<Link> {
+        let cfg = SimConfig::paper_default();
+        topo.links
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                Link::new(LinkId(i as u32), spec.from, spec.to, cfg.link_latency, &cfg)
+            })
+            .collect()
+    }
+
+    fn small() -> (Topology, Vec<Link>) {
+        let topo = Topology::build(FatTreeConfig::two_tier(8, 1), 7);
+        let links = links_for(&topo);
+        (topo, links)
+    }
+
+    #[test]
+    fn paths_follow_the_packet_walk() {
+        let (topo, _) = small();
+        let (path, len) = path_for(&topo, HostId(0), HostId(31), 9);
+        assert_eq!(len, 4, "cross-rack 2-tier path is 4 links");
+        // Path is connected: each link's head is the next link's tail.
+        for w in path[..len as usize].windows(2) {
+            assert_eq!(topo.links[w[0].index()].to, topo.links[w[1].index()].from);
+        }
+        assert_eq!(
+            topo.links[path[len as usize - 1].index()].to,
+            NodeRef::Host(HostId(31))
+        );
+        // Same-rack: 2 links.
+        let (_, len) = path_for(&topo, HostId(0), HostId(1), 9);
+        assert_eq!(len, 2);
+    }
+
+    #[test]
+    fn single_flow_gets_the_capped_share_and_completes_exactly() {
+        let (topo, links) = small();
+        let mut net = FluidNet::new(links.len());
+        // 1 MiB at t=0.
+        net.add_flow(&topo, 0, HostId(0), HostId(31), 1 << 20, Time::ZERO);
+        net.finalize();
+        let (active, updated) = net.resolve(Time::ZERO, &links);
+        assert_eq!(active, 1);
+        assert_eq!(updated as usize, net.changed().len());
+        let rate = (400_000_000_000u128 * MAX_BG_SHARE_PPM as u128 / 1_000_000) as u64;
+        // Every link on the path carries the capped share.
+        for &li in net.changed() {
+            assert_eq!(net.link_bg(LinkId(li)), rate);
+        }
+        let done = net.next_event().expect("completion pending");
+        // Exactly ceil(bytes * 8e12 / rate).
+        let want = ((1u128 << 20) * PS_PER_SEC_BITS).div_ceil(rate as u128) as u64;
+        assert_eq!(done.as_ps(), want);
+        let (active, _) = net.resolve(done, &links);
+        assert_eq!(active, 0, "flow must complete at the predicted instant");
+        let recs: Vec<FlowRecord> = net.drain_completions().collect();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].bytes, 1 << 20);
+        assert_eq!(recs[0].end, done);
+        assert_eq!(net.next_event(), None);
+    }
+
+    #[test]
+    fn two_flows_sharing_a_link_split_it_evenly() {
+        let (topo, links) = small();
+        let mut net = FluidNet::new(links.len());
+        // Two flows from the same host: they share the host's NIC uplink.
+        net.add_flow(&topo, 0, HostId(0), HostId(31), 1 << 20, Time::ZERO);
+        net.add_flow(&topo, 1, HostId(0), HostId(30), 1 << 20, Time::ZERO);
+        net.finalize();
+        net.resolve(Time::ZERO, &links);
+        let nic = topo.host_up[0];
+        let cap = (400_000_000_000u128 * MAX_BG_SHARE_PPM as u128 / 1_000_000) as u64;
+        assert_eq!(
+            net.link_bg(nic),
+            (cap / 2) * 2,
+            "even split on the shared NIC"
+        );
+    }
+
+    #[test]
+    fn down_path_stalls_and_recovers() {
+        let (topo, mut links) = small();
+        let mut net = FluidNet::new(links.len());
+        net.add_flow(&topo, 0, HostId(0), HostId(31), 1 << 20, Time::ZERO);
+        net.finalize();
+        net.resolve(Time::ZERO, &links);
+        let first_hop = topo.host_up[0];
+        // Cut the first hop: rate drops to 0, no completion predicted.
+        let mut arena = crate::arena::PacketArena::new();
+        links[first_hop.index()].set_down(Time::from_us(1), &mut arena);
+        net.resolve(Time::from_us(1), &links);
+        assert_eq!(net.link_bg(first_hop), 0);
+        assert_eq!(net.next_event(), None, "stalled flow predicts nothing");
+        // Recovery: share comes back, completion predicted again.
+        links[first_hop.index()].set_up();
+        net.resolve(Time::from_us(5), &links);
+        assert!(net.link_bg(first_hop) > 0);
+        assert!(net.next_event().is_some());
+    }
+
+    #[test]
+    fn resolve_is_deterministic_and_allocation_stable() {
+        let (topo, links) = small();
+        let run = || {
+            let mut net = FluidNet::new(links.len());
+            for i in 0..64u32 {
+                net.add_flow(
+                    &topo,
+                    i,
+                    HostId(i % 32),
+                    HostId((i + 17) % 32),
+                    64 << 10,
+                    Time::from_us((i % 7) as u64),
+                );
+            }
+            net.finalize();
+            let mut log = Vec::new();
+            let mut now = Time::ZERO;
+            for _ in 0..200 {
+                let (active, updated) = net.resolve(now, &links);
+                log.push((now.as_ps(), active, updated));
+                match net.next_event() {
+                    Some(t) => now = t,
+                    None => break,
+                }
+            }
+            (log, net.counters.completed)
+        };
+        let (a, ca) = run();
+        let (b, cb) = run();
+        assert_eq!(a, b, "resolve schedule must be deterministic");
+        assert_eq!(ca, 64, "all flows complete");
+        assert_eq!(ca, cb);
+    }
+
+    #[test]
+    fn arrivals_are_admitted_in_start_order() {
+        let (topo, links) = small();
+        let mut net = FluidNet::new(links.len());
+        net.add_flow(&topo, 1, HostId(2), HostId(9), 4096, Time::from_us(10));
+        net.add_flow(&topo, 0, HostId(1), HostId(8), 4096, Time::from_us(2));
+        net.finalize();
+        net.resolve(Time::ZERO, &links);
+        assert_eq!(net.active_count(), 0);
+        assert_eq!(net.next_event(), Some(Time::from_us(2)));
+        net.resolve(Time::from_us(2), &links);
+        assert_eq!(net.active_count(), 1);
+        net.resolve(Time::from_us(10), &links);
+        assert_eq!(net.counters.admitted, 2);
+    }
+}

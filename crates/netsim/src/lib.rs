@@ -24,8 +24,9 @@
 //!   the calendar ([`event::EventQueue`]) and link queues move 4-byte
 //!   [`arena::PacketRef`]s, so heap sifts and queue rotations never copy
 //!   packet bodies;
-//! * [`topology::Topology::route`] returns borrowed slices of precomputed
-//!   per-switch tables, and [`engine::RoutingView`] selects uplinks by
+//! * [`topology::Topology::route`] returns compact by-value
+//!   [`topology::LinkRange`] descriptors (closed-form base/stride/count —
+//!   no per-switch tables), and [`engine::RoutingView`] selects uplinks by
 //!   index over a reusable engine-owned scratch buffer (failover filter)
 //!   — no `Vec` is constructed on any packet path;
 //! * every buffer (arena slots and free list, heap, link deques, action
@@ -53,6 +54,7 @@ pub mod config;
 pub mod engine;
 pub mod event;
 pub mod failures;
+pub mod fluid;
 pub mod hash;
 pub mod ids;
 pub mod link;

@@ -103,13 +103,23 @@ pub struct Link {
     pub trimming: bool,
     /// Whether RED/ECN marking applies (switch egress yes, host NIC no).
     pub mark_enabled: bool,
+    /// Fluid background load carried by this link in bits/s (hybrid
+    /// fidelity only; 0 in pure packet mode). Foreground packets see it as
+    /// reduced effective rate plus [`Link::bg_wait`] per service.
+    pub bg_bps: u64,
+    /// Deterministic per-packet queueing-delay term modelling interleaving
+    /// with background frames (an M/D/1-style `ρ/(2(1−ρ))` wait at the
+    /// background's utilization, computed once in `set_background`).
+    pub bg_wait: Time,
     /// Cached picoseconds-per-byte for the service hot path, valid while
-    /// `ser_rate == rate_bps`; 0 means the rate does not divide the ps/s
-    /// constant evenly and the generic division must run. Tagged with the
-    /// rate it was computed for so direct `rate_bps` writes (the engine's
-    /// fabric-rate override, degradation controls) auto-heal on next use.
+    /// `ser_rate` equals the current *effective* rate; 0 means the rate
+    /// does not divide the ps/s constant evenly and the generic division
+    /// must run. Tagged with the rate it was computed for so direct
+    /// `rate_bps` writes (the engine's fabric-rate override, degradation
+    /// controls) and background-rate changes auto-heal on next use.
     ser_ps_per_byte: u64,
-    /// Rate `ser_ps_per_byte` was derived from (0 = never computed).
+    /// Effective rate `ser_ps_per_byte` was derived from (0 = never
+    /// computed).
     ser_rate: u64,
 }
 
@@ -138,6 +148,8 @@ impl Link {
             kmin_bytes: cfg.kmin_bytes(),
             kmax_bytes: cfg.kmax_bytes(),
             trimming: cfg.trimming,
+            bg_bps: 0,
+            bg_wait: Time::ZERO,
             ser_ps_per_byte: 0,
             ser_rate: 0,
             mark_enabled: true,
@@ -228,15 +240,15 @@ impl Link {
         let pkt = self.ctrl.pop_front().or_else(|| self.data.pop_front())?;
         let wire = arena.get(pkt).wire_bytes as u64;
         self.queued_bytes -= wire;
-        if self.ser_rate != self.rate_bps {
+        let eff = self.effective_bps();
+        if self.ser_rate != eff {
             const PS_PER_SEC_BITS: u64 = 8 * 1_000_000_000_000;
-            self.ser_rate = self.rate_bps;
-            self.ser_ps_per_byte =
-                if self.rate_bps > 0 && PS_PER_SEC_BITS.is_multiple_of(self.rate_bps) {
-                    PS_PER_SEC_BITS / self.rate_bps
-                } else {
-                    0
-                };
+            self.ser_rate = eff;
+            self.ser_ps_per_byte = if eff > 0 && PS_PER_SEC_BITS.is_multiple_of(eff) {
+                PS_PER_SEC_BITS / eff
+            } else {
+                0
+            };
         }
         // When the rate divides the ps/s constant (every realistic rate:
         // 400G -> 20 ps/B), `bytes * 8e12 / rate == bytes * (8e12 / rate)`
@@ -246,9 +258,9 @@ impl Link {
         let ser = if self.ser_ps_per_byte != 0 && wire < (1 << 21) {
             Time::from_ps(wire * self.ser_ps_per_byte)
         } else {
-            Time::serialization(wire, self.rate_bps)
+            Time::serialization(wire, eff)
         };
-        Some((pkt, ser))
+        Some((pkt, ser + self.bg_wait))
     }
 
     /// Wire size of the next packet to transmit, if any.
@@ -295,6 +307,45 @@ impl Link {
     /// Degrades (or restores) the link rate.
     pub fn set_rate(&mut self, bps: u64) {
         self.rate_bps = bps;
+    }
+
+    /// The rate foreground packets serialize at: nominal minus fluid
+    /// background, floored at 1 bps while the link is nominally up so
+    /// service always completes. Equal to `rate_bps` when no background
+    /// is applied — the pure-packet fast path is untouched.
+    #[inline]
+    pub fn effective_bps(&self) -> u64 {
+        if self.bg_bps == 0 {
+            self.rate_bps
+        } else {
+            self.rate_bps.saturating_sub(self.bg_bps).max(1)
+        }
+    }
+
+    /// Applies a fluid background load of `bg_bps` to this link and
+    /// derives the deterministic queue-delay term foreground packets pay
+    /// per service: an M/D/1-style mean wait of `ρ/(2(1−ρ))` background
+    /// frame-serialization times at background utilization `ρ`, with
+    /// `frame_bytes` as the representative frame size. Integer-only
+    /// (parts-per-million utilization, `u128` intermediates). A zero load
+    /// restores pure packet behavior bit-for-bit.
+    pub fn set_background(&mut self, bg_bps: u64, frame_bytes: u64) {
+        // The solver already caps shares at MAX_BG_SHARE_PPM of the rate;
+        // clamp defensively so `effective_bps` stays positive regardless.
+        self.bg_bps = if self.rate_bps > 0 {
+            bg_bps.min(self.rate_bps - 1)
+        } else {
+            0
+        };
+        if self.bg_bps == 0 {
+            self.bg_wait = Time::ZERO;
+            return;
+        }
+        let u_ppm = (self.bg_bps as u128 * 1_000_000 / self.rate_bps as u128) as u64;
+        let u_ppm = u_ppm.min(crate::fluid::MAX_BG_SHARE_PPM);
+        let frame_ps = Time::serialization(frame_bytes, self.rate_bps).as_ps();
+        let wait = frame_ps as u128 * u_ppm as u128 / (2 * (1_000_000 - u_ppm) as u128);
+        self.bg_wait = Time::from_ps(wait as u64);
     }
 }
 

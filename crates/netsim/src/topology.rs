@@ -35,13 +35,74 @@ pub struct SwitchMeta {
     /// Index within its tier, pod-local for 3-tier T0/T1.
     pub idx: u32,
     /// Uplinks, ordered.
-    pub up_links: Vec<LinkId>,
+    pub up_links: LinkRange,
     /// Downlinks, ordered by child index (host slot or child switch slot).
-    pub down_links: Vec<LinkId>,
+    pub down_links: LinkRange,
     /// Per-switch ECMP hash salt.
     pub salt: u64,
     /// False while the switch has failed.
     pub alive: bool,
+}
+
+/// A compact per-switch link table: an arithmetic progression of
+/// [`LinkId`]s (`base`, `base + stride`, …).
+///
+/// The builder creates links in a fixed nested-loop order, which makes
+/// every tier's uplink and downlink table an arithmetic progression — so
+/// a 12-byte descriptor replaces a materialized `Vec<LinkId>` per switch.
+/// That is what keeps a 100k-host fabric's route state in memory: the
+/// tables are *computed*, not stored, and routing stays allocation-free
+/// (a [`RouteChoice::Up`] carries the descriptor by value instead of
+/// borrowing a slice). `topology_tables_match_link_scan` pins the
+/// descriptors against tables rebuilt by scanning the links vec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LinkRange {
+    base: u32,
+    stride: u32,
+    count: u32,
+}
+
+impl LinkRange {
+    /// The empty table (a leaf tier with no uplinks).
+    pub const EMPTY: LinkRange = LinkRange {
+        base: 0,
+        stride: 0,
+        count: 0,
+    };
+
+    /// A table of `count` links starting at `base`, `stride` ids apart.
+    pub fn new(base: u32, stride: u32, count: u32) -> LinkRange {
+        LinkRange {
+            base,
+            stride,
+            count,
+        }
+    }
+
+    /// Number of links in the table.
+    pub fn len(&self) -> usize {
+        self.count as usize
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The `i`-th link.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= len()`.
+    pub fn at(&self, i: usize) -> LinkId {
+        assert!(i < self.count as usize, "link table index out of range");
+        LinkId(self.base + self.stride * i as u32)
+    }
+
+    /// Iterates the table in slot order.
+    pub fn iter(self) -> impl Iterator<Item = LinkId> {
+        (0..self.count).map(move |i| LinkId(self.base + self.stride * i))
+    }
 }
 
 /// A unidirectional link endpoint description produced by the builder.
@@ -166,16 +227,16 @@ impl FatTreeConfig {
 
 /// The routing decision at a switch.
 ///
-/// Borrows the switch's precomputed link tables, so answering a routing
-/// query never allocates: `Up` hands back the switch's uplink table as a
-/// slice and the caller picks an index (see
+/// Answering a routing query never allocates: `Up` hands back the
+/// switch's uplink table as a 12-byte [`LinkRange`] descriptor by value
+/// and the caller picks an index (see
 /// [`RoutingView::select_uplink`](crate::engine::RoutingView::select_uplink)).
 #[derive(Debug, Clone, Copy)]
-pub enum RouteChoice<'a> {
+pub enum RouteChoice {
     /// Descend on this specific link.
     Down(LinkId),
     /// Ascend; pick among these equal-cost uplinks.
-    Up(&'a [LinkId]),
+    Up(LinkRange),
 }
 
 /// A built topology: switches, link endpoints, host attachments.
@@ -215,10 +276,11 @@ impl Topology {
 
     /// Routes a packet for `dst` arriving at `sw`.
     ///
-    /// Allocation-free: `Down` carries the link id, `Up` borrows the
-    /// switch's precomputed uplink table. Returns `None` if the switch
-    /// cannot make progress (should not happen in a well-formed fabric).
-    pub fn route(&self, sw: SwitchId, dst: HostId) -> Option<RouteChoice<'_>> {
+    /// Allocation-free: `Down` carries the link id, `Up` carries the
+    /// switch's uplink-table descriptor by value. Returns `None` if the
+    /// switch cannot make progress (should not happen in a well-formed
+    /// fabric).
+    pub fn route(&self, sw: SwitchId, dst: HostId) -> Option<RouteChoice> {
         let meta = &self.switches[sw.index()];
         let cfg = &self.cfg;
         let dst_tor_global = dst.0 / cfg.hosts_per_tor;
@@ -227,23 +289,23 @@ impl Topology {
                 let my_tor_global = meta.pod * cfg.tors + meta.idx;
                 if dst_tor_global == my_tor_global {
                     let slot = (dst.0 % cfg.hosts_per_tor) as usize;
-                    Some(RouteChoice::Down(meta.down_links[slot]))
+                    Some(RouteChoice::Down(meta.down_links.at(slot)))
                 } else {
-                    Some(RouteChoice::Up(&meta.up_links))
+                    Some(RouteChoice::Up(meta.up_links))
                 }
             }
             Tier::T1 => {
                 let dst_pod = dst_tor_global / cfg.tors;
                 if cfg.tiers == 2 || dst_pod == meta.pod {
                     let slot = (dst_tor_global % cfg.tors) as usize;
-                    Some(RouteChoice::Down(meta.down_links[slot]))
+                    Some(RouteChoice::Down(meta.down_links.at(slot)))
                 } else {
-                    Some(RouteChoice::Up(&meta.up_links))
+                    Some(RouteChoice::Up(meta.up_links))
                 }
             }
             Tier::T2 => {
                 let dst_pod = (dst_tor_global / cfg.tors) as usize;
-                Some(RouteChoice::Down(meta.down_links[dst_pod]))
+                Some(RouteChoice::Down(meta.down_links.at(dst_pod)))
             }
         }
     }
@@ -254,7 +316,7 @@ impl Topology {
         let mut pairs = Vec::new();
         for meta in &self.switches {
             // Each switch's uplinks pair with the peer switch's downlink back.
-            for &up in &meta.up_links {
+            for up in meta.up_links.iter() {
                 let peer = match self.links[up.index()].to {
                     NodeRef::Switch(s) => s,
                     NodeRef::Host(_) => continue,
@@ -263,7 +325,6 @@ impl Topology {
                 let down = self.switches[peer.index()]
                     .down_links
                     .iter()
-                    .copied()
                     .find(|&l| self.links[l.index()].to == me)
                     .expect("cable must be bidirectional");
                 pairs.push((up, down));
@@ -279,7 +340,7 @@ impl Topology {
         let me = NodeRef::Switch(meta.id);
         meta.up_links
             .iter()
-            .map(|&up| {
+            .map(|up| {
                 let peer = match self.links[up.index()].to {
                     NodeRef::Switch(s) => s,
                     NodeRef::Host(_) => unreachable!("ToR uplink must reach a switch"),
@@ -287,7 +348,6 @@ impl Topology {
                 let down = self.switches[peer.index()]
                     .down_links
                     .iter()
-                    .copied()
                     .find(|&l| self.links[l.index()].to == me)
                     .expect("cable must be bidirectional");
                 (up, down)
@@ -298,12 +358,7 @@ impl Topology {
     /// All links adjacent to a switch (both directions), for switch failures.
     pub fn switch_links(&self, sw: SwitchId) -> Vec<LinkId> {
         let meta = &self.switches[sw.index()];
-        let mut out: Vec<LinkId> = meta
-            .up_links
-            .iter()
-            .chain(&meta.down_links)
-            .copied()
-            .collect();
+        let mut out: Vec<LinkId> = meta.up_links.iter().chain(meta.down_links.iter()).collect();
         let me = NodeRef::Switch(sw);
         for (i, spec) in self.links.iter().enumerate() {
             if spec.to == me {
@@ -379,8 +434,8 @@ impl Builder {
                     tier: Tier::T0,
                     pod,
                     idx: t,
-                    up_links: Vec::new(),
-                    down_links: Vec::new(),
+                    up_links: LinkRange::EMPTY,
+                    down_links: LinkRange::EMPTY,
                     salt: self.salts[id.index()],
                     alive: true,
                 });
@@ -394,8 +449,8 @@ impl Builder {
                     tier: Tier::T1,
                     pod,
                     idx: g,
-                    up_links: Vec::new(),
-                    down_links: Vec::new(),
+                    up_links: LinkRange::EMPTY,
+                    down_links: LinkRange::EMPTY,
                     salt: self.salts[id.index()],
                     alive: true,
                 });
@@ -409,8 +464,8 @@ impl Builder {
                     tier: Tier::T2,
                     pod: g,
                     idx: c,
-                    up_links: Vec::new(),
-                    down_links: Vec::new(),
+                    up_links: LinkRange::EMPTY,
+                    down_links: LinkRange::EMPTY,
                     salt: self.salts[id.index()],
                     alive: true,
                 });
@@ -427,7 +482,6 @@ impl Builder {
             let down = self.add_link(NodeRef::Switch(tor), NodeRef::Host(host));
             self.host_up.push(up);
             self.host_down.push(down);
-            self.switches[tor.index()].down_links.push(down);
         }
 
         // ToRs <-> T1s (within pod for 3-tier; global for 2-tier).
@@ -436,25 +490,9 @@ impl Builder {
                 let tor = SwitchId(pod * cfg.tors + t);
                 for g in 0..cfg.tor_uplinks {
                     let t1 = SwitchId(n_tors + pod * cfg.tor_uplinks + g);
-                    let up = self.add_link(NodeRef::Switch(tor), NodeRef::Switch(t1));
-                    let down = self.add_link(NodeRef::Switch(t1), NodeRef::Switch(tor));
-                    self.switches[tor.index()].up_links.push(up);
-                    // T1 down link slot = ToR index within pod; keep ordered.
-                    self.switches[t1.index()].down_links.push(down);
+                    self.add_link(NodeRef::Switch(tor), NodeRef::Switch(t1));
+                    self.add_link(NodeRef::Switch(t1), NodeRef::Switch(tor));
                 }
-            }
-        }
-        // T1 down_links were pushed grouped by ToR-then-T1 order; fix ordering:
-        // for each T1, down link to ToR t must sit at slot t. The loop above
-        // pushes, for T1 g, one link per ToR t in increasing t — but
-        // interleaved across T1s. Re-sort by destination ToR index.
-        for meta in &mut self.switches {
-            if matches!(meta.tier, Tier::T1) {
-                let links = &self.links;
-                meta.down_links.sort_by_key(|l| match links[l.index()].to {
-                    NodeRef::Switch(s) => s.0,
-                    NodeRef::Host(_) => u32::MAX,
-                });
             }
         }
 
@@ -465,12 +503,53 @@ impl Builder {
                     let t1 = SwitchId(n_tors + pod * cfg.tor_uplinks + g);
                     for c in 0..cfg.t1_uplinks {
                         let core = SwitchId(n_tors + n_t1 + g * cfg.t1_uplinks + c);
-                        let up = self.add_link(NodeRef::Switch(t1), NodeRef::Switch(core));
-                        let down = self.add_link(NodeRef::Switch(core), NodeRef::Switch(t1));
-                        self.switches[t1.index()].up_links.push(up);
-                        // Core down slot = pod (filled in pod order).
-                        self.switches[core.index()].down_links.push(down);
+                        self.add_link(NodeRef::Switch(t1), NodeRef::Switch(core));
+                        self.add_link(NodeRef::Switch(core), NodeRef::Switch(t1));
                     }
+                }
+            }
+        }
+
+        // Link tables as closed-form descriptors. The creation loops above
+        // lay links out so every table is an arithmetic progression of ids;
+        // the formulas below reproduce exactly the tables the loops used to
+        // materialize per switch (including the T1 slot-per-ToR and core
+        // slot-per-pod invariants the `route` method relies on). With
+        // `l0 = 2·hosts` and `l1 = l0 + 2·tors·K` (K = ToR uplinks,
+        // C = T1 uplinks):
+        //
+        //   T0 T:      down = 2·T·H + 1           stride 2    len H
+        //              up   = l0 + 2·T·K          stride 2    len K
+        //   T1 (p,g):  down = l0 + 2(p·tors·K+g)+1 stride 2K  len tors
+        //              up   = l1 + 2(p·K+g)·C     stride 2    len C
+        //   T2 (g,c):  down = l1 + 2(g·C+c)+1     stride 2KC  len pods
+        let l0 = 2 * n_hosts;
+        let l1 = l0 + 2 * n_tors * cfg.tor_uplinks;
+        let (k, c) = (cfg.tor_uplinks, cfg.t1_uplinks);
+        for meta in &mut self.switches {
+            match meta.tier {
+                Tier::T0 => {
+                    let t = meta.pod * cfg.tors + meta.idx;
+                    meta.down_links =
+                        LinkRange::new(2 * t * cfg.hosts_per_tor + 1, 2, cfg.hosts_per_tor);
+                    meta.up_links = LinkRange::new(l0 + 2 * t * k, 2, k);
+                }
+                Tier::T1 => {
+                    meta.down_links = LinkRange::new(
+                        l0 + 2 * (meta.pod * cfg.tors * k + meta.idx) + 1,
+                        2 * k,
+                        cfg.tors,
+                    );
+                    meta.up_links = if cfg.tiers == 3 {
+                        LinkRange::new(l1 + 2 * (meta.pod * k + meta.idx) * c, 2, c)
+                    } else {
+                        LinkRange::EMPTY
+                    };
+                }
+                Tier::T2 => {
+                    meta.down_links =
+                        LinkRange::new(l1 + 2 * (meta.pod * c + meta.idx) + 1, 2 * k * c, cfg.pods);
+                    meta.up_links = LinkRange::EMPTY;
                 }
             }
         }
@@ -539,7 +618,7 @@ mod tests {
                             let meta = &topo.switches[sw.index()];
                             let i =
                                 crate::hash::ecmp_select(src, dst, ev, meta.salt, candidates.len());
-                            candidates[i]
+                            candidates.at(i)
                         }
                     };
                     at = topo.links[link.index()].to;
@@ -632,6 +711,91 @@ mod tests {
         let t1 = topo.t1_switches()[0];
         let links = topo.switch_links(t1);
         assert_eq!(links.len(), 16);
+    }
+
+    /// Rebuilds every switch's link tables by scanning the links vec (the
+    /// representation the pre-descriptor builder materialized) and checks
+    /// the closed-form [`LinkRange`] descriptors reproduce them exactly —
+    /// including the T1 slot-per-ToR and core slot-per-pod orderings.
+    fn assert_tables_match_link_scan(topo: &Topology) {
+        for meta in &topo.switches {
+            let me = NodeRef::Switch(meta.id);
+            let mut up_scan: Vec<LinkId> = Vec::new();
+            let mut down_scan: Vec<LinkId> = Vec::new();
+            for (i, spec) in topo.links.iter().enumerate() {
+                if spec.from != me {
+                    continue;
+                }
+                let id = LinkId(i as u32);
+                match spec.to {
+                    NodeRef::Host(_) => down_scan.push(id),
+                    NodeRef::Switch(peer) => {
+                        let peer_meta = &topo.switches[peer.index()];
+                        let ascending = match (meta.tier, peer_meta.tier) {
+                            (Tier::T0, _) => true,
+                            (Tier::T1, Tier::T2) => true,
+                            _ => false,
+                        };
+                        if ascending {
+                            up_scan.push(id);
+                        } else {
+                            down_scan.push(id);
+                        }
+                    }
+                }
+            }
+            // Down tables are slot-ordered by child index, which for the
+            // switch tiers means destination switch id order (the old
+            // builder sorted T1 tables to guarantee this).
+            down_scan.sort_by_key(|l| match topo.links[l.index()].to {
+                NodeRef::Host(h) => h.0,
+                NodeRef::Switch(s) => s.0,
+            });
+            let up: Vec<LinkId> = meta.up_links.iter().collect();
+            let down: Vec<LinkId> = meta.down_links.iter().collect();
+            assert_eq!(up, up_scan, "uplink table mismatch at {}", meta.id);
+            assert_eq!(down, down_scan, "downlink table mismatch at {}", meta.id);
+        }
+    }
+
+    #[test]
+    fn topology_tables_match_link_scan() {
+        assert_tables_match_link_scan(&Topology::build(FatTreeConfig::two_tier(8, 1), 1));
+        assert_tables_match_link_scan(&Topology::build(FatTreeConfig::two_tier(16, 3), 2));
+        assert_tables_match_link_scan(&Topology::build(
+            FatTreeConfig::two_tier_custom(2, 64, 8),
+            3,
+        ));
+        assert_tables_match_link_scan(&Topology::build(FatTreeConfig::three_tier(4, 1), 4));
+        assert_tables_match_link_scan(&Topology::build(FatTreeConfig::three_tier(8, 3), 5));
+    }
+
+    #[test]
+    fn hundred_k_host_topology_fits_in_memory() {
+        // 1600 ToRs × 64 hosts = 102 400 hosts, 307 200 links, 1632
+        // switches. With materialized per-switch Vec tables this held
+        // ~1600·(64+32) + 32·1600 link ids in Vecs; with descriptors it is
+        // 24 bytes of table state per switch, and building stays cheap
+        // enough to run in a unit test.
+        let cfg = FatTreeConfig::two_tier_custom(1600, 64, 32);
+        let topo = Topology::build(cfg, 7);
+        assert_eq!(topo.n_hosts, 102_400);
+        assert_eq!(topo.links.len(), 2 * 102_400 + 2 * 1600 * 32);
+        assert_eq!(topo.switches.len(), 1632);
+        // Spot-check routing across the fabric.
+        let (hops, ok) = walk(&topo, HostId(0), HostId(102_399), 17);
+        assert!(ok);
+        assert_eq!(hops, 4);
+        let (hops, ok) = walk(&topo, HostId(5), HostId(60), 0);
+        assert!(ok);
+        assert_eq!(hops, 2, "same-rack path must be 2 hops");
+        // The descriptor of the last ToR points at real links.
+        let last_tor = &topo.switches[1599];
+        assert_eq!(last_tor.down_links.len(), 64);
+        assert_eq!(last_tor.up_links.len(), 32);
+        for l in last_tor.up_links.iter() {
+            assert_eq!(topo.links[l.index()].from, NodeRef::Switch(last_tor.id));
+        }
     }
 
     #[test]

@@ -203,6 +203,15 @@ pub enum TraceEvent {
         /// The recovered switch.
         sw: SwitchId,
     },
+    /// The fluid background solver re-ran (hybrid-fidelity cells only).
+    FluidResolve {
+        /// Solve instant.
+        at: Time,
+        /// Active background flows after the solve.
+        active: u32,
+        /// Links whose residual rate changed.
+        updated: u32,
+    },
 }
 
 impl TraceEvent {
@@ -223,7 +232,8 @@ impl TraceEvent {
             | TraceEvent::LinkGray { at, .. }
             | TraceEvent::LinkCorrupt { at, .. }
             | TraceEvent::SwitchDown { at, .. }
-            | TraceEvent::SwitchUp { at, .. } => at,
+            | TraceEvent::SwitchUp { at, .. }
+            | TraceEvent::FluidResolve { at, .. } => at,
         }
     }
 }

@@ -30,7 +30,7 @@ fn walk(topo: &Topology, src: HostId, dst: HostId, ev: u16) -> Option<usize> {
                     RouteChoice::Down(l) => l,
                     RouteChoice::Up(c) => {
                         let salt = topo.switches[sw.index()].salt;
-                        c[ecmp_select(src, dst, ev, salt, c.len())]
+                        c.at(ecmp_select(src, dst, ev, salt, c.len()))
                     }
                 };
                 at = topo.links[link.index()].to;
@@ -48,10 +48,15 @@ enum RefChoice {
     Up(Vec<LinkId>),
 }
 
-/// Verbatim port of the pre-refactor `Topology::route` (allocating).
+/// Verbatim port of the pre-refactor `Topology::route` (allocating). The
+/// per-switch tables it indexed are materialized from the compact
+/// descriptors — `topology_tables_match_link_scan` (in `netsim::topology`)
+/// separately proves the descriptors match a raw scan of the links vec.
 fn ref_route(topo: &Topology, sw: netsim::ids::SwitchId, dst: HostId) -> Option<RefChoice> {
     use netsim::topology::Tier;
     let meta = &topo.switches[sw.index()];
+    let up_links: Vec<LinkId> = meta.up_links.iter().collect();
+    let down_links: Vec<LinkId> = meta.down_links.iter().collect();
     let cfg = &topo.cfg;
     let dst_tor_global = dst.0 / cfg.hosts_per_tor;
     match meta.tier {
@@ -59,23 +64,23 @@ fn ref_route(topo: &Topology, sw: netsim::ids::SwitchId, dst: HostId) -> Option<
             let my_tor_global = meta.pod * cfg.tors + meta.idx;
             if dst_tor_global == my_tor_global {
                 let slot = (dst.0 % cfg.hosts_per_tor) as usize;
-                Some(RefChoice::Down(meta.down_links[slot]))
+                Some(RefChoice::Down(down_links[slot]))
             } else {
-                Some(RefChoice::Up(meta.up_links.clone()))
+                Some(RefChoice::Up(up_links))
             }
         }
         Tier::T1 => {
             let dst_pod = dst_tor_global / cfg.tors;
             if cfg.tiers == 2 || dst_pod == meta.pod {
                 let slot = (dst_tor_global % cfg.tors) as usize;
-                Some(RefChoice::Down(meta.down_links[slot]))
+                Some(RefChoice::Down(down_links[slot]))
             } else {
-                Some(RefChoice::Up(meta.up_links.clone()))
+                Some(RefChoice::Up(up_links))
             }
         }
         Tier::T2 => {
             let dst_pod = (dst_tor_global / cfg.tors) as usize;
-            Some(RefChoice::Down(meta.down_links[dst_pod]))
+            Some(RefChoice::Down(down_links[dst_pod]))
         }
     }
 }
@@ -199,7 +204,9 @@ proptest! {
         let dst = HostId(pick.1 % topo.n_hosts);
         match (topo.route(sw, dst), ref_route(&topo, sw, dst)) {
             (Some(RouteChoice::Down(a)), Some(RefChoice::Down(b))) => prop_assert_eq!(a, b),
-            (Some(RouteChoice::Up(a)), Some(RefChoice::Up(b))) => prop_assert_eq!(a, &b[..]),
+            (Some(RouteChoice::Up(a)), Some(RefChoice::Up(b))) => {
+                prop_assert_eq!(a.iter().collect::<Vec<_>>(), b)
+            }
             (None, None) => {}
             (a, b) => prop_assert!(false, "shape mismatch: {a:?} vs {b:?}"),
         }
@@ -241,7 +248,8 @@ proptest! {
         let mut scratch = Vec::new();
         let got = view.select_uplink(candidates, &pkt, salt, &mut rng_new, &mut scratch);
         let want = ref_select_uplink(
-            &topo, &links, now, failover, mode, salt, &pkt, candidates.to_vec(), &mut rng_ref,
+            &topo, &links, now, failover, mode, salt, &pkt,
+            candidates.iter().collect(), &mut rng_ref,
         );
         prop_assert_eq!(got, want, "selected link diverged");
         prop_assert_eq!(rng_new.next_u64(), rng_ref.next_u64(), "RNG stream diverged");

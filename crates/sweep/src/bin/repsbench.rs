@@ -4,7 +4,7 @@
 //! repsbench list [--scale quick|full] [--spec-file PATH]... [--spec-only]
 //!                [--lbs]
 //! repsbench run [--filter GLOB] [--lb SPEC|GLOB] [--fault SPEC|GLOB]
-//!               [--threads N]
+//!               [--fidelity SPEC|GLOB] [--threads N]
 //!               [--scale quick|full] [--seeds N] [--shard I/N] [--cache DIR]
 //!               [--spec-file PATH]... [--spec-only] [--series DIR]
 //!               [--trace DIR] [--diagnostics]
@@ -66,6 +66,25 @@
 //! healthy cells keep their pre-fault-axis keys, seeds and cache
 //! addresses.
 //!
+//! # Filtering by fidelity (`--fidelity`)
+//!
+//! `--fidelity` filters on the fidelity axis the same way: `pkt` keeps
+//! only full-packet cells (the ones whose keys lack a `fi=` component),
+//! `hybrid` keeps the fluid-background cells, and any spelling is
+//! canonicalized through the fidelity grammar first — `--fidelity
+//! 'hybrid{bg=fluid}'` and `--fidelity hybrid` select the same cells.
+//!
+//! ## The fidelity grammar
+//!
+//! * `pkt` — everything packet-level (the default; never keyed).
+//! * `hybrid` / `hybrid{bg=fluid}` — the cell's *background* workload
+//!   runs on the fluid analytic rate model ([`netsim::fluid`]) instead of
+//!   per-packet transport; background flows impose residual-capacity and
+//!   queueing pressure on the packet-level foreground without costing a
+//!   single background packet event. Keys carry `fi=hybrid` only for
+//!   non-default cells, so `fidelity=pkt` keeps pre-axis keys, seeds and
+//!   cache addresses.
+//!
 //! # User-defined grids (`--spec-file`)
 //!
 //! New scenarios are a text file, not a code change: each `--spec-file`
@@ -104,9 +123,9 @@
 //! `a2a-wW-NB`, `dctrace-Ppct-Tus`), `failure` (the cell-key failure
 //! labels), `reconv` (`none` or a delay like `25us`), `track` (which
 //! ToR's uplinks `--series` records), `fault` (fault-spec strings,
-//! above), `seed`, `cc`, `coalesce`, and the
-//! single-valued `sim`, `background` (`workload+LB`), `deadline`. Parse
-//! errors name their line number.
+//! above), `fidelity` (`pkt` / `hybrid`, above), `seed`, `cc`,
+//! `coalesce`, and the single-valued `sim`, `background`
+//! (`workload+LB`), `deadline`. Parse errors name their line number.
 //!
 //! With `--spec-only` the built-in presets stay out of the pool entirely:
 //! the run is exactly the grids given, and a grid may then deliberately
@@ -247,6 +266,7 @@ struct RunOpts {
     filter: String,
     lb_filter: Option<String>,
     fault_filter: Option<String>,
+    fidelity_filter: Option<String>,
     threads: usize,
     scale: Scale,
     seeds: Option<u32>,
@@ -319,6 +339,25 @@ fn canonical_lb_filter(pattern: &str) -> Result<String, String> {
     }
 }
 
+/// Canonicalizes a `--fidelity` filter: any spelling of a fidelity
+/// (`hybrid{bg=fluid}`) is replaced by its canonical label (`hybrid`),
+/// matching the `fi=` key component cells actually carry; glob patterns
+/// pass through. A glob-free braced pattern can only be a spec, so its
+/// parse error surfaces instead of silently matching nothing.
+fn canonical_fidelity_filter(pattern: &str) -> Result<String, String> {
+    match sweep::fidelity::FidelitySpec::parse(pattern) {
+        Ok(spec) => Ok(spec.label().to_string()),
+        Err(e) => {
+            let globby = pattern.contains('*') || pattern.contains('?');
+            if !globby && pattern.contains('{') {
+                Err(format!("--fidelity: {e}"))
+            } else {
+                Ok(pattern.to_string())
+            }
+        }
+    }
+}
+
 /// Canonicalizes a `--fault` filter the same way: any spelling of a fault
 /// configuration (`gray{p=0.01}`, `flap{period=10ms}`) is replaced by its
 /// canonical label (`gray`, `flap{period=10000us}`), so it matches the
@@ -348,7 +387,7 @@ struct MergeOpts {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  repsbench list [--scale quick|full] [--spec-file PATH]... [--spec-only]\n                 [--lbs]\n  repsbench run [--filter GLOB] [--lb SPEC|GLOB] [--fault SPEC|GLOB]\n                [--threads N]\n                [--scale quick|full] [--seeds N] [--shard I/N] [--cache DIR]\n                [--spec-file PATH]... [--spec-only] [--series DIR]\n                [--trace DIR] [--diagnostics]\n                [--out PATH|-] [--perf PATH] [--baseline LABEL] [--quiet]\n  repsbench merge OUT IN... [--baseline LABEL] [--quiet]\n  repsbench explain FILE"
+    "usage:\n  repsbench list [--scale quick|full] [--spec-file PATH]... [--spec-only]\n                 [--lbs]\n  repsbench run [--filter GLOB] [--lb SPEC|GLOB] [--fault SPEC|GLOB]\n                [--fidelity SPEC|GLOB] [--threads N]\n                [--scale quick|full] [--seeds N] [--shard I/N] [--cache DIR]\n                [--spec-file PATH]... [--spec-only] [--series DIR]\n                [--trace DIR] [--diagnostics]\n                [--out PATH|-] [--perf PATH] [--baseline LABEL] [--quiet]\n  repsbench merge OUT IN... [--baseline LABEL] [--quiet]\n  repsbench explain FILE"
 }
 
 fn parse_scale(v: &str) -> Result<Scale, String> {
@@ -424,6 +463,7 @@ fn parse_run(args: &[String]) -> Result<RunOpts, String> {
         filter: "*".to_string(),
         lb_filter: None,
         fault_filter: None,
+        fidelity_filter: None,
         threads: sweep::default_threads(),
         scale: Scale::from_env(),
         seeds: None,
@@ -448,6 +488,9 @@ fn parse_run(args: &[String]) -> Result<RunOpts, String> {
             "--filter" => opts.filter = value("--filter")?.clone(),
             "--lb" => opts.lb_filter = Some(canonical_lb_filter(value("--lb")?)?),
             "--fault" => opts.fault_filter = Some(canonical_fault_filter(value("--fault")?)?),
+            "--fidelity" => {
+                opts.fidelity_filter = Some(canonical_fidelity_filter(value("--fidelity")?)?)
+            }
             "--threads" => {
                 opts.threads = value("--threads")?
                     .parse::<usize>()
@@ -528,14 +571,14 @@ fn list(opts: &ListOpts) -> ExitCode {
         Err(e) => return fail(&e),
     };
     println!(
-        "{:<28} {:>6} {:>4} {:>4} {:>4} {:>4} {:>4} {:>4} {:>6}",
-        "preset", "cells", "lbs", "wl", "fail", "fab", "rc", "ft", "seeds"
+        "{:<28} {:>6} {:>4} {:>4} {:>4} {:>4} {:>4} {:>4} {:>4} {:>6}",
+        "preset", "cells", "lbs", "wl", "fail", "fab", "rc", "ft", "fi", "seeds"
     );
     let mut total = 0usize;
     for m in pool {
         total += m.len();
         println!(
-            "{:<28} {:>6} {:>4} {:>4} {:>4} {:>4} {:>4} {:>4} {:>6}",
+            "{:<28} {:>6} {:>4} {:>4} {:>4} {:>4} {:>4} {:>4} {:>4} {:>6}",
             m.name,
             m.len(),
             m.lbs.len(),
@@ -544,6 +587,7 @@ fn list(opts: &ListOpts) -> ExitCode {
             m.fabrics.len(),
             m.reconv.len(),
             m.faults.len(),
+            m.fidelities.len(),
             m.seeds.len(),
         );
         if opts.lbs {
@@ -606,6 +650,15 @@ fn run(opts: &RunOpts) -> ExitCode {
         cells.retain(|c| glob::matches(ft, &c.fault.label()));
         if cells.is_empty() {
             return fail(&format!("no cell matches fault filter {ft:?}"));
+        }
+    }
+    if let Some(fi) = &opts.fidelity_filter {
+        // Same again for the fidelity axis; default cells carry the
+        // label `pkt`, so `--fidelity pkt` selects exactly the cells
+        // whose keys lack a `fi=` component.
+        cells.retain(|c| glob::matches(fi, c.fidelity.label()));
+        if cells.is_empty() {
+            return fail(&format!("no cell matches fidelity filter {fi:?}"));
         }
     }
     let total = cells.len();
@@ -812,6 +865,7 @@ mod tests {
         assert_eq!(o.filter, "*");
         assert_eq!(o.lb_filter, None);
         assert_eq!(o.fault_filter, None);
+        assert_eq!(o.fidelity_filter, None);
         assert!(o.threads >= 1);
         assert_eq!(o.seeds, None);
         assert_eq!(o.shard, None);
@@ -836,6 +890,8 @@ mod tests {
             "REPS*",
             "--fault",
             "gray*",
+            "--fidelity",
+            "hybrid{bg=fluid}",
             "--spec-only",
             "--threads",
             "8",
@@ -868,6 +924,8 @@ mod tests {
         assert_eq!(o.filter, "fig0*");
         assert_eq!(o.lb_filter.as_deref(), Some("REPS*"));
         assert_eq!(o.fault_filter.as_deref(), Some("gray*"));
+        // Canonicalized at parse time: the default bg model collapses.
+        assert_eq!(o.fidelity_filter.as_deref(), Some("hybrid"));
         assert!(o.spec_only);
         assert_eq!(o.threads, 8);
         assert!(matches!(o.scale, Scale::Full));
@@ -1001,6 +1059,24 @@ mod tests {
         assert!(err.contains("unknown"), "{err}");
         assert!(parse_run(&sv(&["--fault", "gray{p=2}"])).is_err());
         assert!(parse_run(&sv(&["--fault"])).is_err());
+    }
+
+    #[test]
+    fn fidelity_filters_canonicalize_any_spec_spelling() {
+        let ok = |p: &str| canonical_fidelity_filter(p).expect(p);
+        // Any spelling of a configuration selects its canonical label —
+        // the exact string cells carry in their `fi=` key component.
+        assert_eq!(ok("hybrid{bg=fluid}"), "hybrid");
+        assert_eq!(ok("hybrid"), "hybrid");
+        assert_eq!(ok("pkt"), "pkt");
+        // Globs and non-spec patterns pass through untouched.
+        assert_eq!(ok("hyb*"), "hyb*");
+        // A glob-free braced pattern is a spec; its parse error surfaces
+        // rather than degrading to a never-matching glob.
+        let err = canonical_fidelity_filter("hybrid{bg=packet}").expect_err("bad bg model");
+        assert!(err.contains("unknown background model"), "{err}");
+        assert!(parse_run(&sv(&["--fidelity", "hybrid{bg=packet}"])).is_err());
+        assert!(parse_run(&sv(&["--fidelity"])).is_err());
     }
 
     #[test]

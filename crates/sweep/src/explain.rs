@@ -175,6 +175,12 @@ pub fn explain_doc(doc: &str) -> Result<String, String> {
                     field("link")
                 ));
             }
+            "fluid_resolve" => t.push_timeline(format!(
+                "{:>14}  fluid      re-solve: {} bg flows active, {} links updated",
+                us(at),
+                field("active"),
+                field("updated")
+            )),
             "switch_down" => {
                 t.push_timeline(format!("{:>14}  sw_down    switch {}", us(at), field("sw")))
             }

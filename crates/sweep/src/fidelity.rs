@@ -1,0 +1,147 @@
+//! The fidelity axis: packet-accurate everything, or packet-accurate
+//! foreground over a fluid background.
+//!
+//! [`FidelitySpec`] is to the `fidelity=` grid axis what
+//! [`FaultSpec`](crate::fault::FaultSpec) is to `fault=`: a parse/render
+//! pair with one canonical string per configuration, so every spelling of
+//! the same fidelity shares one cell key, one derived seed and one cache
+//! address. The grammar:
+//!
+//! ```text
+//! pkt                 everything packet-level (the default)
+//! hybrid              fluid background, packet foreground
+//! hybrid{bg=fluid}    same — `fluid` is the only (and default) bg model
+//! ```
+//!
+//! `pkt` is the default and is the only value that keeps the `/fi=`
+//! component out of a cell key, so every pre-axis key, derived seed,
+//! shard assignment and cache address is unchanged. `hybrid` swaps the
+//! cell's *background* workload from per-packet transport to the
+//! [`netsim::fluid`] analytic max-min model; the foreground — what the
+//! paper measures — stays packet-accurate either way.
+
+/// A fidelity description for one grid cell.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FidelitySpec {
+    /// Full packet fidelity (the default; keys without `/fi=`).
+    #[default]
+    Pkt,
+    /// Packet-level foreground over a fluid background
+    /// ([`netsim::fluid::FluidNet`]).
+    Hybrid,
+}
+
+impl FidelitySpec {
+    /// Whether this is the default (`pkt`): the only value that keeps the
+    /// `/fi=` component out of a cell key.
+    pub fn is_pkt(&self) -> bool {
+        matches!(self, FidelitySpec::Pkt)
+    }
+
+    /// The canonical label: one string per configuration, parameters at
+    /// their defaults omitted, the exact inverse of
+    /// [`FidelitySpec::parse`]. Feeds the cell key (as `/fi=<label>`,
+    /// only when not `pkt`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            FidelitySpec::Pkt => "pkt",
+            FidelitySpec::Hybrid => "hybrid",
+        }
+    }
+
+    /// Parses any spelling of a fidelity spec — `pkt`, `hybrid`,
+    /// `hybrid{bg=fluid}` — into its typed form. Unknown families, keys
+    /// and values are reported, never panicked: the input is user text (a
+    /// spec file line or a `--fidelity` flag).
+    pub fn parse(s: &str) -> Result<FidelitySpec, String> {
+        let s = s.trim();
+        let (family, params) = match s.find('{') {
+            None => (s, Vec::new()),
+            Some(i) => {
+                let inner = s[i + 1..]
+                    .strip_suffix('}')
+                    .ok_or_else(|| format!("fidelity spec {s:?}: missing closing brace"))?;
+                let mut params = Vec::new();
+                for kv in inner.split(',') {
+                    let kv = kv.trim();
+                    if kv.is_empty() {
+                        continue;
+                    }
+                    let (k, v) = kv.split_once('=').ok_or_else(|| {
+                        format!("fidelity spec {s:?}: parameter {kv:?} is not key=value")
+                    })?;
+                    params.push((k.trim(), v.trim()));
+                }
+                (&s[..i], params)
+            }
+        };
+        let ctx = |e: String| format!("fidelity spec {s:?}: {e}");
+        match family {
+            "pkt" => {
+                if !params.is_empty() {
+                    return Err(ctx("pkt takes no parameters".to_string()));
+                }
+                Ok(FidelitySpec::Pkt)
+            }
+            "hybrid" => {
+                for (k, v) in params {
+                    match k {
+                        "bg" => {
+                            if v != "fluid" {
+                                return Err(ctx(format!("unknown background model {v:?} (fluid)")));
+                            }
+                        }
+                        other => {
+                            return Err(ctx(format!("unknown hybrid parameter {other:?} (bg)")))
+                        }
+                    }
+                }
+                Ok(FidelitySpec::Hybrid)
+            }
+            other => Err(format!("unknown fidelity family {other:?} (pkt, hybrid)")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_labels_omit_defaults() {
+        let roundtrip = |s: &str| FidelitySpec::parse(s).expect(s).label();
+        assert_eq!(roundtrip("pkt"), "pkt");
+        assert_eq!(roundtrip("hybrid"), "hybrid");
+        assert_eq!(
+            roundtrip("hybrid{bg=fluid}"),
+            "hybrid",
+            "default bg collapses"
+        );
+        assert_eq!(roundtrip(" hybrid "), "hybrid");
+    }
+
+    #[test]
+    fn default_is_pkt() {
+        assert_eq!(FidelitySpec::default(), FidelitySpec::Pkt);
+        assert!(FidelitySpec::Pkt.is_pkt());
+        assert!(!FidelitySpec::Hybrid.is_pkt());
+    }
+
+    #[test]
+    fn parse_errors_name_the_problem() {
+        let err = |s: &str| FidelitySpec::parse(s).unwrap_err();
+        assert!(err("fluid").contains("unknown fidelity family"));
+        assert!(err("pkt{bg=fluid}").contains("no parameters"));
+        assert!(err("hybrid{bg=packet}").contains("unknown background model"));
+        assert!(err("hybrid{mode=x}").contains("unknown hybrid parameter"));
+        assert!(err("hybrid{bg=fluid").contains("missing closing brace"));
+        assert!(err("hybrid{bg}").contains("not key=value"));
+    }
+
+    #[test]
+    fn parse_render_round_trips() {
+        for spec in [FidelitySpec::Pkt, FidelitySpec::Hybrid] {
+            assert_eq!(FidelitySpec::parse(spec.label()), Ok(spec));
+        }
+    }
+}

@@ -72,6 +72,7 @@
 pub mod cache;
 pub mod explain;
 pub mod fault;
+pub mod fidelity;
 pub mod glob;
 pub mod matrix;
 pub mod merge;

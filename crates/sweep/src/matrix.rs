@@ -16,6 +16,7 @@ use transport::cc::CcKind;
 use transport::config::CoalesceConfig;
 
 use crate::fault::FaultSpec;
+use crate::fidelity::FidelitySpec;
 use crate::spec::{FabricSpec, FailureSpec, SimProfile, WorkloadSpec};
 
 /// FNV-1a 64-bit: the stable cell-key hash. Never change these constants —
@@ -128,6 +129,11 @@ pub struct ScenarioMatrix {
     /// single-`None` axis is *omitted* from cell keys — like `reconv` and
     /// `track`, the axis addition is invisible to every pre-existing cell.
     pub faults: Vec<FaultSpec>,
+    /// Fidelity axis ([`FidelitySpec`]): full packet fidelity or fluid
+    /// background over packet foreground. The default single-`Pkt` axis is
+    /// *omitted* from cell keys — like `reconv`, `track` and `faults`, the
+    /// axis addition is invisible to every pre-existing cell.
+    pub fidelities: Vec<FidelitySpec>,
     /// Simulator profile for every cell.
     pub sim: SimProfile,
     /// Optional background traffic applied to every cell.
@@ -155,6 +161,7 @@ impl ScenarioMatrix {
             reconv: vec![None],
             track: vec![0],
             faults: vec![FaultSpec::None],
+            fidelities: vec![FidelitySpec::Pkt],
             sim: SimProfile::PaperDefault,
             background: None,
             deadline: Time::from_secs(2),
@@ -221,6 +228,12 @@ impl ScenarioMatrix {
         self
     }
 
+    /// Replaces the fidelity axis.
+    pub fn fidelities(mut self, f: impl IntoIterator<Item = FidelitySpec>) -> Self {
+        self.fidelities = f.into_iter().collect();
+        self
+    }
+
     /// Sets the simulator profile.
     pub fn sim(mut self, sim: SimProfile) -> Self {
         self.sim = sim;
@@ -251,6 +264,7 @@ impl ScenarioMatrix {
             * self.reconv.len()
             * self.track.len()
             * self.faults.len()
+            * self.fidelities.len()
     }
 
     /// Whether any axis is empty.
@@ -302,6 +316,13 @@ impl ScenarioMatrix {
         );
         unique(self.track.iter().map(u32::to_string).collect(), "track");
         unique(self.faults.iter().map(FaultSpec::label).collect(), "fault");
+        unique(
+            self.fidelities
+                .iter()
+                .map(|f| f.label().to_string())
+                .collect(),
+            "fidelity",
+        );
         unique(self.seeds.iter().map(|s| s.to_string()).collect(), "seed");
         for fabric in &self.fabrics {
             for &tor in &self.track {
@@ -325,25 +346,28 @@ impl ScenarioMatrix {
                             for &reconv in &self.reconv {
                                 for &track in &self.track {
                                     for fault in &self.faults {
-                                        for lb in &self.lbs {
-                                            for &seed in &self.seeds {
-                                                cells.push(Cell {
-                                                    preset: self.name.clone(),
-                                                    fabric: fabric.clone(),
-                                                    lb: lb.clone(),
-                                                    workload: workload.clone(),
-                                                    failures: failure.clone(),
-                                                    cc: *cc,
-                                                    coalesce_label: co_label.clone(),
-                                                    coalesce: *co,
-                                                    reconv,
-                                                    track,
-                                                    fault: fault.clone(),
-                                                    sim: self.sim,
-                                                    background: self.background.clone(),
-                                                    seed,
-                                                    deadline: self.deadline,
-                                                });
+                                        for &fidelity in &self.fidelities {
+                                            for lb in &self.lbs {
+                                                for &seed in &self.seeds {
+                                                    cells.push(Cell {
+                                                        preset: self.name.clone(),
+                                                        fabric: fabric.clone(),
+                                                        lb: lb.clone(),
+                                                        workload: workload.clone(),
+                                                        failures: failure.clone(),
+                                                        cc: *cc,
+                                                        coalesce_label: co_label.clone(),
+                                                        coalesce: *co,
+                                                        reconv,
+                                                        track,
+                                                        fault: fault.clone(),
+                                                        fidelity,
+                                                        sim: self.sim,
+                                                        background: self.background.clone(),
+                                                        seed,
+                                                        deadline: self.deadline,
+                                                    });
+                                                }
                                             }
                                         }
                                     }
@@ -384,6 +408,8 @@ pub struct Cell {
     pub track: u32,
     /// Adversarial fault injected into the cell (`None` = healthy).
     pub fault: FaultSpec,
+    /// Modelling fidelity (`Pkt` = everything packet-level).
+    pub fidelity: FidelitySpec,
     /// Simulator profile.
     pub sim: SimProfile,
     /// Optional background traffic.
@@ -407,12 +433,12 @@ impl Cell {
     /// components. Cells sharing a scenario key form one comparison row
     /// group in reports.
     ///
-    /// The reconvergence (`rc=...`), vantage (`tk=...`) and fault
-    /// (`ft=...`) components are only present when their axes are set:
-    /// the defaults (`None` = never reconverge, ToR 0, no fault) render
-    /// exactly the pre-axis key, so derived seeds, shard membership and
-    /// cache addresses of every pre-existing cell are unchanged (pinned
-    /// by `tests/key_stability.rs`).
+    /// The reconvergence (`rc=...`), vantage (`tk=...`), fault (`ft=...`)
+    /// and fidelity (`fi=...`) components are only present when their axes
+    /// are set: the defaults (`None` = never reconverge, ToR 0, no fault,
+    /// packet fidelity) render exactly the pre-axis key, so derived seeds,
+    /// shard membership and cache addresses of every pre-existing cell are
+    /// unchanged (pinned by `tests/key_stability.rs`).
     ///
     /// The background's load balancer renders as its canonical spec
     /// ([`LbKind::spec`]) — the family name for default configurations
@@ -435,8 +461,13 @@ impl Cell {
         } else {
             format!("/ft={}", self.fault.label())
         };
+        let fi = if self.fidelity.is_pkt() {
+            String::new()
+        } else {
+            format!("/fi={}", self.fidelity.label())
+        };
         format!(
-            "{}/{}/{}/{}/sim={}/cc={}/co={}{rc}{tk}{ft}/bg={}/dl={}us",
+            "{}/{}/{}/{}/sim={}/cc={}/co={}{rc}{tk}{ft}{fi}/bg={}/dl={}us",
             self.preset,
             self.fabric.label,
             self.workload.label(),
@@ -496,6 +527,10 @@ impl Cell {
             let bg = bg_spec.build(n, exp.sim.link_bps, &mut bg_rng);
             exp.background = Some((bg, bg_lb.clone()));
         }
+        // Hybrid fidelity swaps the background to the fluid model; with no
+        // background workload it is a no-op (but still keyed, so the cell
+        // is honest about what it asked for).
+        exp.fluid_background = !self.fidelity.is_pkt();
         exp
     }
 
@@ -909,6 +944,42 @@ mod tests {
                 FaultSpec::parse("gray{p=0.01,at=10us}").unwrap(),
             ])
             .expand();
+    }
+
+    #[test]
+    fn default_fidelity_axis_leaves_keys_untouched() {
+        // Same contract as `rc=`/`tk=`/`ft=`: `fidelity=pkt` renders the
+        // exact pre-axis key, keeping recorded seeds and cache addresses
+        // valid.
+        let key = ScenarioMatrix::new("t").expand()[0].key();
+        assert!(!key.contains("fi="), "{key}");
+    }
+
+    #[test]
+    fn fidelity_axis_is_keyed_and_reaches_the_experiment() {
+        let m = ScenarioMatrix::new("t")
+            .workloads([WorkloadSpec::Tornado { bytes: 16 << 10 }])
+            .background(WorkloadSpec::Tornado { bytes: 8 << 10 }, LbKind::Ecmp)
+            .fidelities([FidelitySpec::Pkt, FidelitySpec::Hybrid]);
+        assert_eq!(m.len(), 2 * 2);
+        let cells = m.expand();
+        let pkt = &cells[0];
+        let hybrid = &cells[2];
+        assert!(pkt.fidelity.is_pkt());
+        assert!(!pkt.key().contains("fi="), "{}", pkt.key());
+        assert!(
+            hybrid.key().contains("/co=pp/fi=hybrid/bg="),
+            "{}",
+            hybrid.key()
+        );
+        assert_ne!(pkt.derived_seed(), hybrid.derived_seed());
+        assert!(!pkt.experiment().fluid_background);
+        assert!(hybrid.experiment().fluid_background);
+        // Hybrid cells run, complete, and stay deterministic.
+        let a = hybrid.run();
+        let b = hybrid.run();
+        assert!(a.summary.completed);
+        assert_eq!(a.summary.to_json(), b.summary.to_json());
     }
 
     #[test]

@@ -31,6 +31,10 @@
 //!   none of which give routing a link-down signal to react to,
 //! * `flap-reconv` — flapping links crossed with the reconvergence axis:
 //!   does reconvergence help or hurt when the path keeps coming back?
+//! * `hybrid-scale` — the fidelity axis: the same background-loaded cell
+//!   at full packet fidelity and with the fluid background model, so the
+//!   foreground FCT error the hybrid introduces is itself a measured,
+//!   golden-pinned quantity.
 
 use baselines::kind::LbKind;
 use baselines::plb::PlbConfig;
@@ -41,6 +45,7 @@ use transport::cc::CcKind;
 use transport::config::{CoalesceConfig, CoalesceVariant};
 
 use crate::fault::FaultSpec;
+use crate::fidelity::FidelitySpec;
 use crate::matrix::{labeled_lineup, LabeledLb, ScenarioMatrix};
 use crate::spec::{FabricSpec, FailureSpec, SimProfile, WorkloadSpec};
 
@@ -510,6 +515,25 @@ pub fn all(scale: Scale) -> Vec<ScenarioMatrix> {
             }])
             .faults([fault("flap{period=20us}"), fault("flap{period=100us}")])
             .reconv([None, Some(Time::from_us(25))]),
+        // The same background-loaded cell, packet-accurate everywhere vs.
+        // fluid background: the hybrid must reproduce the foreground FCT
+        // distribution (the paper's quantity) while skipping every
+        // background packet — the speedup that makes O(10k)-host cells
+        // affordable. Pinned by goldens so the fidelity gap is a tracked
+        // number, not a hope.
+        ScenarioMatrix::new("hybrid-scale")
+            .fabrics([macro_fabric(scale)])
+            .lbs(ops_vs_reps())
+            .workloads([WorkloadSpec::Permutation {
+                bytes: macro_bytes(scale, 4),
+            }])
+            .background(
+                WorkloadSpec::Tornado {
+                    bytes: macro_bytes(scale, 4) / 8,
+                },
+                LbKind::Ecmp,
+            )
+            .fidelities([FidelitySpec::Pkt, FidelitySpec::Hybrid]),
     ]
 }
 
@@ -570,6 +594,7 @@ mod tests {
             "flowlet-gap",
             "gray-failures",
             "flap-reconv",
+            "hybrid-scale",
         ] {
             assert!(names.iter().any(|n| n == required), "missing {required}");
         }
@@ -703,6 +728,22 @@ mod tests {
             keys.iter().filter(|k| k.contains("/rc=")).count(),
             keys.len() / 2
         );
+    }
+
+    #[test]
+    fn hybrid_scale_preset_crosses_the_fidelity_axis() {
+        let m = by_name("hybrid-scale", Scale::Quick).expect("preset exists");
+        assert_eq!(m.fidelities, vec![FidelitySpec::Pkt, FidelitySpec::Hybrid]);
+        assert!(m.background.is_some(), "needs background traffic to model");
+        let keys: Vec<String> = m.expand().iter().map(|c| c.key()).collect();
+        // Exactly the hybrid half of the grid carries the fi= component;
+        // the pkt half keys exactly like a pre-fidelity-axis cell.
+        assert_eq!(
+            keys.iter().filter(|k| k.contains("/fi=hybrid/")).count(),
+            keys.len() / 2,
+            "{keys:?}"
+        );
+        assert!(keys.iter().all(|k| !k.contains("fi=pkt")), "{keys:?}");
     }
 
     #[test]

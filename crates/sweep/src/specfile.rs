@@ -26,8 +26,8 @@
 //! ```
 //!
 //! Axes: `fabric`, `lb`, `workload`, `failure`, `reconv`, `track`,
-//! `fault`, `seed`, `cc`, `coalesce`, plus the single-valued settings
-//! `sim`, `background` and `deadline`. Omitted axes keep the
+//! `fault`, `fidelity`, `seed`, `cc`, `coalesce`, plus the single-valued
+//! settings `sim`, `background` and `deadline`. Omitted axes keep the
 //! [`ScenarioMatrix::new`] defaults. [`parse`] reports every problem with
 //! its 1-based line number; [`render`] is the canonical inverse
 //! (parse → render → parse is byte-stable).
@@ -87,6 +87,23 @@
 //! (permanent). Probabilities are exact decimals (ppm resolution), and
 //! the canonical label omits defaults — `fault=none` cells key exactly
 //! like pre-fault-axis cells.
+//!
+//! # The `fidelity` axis: hybrid background modelling
+//!
+//! [`FidelitySpec::parse`](crate::fidelity::FidelitySpec) follows the same
+//! grammar discipline:
+//!
+//! ```text
+//! [hybrid-vs-pkt]
+//! lb         = OPS, REPS
+//! fidelity   = pkt, hybrid
+//! background = tornado-65536B+ECMP
+//! ```
+//!
+//! `pkt` (the default) runs everything packet-level; `hybrid` (spelled
+//! `hybrid` or `hybrid{bg=fluid}`) swaps the cell's *background* workload
+//! to the fluid analytic model while the foreground stays packet-accurate.
+//! `fidelity=pkt` cells key exactly like pre-fidelity-axis cells.
 
 use baselines::kind::LbKind;
 use netsim::time::Time;
@@ -94,6 +111,7 @@ use transport::cc::CcKind;
 use transport::config::{CoalesceConfig, CoalesceVariant};
 
 use crate::fault::FaultSpec;
+use crate::fidelity::FidelitySpec;
 use crate::matrix::{reconv_label, LabeledLb, ScenarioMatrix};
 use crate::spec::{FabricSpec, FailureSpec, SimProfile, WorkloadSpec};
 
@@ -115,7 +133,7 @@ impl std::fmt::Display for SpecError {
 impl std::error::Error for SpecError {}
 
 /// The axis names [`parse`] accepts, in canonical render order.
-const AXES: [&str; 13] = [
+const AXES: [&str; 14] = [
     "fabric",
     "lb",
     "workload",
@@ -123,6 +141,7 @@ const AXES: [&str; 13] = [
     "reconv",
     "track",
     "fault",
+    "fidelity",
     "seed",
     "cc",
     "coalesce",
@@ -343,6 +362,20 @@ fn apply_axis(matrix: &mut ScenarioMatrix, axis: &str, values: &[&str]) -> Resul
             unique(&parsed.iter().map(FaultSpec::label).collect::<Vec<_>>())?;
             matrix.faults = parsed;
         }
+        "fidelity" => {
+            let parsed: Vec<FidelitySpec> = values
+                .iter()
+                .map(|v| FidelitySpec::parse(v))
+                .collect::<Result<_, _>>()?;
+            // Canonical labels: `hybrid{bg=fluid}` collides with `hybrid`.
+            unique(
+                &parsed
+                    .iter()
+                    .map(|f| f.label().to_string())
+                    .collect::<Vec<_>>(),
+            )?;
+            matrix.fidelities = parsed;
+        }
         "seed" => {
             let parsed: Vec<u32> = values
                 .iter()
@@ -435,6 +468,11 @@ pub fn render_matrix(m: &ScenarioMatrix) -> String {
     );
     line(&mut out, "track", m.track.iter().map(u32::to_string));
     line(&mut out, "fault", m.faults.iter().map(FaultSpec::label));
+    line(
+        &mut out,
+        "fidelity",
+        m.fidelities.iter().map(|f| f.label().to_string()),
+    );
     line(&mut out, "seed", m.seeds.iter().map(u32::to_string));
     line(&mut out, "cc", m.ccs.iter().map(|c| c.label().to_string()));
     line(
@@ -796,6 +834,12 @@ reconv = none, 25us
             ("[a]\nfailure = meteor", 2, "unknown failure"),
             ("[a]\nfault = blackhole", 2, "unknown fault family"),
             ("[a]\nfault = gray{p=2}", 2, "out of range"),
+            ("[a]\nfidelity = fluid", 2, "unknown fidelity family"),
+            (
+                "[a]\nfidelity = hybrid{bg=packet}",
+                2,
+                "unknown background model",
+            ),
         ] {
             let err = parse(text).expect_err(text);
             assert_eq!(err.line, line, "{text:?} -> {err}");
@@ -905,6 +949,30 @@ reconv = none, 25us
     }
 
     #[test]
+    fn fidelity_axis_parses_renders_and_keys() {
+        let ms = parse("[g]\nfidelity = pkt, hybrid{bg=fluid}\n").expect("fidelity axis parses");
+        assert_eq!(
+            ms[0].fidelities,
+            vec![FidelitySpec::Pkt, FidelitySpec::Hybrid]
+        );
+        let canonical = render(&ms);
+        // `ms` canonicalizes: the default bg model collapses away.
+        assert!(
+            canonical.contains("fidelity = pkt, hybrid\n"),
+            "{canonical}"
+        );
+        assert_eq!(render(&parse(&canonical).unwrap()), canonical);
+        let keys: Vec<String> = ms[0].expand().iter().map(|c| c.key()).collect();
+        assert!(!keys[0].contains("fi="), "{}", keys[0]);
+        let hybrid = keys.iter().filter(|k| k.contains("/fi=hybrid/")).count();
+        assert_eq!(hybrid, keys.len() / 2, "{keys:?}");
+        // Two spellings of one fidelity share a canonical label and collide.
+        let err = parse("[g]\nfidelity = hybrid, hybrid{bg=fluid}\n").expect_err("aliases collide");
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("duplicate fidelity"), "{err}");
+    }
+
+    #[test]
     fn background_lb_may_contain_a_plus() {
         let ms = parse("[g]\nbackground = perm-1024B+REPS+freeze@50us\n").expect("parses");
         let (wl, lb) = ms[0].background.as_ref().expect("background set");
@@ -929,6 +997,7 @@ failure = none, cable1-at8us-perm, switch1-at8us-30us, cables5pct-at10us-perm, s
 reconv = none, 10us, 500ns, 77ps
 track = 0, 1
 fault = none, gray{p=0.02,for=100us}, corrupt{p=0.001,n=2}, flap{period=40us,duty=0.5,at=20us}, unidir{for=200us}
+fidelity = pkt, hybrid
 seed = 0, 3, 7
 cc = DCTCP, EQDS, INTERNAL
 coalesce = pp, plain4, carry16, reuse16

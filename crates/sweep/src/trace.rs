@@ -26,9 +26,11 @@
 //! connection, entropy value). Kinds: `path_choice`, `ev_choice`,
 //! `freeze`, `thaw`, `reorder`, `retransmit`, `timeout`, `link_down`,
 //! `link_up`, `link_rate`, `link_ber`, `link_gray`, `link_corrupt`,
-//! `switch_down`, `switch_up`. The gray/corrupt records carry `on`
-//! (true at fault onset, false at heal), so a trace shows the full
-//! fault timeline.
+//! `switch_down`, `switch_up`, `fluid_resolve`. The gray/corrupt records
+//! carry `on` (true at fault onset, false at heal), so a trace shows the
+//! full fault timeline; `fluid_resolve` records carry `active`
+//! (background flows) and `updated` (links whose residual rate changed),
+//! so a hybrid cell's trace shows every background re-solve.
 //!
 //! # Determinism contract
 //!
@@ -130,6 +132,12 @@ pub fn event_record(e: &TraceEvent) -> String {
             .render(),
         TraceEvent::SwitchDown { sw, .. } => base("switch_down").u64("sw", sw.0 as u64).render(),
         TraceEvent::SwitchUp { sw, .. } => base("switch_up").u64("sw", sw.0 as u64).render(),
+        TraceEvent::FluidResolve {
+            active, updated, ..
+        } => base("fluid_resolve")
+            .u64("active", active as u64)
+            .u64("updated", updated as u64)
+            .render(),
     }
 }
 

@@ -1,0 +1,119 @@
+//! Property tests for the fidelity axis:
+//!
+//! 1. the fidelity grammar is a true parse/render pair — `parse ∘ label`
+//!    is the identity and every spelling of one configuration
+//!    canonicalizes to one label, so it shares one cell key, one derived
+//!    seed, one shard and one cache address;
+//! 2. hybrid cells stay inside the determinism contract — a grid whose
+//!    background runs on the fluid model produces byte-identical JSONL
+//!    across thread counts, and a 2-shard split reproduces exactly the
+//!    unsharded records.
+
+use proptest::prelude::*;
+
+use baselines::kind::LbKind;
+use sweep::fidelity::FidelitySpec;
+use sweep::matrix::{LabeledLb, ScenarioMatrix};
+use sweep::spec::{FabricSpec, WorkloadSpec};
+use sweep::{run_cells, to_jsonl, Shard};
+
+proptest! {
+    /// Grammar round-trip under arbitrary spacing and the optional
+    /// `{bg=fluid}` parameter block: every generated spelling parses to
+    /// the spec it spells, and its canonical label is stable under
+    /// re-parsing.
+    #[test]
+    fn every_spelling_canonicalizes_to_one_label(
+        hybrid in any::<bool>(),
+        braced in any::<bool>(),
+        pad in 0usize..3,
+        inner_pad in 0usize..3,
+    ) {
+        let ws = " ".repeat(pad);
+        let iws = " ".repeat(inner_pad);
+        let spelling = match (hybrid, braced) {
+            (false, _) => format!("{ws}pkt{ws}"),
+            (true, false) => format!("{ws}hybrid{ws}"),
+            (true, true) => format!("{ws}hybrid{{{iws}bg={iws}fluid{iws}}}{ws}"),
+        };
+        let spec = FidelitySpec::parse(&spelling).expect(&spelling);
+        let expected = if hybrid { FidelitySpec::Hybrid } else { FidelitySpec::Pkt };
+        prop_assert_eq!(spec, expected, "{} parsed wrong", spelling);
+        // The label is already canonical: parse ∘ label == id.
+        prop_assert_eq!(FidelitySpec::parse(spec.label()), Ok(spec));
+    }
+}
+
+/// A small background-loaded grid crossed with the fidelity axis.
+fn hybrid_matrix(seeds: u32) -> ScenarioMatrix {
+    ScenarioMatrix::new("fidelity-prop")
+        .fabrics([FabricSpec::two_tier(4, 1)])
+        .lbs([LabeledLb::plain(LbKind::Ops { evs_size: 1 << 16 })])
+        .workloads([WorkloadSpec::Permutation { bytes: 16 << 10 }])
+        .background(WorkloadSpec::Tornado { bytes: 8 << 10 }, LbKind::Ecmp)
+        .fidelities([FidelitySpec::Pkt, FidelitySpec::Hybrid])
+        .seeds(seeds)
+}
+
+/// End-to-end: a hybrid grid's JSONL is byte-identical between 1 thread
+/// and 8, and a 2-shard split reproduces exactly the unsharded records —
+/// the fluid model never leaks scheduling into result bytes.
+#[test]
+fn hybrid_grid_bytes_survive_threads_and_shard_splits() {
+    let cells = hybrid_matrix(2).expand();
+    assert!(
+        cells.iter().any(|c| c.key().contains("/fi=hybrid/")),
+        "the grid must contain hybrid cells"
+    );
+    let serial = run_cells(&cells, 1);
+    let parallel = run_cells(&cells, 8);
+    assert_eq!(to_jsonl(&serial), to_jsonl(&parallel));
+    assert!(serial.iter().all(|r| r.summary.completed));
+    // 2-shard split: the union of per-shard records is the full set.
+    let mut full: Vec<String> = serial.iter().map(sweep::sink::jsonl_record).collect();
+    let mut sharded: Vec<String> = Vec::new();
+    for index in 1..=2 {
+        let shard = Shard { index, count: 2 }.select(cells.clone());
+        sharded.extend(run_cells(&shard, 4).iter().map(sweep::sink::jsonl_record));
+    }
+    full.sort();
+    sharded.sort();
+    assert_eq!(full, sharded);
+}
+
+/// The hybrid must keep the foreground close to the packet-level truth:
+/// on the same background-loaded cell, the pkt and hybrid foreground FCT
+/// distributions (mean and p99) agree within a factor of two. The hybrid
+/// models background pressure analytically — residual link capacity plus
+/// an M/D/1 queue-wait term — so it cannot be exact, but an
+/// order-of-magnitude split would mean the residual coupling is wired
+/// wrong.
+#[test]
+fn hybrid_foreground_fct_tracks_the_packet_level_truth() {
+    let cells = hybrid_matrix(1).expand();
+    let results = run_cells(&cells, 2);
+    assert_eq!(results.len(), 2);
+    let fct = |want_hybrid: bool| {
+        let r = results
+            .iter()
+            .find(|r| r.key.contains("/fi=hybrid/") == want_hybrid)
+            .expect("both fidelities present");
+        assert!(r.summary.completed, "cell must complete");
+        (
+            r.summary.avg_fct.as_ps() as f64,
+            r.summary.p99_fct.as_ps() as f64,
+        )
+    };
+    let (pkt_mean, pkt_p99) = fct(false);
+    let (hyb_mean, hyb_p99) = fct(true);
+    assert!(pkt_mean > 0.0 && hyb_mean > 0.0);
+    let ratio = |a: f64, b: f64| if a > b { a / b } else { b / a };
+    assert!(
+        ratio(pkt_mean, hyb_mean) < 2.0,
+        "foreground mean FCT diverged: pkt {pkt_mean}ps vs hybrid {hyb_mean}ps"
+    );
+    assert!(
+        ratio(pkt_p99, hyb_p99) < 2.0,
+        "foreground p99 FCT diverged: pkt {pkt_p99}ps vs hybrid {hyb_p99}ps"
+    );
+}

@@ -112,3 +112,17 @@ fn flap_reconv_output_is_byte_identical_to_its_snapshot() {
         "flap-reconv output drifted from its day-one golden snapshot"
     );
 }
+
+// The hybrid-fidelity preset is locked from day one: the snapshot pins
+// the `fi=` key components, the pkt cells' bytes (which must equal a
+// pre-fidelity-axis run exactly — the axis default changes nothing) and
+// the fluid-background cells' analytically-derived foreground FCTs.
+
+#[test]
+fn hybrid_scale_output_is_byte_identical_to_its_snapshot() {
+    assert_eq!(
+        preset_jsonl("hybrid-scale"),
+        include_str!("golden/hybrid-scale.quick.jsonl"),
+        "hybrid-scale output drifted from its day-one golden snapshot"
+    );
+}

@@ -87,7 +87,7 @@ fn full_pool_matches_the_regenerated_lbspec_fixture() {
     // proves the grammar refactor moved zero pre-existing cells while the
     // new presets only extended the suite.
     let rows = rows_of(FIXTURE_LBSPEC);
-    assert_eq!(rows.len(), 652, "lbspec fixture shape changed unexpectedly");
+    assert_eq!(rows.len(), 660, "lbspec fixture shape changed unexpectedly");
     let pre: BTreeSet<(u64, &str)> = fixture_rows()
         .iter()
         .map(|(_, seed, _, key)| (*seed, *key))
@@ -138,6 +138,7 @@ fn new_presets_extend_rather_than_perturb_the_suite() {
         "flowlet-gap",
         "gray-failures",
         "flap-reconv",
+        "hybrid-scale",
     ] {
         assert!(now.contains(new), "new preset {new} missing");
         assert!(
@@ -224,6 +225,22 @@ fn fixture_preset_keys_still_lack_the_fault_component() {
     for scale in [Scale::Quick, Scale::Full] {
         for (_, key) in current_rows(scale, &fixture_presets) {
             assert!(!key.contains("/ft="), "{key}: default fault leaked");
+        }
+    }
+}
+
+#[test]
+fn fixture_preset_keys_still_lack_the_fidelity_component() {
+    // Same contract again for the fidelity axis: `fi=` is keyed only for
+    // hybrid cells, so `fidelity=pkt` — every pre-existing cell — keeps
+    // its key, derived seed, shard and cache address bit-for-bit.
+    let fixture_presets: BTreeSet<&str> = fixture_rows()
+        .iter()
+        .map(|(_, _, _, key)| key.split('/').next().expect("preset component"))
+        .collect();
+    for scale in [Scale::Quick, Scale::Full] {
+        for (_, key) in current_rows(scale, &fixture_presets) {
+            assert!(!key.contains("/fi="), "{key}: default fidelity leaked");
         }
     }
 }

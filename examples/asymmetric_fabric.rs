@@ -42,11 +42,11 @@ fn main() {
         let tor0 = &res.engine.topo.switches[0];
         let mut shares = Vec::new();
         let mut total = 0u64;
-        for link in &tor0.up_links {
+        for link in tor0.up_links.iter() {
             let bytes: u64 = res
                 .engine
                 .stats
-                .link_series(*link)
+                .link_series(link)
                 .map(|se| se.bucket_bytes.iter().sum())
                 .unwrap_or(0);
             shares.push(bytes);
